@@ -1,0 +1,15 @@
+//! Group B of Table 1: GIS / computational-geometry algorithms on exact
+//! `i64` coordinates (so all comparisons are exact and `Ord`-deterministic;
+//! cross products are evaluated in `i128`).
+
+pub mod closest_pair;
+pub mod dominance;
+pub mod envelope;
+pub mod hull;
+pub mod maxima3d;
+pub mod next_element;
+pub mod point;
+pub mod rectangles;
+pub mod separability;
+
+pub use point::{Point2, Point3};

@@ -1,0 +1,359 @@
+//! CGM list ranking by independent-set contraction — the ablation
+//! counterpart to pointer jumping ([`crate::graph::list_ranking`]).
+//!
+//! Pointer jumping keeps all `n` nodes active for every one of its
+//! `O(log n)` rounds (Θ(n) traffic per round). Contraction instead
+//! *splices out* an expected constant fraction of the nodes per round — a
+//! node `s` leaves when `coin(s) = tails` and `coin(pred(s)) = heads`,
+//! with coins a pure hash of `(node, round)`, so selection needs no
+//! communication and spliced-out neighbours never collide — and folds its
+//! weight into its predecessor. Traffic shrinks geometrically, which is
+//! exactly the "geometrically decreasing size" property the paper's
+//! Section 2.1 discusses: under the simulation, contraction's total I/O
+//! is O(n/DB) while pointer jumping pays O((n/DB)·log n). A reverse
+//! unwinding pass then assigns ranks to the spliced nodes.
+
+use crate::common::{distribute, AlgoError, AlgoResult, ChunkMap};
+use crate::graph::list_ranking::NIL;
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct;
+
+/// Deterministic per-(node, round) coin.
+fn coin(node: u64, round: u64) -> bool {
+    let mut x = node ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x & 1 == 1
+}
+
+/// Per-chunk state shared by the contraction and unwinding stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtState {
+    /// Global id of my first node.
+    pub start: u64,
+    /// Current successor per node (`NIL` at chain tails / after full
+    /// contraction).
+    pub succ: Vec<u64>,
+    /// Current predecessor per node (`NIL` at heads).
+    pub pred: Vec<u64>,
+    /// Accumulated weight (absorbs spliced successors).
+    pub w: Vec<u64>,
+    /// 1 while the node participates in the contraction.
+    pub alive: Vec<u8>,
+    /// For spliced nodes: the successor at splice time (`NIL` if tail).
+    pub splice_t: Vec<u64>,
+    /// For spliced nodes: the frozen weight.
+    pub splice_w: Vec<u64>,
+    /// Round at which the node was spliced (`NIL` = never).
+    pub splice_round: Vec<u64>,
+    /// Final ranks (valid after unwinding).
+    pub rank: Vec<u64>,
+}
+impl_serial_struct!(CtState {
+    start, succ, pred, w, alive, splice_t, splice_w, splice_round, rank
+});
+
+/// Contraction stage: one superstep per round. Superstep 0 additionally
+/// builds the predecessor pointers.
+#[derive(Debug, Clone)]
+pub struct Contract {
+    /// Node-ownership map.
+    pub map: ChunkMap,
+}
+
+impl BspProgram for Contract {
+    type State = CtState;
+    /// `(tag, a, b, c)` — 0: "a is the pred of b"; 1: set-succ
+    /// `(p, new_succ, folded_w)`; 2: set-pred `(t, new_pred, _)`.
+    type Msg = (u8, u64, u64, u64);
+
+    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, u64, u64, u64)>, state: &mut CtState) -> Step {
+        if step == 0 {
+            for (l, &s) in state.succ.iter().enumerate() {
+                if s != NIL {
+                    let x = state.start + l as u64;
+                    mb.send(self.map.owner(s as usize), (0, x, s, 0));
+                }
+            }
+            return Step::Continue;
+        }
+        // Apply updates from the previous superstep.
+        for env in mb.take_incoming() {
+            let (tag, a, b, c) = env.msg;
+            match tag {
+                0 => {
+                    let local = (b - state.start) as usize;
+                    state.pred[local] = a;
+                }
+                1 => {
+                    let local = (a - state.start) as usize;
+                    state.succ[local] = b;
+                    state.w[local] = state.w[local].wrapping_add(c);
+                }
+                _ => {
+                    let local = (a - state.start) as usize;
+                    state.pred[local] = b;
+                }
+            }
+        }
+        // Decide this round's splices: node s leaves when coin(s) = tails,
+        // it has a predecessor, and coin(pred) = heads.
+        let round = step as u64;
+        let mut active = false;
+        for l in 0..state.succ.len() {
+            if state.alive[l] == 0 {
+                continue;
+            }
+            let s = state.start + l as u64;
+            let p = state.pred[l];
+            if state.succ[l] != NIL || p != NIL {
+                active = true;
+            }
+            if p != NIL && !coin(s, round) && coin(p, round) {
+                let t = state.succ[l];
+                state.alive[l] = 0;
+                state.splice_t[l] = t;
+                state.splice_w[l] = state.w[l];
+                state.splice_round[l] = round;
+                mb.send(self.map.owner(p as usize), (1, p, t, state.w[l]));
+                if t != NIL {
+                    mb.send(self.map.owner(t as usize), (2, t, p, 0));
+                }
+            }
+        }
+        if active {
+            Step::Continue
+        } else {
+            // Fully contracted: every alive node is an isolated head whose
+            // accumulated weight is its rank.
+            for l in 0..state.succ.len() {
+                if state.alive[l] == 1 {
+                    state.rank[l] = state.w[l];
+                }
+            }
+            Step::Halt
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        192 + (8 * 7 + 1) * (chunk + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        (25 + 16) * (3 * chunk + 4) + 256
+    }
+}
+
+/// Unwinding stage: rounds are replayed in reverse; nodes spliced at round
+/// `r` query their splice-time successor (already final) for its rank.
+#[derive(Debug, Clone)]
+pub struct Unwind {
+    /// Node-ownership map.
+    pub map: ChunkMap,
+    /// Highest contraction round used.
+    pub max_round: u64,
+}
+
+impl BspProgram for Unwind {
+    type State = CtState;
+    /// `(tag, a, b, c)` — 0: rank query `(s, t, _)`; 1: rank reply
+    /// `(s, rank_t, _)`.
+    type Msg = (u8, u64, u64, u64);
+
+    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, u64, u64, u64)>, state: &mut CtState) -> Step {
+        // Even steps: apply replies, then issue queries for the next
+        // reverse round; odd steps: answer queries.
+        if step % 2 == 0 {
+            for env in mb.take_incoming() {
+                let (_, s, rank_t, _) = env.msg;
+                let local = (s - state.start) as usize;
+                state.rank[local] = state.splice_w[local].wrapping_add(rank_t);
+            }
+            let i = (step / 2) as u64;
+            if i > self.max_round {
+                return Step::Halt;
+            }
+            let round = self.max_round - i;
+            for l in 0..state.succ.len() {
+                if state.splice_round[l] != round {
+                    continue;
+                }
+                let s = state.start + l as u64;
+                let t = state.splice_t[l];
+                if t == NIL {
+                    state.rank[l] = state.splice_w[l];
+                } else {
+                    mb.send(self.map.owner(t as usize), (0, s, t, 0));
+                }
+            }
+            Step::Continue
+        } else {
+            for env in mb.take_incoming() {
+                let (_, s, t, _) = env.msg;
+                let local = (t - state.start) as usize;
+                mb.send(env.src, (1, s, state.rank[local], 0));
+            }
+            Step::Continue
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        192 + (8 * 7 + 1) * (chunk + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        (25 + 16) * (2 * chunk + 4) + 256
+    }
+}
+
+/// List ranking by independent-set contraction: same contract as
+/// [`crate::graph::list_ranking::cgm_list_rank`] (weight sum from node to
+/// its chain tail, inclusive, wrapping), geometrically decreasing traffic.
+pub fn cgm_list_rank_contraction<E: Executor>(
+    exec: &E,
+    v: usize,
+    succ: &[u64],
+    weights: &[u64],
+) -> AlgoResult<Vec<u64>> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    let n = succ.len();
+    if weights.len() != n {
+        return Err(AlgoError::Input("succ and weights must have equal length".into()));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    for &s in succ {
+        if s != NIL && s as usize >= n {
+            return Err(AlgoError::Input(format!("successor {s} out of range")));
+        }
+    }
+    let map = ChunkMap { n, v };
+    let tagged: Vec<(u64, u64)> = succ.iter().copied().zip(weights.iter().copied()).collect();
+    let chunks = distribute(tagged, v);
+    let mut states = Vec::with_capacity(v);
+    let mut start = 0u64;
+    for chunk in chunks {
+        let len = chunk.len();
+        let (succ, w): (Vec<u64>, Vec<u64>) = chunk.into_iter().unzip();
+        states.push(CtState {
+            start,
+            succ,
+            pred: vec![NIL; len],
+            w,
+            alive: vec![1; len],
+            splice_t: vec![NIL; len],
+            splice_w: vec![0; len],
+            splice_round: vec![NIL; len],
+            rank: vec![0; len],
+        });
+        start += len as u64;
+    }
+
+    let res = exec.execute(&Contract { map }, states)?;
+    let max_round = res
+        .states
+        .iter()
+        .flat_map(|s| s.splice_round.iter().copied())
+        .filter(|&r| r != NIL)
+        .max()
+        .unwrap_or(0);
+    let res = exec.execute(&Unwind { map, max_round }, res.states)?;
+    Ok(res.states.into_iter().flat_map(|s| s.rank).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::list_ranking::{cgm_list_rank, random_chain, seq_list_rank};
+    use em_bsp::SeqExecutor;
+
+    #[test]
+    fn simple_chain() {
+        let succ = vec![1, 2, 3, NIL];
+        let got = cgm_list_rank_contraction(&SeqExecutor, 2, &succ, &[1; 4]).unwrap();
+        assert_eq!(got, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn matches_pointer_jumping_on_random_chains() {
+        for seed in [70, 71, 72] {
+            let n = 173;
+            let succ = random_chain(n, seed);
+            let weights: Vec<u64> = (0..n as u64).map(|i| i % 9 + 1).collect();
+            let want = seq_list_rank(&succ, &weights);
+            let via_jump = cgm_list_rank(&SeqExecutor, 6, &succ, &weights).unwrap();
+            let via_contract = cgm_list_rank_contraction(&SeqExecutor, 6, &succ, &weights).unwrap();
+            assert_eq!(via_contract, want, "seed {seed}");
+            assert_eq!(via_jump, via_contract);
+        }
+    }
+
+    #[test]
+    fn multiple_chains_and_singletons() {
+        let succ = vec![1, NIL, 3, 4, NIL, NIL];
+        let got = cgm_list_rank_contraction(&SeqExecutor, 3, &succ, &[1; 6]).unwrap();
+        assert_eq!(got, vec![2, 1, 3, 2, 1, 1]);
+    }
+
+    /// Contraction moves geometrically less data: on a long chain its
+    /// total message volume stays below pointer jumping's.
+    #[test]
+    fn contraction_moves_less_traffic() {
+        let n = 2048;
+        let succ = random_chain(n, 73);
+        let w = vec![1u64; n];
+        let jump = em_bsp::run_sequential(
+            &crate::graph::list_ranking::PointerJump { map: ChunkMap { n, v: 8 } },
+            {
+                let tagged: Vec<(u64, u64)> = succ.iter().map(|&s| (s, 1)).collect();
+                let mut states = Vec::new();
+                let mut start = 0u64;
+                for chunk in distribute(tagged, 8) {
+                    let len = chunk.len() as u64;
+                    let (ptr, rank): (Vec<u64>, Vec<u64>) = chunk.into_iter().unzip();
+                    states.push(crate::graph::list_ranking::LrState { start, ptr, rank });
+                    start += len;
+                }
+                states
+            },
+        )
+        .unwrap();
+        // Reference totals via the driver (contract + unwind ledgers are
+        // not directly exposed, so compare through a counting executor).
+        struct Count {
+            bytes: std::sync::atomic::AtomicU64,
+        }
+        impl em_bsp::Executor for Count {
+            fn execute<P: BspProgram>(
+                &self,
+                prog: &P,
+                states: Vec<P::State>,
+            ) -> Result<em_bsp::RunResult<P::State>, em_bsp::ExecError> {
+                let res = em_bsp::run_sequential(prog, states)
+                    .map_err(|e| Box::new(e) as em_bsp::ExecError)?;
+                self.bytes
+                    .fetch_add(res.ledger.total_bytes(), std::sync::atomic::Ordering::Relaxed);
+                Ok(res)
+            }
+        }
+        let counter = Count { bytes: std::sync::atomic::AtomicU64::new(0) };
+        let got = cgm_list_rank_contraction(&counter, 8, &succ, &w).unwrap();
+        assert_eq!(got, seq_list_rank(&succ, &w));
+        let contraction_bytes = counter.bytes.load(std::sync::atomic::Ordering::Relaxed);
+        let jump_bytes = jump.ledger.total_bytes();
+        assert!(
+            contraction_bytes * 2 < jump_bytes,
+            "contraction ({contraction_bytes} B) should move well under half of pointer jumping ({jump_bytes} B)"
+        );
+    }
+}

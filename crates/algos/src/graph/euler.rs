@@ -1,0 +1,649 @@
+//! CGM Euler tour and tree computations — Table 1, Group C ("Euler tour
+//! (tree)", "tree contraction"-style aggregates).
+//!
+//! Pipeline (each stage a BSP program; positions/offset arithmetic on
+//! chunk *counts* is driver glue):
+//!
+//! 1. CGM-sort the `2(n−1)` directed arcs by `(src, dst)`;
+//! 2. [`EulerBuild`]: construct the Euler-circuit successor of every arc
+//!    — `succ((u,v))` is the arc after `(v,u)` in `v`'s circular
+//!    adjacency — using one boundary broadcast plus key-range rendezvous
+//!    routing for block heads and twins; the circuit is cut at the first
+//!    arc out of the root;
+//! 3. list ranking (unit weights) → tour positions;
+//! 4. [`FirstVisit`]: per vertex, the minimum-position incoming arc gives
+//!    the parent, enter and exit positions (→ subtree sizes); per arc a
+//!    ±1 advance/retreat weight;
+//! 5. list ranking (±1 weights) → depths.
+
+use crate::common::{distribute, AlgoError, AlgoResult, ChunkMap};
+use crate::graph::list_ranking::{cgm_list_rank, NIL};
+use crate::sort::cgm_sort;
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct;
+
+/// State of the successor-construction stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EbState {
+    /// Global position of this chunk's first arc.
+    pub start: u64,
+    /// Sorted arc chunk `(src, dst)`.
+    pub arcs: Vec<(u64, u64)>,
+    /// Output: tour successor position per local arc (`NIL` = tour end).
+    pub succ: Vec<u64>,
+    /// Chunk ranges learned in step 1: `(start, first_src, first_dst)`.
+    pub ranges: Vec<(u64, u64, u64)>,
+    /// Rendezvous-owner scratch: block-head candidates `(src, pos)`.
+    pub heads: Vec<(u64, u64)>,
+    /// Requests this processor issued: `(pos_of_arc, u, v)` awaiting a
+    /// block-head reply for `src = v`.
+    pub waiting: Vec<(u64, u64, u64)>,
+    /// Buffered twin assignments `(u, v, succ_pos)` until the head of the
+    /// root's block is known.
+    pub pending: Vec<(u64, u64, u64)>,
+    /// Position of the tour's first arc (first arc out of the root).
+    pub head_root: u64,
+}
+impl_serial_struct!(EbState {
+    start, arcs, succ, ranges, heads, waiting, pending, head_root
+});
+
+/// The successor-construction BSP program (5 fixed supersteps).
+#[derive(Debug, Clone)]
+pub struct EulerBuild {
+    /// Number of arcs `m = 2(n−1)`.
+    pub m: usize,
+    /// Root vertex.
+    pub root: u64,
+    /// `v` (for sizing).
+    pub v: usize,
+}
+
+impl EulerBuild {
+    /// Which processor's key range contains `(src, dst)` (the processor
+    /// with the largest first key `≤` it; keys below the global minimum
+    /// clamp to the first non-empty processor).
+    fn range_owner(ranges: &[(u64, u64, u64)], key: (u64, u64)) -> usize {
+        debug_assert!(!ranges.is_empty());
+        let idx = ranges.partition_point(|&(_, s, d)| (s, d) <= key);
+        // ranges are sorted by start; map back through the announcement's
+        // order index — the announcements carry src in sorted key order,
+        // which coincides with start order.
+        idx.saturating_sub(1)
+    }
+}
+
+impl BspProgram for EulerBuild {
+    type State = EbState;
+    /// `(tag, a, b, c)` — 0: range `(start, first_src, first_dst)`;
+    /// 1: head announce `(src, pos, _)`; 2: head request `(src, pos_of_arc,
+    /// _)`; 3: head reply `(src, head_pos, pos_of_arc)`; 4: twin assign
+    /// `(u, v, succ_pos)`; 5: root head broadcast `(head_root, _, _)`.
+    type Msg = (u8, u64, u64, u64);
+
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, u64, u64, u64)>,
+        state: &mut EbState,
+    ) -> Step {
+        let v = mb.nprocs();
+        match step {
+            0 => {
+                if let Some(&(s, d)) = state.arcs.first() {
+                    for dst in 0..v {
+                        mb.send(dst, (0, state.start, s, d));
+                    }
+                }
+                state.succ = vec![NIL; state.arcs.len()];
+                Step::Continue
+            }
+            1 => {
+                let mut ranges: Vec<(u64, u64, u64)> = mb
+                    .take_incoming()
+                    .into_iter()
+                    .filter(|e| e.msg.0 == 0)
+                    .map(|e| (e.msg.1, e.msg.2, e.msg.3))
+                    .collect();
+                ranges.sort_unstable();
+                state.ranges = ranges;
+                if state.arcs.is_empty() {
+                    return Step::Continue;
+                }
+                let ranges = &state.ranges;
+                // Announcement index == pid: chunks are distributed evenly
+                // in pid order, so non-empty chunks are exactly pids
+                // 0..#announcements and start order equals pid order.
+                // Announce block heads: first local arc of each distinct src.
+                let mut prev_src = None;
+                for (i, &(s, _)) in state.arcs.iter().enumerate() {
+                    if prev_src != Some(s) {
+                        let owner = Self::range_owner(ranges, (s, 0));
+                        mb.send(self.pid_of(owner), (1, s, state.start + i as u64, 0));
+                        prev_src = Some(s);
+                    }
+                }
+                // For each local arc (v_, u_) at pos q, the twin (u_, v_)
+                // gets succ = next arc in v_'s block (circular).
+                let last = state.arcs.len() - 1;
+                for (i, &(vv, uu)) in state.arcs.iter().enumerate() {
+                    let q = state.start + i as u64;
+                    let next_same_block = if i < last {
+                        if state.arcs[i + 1].0 == vv {
+                            Some(q + 1)
+                        } else {
+                            None
+                        }
+                    } else {
+                        // Next arc lives on the next non-empty processor.
+                        let my_idx = ranges.partition_point(|&(st, _, _)| st <= state.start) - 1;
+                        match ranges.get(my_idx + 1) {
+                            Some(&(st, s, _)) if s == vv => Some(st),
+                            _ => None,
+                        }
+                    };
+                    match next_same_block {
+                        Some(np) => {
+                            let owner = Self::range_owner(ranges, (uu, vv));
+                            mb.send(self.pid_of(owner), (4, uu, vv, np));
+                        }
+                        None => {
+                            // Block of vv ends here: request its head.
+                            let owner = Self::range_owner(ranges, (vv, 0));
+                            mb.send(self.pid_of(owner), (2, vv, q, 0));
+                            state.waiting.push((q, uu, vv));
+                        }
+                    }
+                }
+                Step::Continue
+            }
+            2 => {
+                let mut announces: Vec<(u64, u64)> = Vec::new();
+                let mut requests: Vec<(usize, u64, u64)> = Vec::new();
+                for env in mb.take_incoming() {
+                    match env.msg.0 {
+                        1 => announces.push((env.msg.1, env.msg.2)),
+                        2 => requests.push((env.src, env.msg.1, env.msg.2)),
+                        4 => state.pending.push((env.msg.1, env.msg.2, env.msg.3)),
+                        _ => {}
+                    }
+                }
+                announces.sort_unstable();
+                // head[s] = min pos per src.
+                let mut heads: Vec<(u64, u64)> = Vec::new();
+                for (s, pos) in announces {
+                    match heads.last_mut() {
+                        Some((ls, lp)) if *ls == s => *lp = (*lp).min(pos),
+                        _ => heads.push((s, pos)),
+                    }
+                }
+                // If I own the root's rendezvous key, broadcast its head.
+                if let Ok(idx) = heads.binary_search_by_key(&self.root, |&(s, _)| s) {
+                    for dst in 0..v {
+                        mb.send(dst, (5, heads[idx].1, 0, 0));
+                    }
+                }
+                for (src, s, q) in requests {
+                    let head = heads
+                        .binary_search_by_key(&s, |&(hs, _)| hs)
+                        .map(|i| heads[i].1)
+                        .unwrap_or(NIL);
+                    mb.send(src, (3, s, head, q));
+                }
+                state.heads = heads;
+                Step::Continue
+            }
+            3 => {
+                let mut replies: Vec<(u64, u64)> = Vec::new(); // (pos_of_arc, head)
+                for env in mb.take_incoming() {
+                    match env.msg.0 {
+                        3 => replies.push((env.msg.3, env.msg.2)),
+                        5 => state.head_root = env.msg.1,
+                        4 => state.pending.push((env.msg.1, env.msg.2, env.msg.3)),
+                        _ => {}
+                    }
+                }
+                replies.sort_unstable();
+                for &(q, uu, vv) in &state.waiting {
+                    let head = replies
+                        .binary_search_by_key(&q, |&(rq, _)| rq)
+                        .map(|i| replies[i].1)
+                        .expect("head reply for every request");
+                    let owner = Self::range_owner(&state.ranges, (uu, vv));
+                    mb.send(self.pid_of(owner), (4, uu, vv, head));
+                }
+                state.waiting.clear();
+                Step::Continue
+            }
+            _ => {
+                for env in mb.take_incoming() {
+                    if env.msg.0 == 4 {
+                        state.pending.push((env.msg.1, env.msg.2, env.msg.3));
+                    } else if env.msg.0 == 5 {
+                        state.head_root = env.msg.1;
+                    }
+                }
+                let pending = std::mem::take(&mut state.pending);
+                for (uu, vv, succ_pos) in pending {
+                    let idx = state
+                        .arcs
+                        .binary_search(&(uu, vv))
+                        .expect("twin arc owned by its range owner");
+                    state.succ[idx] = if succ_pos == state.head_root {
+                        NIL
+                    } else {
+                        succ_pos
+                    };
+                }
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.m.div_ceil(self.v).max(1);
+        256 + 24 * (chunk + 2) * 4 + 32 * (self.v + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        // Rendezvous owners can receive the announcements and requests of
+        // every processor for a popular source vertex (star trees), so
+        // size on the total arc count.
+        (25 + 16) * (4 * self.m + 2 * self.v + 8) + 512
+    }
+}
+
+impl EulerBuild {
+    /// pid of the `idx`-th non-empty chunk. Chunks are distributed evenly
+    /// in pid order, so with `m ≥ v` every pid is non-empty and the
+    /// mapping is the identity; with `m < v` only the first `m` pids hold
+    /// one arc each — still the identity. (Empty chunks never announce.)
+    fn pid_of(&self, idx: usize) -> usize {
+        idx
+    }
+}
+
+/// State of the first-visit stage (vertex-chunk side and arc-chunk side in
+/// one program: every processor owns both an arc chunk and a vertex
+/// chunk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FvState {
+    /// Global id of my first vertex.
+    pub vstart: u64,
+    /// Arc chunk: `(u, v, pos)`.
+    pub arcs: Vec<(u64, u64, u64)>,
+    /// Per local vertex: parent (`NIL` for the root).
+    pub parent: Vec<u64>,
+    /// Per local vertex: enter position.
+    pub enter: Vec<u64>,
+    /// Per local vertex: subtree size.
+    pub size: Vec<u64>,
+    /// Per local arc: weight `+1`/`−1` as wrapped `u64`.
+    pub weight: Vec<u64>,
+}
+impl_serial_struct!(FvState { vstart, arcs, parent, enter, size, weight });
+
+/// The first-visit / weights BSP program (3 fixed supersteps).
+#[derive(Debug, Clone)]
+pub struct FirstVisit {
+    /// Vertex-ownership map.
+    pub vmap: ChunkMap,
+    /// Number of arcs.
+    pub m: usize,
+    /// Root vertex.
+    pub root: u64,
+}
+
+impl BspProgram for FirstVisit {
+    type State = FvState;
+    /// `(tag, a, b, c)` — 0: incoming arc `(v, pos, u)`; 1: outgoing arc
+    /// `(v, pos, dst)`; 2: weight reply `(arc_pos, is_down, _)`.
+    type Msg = (u8, u64, u64, u64);
+
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, u64, u64, u64)>,
+        state: &mut FvState,
+    ) -> Step {
+        match step {
+            0 => {
+                for &(u, vv, pos) in &state.arcs {
+                    mb.send(self.vmap.owner(vv as usize), (0, vv, pos, u));
+                    mb.send(self.vmap.owner(u as usize), (1, u, pos, vv));
+                }
+                Step::Continue
+            }
+            1 => {
+                let nloc = self.vmap.chunk_len(mb.pid());
+                let mut best: Vec<(u64, u64)> = vec![(NIL, NIL); nloc]; // (pos, parent)
+                let mut outgoing: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nloc]; // (dst, pos)
+                let mut incoming: Vec<(usize, u64, u64, u64)> = Vec::new(); // (src, v, pos, u)
+                for env in mb.take_incoming() {
+                    let (tag, vv, pos, other) = env.msg;
+                    let local = (vv - state.vstart) as usize;
+                    match tag {
+                        0 => {
+                            incoming.push((env.src, vv, pos, other));
+                            if pos < best[local].0 {
+                                best[local] = (pos, other);
+                            }
+                        }
+                        _ => outgoing[local].push((other, pos)),
+                    }
+                }
+                state.parent = vec![NIL; nloc];
+                state.enter = vec![NIL; nloc];
+                state.size = vec![0; nloc];
+                for local in 0..nloc {
+                    let vid = state.vstart + local as u64;
+                    if vid == self.root {
+                        state.parent[local] = NIL;
+                        state.enter[local] = 0;
+                        state.size[local] = (self.m as u64 + 2) / 2; // n
+                        continue;
+                    }
+                    let (pos, parent) = best[local];
+                    state.parent[local] = parent;
+                    state.enter[local] = pos;
+                    if parent != NIL {
+                        // Exit arc: the outgoing arc towards the parent.
+                        let exit = outgoing[local]
+                            .iter()
+                            .find(|&&(dst, _)| dst == parent)
+                            .map(|&(_, p)| p)
+                            .unwrap_or(NIL);
+                        if exit != NIL {
+                            state.size[local] = (exit - pos + 1).div_ceil(2);
+                        }
+                    }
+                }
+                // Weight replies: the arc (u, v) at `pos` is a down arc iff
+                // it is v's enter arc.
+                for (src, vv, pos, _) in incoming {
+                    let local = (vv - state.vstart) as usize;
+                    let is_down = u64::from(state.enter[local] == pos && vv != self.root);
+                    mb.send(src, (2, pos, is_down, 0));
+                }
+                Step::Continue
+            }
+            _ => {
+                let mut replies: Vec<(u64, u64)> = mb
+                    .take_incoming()
+                    .into_iter()
+                    .filter(|e| e.msg.0 == 2)
+                    .map(|e| (e.msg.1, e.msg.2))
+                    .collect();
+                replies.sort_unstable();
+                state.weight = vec![0; state.arcs.len()];
+                for (i, &(_, _, pos)) in state.arcs.iter().enumerate() {
+                    let idx = replies
+                        .binary_search_by_key(&pos, |&(p, _)| p)
+                        .expect("weight reply per arc");
+                    state.weight[i] = if replies[idx].1 == 1 {
+                        1u64
+                    } else {
+                        (-1i64) as u64
+                    };
+                }
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self
+            .m
+            .div_ceil(self.vmap.v)
+            .max(self.vmap.n.div_ceil(self.vmap.v))
+            .max(1);
+        256 + 24 * (chunk + 2) + 8 * 4 * (chunk + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        // Vertex owners receive one message per incident arc endpoint;
+        // degree skew (star trees) can concentrate Θ(m) of them on one
+        // owner, so size on the total arc count.
+        (25 + 16) * 3 * (self.m + self.vmap.v + 4) + 512
+    }
+}
+
+/// Result of the tree pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeInfo {
+    /// Parent of every vertex (`NIL` for the root).
+    pub parent: Vec<u64>,
+    /// Depth of every vertex (root = 0).
+    pub depth: Vec<u64>,
+    /// Subtree size of every vertex.
+    pub size: Vec<u64>,
+    /// Euler-tour position of every arc, aligned with the sorted arc list.
+    pub tour_pos: Vec<u64>,
+    /// The sorted arc list `(u, v)`.
+    pub arcs: Vec<(u64, u64)>,
+}
+
+/// Run the full Euler-tour pipeline on a tree given by undirected edges.
+pub fn cgm_euler_tree<E: Executor>(
+    exec: &E,
+    v: usize,
+    n_vertices: usize,
+    edges: &[(u64, u64)],
+    root: u64,
+) -> AlgoResult<TreeInfo> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    if n_vertices == 0 || root as usize >= n_vertices {
+        return Err(AlgoError::Input("root out of range".into()));
+    }
+    if edges.len() + 1 != n_vertices {
+        return Err(AlgoError::Input(format!(
+            "a tree on {n_vertices} vertices has {} edges, got {}",
+            n_vertices - 1,
+            edges.len()
+        )));
+    }
+    if n_vertices == 1 {
+        return Ok(TreeInfo {
+            parent: vec![NIL],
+            depth: vec![0],
+            size: vec![1],
+            tour_pos: Vec::new(),
+            arcs: Vec::new(),
+        });
+    }
+    for &(a, b) in edges {
+        if a as usize >= n_vertices || b as usize >= n_vertices || a == b {
+            return Err(AlgoError::Input(format!("bad edge ({a}, {b})")));
+        }
+    }
+
+    // Stage 1: sort the directed arcs.
+    let arcs: Vec<(u64, u64)> = edges.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect();
+    let m = arcs.len();
+    let sorted = cgm_sort(exec, v, arcs)?;
+
+    // Stage 2: successor construction.
+    let chunks = distribute(sorted.clone(), v);
+    let mut states = Vec::with_capacity(v);
+    let mut start = 0u64;
+    for chunk in chunks {
+        let len = chunk.len() as u64;
+        states.push(EbState {
+            start,
+            arcs: chunk,
+            succ: Vec::new(),
+            ranges: Vec::new(),
+            heads: Vec::new(),
+            waiting: Vec::new(),
+            pending: Vec::new(),
+            head_root: NIL,
+        });
+        start += len;
+    }
+    let eb = EulerBuild { m, root, v };
+    let res = exec.execute(&eb, states)?;
+    let succ: Vec<u64> = res.states.into_iter().flat_map(|s| s.succ).collect();
+
+    // Stage 3: tour positions via list ranking (unit weights).
+    let ranks = cgm_list_rank(exec, v, &succ, &vec![1u64; m])?;
+    let tour_pos: Vec<u64> = ranks.iter().map(|&r| m as u64 - r).collect();
+
+    // Stage 4: first visits, parents, sizes, ±1 weights.
+    let vmap = ChunkMap { n: n_vertices, v };
+    let arc_recs: Vec<(u64, u64, u64)> = sorted
+        .iter()
+        .zip(&tour_pos)
+        .map(|(&(u, vv), &pos)| (u, vv, pos))
+        .collect();
+    let chunks = distribute(arc_recs, v);
+    let mut states = Vec::with_capacity(v);
+    for (pid, chunk) in chunks.into_iter().enumerate() {
+        states.push(FvState {
+            vstart: vmap.chunk_start(pid) as u64,
+            arcs: chunk,
+            parent: Vec::new(),
+            enter: Vec::new(),
+            size: Vec::new(),
+            weight: Vec::new(),
+        });
+    }
+    let fv = FirstVisit { vmap, m, root };
+    let res = exec.execute(&fv, states)?;
+    let mut parent = Vec::with_capacity(n_vertices);
+    let mut size = Vec::with_capacity(n_vertices);
+    let mut enter = Vec::with_capacity(n_vertices);
+    let mut weights_by_arc: Vec<u64> = Vec::with_capacity(m);
+    for s in res.states {
+        parent.extend(s.parent);
+        size.extend(s.size);
+        enter.extend(s.enter);
+        weights_by_arc.extend(s.weight);
+    }
+
+    // Stage 5: depths via ±1 list ranking over tour order. The ranking
+    // operates on arcs *ordered by tour position*: permute weights/succ
+    // into tour order so node ids equal tour positions (driver glue).
+    let mut w_tour = vec![0u64; m];
+    let mut succ_tour = vec![NIL; m];
+    for i in 0..m {
+        let p = tour_pos[i] as usize;
+        w_tour[p] = weights_by_arc[i];
+        succ_tour[p] = if p + 1 < m { p as u64 + 1 } else { NIL };
+    }
+    let s_tour = cgm_list_rank(exec, v, &succ_tour, &w_tour)?;
+    // depth(v) = w(enter_v) − s(enter_v) in signed arithmetic; enter arcs
+    // are down arcs with weight +1.
+    let mut depth = vec![0u64; n_vertices];
+    for vid in 0..n_vertices {
+        if vid as u64 == root {
+            continue;
+        }
+        let e = enter[vid] as usize;
+        depth[vid] = 1u64.wrapping_sub(s_tour[e]);
+    }
+
+    Ok(TreeInfo { parent, depth, size, tour_pos, arcs: sorted })
+}
+
+/// Sequential reference: iterative DFS.
+pub fn seq_tree_info(n: usize, edges: &[(u64, u64)], root: u64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a as usize].push(b as usize);
+        adj[b as usize].push(a as usize);
+    }
+    let mut parent = vec![NIL; n];
+    let mut depth = vec![0u64; n];
+    let mut size = vec![1u64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![root as usize];
+    let mut seen = vec![false; n];
+    seen[root as usize] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &w in &adj[u] {
+            if !seen[w] {
+                seen[w] = true;
+                parent[w] = u as u64;
+                depth[w] = depth[u] + 1;
+                stack.push(w);
+            }
+        }
+    }
+    for &u in order.iter().rev() {
+        if parent[u] != NIL {
+            size[parent[u] as usize] += size[u];
+        }
+    }
+    (parent, depth, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::SeqExecutor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_tree(n: usize, edges: &[(u64, u64)], root: u64, v: usize) {
+        let (want_parent, want_depth, want_size) = seq_tree_info(n, edges, root);
+        let info = cgm_euler_tree(&SeqExecutor, v, n, edges, root).unwrap();
+        assert_eq!(info.parent, want_parent, "parents for n={n}");
+        assert_eq!(info.depth, want_depth, "depths for n={n}");
+        assert_eq!(info.size, want_size, "sizes for n={n}");
+        // Tour positions are a permutation of 0..m.
+        let mut pos = info.tour_pos.clone();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..edges.len() as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_edge() {
+        check_tree(2, &[(0, 1)], 0, 2);
+        check_tree(2, &[(0, 1)], 1, 2);
+    }
+
+    #[test]
+    fn path_graph() {
+        let edges: Vec<(u64, u64)> = (0..9).map(|i| (i, i + 1)).collect();
+        check_tree(10, &edges, 0, 4);
+        check_tree(10, &edges, 5, 4);
+    }
+
+    #[test]
+    fn star_graph() {
+        let edges: Vec<(u64, u64)> = (1..12).map(|i| (0, i)).collect();
+        check_tree(12, &edges, 0, 3);
+        check_tree(12, &edges, 7, 3);
+    }
+
+    #[test]
+    fn random_trees_match_reference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..5 {
+            let n = rng.gen_range(20..80);
+            // Random attachment tree.
+            let edges: Vec<(u64, u64)> = (1..n as u64)
+                .map(|i| (rng.gen_range(0..i), i))
+                .collect();
+            let root = rng.gen_range(0..n as u64);
+            check_tree(n, &edges, root, 5);
+        }
+    }
+
+    #[test]
+    fn single_vertex() {
+        let info = cgm_euler_tree(&SeqExecutor, 2, 1, &[], 0).unwrap();
+        assert_eq!(info.parent, vec![NIL]);
+        assert_eq!(info.size, vec![1]);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(cgm_euler_tree(&SeqExecutor, 2, 3, &[(0, 1)], 0).is_err()); // wrong edge count
+        assert!(cgm_euler_tree(&SeqExecutor, 2, 2, &[(0, 0)], 0).is_err()); // self loop
+        assert!(cgm_euler_tree(&SeqExecutor, 2, 2, &[(0, 1)], 5).is_err()); // bad root
+    }
+}

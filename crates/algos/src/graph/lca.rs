@@ -1,0 +1,353 @@
+//! CGM batched lowest common ancestors — Table 1, Group C ("Lowest common
+//! ancestor"). Classic reduction: LCA(u, w) is the minimum-depth vertex
+//! visited between the first visits of `u` and `w` on the Euler tour, so a
+//! batch of LCA queries becomes a batch of range-minimum queries over the
+//! tour's depth sequence.
+//!
+//! Pipeline: [`crate::graph::euler::cgm_euler_tree`] (tour positions,
+//! depths, parents) → one CGM range-minimum program ([`RmqBatch`],
+//! λ = 3): every processor holds a chunk of the depth-by-tour-position
+//! sequence and a share of the queries; chunk minima are broadcast, the
+//! two boundary sub-ranges of each query are answered by their chunk
+//! owners, and the requester combines.
+
+use crate::common::{distribute, AlgoError, AlgoResult, ChunkMap};
+use crate::graph::euler::cgm_euler_tree;
+use crate::graph::list_ranking::NIL;
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct;
+
+/// `(depth, vertex)` entry of the tour sequence; `Ord` on the tuple makes
+/// "minimum depth, ties by vertex id" deterministic.
+type Entry = (u64, u64);
+
+/// State of the batched RMQ stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmqState {
+    /// Global index of my chunk's first sequence entry.
+    pub start: u64,
+    /// My chunk of the sequence.
+    pub seq: Vec<Entry>,
+    /// My share of the queries: `(l, r, query_id)`, `l ≤ r` inclusive.
+    pub queries: Vec<(u64, u64, u64)>,
+    /// Broadcast chunk minima, by processor.
+    pub chunk_mins: Vec<Entry>,
+    /// Answers `(query_id, depth, vertex)` for my queries.
+    pub answers: Vec<(u64, u64, u64)>,
+}
+impl_serial_struct!(RmqState { start, seq, queries, chunk_mins, answers });
+
+/// The batched range-minimum BSP program (3 fixed supersteps).
+#[derive(Debug, Clone)]
+pub struct RmqBatch {
+    /// Sequence-ownership map.
+    pub map: ChunkMap,
+    /// Total queries (for sizing).
+    pub q: usize,
+}
+
+impl BspProgram for RmqBatch {
+    type State = RmqState;
+    /// `(tag, a, b, c, d)` — 0: chunk min `(depth, vertex, _, _)`;
+    /// 1: boundary sub-query `(lo, hi, query_key, _)` (inclusive, within
+    /// the receiver's chunk); 2: sub-answer `(query_key, depth, vertex, _)`.
+    type Msg = (u8, u64, u64, u64, u64);
+
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, u64, u64, u64, u64)>,
+        state: &mut RmqState,
+    ) -> Step {
+        match step {
+            0 => {
+                // Broadcast my chunk minimum.
+                let min = state.seq.iter().copied().min().unwrap_or((u64::MAX, u64::MAX));
+                for dst in 0..mb.nprocs() {
+                    mb.send(dst, (0, min.0, min.1, mb.pid() as u64, 0));
+                }
+                // Split each query into at most two boundary sub-ranges;
+                // key = (local query index << 1 | side).
+                for (qi, &(l, r, _)) in state.queries.iter().enumerate() {
+                    let cl = self.map.owner(l as usize);
+                    let cr = self.map.owner(r as usize);
+                    if cl == cr {
+                        mb.send(cl, (1, l, r, (qi as u64) << 1, 0));
+                    } else {
+                        let l_end = (self.map.chunk_start(cl) + self.map.chunk_len(cl) - 1) as u64;
+                        let r_start = self.map.chunk_start(cr) as u64;
+                        mb.send(cl, (1, l, l_end, (qi as u64) << 1, 0));
+                        mb.send(cr, (1, r_start, r, ((qi as u64) << 1) | 1, 0));
+                    }
+                }
+                Step::Continue
+            }
+            1 => {
+                let mut mins: Vec<(u64, Entry)> = Vec::new(); // (proc, min)
+                for env in mb.take_incoming() {
+                    match env.msg.0 {
+                        0 => mins.push((env.msg.3, (env.msg.1, env.msg.2))),
+                        1 => {
+                            let (_, lo, hi, key, _) = env.msg;
+                            let a = (lo - state.start) as usize;
+                            let b = (hi - state.start) as usize;
+                            let m = state.seq[a..=b].iter().copied().min().expect("nonempty");
+                            mb.send(env.src, (2, key, m.0, m.1, 0));
+                        }
+                        _ => unreachable!("tag 2 arrives at step 2"),
+                    }
+                }
+                mins.sort_unstable();
+                state.chunk_mins = mins.into_iter().map(|(_, m)| m).collect();
+                Step::Continue
+            }
+            _ => {
+                let mut subs: Vec<(u64, Entry)> = mb
+                    .take_incoming()
+                    .into_iter()
+                    .map(|e| (e.msg.1, (e.msg.2, e.msg.3)))
+                    .collect();
+                subs.sort_unstable();
+                let lookup = |key: u64| -> Option<Entry> {
+                    subs.binary_search_by_key(&key, |&(k, _)| k)
+                        .ok()
+                        .map(|i| subs[i].1)
+                };
+                let mut answers = Vec::with_capacity(state.queries.len());
+                for (qi, &(l, r, qid)) in state.queries.iter().enumerate() {
+                    let cl = self.map.owner(l as usize);
+                    let cr = self.map.owner(r as usize);
+                    let mut best = lookup((qi as u64) << 1).expect("left sub-answer");
+                    if let Some(rhs) = lookup(((qi as u64) << 1) | 1) {
+                        best = best.min(rhs);
+                    }
+                    // Full chunks strictly between the boundary chunks.
+                    for c in cl + 1..cr {
+                        best = best.min(state.chunk_mins[c]);
+                    }
+                    answers.push((qid, best.0, best.1));
+                }
+                state.answers = answers;
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        let qchunk = self.q.div_ceil(self.map.v).max(1);
+        128 + 16 * (chunk + 2) + 24 * (2 * qchunk + 2) + 16 * (self.map.v + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        let qchunk = self.q.div_ceil(self.map.v).max(1);
+        // Chunk-min broadcast + 2 sub-queries/answers per query; a single
+        // chunk owner can receive every sub-query in the worst case.
+        (41 + 16) * (2 * self.q + 2 * qchunk + self.map.v + 8) + 512
+    }
+}
+
+/// Batched range-minimum over `seq` (global, driver-distributed): returns
+/// for each inclusive range `(l, r)` the minimum entry.
+pub fn cgm_batched_rmq<E: Executor>(
+    exec: &E,
+    v: usize,
+    seq: &[Entry],
+    ranges: &[(u64, u64)],
+) -> AlgoResult<Vec<Entry>> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    if seq.is_empty() {
+        return Err(AlgoError::Input("empty sequence".into()));
+    }
+    for &(l, r) in ranges {
+        if l > r || r as usize >= seq.len() {
+            return Err(AlgoError::Input(format!("bad range ({l}, {r})")));
+        }
+    }
+    let map = ChunkMap { n: seq.len(), v };
+    let tagged: Vec<(u64, u64, u64)> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, &(l, r))| (l, r, i as u64))
+        .collect();
+    let qchunks = distribute(tagged, v);
+    let schunks = distribute(seq.to_vec(), v);
+    let mut states = Vec::with_capacity(v);
+    let mut start = 0u64;
+    for (sc, qc) in schunks.into_iter().zip(qchunks) {
+        let len = sc.len() as u64;
+        states.push(RmqState {
+            start,
+            seq: sc,
+            queries: qc,
+            chunk_mins: Vec::new(),
+            answers: Vec::new(),
+        });
+        start += len;
+    }
+    let prog = RmqBatch { map, q: ranges.len() };
+    let res = exec.execute(&prog, states)?;
+    let mut out = vec![(u64::MAX, u64::MAX); ranges.len()];
+    for s in res.states {
+        for (qid, d, vx) in s.answers {
+            out[qid as usize] = (d, vx);
+        }
+    }
+    Ok(out)
+}
+
+/// Batched LCA: for every query pair `(u, w)` on the tree given by
+/// `edges`/`root`, the lowest common ancestor.
+pub fn cgm_batched_lca<E: Executor>(
+    exec: &E,
+    v: usize,
+    n_vertices: usize,
+    edges: &[(u64, u64)],
+    root: u64,
+    queries: &[(u64, u64)],
+) -> AlgoResult<Vec<u64>> {
+    for &(a, b) in queries {
+        if a as usize >= n_vertices || b as usize >= n_vertices {
+            return Err(AlgoError::Input(format!("query ({a}, {b}) out of range")));
+        }
+    }
+    if n_vertices == 1 {
+        return Ok(vec![root; queries.len()]);
+    }
+    let info = cgm_euler_tree(exec, v, n_vertices, edges, root)?;
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Vertex-visit sequence: position 0 is the root, position i+1 is the
+    // head of the arc at tour position i.
+    let m = info.arcs.len();
+    let mut vseq = vec![(0u64, root); m + 1];
+    let mut enter = vec![0u64; n_vertices]; // first-visit position in vseq
+    for (arc_idx, &(_, dst)) in info.arcs.iter().enumerate() {
+        let pos = info.tour_pos[arc_idx] as usize + 1;
+        vseq[pos] = (info.depth[dst as usize], dst);
+    }
+    for (vx, &parent) in info.parent.iter().enumerate() {
+        enter[vx] = if parent == NIL {
+            0
+        } else {
+            // enter arc position + 1 (driver glue on already-local data).
+            let arc_idx = info
+                .arcs
+                .binary_search(&(parent, vx as u64))
+                .expect("enter arc exists");
+            info.tour_pos[arc_idx] + 1
+        };
+    }
+
+    let ranges: Vec<(u64, u64)> = queries
+        .iter()
+        .map(|&(a, b)| {
+            let (x, y) = (enter[a as usize], enter[b as usize]);
+            (x.min(y), x.max(y))
+        })
+        .collect();
+    let mins = cgm_batched_rmq(exec, v, &vseq, &ranges)?;
+    Ok(mins.into_iter().map(|(_, vx)| vx).collect())
+}
+
+/// Sequential reference: walk both vertices up to the root.
+pub fn seq_lca(parent: &[u64], depth: &[u64], mut a: u64, mut b: u64) -> u64 {
+    while depth[a as usize] > depth[b as usize] {
+        a = parent[a as usize];
+    }
+    while depth[b as usize] > depth[a as usize] {
+        b = parent[b as usize];
+    }
+    while a != b {
+        a = parent[a as usize];
+        b = parent[b as usize];
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::euler::seq_tree_info;
+    use em_bsp::SeqExecutor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rmq_small() {
+        let seq: Vec<Entry> = vec![(3, 0), (1, 1), (4, 2), (1, 3), (5, 4), (9, 5)];
+        let ranges = vec![(0, 5), (0, 0), (2, 4), (4, 5), (1, 3)];
+        let got = cgm_batched_rmq(&SeqExecutor, 3, &seq, &ranges).unwrap();
+        assert_eq!(got, vec![(1, 1), (3, 0), (1, 3), (5, 4), (1, 1)]);
+    }
+
+    #[test]
+    fn rmq_matches_brute_force_random() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let n = 200;
+        let seq: Vec<Entry> = (0..n as u64).map(|i| (rng.gen_range(0..50), i)).collect();
+        let ranges: Vec<(u64, u64)> = (0..100)
+            .map(|_| {
+                let a = rng.gen_range(0..n as u64);
+                let b = rng.gen_range(0..n as u64);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        let want: Vec<Entry> = ranges
+            .iter()
+            .map(|&(l, r)| seq[l as usize..=r as usize].iter().copied().min().unwrap())
+            .collect();
+        let got = cgm_batched_rmq(&SeqExecutor, 7, &seq, &ranges).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lca_on_path_and_star() {
+        // Path 0-1-2-3-4 rooted at 0.
+        let edges: Vec<(u64, u64)> = (0..4).map(|i| (i, i + 1)).collect();
+        let queries = vec![(4, 2), (0, 4), (3, 3), (1, 4)];
+        let got = cgm_batched_lca(&SeqExecutor, 3, 5, &edges, 0, &queries).unwrap();
+        assert_eq!(got, vec![2, 0, 3, 1]);
+        // Star rooted at center.
+        let edges: Vec<(u64, u64)> = (1..6).map(|i| (0, i)).collect();
+        let got = cgm_batched_lca(&SeqExecutor, 3, 6, &edges, 0, &[(1, 2), (3, 3), (5, 1)]).unwrap();
+        assert_eq!(got, vec![0, 3, 0]);
+    }
+
+    #[test]
+    fn lca_matches_reference_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..4 {
+            let n = rng.gen_range(10..80);
+            let edges: Vec<(u64, u64)> =
+                (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
+            let root = rng.gen_range(0..n as u64);
+            let (parent, depth, _) = seq_tree_info(n, &edges, root);
+            let queries: Vec<(u64, u64)> = (0..60)
+                .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
+                .collect();
+            let want: Vec<u64> = queries
+                .iter()
+                .map(|&(a, b)| seq_lca(&parent, &depth, a, b))
+                .collect();
+            let got = cgm_batched_lca(&SeqExecutor, 5, n, &edges, root, &queries).unwrap();
+            assert_eq!(got, want, "n={n} root={root}");
+        }
+    }
+
+    #[test]
+    fn lca_edge_cases() {
+        // Single vertex.
+        let got = cgm_batched_lca(&SeqExecutor, 2, 1, &[], 0, &[(0, 0)]).unwrap();
+        assert_eq!(got, vec![0]);
+        // No queries.
+        let got = cgm_batched_lca(&SeqExecutor, 2, 2, &[(0, 1)], 0, &[]).unwrap();
+        assert!(got.is_empty());
+        // Out-of-range query.
+        assert!(cgm_batched_lca(&SeqExecutor, 2, 2, &[(0, 1)], 0, &[(0, 9)]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! CGM list ranking by synchronous pointer jumping — Table 1, Group C.
+//!
+//! Input: a forest of singly-linked chains over nodes `0..n−1` (`succ[i]`,
+//! `NIL = u64::MAX` terminates a chain) with per-node weights. Output per
+//! node: the weight sum of the path from the node to its chain's tail,
+//! **inclusive** of both ends. With unit weights this is the classical
+//! "distance to end + 1" list rank.
+//!
+//! Each jumping round is two supersteps (query the owner of `succ[x]`,
+//! apply the reply), and pointers double every round, so
+//! λ = 2·⌈log₂ L⌉ + O(1) for maximum chain length L. Per round every node
+//! sends/receives O(1) messages: an h-relation of O(n/v).
+
+use crate::common::{distribute, AlgoError, AlgoResult, ChunkMap};
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct;
+
+/// Terminator marker for chain tails.
+pub const NIL: u64 = u64::MAX;
+
+/// State: a chunk of nodes with their current pointers and partial ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LrState {
+    /// Global id of the first node of this chunk.
+    pub start: u64,
+    /// Current pointer per node (`NIL` when saturated).
+    pub ptr: Vec<u64>,
+    /// Accumulated weight of the segment `[node, ptr)` (or to the tail,
+    /// inclusive, once `ptr = NIL`).
+    pub rank: Vec<u64>,
+}
+impl_serial_struct!(LrState { start, ptr, rank });
+
+/// The pointer-jumping BSP program.
+#[derive(Debug, Clone)]
+pub struct PointerJump {
+    /// Node-ownership map.
+    pub map: ChunkMap,
+}
+
+impl BspProgram for PointerJump {
+    type State = LrState;
+    /// Query `(x, s, 0)` at even steps; reply `(x, ptr[s], rank[s])` at
+    /// odd steps.
+    type Msg = (u64, u64, u64);
+
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u64, u64, u64)>,
+        state: &mut LrState,
+    ) -> Step {
+        if step % 2 == 0 {
+            // Apply replies from the previous round, then issue queries.
+            for env in mb.take_incoming() {
+                let (x, succ_s, rank_s) = env.msg;
+                let local = (x - state.start) as usize;
+                state.rank[local] = state.rank[local].wrapping_add(rank_s);
+                state.ptr[local] = succ_s;
+            }
+            let mut active = false;
+            for (local, &p) in state.ptr.iter().enumerate() {
+                if p != NIL {
+                    active = true;
+                    let x = state.start + local as u64;
+                    mb.send(self.map.owner(p as usize), (x, p, 0));
+                }
+            }
+            if active {
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        } else {
+            // Answer queries with this round's consistent snapshot.
+            let mut any = false;
+            for env in mb.take_incoming() {
+                any = true;
+                let (x, s, _) = env.msg;
+                let local = (s - state.start) as usize;
+                mb.send(self.map.owner(x as usize), (x, state.ptr[local], state.rank[local]));
+            }
+            if any {
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        64 + 16 * (chunk + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        // Each node sends ≤ 1 query and ≤ 1 reply per superstep.
+        (24 + 16) * (chunk + 2) + 64
+    }
+}
+
+/// Rank every node of the chain forest: weight sum from the node to its
+/// chain tail, inclusive (wrapping `u64` arithmetic, so `i64` weights can
+/// be passed via two's complement).
+pub fn cgm_list_rank<E: Executor>(
+    exec: &E,
+    v: usize,
+    succ: &[u64],
+    weights: &[u64],
+) -> AlgoResult<Vec<u64>> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    let n = succ.len();
+    if weights.len() != n {
+        return Err(AlgoError::Input("succ and weights must have equal length".into()));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    for &s in succ {
+        if s != NIL && s as usize >= n {
+            return Err(AlgoError::Input(format!("successor {s} out of range")));
+        }
+    }
+    let map = ChunkMap { n, v };
+    let tagged: Vec<(u64, u64)> = succ.iter().copied().zip(weights.iter().copied()).collect();
+    let chunks = distribute(tagged, v);
+    let mut states = Vec::with_capacity(v);
+    let mut start = 0u64;
+    for chunk in chunks {
+        let len = chunk.len() as u64;
+        let (ptr, rank): (Vec<u64>, Vec<u64>) = chunk.into_iter().unzip();
+        states.push(LrState { start, ptr, rank });
+        start += len;
+    }
+    let res = exec.execute(&PointerJump { map }, states)?;
+    Ok(res.states.into_iter().flat_map(|s| s.rank).collect())
+}
+
+/// Sequential reference: walk each chain from its tail.
+pub fn seq_list_rank(succ: &[u64], weights: &[u64]) -> Vec<u64> {
+    let n = succ.len();
+    let mut indeg = vec![0u32; n];
+    for &s in succ {
+        if s != NIL {
+            indeg[s as usize] += 1;
+        }
+    }
+    let mut rank = vec![0u64; n];
+    // Start from heads (indegree 0) and push ranks backwards from tails:
+    // compute by following each chain once from its head using a stack.
+    for head in 0..n {
+        if indeg[head] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = head as u64;
+        loop {
+            path.push(cur as usize);
+            if succ[cur as usize] == NIL {
+                break;
+            }
+            cur = succ[cur as usize];
+        }
+        let mut acc = 0u64;
+        for &node in path.iter().rev() {
+            acc = acc.wrapping_add(weights[node]);
+            rank[node] = acc;
+        }
+    }
+    rank
+}
+
+/// Generate a random single chain over `n` nodes (for tests/benches):
+/// returns `succ` such that the nodes form one list in a shuffled order.
+pub fn random_chain(n: usize, seed: u64) -> Vec<u64> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut order: Vec<u64> = (0..n as u64).collect();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    let mut succ = vec![NIL; n];
+    for w in order.windows(2) {
+        succ[w[0] as usize] = w[1];
+    }
+    succ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::SeqExecutor;
+
+    #[test]
+    fn unit_weights_give_position_from_end() {
+        // 0 -> 1 -> 2 -> 3
+        let succ = vec![1, 2, 3, NIL];
+        let got = cgm_list_rank(&SeqExecutor, 2, &succ, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(got, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn random_chain_matches_reference() {
+        let n = 137;
+        let succ = random_chain(n, 20);
+        let weights: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+        let want = seq_list_rank(&succ, &weights);
+        let got = cgm_list_rank(&SeqExecutor, 6, &succ, &weights).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn multiple_chains() {
+        // Two chains: 0->1, 2->3->4, and an isolated node 5.
+        let succ = vec![1, NIL, 3, 4, NIL, NIL];
+        let got = cgm_list_rank(&SeqExecutor, 3, &succ, &[1; 6]).unwrap();
+        assert_eq!(got, vec![2, 1, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn signed_weights_via_wrapping() {
+        // 0 -> 1 -> 2 with weights +1, -1, +1 (as two's complement).
+        let succ = vec![1, 2, NIL];
+        let w = vec![1u64, (-1i64) as u64, 1u64];
+        let got = cgm_list_rank(&SeqExecutor, 2, &succ, &w).unwrap();
+        assert_eq!(got.iter().map(|&x| x as i64).collect::<Vec<_>>(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn lambda_is_logarithmic() {
+        let n = 256;
+        let succ = random_chain(n, 21);
+        let map = ChunkMap { n, v: 8 };
+        let tagged: Vec<(u64, u64)> = succ.iter().map(|&s| (s, 1u64)).collect();
+        let chunks = distribute(tagged, 8);
+        let mut states = Vec::new();
+        let mut start = 0u64;
+        for chunk in chunks {
+            let len = chunk.len() as u64;
+            let (ptr, rank): (Vec<u64>, Vec<u64>) = chunk.into_iter().unzip();
+            states.push(LrState { start, ptr, rank });
+            start += len;
+        }
+        let res = em_bsp::run_sequential(&PointerJump { map }, states).unwrap();
+        // 2 log2(256) = 16 plus constant slack.
+        assert!(res.supersteps() <= 2 * 8 + 4, "λ = {}", res.supersteps());
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(matches!(
+            cgm_list_rank(&SeqExecutor, 2, &[5], &[1]),
+            Err(AlgoError::Input(_))
+        ));
+        assert!(matches!(
+            cgm_list_rank(&SeqExecutor, 2, &[NIL], &[1, 2]),
+            Err(AlgoError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cgm_list_rank(&SeqExecutor, 2, &[], &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+//! Group C of Table 1: graph algorithms. Our formulations use pointer
+//! jumping and min-hooking, giving λ = O(log n) supersteps (the paper's
+//! cited CGM algorithms achieve O(log p) rounds; the simulation theorem
+//! consumes λ as a parameter either way, and the benches report measured
+//! λ explicitly).
+
+pub mod cc;
+pub mod contraction;
+pub mod euler;
+pub mod lca;
+pub mod list_ranking;

@@ -1,0 +1,192 @@
+//! CGM permutation routing — Table 1, Group A, "Permutation". λ = 2:
+//! one all-to-all in which every record travels to the processor owning
+//! its destination index, then a local placement step.
+
+use crate::common::{distribute, max_item_bytes, AlgoError, AlgoResult, ChunkMap, Rec};
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct_generic;
+
+/// State: records tagged with their destination index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermuteState<T> {
+    /// `(dst_index, record)` pairs held by this processor.
+    pub data: Vec<(u64, T)>,
+}
+impl_serial_struct_generic!(PermuteState<T> { data });
+
+/// The permutation-routing BSP program.
+#[derive(Debug, Clone)]
+pub struct PermuteProg<T> {
+    /// Distribution of the `n` destination slots over `v` processors.
+    pub map: ChunkMap,
+    /// Upper bound on one record's encoded bytes.
+    pub item_bytes: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> PermuteProg<T> {
+    /// Program for routing `n` records over `v` processors.
+    pub fn new(n: usize, v: usize, item_bytes: usize) -> Self {
+        PermuteProg {
+            map: ChunkMap { n, v },
+            item_bytes,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Rec> BspProgram for PermuteProg<T> {
+    type State = PermuteState<T>;
+    type Msg = Vec<(u64, T)>;
+
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<Vec<(u64, T)>>,
+        state: &mut PermuteState<T>,
+    ) -> Step {
+        match step {
+            0 => {
+                let data = std::mem::take(&mut state.data);
+                let v = mb.nprocs();
+                let mut per_dst: Vec<Vec<(u64, T)>> = (0..v).map(|_| Vec::new()).collect();
+                for (dst, item) in data {
+                    per_dst[self.map.owner(dst as usize)].push((dst, item));
+                }
+                for (proc, chunk) in per_dst.into_iter().enumerate() {
+                    if !chunk.is_empty() {
+                        mb.send(proc, chunk);
+                    }
+                }
+                Step::Continue
+            }
+            _ => {
+                let mut received: Vec<(u64, T)> =
+                    mb.take_incoming().into_iter().flat_map(|e| e.msg).collect();
+                received.sort_unstable_by_key(|&(dst, _)| dst);
+                state.data = received;
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        64 + (self.item_bytes + 8) * (chunk + 2)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        let chunk = self.map.n.div_ceil(self.map.v).max(1);
+        (self.item_bytes + 8) * (chunk + 2) + 40 * self.map.v + 256
+    }
+}
+
+/// Apply a permutation: returns `out` with `out[perm[i]] = items[i]`.
+///
+/// `perm` must be a permutation of `0..items.len()`; this is checked and
+/// a duplicate/out-of-range destination is rejected.
+pub fn cgm_permute<E: Executor, T: Rec>(
+    exec: &E,
+    v: usize,
+    items: Vec<T>,
+    perm: &[usize],
+) -> AlgoResult<Vec<T>> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    if perm.len() != items.len() {
+        return Err(AlgoError::Input(format!(
+            "permutation has {} entries for {} items",
+            perm.len(),
+            items.len()
+        )));
+    }
+    let n = items.len();
+    if n == 0 {
+        return Ok(items);
+    }
+    let mut seen = vec![false; n];
+    for &d in perm {
+        if d >= n || seen[d] {
+            return Err(AlgoError::Input(format!("invalid destination {d}")));
+        }
+        seen[d] = true;
+    }
+    let item_bytes = max_item_bytes(&items);
+    let tagged: Vec<(u64, T)> = perm.iter().map(|&d| d as u64).zip(items).collect();
+    let prog = PermuteProg::<T>::new(n, v, item_bytes);
+    let states = distribute(tagged, v)
+        .into_iter()
+        .map(|data| PermuteState { data })
+        .collect();
+    let res = exec.execute(&prog, states)?;
+    Ok(res
+        .states
+        .into_iter()
+        .flat_map(|s| s.data)
+        .map(|(_, item)| item)
+        .collect())
+}
+
+/// Sequential reference.
+pub fn seq_permute<T: Clone>(items: &[T], perm: &[usize]) -> Vec<T> {
+    let mut out: Vec<Option<T>> = vec![None; items.len()];
+    for (item, &d) in items.iter().zip(perm) {
+        out[d] = Some(item.clone());
+    }
+    out.into_iter().map(|x| x.expect("total permutation")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::SeqExecutor;
+    use rand::seq::SliceRandom;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_permutation_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200;
+        let items: Vec<u64> = (0..n as u64).map(|x| x * 10).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let want = seq_permute(&items, &perm);
+        let got = cgm_permute(&SeqExecutor, 7, items, &perm).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identity_and_reverse() {
+        let items: Vec<u32> = (0..50).collect();
+        let id: Vec<usize> = (0..50).collect();
+        assert_eq!(cgm_permute(&SeqExecutor, 4, items.clone(), &id).unwrap(), items);
+        let rev: Vec<usize> = (0..50).rev().collect();
+        let want: Vec<u32> = (0..50).rev().collect();
+        assert_eq!(cgm_permute(&SeqExecutor, 4, items, &rev).unwrap(), want);
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        let items = vec![1u8, 2, 3];
+        assert!(matches!(
+            cgm_permute(&SeqExecutor, 2, items.clone(), &[0, 1]),
+            Err(AlgoError::Input(_))
+        ));
+        assert!(matches!(
+            cgm_permute(&SeqExecutor, 2, items.clone(), &[0, 0, 1]),
+            Err(AlgoError::Input(_))
+        ));
+        assert!(matches!(
+            cgm_permute(&SeqExecutor, 2, items, &[0, 1, 5]),
+            Err(AlgoError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        let got = cgm_permute::<_, u64>(&SeqExecutor, 3, vec![], &[]).unwrap();
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! CGM prefix sums — the workhorse primitive behind several Table 1
+//! algorithms (rank assignment, offset computation). λ = 2: every
+//! processor announces its local sum to all higher-numbered processors,
+//! then applies the received offset locally.
+
+use crate::common::{distribute, AlgoError, AlgoResult};
+use em_bsp::{BspProgram, Executor, Mailbox, Step};
+use em_serial::impl_serial_struct;
+
+/// State: this processor's values, replaced by inclusive prefix sums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixState {
+    /// Local values / results.
+    pub data: Vec<u64>,
+}
+impl_serial_struct!(PrefixState { data });
+
+/// The prefix-sum BSP program (wrapping-add semantics on `u64`).
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
+    /// `⌈n/v⌉` for μ/γ sizing.
+    pub chunk: usize,
+    /// `v`.
+    pub v: usize,
+}
+
+impl PrefixSums {
+    /// Program for `n` values over `v` virtual processors.
+    pub fn new(n: usize, v: usize) -> Self {
+        PrefixSums { chunk: n.div_ceil(v).max(1), v }
+    }
+}
+
+impl BspProgram for PrefixSums {
+    type State = PrefixState;
+    type Msg = u64;
+
+    fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut PrefixState) -> Step {
+        match step {
+            0 => {
+                let local: u64 = state.data.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+                for dst in mb.pid() + 1..mb.nprocs() {
+                    mb.send(dst, local);
+                }
+                Step::Continue
+            }
+            _ => {
+                let offset: u64 = mb
+                    .take_incoming()
+                    .iter()
+                    .fold(0u64, |a, e| a.wrapping_add(e.msg));
+                let mut acc = offset;
+                for x in &mut state.data {
+                    acc = acc.wrapping_add(*x);
+                    *x = acc;
+                }
+                Step::Halt
+            }
+        }
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        16 + 8 * (self.chunk + 1)
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        // A processor sends (or receives) at most v-1 single-u64 messages.
+        24 * self.v + 64
+    }
+}
+
+/// Inclusive prefix sums (wrapping) of `items` over `v` virtual processors.
+pub fn cgm_prefix_sums<E: Executor>(exec: &E, v: usize, items: Vec<u64>) -> AlgoResult<Vec<u64>> {
+    if v == 0 {
+        return Err(AlgoError::Input("v must be >= 1".into()));
+    }
+    if items.is_empty() {
+        return Ok(items);
+    }
+    let prog = PrefixSums::new(items.len(), v);
+    let states = distribute(items, v)
+        .into_iter()
+        .map(|data| PrefixState { data })
+        .collect();
+    let res = exec.execute(&prog, states)?;
+    Ok(res.states.into_iter().flat_map(|s| s.data).collect())
+}
+
+/// Sequential reference.
+pub fn seq_prefix_sums(items: &[u64]) -> Vec<u64> {
+    items
+        .iter()
+        .scan(0u64, |acc, &x| {
+            *acc = acc.wrapping_add(x);
+            Some(*acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::SeqExecutor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items: Vec<u64> = (0..333).map(|_| rng.gen_range(0..1000)).collect();
+        let want = seq_prefix_sums(&items);
+        let got = cgm_prefix_sums(&SeqExecutor, 7, items).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        let items = vec![u64::MAX, 2, 3];
+        let got = cgm_prefix_sums(&SeqExecutor, 2, items.clone()).unwrap();
+        assert_eq!(got, seq_prefix_sums(&items));
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(cgm_prefix_sums(&SeqExecutor, 3, vec![]).unwrap().is_empty());
+        assert_eq!(cgm_prefix_sums(&SeqExecutor, 3, vec![5]).unwrap(), vec![5]);
+        assert_eq!(
+            cgm_prefix_sums(&SeqExecutor, 8, vec![1; 4]).unwrap(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn lambda_is_two() {
+        let prog = PrefixSums::new(100, 4);
+        let states = distribute((0..100u64).collect(), 4)
+            .into_iter()
+            .map(|data| PrefixState { data })
+            .collect();
+        let res = em_bsp::run_sequential(&prog, states).unwrap();
+        assert!(res.supersteps() <= 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! CGM matrix transpose — Table 1, Group A, "Matrix transpose". The
+//! transpose of an `r × c` matrix stored row-major is the fixed
+//! permutation `(i, j) → (j, i)`, routed with one all-to-all (λ = 2) via
+//! the permutation program.
+
+use crate::common::{AlgoError, AlgoResult, Rec};
+use crate::permute::cgm_permute;
+use em_bsp::Executor;
+
+/// Transpose an `r × c` matrix given row-major as `data`; returns the
+/// `c × r` result row-major.
+pub fn cgm_transpose<E: Executor, T: Rec>(
+    exec: &E,
+    v: usize,
+    r: usize,
+    c: usize,
+    data: Vec<T>,
+) -> AlgoResult<Vec<T>> {
+    if data.len() != r * c {
+        return Err(AlgoError::Input(format!(
+            "matrix {r}x{c} needs {} elements, got {}",
+            r * c,
+            data.len()
+        )));
+    }
+    if data.is_empty() {
+        return Ok(data);
+    }
+    // Element at (i, j) = index i*c + j moves to index j*r + i.
+    let perm: Vec<usize> = (0..r * c)
+        .map(|idx| {
+            let (i, j) = (idx / c, idx % c);
+            j * r + i
+        })
+        .collect();
+    cgm_permute(exec, v, data, &perm)
+}
+
+/// Sequential reference.
+pub fn seq_transpose<T: Clone>(r: usize, c: usize, data: &[T]) -> Vec<T> {
+    assert_eq!(data.len(), r * c);
+    let mut out = Vec::with_capacity(r * c);
+    for j in 0..c {
+        for i in 0..r {
+            out.push(data[i * c + j].clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::SeqExecutor;
+
+    #[test]
+    fn transpose_rectangular() {
+        let r = 6;
+        let c = 9;
+        let data: Vec<u64> = (0..(r * c) as u64).collect();
+        let want = seq_transpose(r, c, &data);
+        let got = cgm_transpose(&SeqExecutor, 5, r, c, data).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let r = 4;
+        let c = 7;
+        let data: Vec<u32> = (0..(r * c) as u32).map(|x| x * 3).collect();
+        let once = cgm_transpose(&SeqExecutor, 3, r, c, data.clone()).unwrap();
+        let twice = cgm_transpose(&SeqExecutor, 3, c, r, once).unwrap();
+        assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // Row vector, column vector, single element.
+        let row: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(cgm_transpose(&SeqExecutor, 2, 1, 3, row.clone()).unwrap(), row);
+        assert_eq!(cgm_transpose(&SeqExecutor, 2, 3, 1, row.clone()).unwrap(), row);
+        assert_eq!(cgm_transpose(&SeqExecutor, 2, 1, 1, vec![9u8]).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(matches!(
+            cgm_transpose(&SeqExecutor, 2, 2, 3, vec![1u8; 5]),
+            Err(AlgoError::Input(_))
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests: every CGM algorithm agrees with its sequential
+//! reference on arbitrary inputs (run on the sequential reference
+//! executor; the executors themselves are covered by the cross-executor
+//! differential suite and the em-core property tests).
+
+use em_algos::geometry::dominance::{cgm_dominance_counts, seq_dominance_counts};
+use em_algos::geometry::envelope::{cgm_lower_envelope, seq_lower_envelope};
+use em_algos::geometry::hull::{cgm_convex_hull, seq_convex_hull};
+use em_algos::geometry::next_element::{cgm_predecessor, seq_predecessor};
+use em_algos::geometry::rectangles::{cgm_union_area, seq_union_area, Rect};
+use em_algos::geometry::Point2;
+use em_algos::graph::cc::{cgm_connected_components, seq_connected_components};
+use em_algos::graph::euler::{cgm_euler_tree, seq_tree_info};
+use em_algos::graph::list_ranking::{cgm_list_rank, seq_list_rank, NIL};
+use em_algos::permute::{cgm_permute, seq_permute};
+use em_algos::prefix::{cgm_prefix_sums, seq_prefix_sums};
+use em_algos::sort::{cgm_sort, seq_sort};
+use em_bsp::SeqExecutor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_matches(items in proptest::collection::vec(any::<u64>(), 0..300), v in 1usize..12) {
+        let want = seq_sort(items.clone());
+        let got = cgm_sort(&SeqExecutor, v, items).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn permute_matches(n in 0usize..200, v in 1usize..10, seed in any::<u64>()) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let want = seq_permute(&items, &perm);
+        let got = cgm_permute(&SeqExecutor, v, items, &perm).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_matches(items in proptest::collection::vec(any::<u64>(), 0..300), v in 1usize..12) {
+        let want = seq_prefix_sums(&items);
+        let got = cgm_prefix_sums(&SeqExecutor, v, items).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn hull_matches(
+        pts in proptest::collection::vec((-200i64..200, -200i64..200), 0..150),
+        v in 1usize..10,
+    ) {
+        let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+        let want = seq_convex_hull(&pts);
+        let got = cgm_convex_hull(&SeqExecutor, v, pts).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dominance_matches(
+        pts in proptest::collection::vec(((-50i64..50, -50i64..50), 1u64..20), 0..120),
+        v in 1usize..9,
+    ) {
+        let pts: Vec<(Point2, u64)> = pts
+            .into_iter()
+            .map(|((x, y), w)| (Point2::new(x, y), w))
+            .collect();
+        let want = seq_dominance_counts(&pts);
+        let got = cgm_dominance_counts(&SeqExecutor, v, &pts).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn predecessor_matches(
+        keys in proptest::collection::vec(-500i64..500, 0..100),
+        queries in proptest::collection::vec(-600i64..600, 0..150),
+        v in 1usize..9,
+    ) {
+        let want = seq_predecessor(&keys, &queries);
+        let got = cgm_predecessor(&SeqExecutor, v, &keys, &queries).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn envelope_matches(
+        segs in proptest::collection::vec((-300i64..300, 1i64..200, -80i64..80), 0..100),
+        v in 1usize..9,
+    ) {
+        let segs: Vec<(i64, i64, i64)> =
+            segs.into_iter().map(|(x1, len, y)| (x1, x1 + len, y)).collect();
+        let want = seq_lower_envelope(&segs);
+        let got = cgm_lower_envelope(&SeqExecutor, v, &segs).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn union_area_matches(
+        rects in proptest::collection::vec(
+            (-200i64..200, 1i64..100, -200i64..200, 1i64..100),
+            0..80
+        ),
+        v in 1usize..9,
+    ) {
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .map(|(x1, w, y1, h)| Rect::new(x1, x1 + w, y1, y1 + h))
+            .collect();
+        let want = seq_union_area(&rects);
+        let got = cgm_union_area(&SeqExecutor, v, &rects).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn closest_pair_matches(
+        pts in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 2..120),
+        v in 1usize..10,
+    ) {
+        use em_algos::geometry::closest_pair::{cgm_closest_pair, seq_closest_pair};
+        let pts: Vec<Point2> = pts.into_iter().map(|(x, y)| Point2::new(x, y)).collect();
+        let want = seq_closest_pair(&pts);
+        let got = cgm_closest_pair(&SeqExecutor, v, pts).unwrap();
+        prop_assert_eq!(got.0, want.0);
+    }
+
+    /// Arbitrary chain forests: build from a random permutation cut into
+    /// segments, with arbitrary weights.
+    #[test]
+    fn list_rank_matches(
+        n in 1usize..150,
+        cuts in proptest::collection::vec(any::<bool>(), 0..150),
+        seed in any::<u64>(),
+        weights_seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let mut succ = vec![NIL; n];
+        for (i, w) in order.windows(2).enumerate() {
+            if !cuts.get(i).copied().unwrap_or(false) {
+                succ[w[0] as usize] = w[1];
+            }
+        }
+        let mut wrng = rand::rngs::StdRng::seed_from_u64(weights_seed);
+        let weights: Vec<u64> = (0..n).map(|_| wrng.gen_range(0..100)).collect();
+        let want = seq_list_rank(&succ, &weights);
+        let got = cgm_list_rank(&SeqExecutor, 6, &succ, &weights).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Random attachment trees with arbitrary roots.
+    #[test]
+    fn euler_tree_matches(n in 2usize..80, seed in any::<u64>(), root_pick in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges: Vec<(u64, u64)> = (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
+        let root = root_pick % n as u64;
+        let (wp, wd, ws) = seq_tree_info(n, &edges, root);
+        let info = cgm_euler_tree(&SeqExecutor, 5, n, &edges, root).unwrap();
+        prop_assert_eq!(info.parent, wp);
+        prop_assert_eq!(info.depth, wd);
+        prop_assert_eq!(info.size, ws);
+    }
+
+    #[test]
+    fn cc_matches(
+        n in 1usize..80,
+        edges in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..150),
+        v in 1usize..8,
+    ) {
+        let edges: Vec<(u64, u64)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u64, b % n as u64))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let want = seq_connected_components(n, &edges);
+        let got = cgm_connected_components(&SeqExecutor, v, n, &edges).unwrap();
+        prop_assert_eq!(got.label, want.clone());
+        // Spanning forest: rebuilds the same components, right edge count.
+        let forest: Vec<(u64, u64)> =
+            got.forest_edges.iter().map(|&i| edges[i as usize]).collect();
+        prop_assert_eq!(seq_connected_components(n, &forest), want.clone());
+        let comps: std::collections::HashSet<u64> = want.iter().copied().collect();
+        prop_assert_eq!(forest.len(), n - comps.len());
+    }
+}

@@ -1,0 +1,358 @@
+//! Aggarwal–Vitter multiway external merge sort on `D` striped disks —
+//! the classical `Θ((n/DB)·log(n/B))`-I/O baseline of Table 1's second
+//! column.
+//!
+//! Structure:
+//!
+//! * **Run formation** — load `⌊M/rec⌋` records at a time, sort in
+//!   memory, write the run striped round-robin over the `D` disks (full
+//!   `D`-block stripes).
+//! * **Merge passes** — `f`-way merges with `f = max(2, M/(D·B) − 1)`:
+//!   each input run holds a `D`-block buffer; because runs are striped,
+//!   refilling a run's buffer is a single parallel I/O of up to `D`
+//!   blocks, and the output buffer also flushes `D` blocks per operation.
+//!
+//! Regions ping-pong between two preallocated areas, so disk space is
+//! `O(n/D·B)` blocks per disk.
+
+use crate::records::{pack_block, unpack_block, FixedRec};
+use em_disk::{Block, DiskArray, DiskResult, IoStats, TrackAllocator};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Measured facts about one external sort.
+#[derive(Debug, Clone)]
+pub struct SortStats {
+    /// Initial sorted runs.
+    pub runs: usize,
+    /// Merge passes performed.
+    pub passes: usize,
+    /// Fan-in used per merge.
+    pub fanout: usize,
+    /// Disk counters for the sort proper (input load excluded).
+    pub io: IoStats,
+}
+
+/// Configuration: the machine memory available to the sorter.
+#[derive(Debug, Clone, Copy)]
+pub struct ExternalSort {
+    /// `M` in bytes.
+    pub m_bytes: usize,
+}
+
+/// A run: `blocks` blocks starting at global stripe index `start`, holding
+/// `records` records.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    start: usize,
+    records: usize,
+}
+
+/// Global stripe addressing: block `g` of a region based at `base` lives
+/// on disk `g mod D`, track `base + g div D`.
+fn locate(base: usize, g: usize, d: usize) -> (usize, usize) {
+    (g % d, base + g / d)
+}
+
+impl ExternalSort {
+    /// Sort `items`, returning them sorted plus the measured statistics.
+    /// The initial load of the input onto disk is excluded from the
+    /// counters (the input is considered disk-resident, as in the model).
+    pub fn run<T: FixedRec>(
+        &self,
+        disks: &mut DiskArray,
+        items: Vec<T>,
+    ) -> DiskResult<(Vec<T>, SortStats)> {
+        let d = disks.num_disks();
+        let bb = disks.block_bytes();
+        let per_block = (bb / T::BYTES).max(1);
+        let n = items.len();
+        if n == 0 {
+            return Ok((
+                items,
+                SortStats { runs: 0, passes: 0, fanout: 2, io: IoStats::new(d) },
+            ));
+        }
+        let total_blocks = n.div_ceil(per_block);
+        let mut alloc = TrackAllocator::new(d);
+        let region_tracks = total_blocks.div_ceil(d) + 1;
+        let ping = alloc.reserve_region(region_tracks);
+        let pong = alloc.reserve_region(region_tracks);
+
+        // Run formation: write sorted runs into `ping`.
+        let run_records = (self.m_bytes / T::BYTES).max(per_block);
+        let mut runs: Vec<Run> = Vec::new();
+        {
+            let mut cursor = 0usize; // global block index in ping
+            let mut rest = items;
+            while !rest.is_empty() {
+                let take = rest.len().min(run_records);
+                let mut chunk: Vec<T> = rest.drain(..take).collect();
+                chunk.sort_unstable();
+                let start = cursor;
+                let mut off = 0usize;
+                let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(d);
+                while off < chunk.len() {
+                    let (payload, took) = pack_block(&chunk[off..], bb);
+                    let (disk, track) = locate(ping, cursor, d);
+                    stripe.push((disk, track, Block::from_vec(payload)));
+                    cursor += 1;
+                    off += took;
+                    if stripe.len() == d {
+                        disks.write_stripe(&stripe)?;
+                        stripe.clear();
+                    }
+                }
+                if !stripe.is_empty() {
+                    disks.write_stripe(&stripe)?;
+                }
+                runs.push(Run { start, records: take });
+            }
+        }
+        // Exclude nothing: run formation is part of the sort; but exclude
+        // the (absent) initial load — items arrived in memory and the
+        // first write above doubles as the run-formation write, exactly
+        // the classical accounting.
+        let stats_start = disks.stats().clone();
+        let _ = stats_start; // counters started at zero for this sort
+        let fanout = (self.m_bytes / (d * bb)).saturating_sub(1).max(2);
+        let initial_runs = runs.len();
+
+        // Merge passes, ping-pong between regions.
+        let mut src_base = ping;
+        let mut dst_base = pong;
+        let mut passes = 0usize;
+        while runs.len() > 1 {
+            passes += 1;
+            let mut next_runs: Vec<Run> = Vec::new();
+            let mut out_cursor = 0usize;
+            for batch in runs.chunks(fanout) {
+                let merged =
+                    self.merge_batch::<T>(disks, batch, src_base, dst_base, &mut out_cursor, d, bb, per_block)?;
+                next_runs.push(merged);
+            }
+            runs = next_runs;
+            std::mem::swap(&mut src_base, &mut dst_base);
+        }
+
+        let io = disks.stats().clone();
+
+        // Read the final run back (outside the measured window).
+        let run = runs[0];
+        let mut out: Vec<T> = Vec::with_capacity(run.records);
+        let mut remaining = run.records;
+        let mut g = run.start;
+        while remaining > 0 {
+            let width = d.min(remaining.div_ceil(per_block));
+            let addrs: Vec<(usize, usize)> =
+                (0..width).map(|i| locate(src_base, g + i, d)).collect();
+            for block in disks.read_stripe(&addrs)? {
+                let count = remaining.min(per_block);
+                out.extend(unpack_block::<T>(block.as_bytes(), count));
+                remaining -= count;
+            }
+            g += width;
+        }
+
+        Ok((
+            out,
+            SortStats { runs: initial_runs, passes, fanout, io },
+        ))
+    }
+
+    /// Merge one batch of runs from `src_base` into a single run at
+    /// `dst_base`/`out_cursor`.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_batch<T: FixedRec>(
+        &self,
+        disks: &mut DiskArray,
+        batch: &[Run],
+        src_base: usize,
+        dst_base: usize,
+        out_cursor: &mut usize,
+        d: usize,
+        bb: usize,
+        per_block: usize,
+    ) -> DiskResult<Run> {
+        struct Cursor<T> {
+            buf: std::collections::VecDeque<T>,
+            next_block: usize,
+            blocks_left: usize,
+            /// Records not yet read from disk.
+            disk_records: usize,
+        }
+        let mut cursors: Vec<Cursor<T>> = batch
+            .iter()
+            .map(|r| Cursor {
+                buf: Default::default(),
+                next_block: r.start,
+                blocks_left: r.records.div_ceil(per_block),
+                disk_records: r.records,
+            })
+            .collect();
+
+        // Refill a run's buffer with up to D consecutive blocks (one
+        // parallel I/O — consecutive stripe indices hit distinct disks).
+        let refill = |disks: &mut DiskArray, c: &mut Cursor<T>| -> DiskResult<()> {
+            if c.blocks_left == 0 {
+                return Ok(());
+            }
+            let width = d.min(c.blocks_left);
+            let addrs: Vec<(usize, usize)> =
+                (0..width).map(|i| locate(src_base, c.next_block + i, d)).collect();
+            for block in disks.read_stripe(&addrs)? {
+                let count = c.disk_records.min(per_block);
+                for item in unpack_block::<T>(block.as_bytes(), count) {
+                    c.buf.push_back(item);
+                }
+                c.disk_records -= count;
+            }
+            c.next_block += width;
+            c.blocks_left -= width;
+            Ok(())
+        };
+
+        let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::new();
+        for (i, c) in cursors.iter_mut().enumerate() {
+            refill(disks, c)?;
+            if let Some(x) = c.buf.pop_front() {
+                heap.push(Reverse((x, i)));
+            }
+        }
+
+        let start = *out_cursor;
+        let total_records: usize = batch.iter().map(|r| r.records).sum();
+        let mut out_buf: Vec<T> = Vec::with_capacity(d * per_block);
+        let mut written = 0usize;
+        let flush = |disks: &mut DiskArray, out_buf: &mut Vec<T>, cursor: &mut usize| -> DiskResult<()> {
+            let mut off = 0;
+            let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(d);
+            while off < out_buf.len() {
+                let (payload, took) = pack_block(&out_buf[off..], bb);
+                let (disk, track) = locate(dst_base, *cursor, d);
+                stripe.push((disk, track, Block::from_vec(payload)));
+                *cursor += 1;
+                off += took;
+                if stripe.len() == d {
+                    disks.write_stripe(&stripe)?;
+                    stripe.clear();
+                }
+            }
+            if !stripe.is_empty() {
+                disks.write_stripe(&stripe)?;
+            }
+            out_buf.clear();
+            Ok(())
+        };
+
+        while let Some(Reverse((x, i))) = heap.pop() {
+            out_buf.push(x);
+            written += 1;
+            if out_buf.len() == d * per_block && written < total_records {
+                flush(disks, &mut out_buf, out_cursor)?;
+            }
+            let c = &mut cursors[i];
+            if c.buf.is_empty() {
+                refill(disks, c)?;
+            }
+            if let Some(next) = c.buf.pop_front() {
+                heap.push(Reverse((next, i)));
+            }
+        }
+        flush(disks, &mut out_buf, out_cursor)?;
+        Ok(Run { start, records: total_records })
+    }
+}
+
+/// Convenience wrapper with a fresh in-memory array.
+pub fn external_sort<T: FixedRec>(
+    m_bytes: usize,
+    d: usize,
+    block_bytes: usize,
+    items: Vec<T>,
+) -> DiskResult<(Vec<T>, SortStats)> {
+    let cfg = em_disk::DiskConfig::new(d, block_bytes)?;
+    let mut disks = DiskArray::new_memory(cfg);
+    ExternalSort { m_bytes }.run(&mut disks, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_u64(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn sorts_correctly_multiple_passes() {
+        let items = random_u64(4000, 30);
+        let mut want = items.clone();
+        want.sort_unstable();
+        // Tiny memory forces many runs and ≥ 2 merge passes.
+        let (got, stats) = external_sort(512, 2, 64, items).unwrap();
+        assert_eq!(got, want);
+        assert!(stats.runs > 10, "runs = {}", stats.runs);
+        assert!(stats.passes >= 2, "passes = {}", stats.passes);
+        assert!(stats.io.parallel_ops > 0);
+    }
+
+    #[test]
+    fn single_run_fast_path() {
+        let items = random_u64(100, 31);
+        let mut want = items.clone();
+        want.sort_unstable();
+        let (got, stats) = external_sort(1 << 20, 4, 256, items).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.passes, 0);
+    }
+
+    #[test]
+    fn more_disks_mean_fewer_ops() {
+        let items = random_u64(8000, 32);
+        let (_, s1) = external_sort(2048, 1, 64, items.clone()).unwrap();
+        let (_, s4) = external_sort(2048, 4, 64, items).unwrap();
+        let ratio = s1.io.parallel_ops as f64 / s4.io.parallel_ops as f64;
+        assert!(
+            ratio > 2.0,
+            "expected ≳4x fewer ops with 4 disks, got {ratio:.2} ({} vs {})",
+            s1.io.parallel_ops,
+            s4.io.parallel_ops
+        );
+    }
+
+    #[test]
+    fn duplicates_and_tuples() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let items: Vec<(u64, u64)> =
+            (0..1500).map(|_| (rng.gen_range(0..10), rng.gen())).collect();
+        let mut want = items.clone();
+        want.sort_unstable();
+        let (got, _) = external_sort(1024, 3, 128, items).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let (got, stats) = external_sort::<u64>(1024, 2, 64, vec![]).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(stats.io.parallel_ops, 0);
+        let (got, _) = external_sort(1024, 2, 64, vec![5u64, 3]).unwrap();
+        assert_eq!(got, vec![3, 5]);
+    }
+
+    #[test]
+    fn utilization_is_high() {
+        let items = random_u64(16_000, 34);
+        let (_, stats) = external_sort(4096, 4, 128, items).unwrap();
+        assert!(
+            stats.io.utilization() > 0.8,
+            "striped merge should keep the disks busy: {:.2}",
+            stats.io.utilization()
+        );
+    }
+}

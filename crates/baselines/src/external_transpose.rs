@@ -1,0 +1,50 @@
+//! External-memory matrix transpose — Table 1, Group A, column 2 — via
+//! destination sort (the general `Θ((n/DB)·log` bound; the special-case
+//! tile algorithms of Aggarwal–Vitter improve constants, not the shape).
+
+use crate::external_permute::external_permute;
+use crate::external_sort::SortStats;
+use crate::records::FixedRec;
+use em_disk::{DiskArray, DiskResult};
+
+/// Transpose an `r × c` matrix stored row-major.
+pub fn external_transpose<T: FixedRec>(
+    disks: &mut DiskArray,
+    m_bytes: usize,
+    r: usize,
+    c: usize,
+    data: Vec<T>,
+) -> DiskResult<(Vec<T>, SortStats)>
+where
+    (u64, T): FixedRec,
+{
+    assert_eq!(data.len(), r * c, "matrix shape");
+    let perm: Vec<usize> = (0..r * c)
+        .map(|idx| {
+            let (i, j) = (idx / c, idx % c);
+            j * r + i
+        })
+        .collect();
+    external_permute(disks, m_bytes, data, &perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_disk::DiskConfig;
+
+    #[test]
+    fn transpose_matches_direct_computation() {
+        let (r, c) = (20, 37);
+        let data: Vec<u64> = (0..(r * c) as u64).collect();
+        let mut want = vec![0u64; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                want[j * r + i] = data[i * c + j];
+            }
+        }
+        let mut disks = DiskArray::new_memory(DiskConfig::new(2, 64).unwrap());
+        let (got, _) = external_transpose(&mut disks, 512, r, c, data).unwrap();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,79 @@
+//! Fixed-size record bound for the external-memory baselines.
+//!
+//! The classical EM algorithms pack records densely into `B`-byte blocks,
+//! which requires every record to have the same encoded size.
+
+use em_serial::Serial;
+
+/// A record with a value-independent encoded size.
+pub trait FixedRec: Serial + Clone + Send + Ord + std::fmt::Debug + 'static {
+    /// Encoded size in bytes of every value of the type.
+    const BYTES: usize;
+}
+
+impl FixedRec for u64 {
+    const BYTES: usize = 8;
+}
+
+impl FixedRec for i64 {
+    const BYTES: usize = 8;
+}
+
+impl FixedRec for u32 {
+    const BYTES: usize = 4;
+}
+
+impl FixedRec for (u64, u64) {
+    const BYTES: usize = 16;
+}
+
+impl FixedRec for (u64, u64, u64) {
+    const BYTES: usize = 24;
+}
+
+impl FixedRec for (i64, i64) {
+    const BYTES: usize = 16;
+}
+
+/// Pack `items[from..]` into a zero-padded block payload of `block_bytes`,
+/// returning how many records were consumed.
+pub fn pack_block<T: FixedRec>(items: &[T], block_bytes: usize) -> (Vec<u8>, usize) {
+    let per_block = block_bytes / T::BYTES;
+    let take = items.len().min(per_block);
+    let mut buf = Vec::with_capacity(block_bytes);
+    for item in &items[..take] {
+        item.encode(&mut buf);
+    }
+    buf.resize(block_bytes, 0);
+    (buf, take)
+}
+
+/// Decode `count` records from a block payload.
+pub fn unpack_block<T: FixedRec>(bytes: &[u8], count: usize) -> Vec<T> {
+    let mut r = em_serial::Reader::new(bytes);
+    (0..count)
+        .map(|_| T::decode(&mut r).expect("packed records decode"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let items: Vec<u64> = (0..10).collect();
+        let (buf, took) = pack_block(&items, 64);
+        assert_eq!(took, 8); // 64 / 8
+        assert_eq!(buf.len(), 64);
+        assert_eq!(unpack_block::<u64>(&buf, 8), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_block() {
+        let items: Vec<(u64, u64)> = vec![(1, 2), (3, 4)];
+        let (buf, took) = pack_block(&items, 64);
+        assert_eq!(took, 2);
+        assert_eq!(unpack_block::<(u64, u64)>(&buf, 2), items);
+    }
+}

@@ -1,0 +1,250 @@
+//! A Sibeyn–Kaufmann-style BSP-to-EM runner (Section 2.1's concurrent
+//! work): simulate **one virtual processor at a time** on a **single
+//! disk**, keeping "the context and generated messages in a `v × v` array
+//! on disk" — cell `(i, j)` holds the message bytes from virtual processor
+//! `i` to `j`. There is no blocking adaptation (a cell occupies its own
+//! blocks regardless of fill) and no parallel-disk usage; comparing its
+//! counted I/O against the paper's simulation regenerates the paper's
+//! qualitative claim.
+//!
+//! Results are identical to `em_bsp::run_sequential` — correctness is not
+//! the difference, cost is.
+
+use em_disk::{Block, DiskArray, DiskConfig, IoStats};
+use em_bsp::{BspProgram, Envelope, ExecError, Mailbox, RunResult, Step, CommLedger, SuperstepComm};
+use em_serial::{from_bytes, to_bytes, Serial};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct SibeynRunner {
+    /// Track size of the single disk.
+    pub block_bytes: usize,
+    /// Superstep guard.
+    pub max_supersteps: usize,
+}
+
+impl Default for SibeynRunner {
+    fn default() -> Self {
+        SibeynRunner { block_bytes: 512, max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS }
+    }
+}
+
+impl SibeynRunner {
+    /// Run `prog` one virtual processor at a time against a single-disk
+    /// `v × v` message matrix; returns the result plus the I/O counters.
+    pub fn run<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<(RunResult<P::State>, IoStats), ExecError> {
+        let v = states.len();
+        if v == 0 {
+            return Err("no virtual processors".into());
+        }
+        let bb = self.block_bytes;
+        let mu = prog.max_state_bytes() + 4;
+        let gamma = prog.max_comm_bytes() + 4;
+        let ctx_blocks = mu.div_ceil(bb);
+        let cell_blocks = gamma.div_ceil(bb);
+
+        let mut disks = DiskArray::new_memory(DiskConfig::new(1, bb)?);
+        // Layout on the single disk: contexts, then two v×v matrices
+        // (ping/pong so messages written this superstep are read next).
+        let ctx_base = 0usize;
+        let mat_base = [
+            ctx_base + v * ctx_blocks,
+            ctx_base + v * ctx_blocks + v * v * cell_blocks,
+        ];
+        let cell_track =
+            |mat: usize, i: usize, j: usize| mat_base[mat] + (i * v + j) * cell_blocks;
+
+        // Write a byte region (length-prefixed) at consecutive tracks.
+        let write_region = |disks: &mut DiskArray, track: usize, cap_blocks: usize, bytes: &[u8]| {
+            let mut framed = Vec::with_capacity(4 + bytes.len());
+            framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            framed.extend_from_slice(bytes);
+            assert!(framed.len() <= cap_blocks * bb, "region overflow");
+            for (k, chunk) in framed.chunks(bb).enumerate() {
+                disks.write_block(0, track + k, Block::from_bytes_padded(chunk, bb))?;
+            }
+            em_disk::DiskResult::Ok(())
+        };
+        let read_region = |disks: &mut DiskArray, track: usize, cap_blocks: usize| {
+            let first = disks.read_block(0, track)?;
+            let len = u32::from_le_bytes(first.as_bytes()[..4].try_into().expect("prefix")) as usize;
+            let mut bytes = first.as_bytes()[4..].to_vec();
+            let mut k = 1;
+            while bytes.len() < len {
+                assert!(k < cap_blocks, "corrupt region length");
+                bytes.extend_from_slice(disks.read_block(0, track + k)?.as_bytes());
+                k += 1;
+            }
+            bytes.truncate(len);
+            em_disk::DiskResult::Ok(bytes)
+        };
+
+        // Load initial contexts (excluded from the measured window).
+        for (j, state) in states.iter().enumerate() {
+            write_region(&mut disks, ctx_base + j * ctx_blocks, ctx_blocks, &to_bytes(state))?;
+        }
+        drop(states);
+        disks.reset_stats();
+
+        // In-memory cell fill table (metadata): bytes per cell, per matrix.
+        let mut fill = vec![vec![0usize; v * v]; 2];
+        let mut ledger = CommLedger::default();
+
+        for step in 0..self.max_supersteps {
+            let cur = step % 2;
+            let nxt = 1 - cur;
+            let mut all_halted = true;
+            let mut any_msgs = false;
+            let mut comm = SuperstepComm::default();
+
+            for j in 0..v {
+                // Fetch context.
+                let ctx_bytes = read_region(&mut disks, ctx_base + j * ctx_blocks, ctx_blocks)?;
+                let mut state: P::State = from_bytes(&ctx_bytes).map_err(Box::new)?;
+
+                // Fetch column j of the current matrix.
+                let mut inbox: Vec<(usize, u64, Envelope<P::Msg>)> = Vec::new();
+                for i in 0..v {
+                    if fill[cur][i * v + j] == 0 {
+                        continue;
+                    }
+                    let bytes = read_region(&mut disks, cell_track(cur, i, j), cell_blocks)?;
+                    fill[cur][i * v + j] = 0;
+                    let mut r = em_serial::Reader::new(&bytes);
+                    while !r.is_empty() {
+                        let seq = u32::decode(&mut r).map_err(Box::new)?;
+                        let len = u32::decode(&mut r).map_err(Box::new)? as usize;
+                        let payload = r.take(len).map_err(Box::new)?;
+                        let msg: P::Msg = from_bytes(payload).map_err(Box::new)?;
+                        inbox.push((i, seq as u64, Envelope { src: i, msg }));
+                    }
+                }
+                inbox.sort_by_key(|&(src, seq, _)| (src, seq));
+                let recv_bytes: u64 = inbox
+                    .iter()
+                    .map(|(_, _, e)| e.msg.encoded_len() as u64)
+                    .sum();
+                let incoming = inbox.into_iter().map(|(_, _, e)| e).collect();
+
+                let mut mb = Mailbox::new(j, v, incoming);
+                let status = prog.superstep(step, &mut mb, &mut state);
+                let (outgoing, msgs, bytes, work) = mb.into_outgoing();
+                if status == Step::Continue {
+                    all_halted = false;
+                }
+                comm.msgs += msgs;
+                comm.bytes += bytes;
+                comm.h_bytes = comm.h_bytes.max(bytes).max(recv_bytes);
+                comm.h_msgs = comm.h_msgs.max(msgs);
+                comm.w_comp = comm.w_comp.max(work);
+
+                // Write per-destination cells into the next matrix.
+                let mut per_dst: Vec<Vec<u8>> = vec![Vec::new(); v];
+                for (seq, (dst, msg)) in outgoing.into_iter().enumerate() {
+                    if dst >= v {
+                        return Err(format!("invalid destination {dst}").into());
+                    }
+                    any_msgs = true;
+                    let payload = to_bytes(&msg);
+                    per_dst[dst].extend_from_slice(&(seq as u32).to_le_bytes());
+                    per_dst[dst].extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                    per_dst[dst].extend_from_slice(&payload);
+                }
+                for (dst, bytes) in per_dst.into_iter().enumerate() {
+                    if bytes.is_empty() {
+                        continue;
+                    }
+                    if bytes.len() + 4 > cell_blocks * bb {
+                        return Err(format!(
+                            "cell ({j},{dst}) overflows γ = {gamma} bytes"
+                        )
+                        .into());
+                    }
+                    write_region(&mut disks, cell_track(nxt, j, dst), cell_blocks, &bytes)?;
+                    fill[nxt][j * v + dst] = bytes.len();
+                }
+
+                // Write the context back.
+                write_region(&mut disks, ctx_base + j * ctx_blocks, ctx_blocks, &to_bytes(&state))?;
+            }
+
+            ledger.push(comm);
+            if all_halted && !any_msgs {
+                let mut final_states = Vec::with_capacity(v);
+                for j in 0..v {
+                    let bytes = read_region(&mut disks, ctx_base + j * ctx_blocks, ctx_blocks)?;
+                    final_states.push(from_bytes::<P::State>(&bytes).map_err(Box::new)?);
+                }
+                let io = disks.stats().clone();
+                return Ok((RunResult { states: final_states, ledger }, io));
+            }
+        }
+        Err(format!("did not halt within {} supersteps", self.max_supersteps).into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::run_sequential;
+
+    struct AllToAll;
+    impl BspProgram for AllToAll {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            match step {
+                0 => {
+                    for dst in 0..mb.nprocs() {
+                        mb.send(dst, (mb.pid() as u64 + 1) * 100 + dst as u64);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).sum();
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+        fn max_comm_bytes(&self) -> usize {
+            16 * 24
+        }
+    }
+
+    #[test]
+    fn matches_reference_and_uses_single_disk() {
+        let v = 8;
+        let reference = run_sequential(&AllToAll, vec![0u64; v]).unwrap();
+        let runner = SibeynRunner { block_bytes: 64, ..Default::default() };
+        let (res, io) = runner.run(&AllToAll, vec![0u64; v]).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert!(io.parallel_ops > 0);
+        // Single disk: utilization is exactly 1 block per op.
+        assert!((io.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(io.per_disk_reads.len(), 1);
+    }
+
+    #[test]
+    fn superstep_limit() {
+        struct Forever;
+        impl BspProgram for Forever {
+            type State = u8;
+            type Msg = u8;
+            fn superstep(&self, _: usize, _: &mut Mailbox<u8>, _: &mut u8) -> Step {
+                Step::Continue
+            }
+            fn max_state_bytes(&self) -> usize {
+                1
+            }
+        }
+        let runner = SibeynRunner { block_bytes: 64, max_supersteps: 5 };
+        assert!(runner.run(&Forever, vec![0u8; 2]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion end-to-end benchmarks for representative Table 1 algorithms
+//! on the external-memory simulator, plus the classical baselines for
+//! direct wall-clock comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_bench::measure::machine;
+use em_bench::workloads::{random_graph, random_u64};
+use em_core::SeqEmSimulator;
+use em_disk::{DiskArray, DiskConfig};
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(10);
+    for n in [50_000usize, 100_000] {
+        let items = random_u64(n, 5);
+        g.throughput(Throughput::Bytes((n * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("av_external_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut disks = DiskArray::new_memory(DiskConfig::new(4, 2048).unwrap());
+                em_baselines::ExternalSort { m_bytes: 1 << 18 }
+                    .run(&mut disks, items.clone())
+                    .unwrap()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("simulated_cgm_sort", n), &n, |b, _| {
+            let sim = SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048));
+            b.iter(|| em_algos::sort::cgm_sort(&sim, 64, items.clone()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(10);
+    let n = 10_000;
+    let edges = random_graph(n, 2 * n, 6);
+    g.bench_function("simulated_cc_10k", |b| {
+        let sim = SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048));
+        b.iter(|| {
+            em_algos::graph::cc::cgm_connected_components(&sim, 32, n, &edges).unwrap()
+        });
+    });
+    let succ = em_algos::graph::list_ranking::random_chain(n, 7);
+    let w = vec![1u64; n];
+    g.bench_function("simulated_list_rank_10k", |b| {
+        let sim = SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048));
+        b.iter(|| em_algos::graph::list_ranking::cgm_list_rank(&sim, 32, &succ, &w).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_graph);
+criterion_main!(benches);

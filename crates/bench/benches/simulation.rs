@@ -1,0 +1,112 @@
+//! Criterion benchmarks for the simulation machinery itself: the Writing
+//! Phase scatter, Algorithm 2's reorganization, and a full compound
+//! superstep through the uniprocessor and multiprocessor simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_bsp::{BspProgram, Mailbox, Step};
+use em_core::{
+    scatter_messages, simulate_routing, EmMachine, MsgGeometry, OutMsg, ParEmSimulator,
+    Placement, ScratchState, SeqEmSimulator,
+};
+use em_disk::{DiskArray, DiskConfig, TrackAllocator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scatter_and_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scatter-routing");
+    let d = 4;
+    let b = 2048;
+    let v = 32;
+    let k = 4;
+    let per_group_bytes = 64 * 1024;
+    g.throughput(Throughput::Bytes((v / k * per_group_bytes) as u64));
+    g.bench_function("scatter_plus_simulate_routing_512KiB", |bch| {
+        bch.iter(|| {
+            let mut alloc = TrackAllocator::new(d);
+            let geom =
+                MsgGeometry::allocate(&mut alloc, v, k, per_group_bytes * 2, d, b).unwrap();
+            let mut disks = DiskArray::new_memory(DiskConfig::new(d, b).unwrap());
+            let mut scratch = ScratchState::new(&geom);
+            let mut rng = StdRng::seed_from_u64(1);
+            for src_group in 0..v / k {
+                let msgs: Vec<OutMsg> = (0..16)
+                    .map(|i| OutMsg {
+                        dst: ((src_group * 7 + i) % v) as u32,
+                        src: (src_group * k) as u32,
+                        seq: i as u32,
+                        payload: vec![0u8; per_group_bytes / 16 - 16],
+                    })
+                    .collect();
+                scatter_messages(
+                    &mut disks, &mut alloc, &geom, &mut scratch, src_group, msgs, &mut rng,
+                    Placement::Random,
+                )
+                .unwrap();
+            }
+            simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// All-to-all exchange: a single heavyweight compound superstep.
+struct AllToAll {
+    v: usize,
+    words: usize,
+}
+impl BspProgram for AllToAll {
+    type State = u64;
+    type Msg = Vec<u64>;
+    fn superstep(&self, step: usize, mb: &mut Mailbox<Vec<u64>>, state: &mut u64) -> Step {
+        match step {
+            0 => {
+                for dst in 0..mb.nprocs() {
+                    mb.send(dst, vec![mb.pid() as u64; self.words]);
+                }
+                Step::Continue
+            }
+            _ => {
+                *state = mb.take_incoming().iter().flat_map(|e| &e.msg).sum();
+                Step::Halt
+            }
+        }
+    }
+    fn max_state_bytes(&self) -> usize {
+        8
+    }
+    fn max_comm_bytes(&self) -> usize {
+        self.v * (32 + 8 * self.words) + 64
+    }
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulators");
+    g.sample_size(20);
+    let v = 32;
+    let words = 512;
+    let prog = AllToAll { v, words };
+    let bytes = (v * v * words * 8) as u64;
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("seq_em_all_to_all_4MiB", |bch| {
+        let sim = SeqEmSimulator::new(EmMachine::uniprocessor(1 << 16, 4, 2048, 1));
+        bch.iter(|| sim.run(&prog, vec![0u64; v]).unwrap());
+    });
+    for p in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("par_em_all_to_all_4MiB", p), &p, |bch, &p| {
+            let mach = EmMachine {
+                p,
+                m_bytes: 1 << 16,
+                d: 4,
+                b_bytes: 2048,
+                g_io: 1,
+                router: em_bsp::BspStarParams { p, g: 1.0, b: 2048, l: 1.0 },
+            };
+            let sim = ParEmSimulator::new(mach);
+            bch.iter(|| sim.run(&prog, vec![0u64; v]).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scatter_and_routing, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks for the substrates: the codec, the disk
+//! array (memory and file backends), and the context store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use em_core::ContextStore;
+use em_disk::{Block, DiskArray, DiskConfig, TrackAllocator};
+use em_serial::{from_bytes, to_bytes};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial-codec");
+    let v: Vec<(u64, u64)> = (0..4096).map(|i| (i, i * 7)).collect();
+    let bytes = to_bytes(&v);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_vec_4096_pairs", |b| {
+        b.iter(|| to_bytes(std::hint::black_box(&v)))
+    });
+    g.bench_function("decode_vec_4096_pairs", |b| {
+        b.iter(|| from_bytes::<Vec<(u64, u64)>>(std::hint::black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_disk_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk-array");
+    for d in [1usize, 4, 16] {
+        let cfg = DiskConfig::new(d, 4096).unwrap();
+        g.throughput(Throughput::Bytes((d * 4096) as u64));
+        g.bench_with_input(BenchmarkId::new("memory_stripe_rw", d), &d, |b, &d| {
+            let mut arr = DiskArray::new_memory(cfg);
+            let writes: Vec<_> = (0..d)
+                .map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096)))
+                .collect();
+            let addrs: Vec<_> = (0..d).map(|i| (i, 0usize)).collect();
+            b.iter(|| {
+                arr.write_stripe(std::hint::black_box(&writes)).unwrap();
+                arr.read_stripe(std::hint::black_box(&addrs)).unwrap()
+            });
+        });
+    }
+    // File backend at D = 4.
+    let dir = std::env::temp_dir().join(format!("em-bench-disk-{}", std::process::id()));
+    let cfg = DiskConfig::new(4, 4096).unwrap();
+    let mut arr = DiskArray::new_file(cfg, &dir).unwrap();
+    let writes: Vec<_> = (0..4)
+        .map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096)))
+        .collect();
+    let addrs: Vec<_> = (0..4).map(|i| (i, 0usize)).collect();
+    g.throughput(Throughput::Bytes(4 * 4096));
+    g.bench_function("file_stripe_rw_d4", |b| {
+        b.iter(|| {
+            arr.write_stripe(std::hint::black_box(&writes)).unwrap();
+            arr.read_stripe(std::hint::black_box(&addrs)).unwrap()
+        });
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_context_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context-store");
+    let d = 4;
+    let mu = 8192;
+    let v = 64;
+    let mut alloc = TrackAllocator::new(d);
+    let store = ContextStore::allocate(&mut alloc, d, 2048, v, mu).unwrap();
+    let mut disks = DiskArray::new_memory(DiskConfig::new(d, 2048).unwrap());
+    let bufs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; mu - 64]).collect();
+    store.write_group(&mut disks, 0, &bufs).unwrap();
+    g.throughput(Throughput::Bytes((8 * mu) as u64));
+    g.bench_function("write_group_8x8KiB", |b| {
+        b.iter(|| store.write_group(&mut disks, 0, std::hint::black_box(&bufs)).unwrap());
+    });
+    g.bench_function("read_group_8x8KiB", |b| {
+        b.iter(|| store.read_group(&mut disks, 0, 8).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_disk_array, bench_context_store);
+criterion_main!(benches);

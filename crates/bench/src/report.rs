@@ -1,0 +1,70 @@
+//! Table rendering and machine-readable result output.
+
+use serde::Serialize;
+
+/// One experiment row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Experiment / problem id (e.g. "T1-A-sort").
+    pub id: String,
+    /// Variant label (e.g. "seq-EM baseline", "sim p=4 D=4").
+    pub variant: String,
+    /// Problem size.
+    pub n: usize,
+    /// Measured parallel I/O operations.
+    pub io_ops: u64,
+    /// Paper-predicted operations (complexity expression evaluated).
+    pub predicted: f64,
+    /// λ (0 for non-simulated baselines).
+    pub lambda: usize,
+    /// Disk utilization.
+    pub utilization: f64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Free-form notes (speedup factors etc.).
+    pub note: String,
+}
+
+/// Print rows as an aligned text table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<14} {:<26} {:>9} {:>10} {:>12} {:>5} {:>6} {:>9}  {}",
+        "id", "variant", "n", "io_ops", "predicted", "λ", "util", "wall_ms", "note"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:<26} {:>9} {:>10} {:>12.0} {:>5} {:>6.2} {:>9.1}  {}",
+            r.id, r.variant, r.n, r.io_ops, r.predicted, r.lambda, r.utilization, r.wall_ms, r.note
+        );
+    }
+}
+
+/// Emit rows as JSON lines (consumed when updating EXPERIMENTS.md).
+pub fn print_json(rows: &[Row]) {
+    for r in rows {
+        println!("{}", serde_json::to_string(r).expect("row serializes"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize() {
+        let r = Row {
+            id: "T1-A-sort".into(),
+            variant: "baseline".into(),
+            n: 1000,
+            io_ops: 42,
+            predicted: 40.0,
+            lambda: 0,
+            utilization: 0.95,
+            wall_ms: 1.5,
+            note: String::new(),
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("T1-A-sort"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Communication patterns used by the CGM algorithms.
+//!
+//! These are *in-superstep* helpers: they enqueue the message pattern of a
+//! collective into the current mailbox; the data arrives at the start of
+//! the next superstep. Each costs one communication round (one h-relation),
+//! matching how the Table 1 algorithms count λ.
+
+use crate::Mailbox;
+use em_serial::Serial;
+
+/// Broadcast: send a copy of `msg` to every virtual processor (including
+/// the sender). One round; h = v·|msg| at the sender, so use only for
+/// O(n/p²)-sized payloads as the CGM algorithms do.
+pub fn send_to_all<M: Serial + Clone>(mb: &mut Mailbox<M>, msg: M) {
+    for dst in 0..mb.nprocs() {
+        mb.send(dst, msg.clone());
+    }
+}
+
+/// Scatter `items` across all virtual processors as evenly as possible,
+/// in pid order: processor `i` receives the `i`-th chunk (sizes differ by
+/// at most one). Returns nothing; chunks arrive as individual messages.
+pub fn scatter_evenly<M: Serial, I: IntoIterator<Item = M>>(mb: &mut Mailbox<M>, items: I) {
+    let items: Vec<M> = items.into_iter().collect();
+    let v = mb.nprocs();
+    let n = items.len();
+    let base = n / v;
+    let extra = n % v;
+    let mut it = items.into_iter();
+    for dst in 0..v {
+        let take = base + usize::from(dst < extra);
+        for _ in 0..take {
+            match it.next() {
+                Some(m) => mb.send(dst, m),
+                None => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_sequential, BspProgram, Step};
+
+    struct Bcast;
+    impl BspProgram for Bcast {
+        type State = Vec<u64>;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut Vec<u64>) -> Step {
+            match step {
+                0 => {
+                    if mb.pid() == 2 {
+                        send_to_all(mb, 99);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).collect();
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let res = run_sequential(&Bcast, vec![Vec::new(); 4]).unwrap();
+        for s in res.states {
+            assert_eq!(s, vec![99]);
+        }
+    }
+
+    struct Scatter;
+    impl BspProgram for Scatter {
+        type State = Vec<u64>;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut Vec<u64>) -> Step {
+            match step {
+                0 => {
+                    if mb.pid() == 0 {
+                        scatter_evenly(mb, 0..7u64);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).collect();
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn scatter_is_balanced_and_ordered() {
+        let res = run_sequential(&Scatter, vec![Vec::new(); 3]).unwrap();
+        // 7 items over 3 procs: sizes 3,2,2 in pid order.
+        assert_eq!(res.states[0], vec![0, 1, 2]);
+        assert_eq!(res.states[1], vec![3, 4]);
+        assert_eq!(res.states[2], vec![5, 6]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for BSP execution.
+
+use std::fmt;
+
+/// Errors raised by the in-memory BSP executors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BspError {
+    /// The program was started with zero virtual processors.
+    NoProcessors,
+    /// A message was addressed to a virtual processor that does not exist.
+    InvalidDestination {
+        /// The bad destination.
+        dst: usize,
+        /// Number of virtual processors.
+        nprocs: usize,
+    },
+    /// The program exceeded the superstep limit without halting.
+    SuperstepLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BspError::NoProcessors => write!(f, "program started with zero virtual processors"),
+            BspError::InvalidDestination { dst, nprocs } => {
+                write!(f, "message sent to virtual processor {dst}, but only {nprocs} exist")
+            }
+            BspError::SuperstepLimit { limit } => {
+                write!(f, "program did not halt within {limit} supersteps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BspError {}

@@ -1,0 +1,81 @@
+//! The [`Executor`] abstraction: anything that can run a [`BspProgram`]
+//! to completion.
+//!
+//! CGM algorithms are written as *pipelines* of BSP programs (sort, then
+//! sweep, then gather, …). Writing the drivers against `Executor` means
+//! the same algorithm code runs on the in-memory reference runner, the
+//! threaded BSP machine, or the external-memory simulators of `em-core` —
+//! which is exactly the portability claim of the paper's simulation
+//! technique.
+
+use crate::{run_sequential, BspProgram, RunResult, ThreadedRunner};
+
+/// Boxed error used across executor implementations.
+pub type ExecError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+/// An engine that can execute a BSP program on `states.len()` virtual
+/// processors and return the final states.
+pub trait Executor: Sync {
+    /// Run the program to completion.
+    fn execute<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, ExecError>;
+}
+
+/// The sequential in-memory reference executor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqExecutor;
+
+impl Executor for SeqExecutor {
+    fn execute<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, ExecError> {
+        run_sequential(prog, states).map_err(|e| Box::new(e) as ExecError)
+    }
+}
+
+impl Executor for ThreadedRunner {
+    fn execute<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, ExecError> {
+        self.run(prog, states).map_err(|e| Box::new(e) as ExecError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mailbox, Step};
+
+    struct Echo;
+    impl BspProgram for Echo {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            if step == 0 {
+                mb.send(mb.pid(), mb.pid() as u64 * 2);
+                Step::Continue
+            } else {
+                *state = mb.take_incoming()[0].msg;
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn executors_agree() {
+        let a = SeqExecutor.execute(&Echo, vec![0; 4]).unwrap();
+        let b = ThreadedRunner::new(2).execute(&Echo, vec![0; 4]).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.states, vec![0, 2, 4, 6]);
+    }
+}

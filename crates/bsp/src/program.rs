@@ -1,0 +1,215 @@
+//! The BSP programming API: programs, mailboxes, envelopes.
+
+use em_serial::Serial;
+
+/// What a virtual processor wants after a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Keep running: another superstep follows.
+    Continue,
+    /// This virtual processor is done. The program terminates once *every*
+    /// virtual processor returns `Halt` in the same superstep and no
+    /// messages are in flight; until then, halted processors keep being
+    /// invoked (they may be woken by incoming messages).
+    Halt,
+}
+
+/// A received message together with its sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Virtual processor id of the sender.
+    pub src: usize,
+    /// The message payload.
+    pub msg: M,
+}
+
+/// Per-virtual-processor communication endpoint for one superstep.
+///
+/// The runner fills `incoming` with the messages sent to this virtual
+/// processor in the *previous* superstep — sorted by `(src, send order)`
+/// so that every executor (sequential, threaded, external-memory) delivers
+/// in the same canonical order — and collects `outgoing` afterwards.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    pid: usize,
+    nprocs: usize,
+    incoming: Vec<Envelope<M>>,
+    outgoing: Vec<(usize, M)>,
+    bytes_sent: u64,
+    msgs_sent: u64,
+    work: u64,
+}
+
+impl<M: Serial> Mailbox<M> {
+    /// Build a mailbox for virtual processor `pid` of `nprocs`, delivering
+    /// `incoming` (already in canonical order).
+    pub fn new(pid: usize, nprocs: usize, incoming: Vec<Envelope<M>>) -> Self {
+        Mailbox {
+            pid,
+            nprocs,
+            incoming,
+            outgoing: Vec::new(),
+            bytes_sent: 0,
+            msgs_sent: 0,
+            work: 0,
+        }
+    }
+
+    /// This virtual processor's id, `0 ≤ pid < nprocs`.
+    #[inline]
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// `v` — number of virtual processors in the program.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Send `msg` to virtual processor `dst`, delivered at the start of the
+    /// next superstep. Self-sends are allowed. Destination validity is
+    /// checked by the runner when it routes.
+    #[inline]
+    pub fn send(&mut self, dst: usize, msg: M) {
+        self.bytes_sent += msg.encoded_len() as u64;
+        self.msgs_sent += 1;
+        self.outgoing.push((dst, msg));
+    }
+
+    /// Messages received this superstep, in canonical `(src, order)` order.
+    /// Leaves the inbox empty.
+    #[inline]
+    pub fn take_incoming(&mut self) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.incoming)
+    }
+
+    /// Borrow the inbox without consuming it.
+    #[inline]
+    pub fn incoming(&self) -> &[Envelope<M>] {
+        &self.incoming
+    }
+
+    /// Number of messages waiting.
+    #[inline]
+    pub fn incoming_len(&self) -> usize {
+        self.incoming.len()
+    }
+
+    /// Bytes queued for sending so far in this superstep.
+    #[inline]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Charge `ops` basic computation operations to this superstep — the
+    /// `t_j` of the BSP computation-cost definition. Programs that skip
+    /// charging are priced by communication and λ only.
+    #[inline]
+    pub fn charge(&mut self, ops: u64) {
+        self.work = self.work.wrapping_add(ops);
+    }
+
+    /// Computation operations charged so far.
+    #[inline]
+    pub fn charged(&self) -> u64 {
+        self.work
+    }
+
+    /// Consume the mailbox, returning the outgoing `(dst, msg)` pairs and
+    /// the accounting triple `(msgs_sent, bytes_sent, charged_ops)`.
+    pub fn into_outgoing(self) -> (Vec<(usize, M)>, u64, u64, u64) {
+        (self.outgoing, self.msgs_sent, self.bytes_sent, self.work)
+    }
+}
+
+/// A coarse-grained parallel algorithm in the BSP/BSP\*/CGM style.
+///
+/// A program runs on `v` virtual processors. Each holds a `State` (the
+/// *context* of the paper, of size at most [`BspProgram::max_state_bytes`]
+/// = μ when serialized) and exchanges `Msg` values through a [`Mailbox`].
+/// The executor calls [`BspProgram::superstep`] once per virtual processor
+/// per superstep until every processor halts.
+///
+/// Programs must be written so that the result does not depend on the
+/// *relative* execution order of virtual processors within a superstep —
+/// the defining property of bulk-synchronous computation, and the property
+/// that lets the paper's simulation run them group by group from disk.
+pub trait BspProgram: Sync {
+    /// Per-virtual-processor context. Serialized when the program runs on
+    /// an external-memory simulator.
+    type State: Serial + Send + 'static;
+    /// Message payload type.
+    type Msg: Serial + Send + Clone + 'static;
+
+    /// Execute superstep `step` for the virtual processor owning `state`.
+    fn superstep(&self, step: usize, mb: &mut Mailbox<Self::Msg>, state: &mut Self::State) -> Step;
+
+    /// μ — upper bound on the serialized size of any `State` at any
+    /// superstep boundary. The EM simulation pads every context to this
+    /// size; declaring it too small is a runtime error, too large wastes
+    /// disk space but stays correct.
+    fn max_state_bytes(&self) -> usize;
+
+    /// γ — upper bound on the bytes any single virtual processor sends (or
+    /// receives) in one superstep. Defaults to μ, matching the paper's
+    /// standing assumption γ = O(μ).
+    fn max_comm_bytes(&self) -> usize {
+        self.max_state_bytes()
+    }
+}
+
+impl<P: BspProgram> BspProgram for &P {
+    type State = P::State;
+    type Msg = P::Msg;
+
+    fn superstep(&self, step: usize, mb: &mut Mailbox<Self::Msg>, state: &mut Self::State) -> Step {
+        (**self).superstep(step, mb, state)
+    }
+
+    fn max_state_bytes(&self) -> usize {
+        (**self).max_state_bytes()
+    }
+
+    fn max_comm_bytes(&self) -> usize {
+        (**self).max_comm_bytes()
+    }
+}
+
+/// Canonical inbox order: by sender id, then by per-sender send order.
+/// All runners sort with this before delivering, so programs observe
+/// identical inboxes regardless of executor.
+pub(crate) fn sort_envelopes<M>(envelopes: &mut [(usize, u64, Envelope<M>)]) {
+    envelopes.sort_by_key(|&(src, seq, _)| (src, seq));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_accounts_traffic() {
+        let mut mb: Mailbox<u64> = Mailbox::new(0, 4, Vec::new());
+        mb.send(1, 42);
+        mb.send(3, 43);
+        mb.charge(100);
+        assert_eq!(mb.bytes_sent(), 16);
+        assert_eq!(mb.charged(), 100);
+        let (out, msgs, bytes, work) = mb.into_outgoing();
+        assert_eq!(out, vec![(1, 42), (3, 43)]);
+        assert_eq!(msgs, 2);
+        assert_eq!(bytes, 16);
+        assert_eq!(work, 100);
+    }
+
+    #[test]
+    fn mailbox_take_incoming_drains() {
+        let inbox = vec![Envelope { src: 2, msg: 7u32 }];
+        let mut mb = Mailbox::new(1, 4, inbox);
+        assert_eq!(mb.incoming_len(), 1);
+        let got = mb.take_incoming();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].src, 2);
+        assert_eq!(mb.incoming_len(), 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Executors for [`crate::BspProgram`]s.
+
+pub mod seq;
+pub mod threads;

@@ -1,0 +1,225 @@
+//! The sequential reference executor.
+//!
+//! Runs every virtual processor round-robin in pid order with canonical
+//! message delivery. This executor defines the semantics that the threaded
+//! runner and the external-memory simulators must reproduce exactly; the
+//! workspace's differential tests compare their outputs against this one.
+
+use crate::program::sort_envelopes;
+use crate::{BspError, BspProgram, CommLedger, Envelope, Mailbox, Step, SuperstepComm, DEFAULT_MAX_SUPERSTEPS};
+use em_serial::Serial;
+
+/// Result of running a program to completion.
+#[derive(Debug)]
+pub struct RunResult<S> {
+    /// Final state of every virtual processor, by pid.
+    pub states: Vec<S>,
+    /// Per-superstep communication ledger.
+    pub ledger: CommLedger,
+}
+
+impl<S> RunResult<S> {
+    /// λ — number of supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.ledger.lambda()
+    }
+}
+
+/// Run `prog` on `states.len()` virtual processors until all halt.
+pub fn run_sequential<P: BspProgram>(
+    prog: &P,
+    states: Vec<P::State>,
+) -> Result<RunResult<P::State>, BspError> {
+    run_sequential_limited(prog, states, DEFAULT_MAX_SUPERSTEPS)
+}
+
+/// [`run_sequential`] with an explicit superstep limit.
+pub fn run_sequential_limited<P: BspProgram>(
+    prog: &P,
+    mut states: Vec<P::State>,
+    max_supersteps: usize,
+) -> Result<RunResult<P::State>, BspError> {
+    let v = states.len();
+    if v == 0 {
+        return Err(BspError::NoProcessors);
+    }
+
+    // inboxes[pid] holds (src, seq, envelope) awaiting delivery.
+    let mut inboxes: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> = (0..v).map(|_| Vec::new()).collect();
+    let mut ledger = CommLedger::default();
+
+    for step in 0..max_supersteps {
+        let mut all_halted = true;
+        let mut any_msgs = false;
+        let mut step_comm = SuperstepComm::default();
+        let mut next: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> = (0..v).map(|_| Vec::new()).collect();
+
+        for pid in 0..v {
+            let mut pending = std::mem::take(&mut inboxes[pid]);
+            sort_envelopes(&mut pending);
+            let recv_bytes: u64 = pending.iter().map(|(_, _, e)| e.msg.encoded_len() as u64).sum();
+            let recv_msgs = pending.len() as u64;
+            let incoming = pending.into_iter().map(|(_, _, e)| e).collect();
+
+            let mut mb = Mailbox::new(pid, v, incoming);
+            let status = prog.superstep(step, &mut mb, &mut states[pid]);
+            let (outgoing, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+
+            if status == Step::Continue {
+                all_halted = false;
+            }
+            step_comm.msgs += msgs_sent;
+            step_comm.bytes += bytes_sent;
+            step_comm.h_bytes = step_comm.h_bytes.max(bytes_sent).max(recv_bytes);
+            step_comm.h_msgs = step_comm.h_msgs.max(msgs_sent).max(recv_msgs);
+            step_comm.w_comp = step_comm.w_comp.max(work);
+
+            for (seq, (dst, msg)) in outgoing.into_iter().enumerate() {
+                if dst >= v {
+                    return Err(BspError::InvalidDestination { dst, nprocs: v });
+                }
+                any_msgs = true;
+                next[dst].push((pid, seq as u64, Envelope { src: pid, msg }));
+            }
+        }
+
+        ledger.push(step_comm);
+        inboxes = next;
+
+        if all_halted && !any_msgs {
+            return Ok(RunResult { states, ledger });
+        }
+    }
+
+    Err(BspError::SuperstepLimit { limit: max_supersteps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mailbox, Step};
+
+    /// Ring token passing: each vproc forwards a counter around the ring
+    /// `laps` times; tests message delivery, ordering and termination.
+    struct Ring {
+        laps: u64,
+    }
+
+    impl BspProgram for Ring {
+        type State = u64; // tokens seen
+        type Msg = u64;
+
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            let v = mb.nprocs();
+            if step == 0 {
+                if mb.pid() == 0 {
+                    mb.send(1 % v, 1);
+                }
+                return Step::Continue;
+            }
+            for env in mb.take_incoming() {
+                *state += 1;
+                if env.msg < self.laps * v as u64 {
+                    mb.send((mb.pid() + 1) % v, env.msg + 1);
+                }
+            }
+            if *state > 0 || step > 0 {
+                Step::Halt
+            } else {
+                Step::Continue
+            }
+        }
+
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn ring_passes_tokens_all_the_way_round() {
+        let res = run_sequential(&Ring { laps: 2 }, vec![0u64; 4]).unwrap();
+        // Token visits each processor twice (2 laps around 4 procs).
+        assert_eq!(res.states, vec![2, 2, 2, 2]);
+        // 8 hops + start + drain step.
+        assert!(res.supersteps() >= 9);
+        assert_eq!(res.ledger.total_msgs(), 8);
+    }
+
+    #[test]
+    fn zero_processors_is_an_error() {
+        let err = run_sequential(&Ring { laps: 1 }, Vec::new()).unwrap_err();
+        assert_eq!(err, BspError::NoProcessors);
+    }
+
+    /// A program that never halts trips the superstep limit.
+    struct Forever;
+    impl BspProgram for Forever {
+        type State = u8;
+        type Msg = u8;
+        fn superstep(&self, _: usize, _: &mut Mailbox<u8>, _: &mut u8) -> Step {
+            Step::Continue
+        }
+        fn max_state_bytes(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn superstep_limit_enforced() {
+        let err = run_sequential_limited(&Forever, vec![0u8; 2], 10).unwrap_err();
+        assert_eq!(err, BspError::SuperstepLimit { limit: 10 });
+    }
+
+    /// Sending to a nonexistent pid is a typed error.
+    struct BadSend;
+    impl BspProgram for BadSend {
+        type State = u8;
+        type Msg = u8;
+        fn superstep(&self, _: usize, mb: &mut Mailbox<u8>, _: &mut u8) -> Step {
+            mb.send(99, 1);
+            Step::Halt
+        }
+        fn max_state_bytes(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn invalid_destination_is_an_error() {
+        let err = run_sequential(&BadSend, vec![0u8; 2]).unwrap_err();
+        assert_eq!(err, BspError::InvalidDestination { dst: 99, nprocs: 2 });
+    }
+
+    /// Messages from multiple senders arrive sorted by (src, send order).
+    struct OrderCheck;
+    impl BspProgram for OrderCheck {
+        type State = Vec<u64>;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut Vec<u64>) -> Step {
+            match step {
+                0 => {
+                    // Everyone sends two tagged messages to vproc 0.
+                    let tag = mb.pid() as u64 * 10;
+                    mb.send(0, tag);
+                    mb.send(0, tag + 1);
+                    Step::Continue
+                }
+                _ => {
+                    if mb.pid() == 0 {
+                        *state = mb.take_incoming().into_iter().map(|e| e.msg).collect();
+                    }
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            128
+        }
+    }
+
+    #[test]
+    fn canonical_delivery_order() {
+        let res = run_sequential(&OrderCheck, vec![Vec::new(); 3]).unwrap();
+        assert_eq!(res.states[0], vec![0, 1, 10, 11, 20, 21]);
+    }
+}

@@ -1,0 +1,277 @@
+//! A real parallel BSP machine: worker threads executing barrier-separated
+//! supersteps with message routing between workers.
+//!
+//! Virtual processors are assigned to workers round-robin (`pid % workers`).
+//! Each superstep has three phases separated by barriers:
+//!
+//! 1. every worker runs its virtual processors' computation, routing
+//!    outgoing messages into shared next-superstep inboxes;
+//! 2. worker 0 aggregates traffic counters into the ledger and decides
+//!    whether the program has terminated;
+//! 3. all workers observe the decision and either loop or exit.
+//!
+//! The output is bit-identical to [`crate::run_sequential`]: inboxes are
+//! delivered in canonical `(src, send-order)` order, and BSP programs may
+//! not depend on intra-superstep execution order.
+
+use crate::program::sort_envelopes;
+use crate::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm, DEFAULT_MAX_SUPERSTEPS};
+use em_serial::Serial;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Configuration for the threaded executor.
+#[derive(Debug, Clone)]
+pub struct ThreadedRunner {
+    /// Number of OS threads (workers). Defaults to available parallelism.
+    pub workers: usize,
+    /// Superstep limit guarding non-terminating programs.
+    pub max_supersteps: usize,
+}
+
+impl Default for ThreadedRunner {
+    fn default() -> Self {
+        ThreadedRunner {
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            max_supersteps: DEFAULT_MAX_SUPERSTEPS,
+        }
+    }
+}
+
+impl ThreadedRunner {
+    /// Executor with an explicit worker count.
+    pub fn new(workers: usize) -> Self {
+        ThreadedRunner {
+            workers: workers.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Run `prog` on `states.len()` virtual processors until all halt.
+    pub fn run<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, BspError> {
+        let v = states.len();
+        if v == 0 {
+            return Err(BspError::NoProcessors);
+        }
+        let workers = self.workers.min(v);
+
+        // Shared run state. Inboxes are double-buffered by superstep
+        // parity: deliveries of superstep `s` are read from buffer `s % 2`
+        // while sends go to buffer `(s + 1) % 2`, so a message can never be
+        // observed in the superstep that sent it.
+        let slots: Vec<Mutex<Option<P::State>>> =
+            states.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let inbox_buffers: [Vec<Mutex<Vec<(usize, u64, Envelope<P::Msg>)>>>; 2] = [
+            (0..v).map(|_| Mutex::new(Vec::new())).collect(),
+            (0..v).map(|_| Mutex::new(Vec::new())).collect(),
+        ];
+        let barrier = Barrier::new(workers);
+        let stop = AtomicBool::new(false);
+        let failed: Mutex<Option<BspError>> = Mutex::new(None);
+        let ledger: Mutex<CommLedger> = Mutex::new(CommLedger::default());
+
+        // Per-superstep aggregates (reset by worker 0 between steps).
+        let agg_msgs = AtomicU64::new(0);
+        let agg_bytes = AtomicU64::new(0);
+        let agg_h = AtomicU64::new(0);
+        let agg_h_msgs = AtomicU64::new(0);
+        let agg_w = AtomicU64::new(0);
+        let any_continue = AtomicBool::new(false);
+        let any_msgs = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let inbox_buffers = &inbox_buffers;
+                let barrier = &barrier;
+                let stop = &stop;
+                let failed = &failed;
+                let ledger = &ledger;
+                let agg_msgs = &agg_msgs;
+                let agg_bytes = &agg_bytes;
+                let agg_h = &agg_h;
+                let agg_h_msgs = &agg_h_msgs;
+                let agg_w = &agg_w;
+                let any_continue = &any_continue;
+                let any_msgs = &any_msgs;
+                let max_supersteps = self.max_supersteps;
+
+                scope.spawn(move || {
+                    // Worker-local ownership of its virtual processors.
+                    let my_pids: Vec<usize> = (w..v).step_by(workers).collect();
+                    let mut my_states: Vec<P::State> = my_pids
+                        .iter()
+                        .map(|&pid| slots[pid].lock().take().expect("state present at start"))
+                        .collect();
+
+                    for step in 0..max_supersteps {
+                        let cur = &inbox_buffers[step % 2];
+                        let next = &inbox_buffers[(step + 1) % 2];
+                        // Phase 1: compute and route.
+                        for (idx, &pid) in my_pids.iter().enumerate() {
+                            let mut pending = std::mem::take(&mut *cur[pid].lock());
+                            sort_envelopes(&mut pending);
+                            let recv_bytes: u64 =
+                                pending.iter().map(|(_, _, e)| e.msg.encoded_len() as u64).sum();
+                            let recv_msgs = pending.len() as u64;
+                            let incoming = pending.into_iter().map(|(_, _, e)| e).collect();
+
+                            let mut mb = Mailbox::new(pid, v, incoming);
+                            let status = prog.superstep(step, &mut mb, &mut my_states[idx]);
+                            let (outgoing, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+
+                            if status == Step::Continue {
+                                any_continue.store(true, Ordering::Relaxed);
+                            }
+                            agg_msgs.fetch_add(msgs_sent, Ordering::Relaxed);
+                            agg_bytes.fetch_add(bytes_sent, Ordering::Relaxed);
+                            agg_h.fetch_max(bytes_sent.max(recv_bytes), Ordering::Relaxed);
+                            agg_h_msgs.fetch_max(msgs_sent.max(recv_msgs), Ordering::Relaxed);
+                            agg_w.fetch_max(work, Ordering::Relaxed);
+
+                            for (seq, (dst, msg)) in outgoing.into_iter().enumerate() {
+                                if dst >= v {
+                                    *failed.lock() = Some(BspError::InvalidDestination { dst, nprocs: v });
+                                    stop.store(true, Ordering::SeqCst);
+                                    break;
+                                }
+                                any_msgs.store(true, Ordering::Relaxed);
+                                next[dst]
+                                    .lock()
+                                    .push((pid, seq as u64, Envelope { src: pid, msg }));
+                            }
+                        }
+
+                        barrier.wait();
+
+                        // Phase 2: worker 0 aggregates and decides.
+                        if w == 0 {
+                            ledger.lock().push(SuperstepComm {
+                                msgs: agg_msgs.swap(0, Ordering::Relaxed),
+                                bytes: agg_bytes.swap(0, Ordering::Relaxed),
+                                h_bytes: agg_h.swap(0, Ordering::Relaxed),
+                                h_msgs: agg_h_msgs.swap(0, Ordering::Relaxed),
+                                h_packets: 0,
+                                w_comp: agg_w.swap(0, Ordering::Relaxed),
+                            });
+                            let had_continue = any_continue.swap(false, Ordering::Relaxed);
+                            let had_msgs = any_msgs.swap(false, Ordering::Relaxed);
+                            let done = !had_continue && !had_msgs;
+                            if done {
+                                stop.store(true, Ordering::SeqCst);
+                            }
+                            if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
+                                *failed.lock() = Some(BspError::SuperstepLimit { limit: max_supersteps });
+                                stop.store(true, Ordering::SeqCst);
+                            }
+                        }
+
+                        barrier.wait();
+
+                        // Phase 3: everyone observes the decision.
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+
+                    // Return states to the shared slots.
+                    for (&pid, state) in my_pids.iter().zip(my_states.into_iter()) {
+                        *slots[pid].lock() = Some(state);
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = failed.into_inner() {
+            return Err(err);
+        }
+        let states: Vec<P::State> = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("state returned by worker"))
+            .collect();
+        Ok(RunResult {
+            states,
+            ledger: ledger.into_inner(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All-to-all exchange then local reduce; checks routing under real
+    /// concurrency.
+    struct AllToAll;
+    impl BspProgram for AllToAll {
+        type State = u64;
+        type Msg = u64;
+
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            match step {
+                0 => {
+                    for dst in 0..mb.nprocs() {
+                        mb.send(dst, (mb.pid() as u64 + 1) * 100 + dst as u64);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).sum();
+                    Step::Halt
+                }
+            }
+        }
+
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let v = 16;
+        let seq = crate::run_sequential(&AllToAll, vec![0u64; v]).unwrap();
+        let thr = ThreadedRunner::new(4).run(&AllToAll, vec![0u64; v]).unwrap();
+        assert_eq!(seq.states, thr.states);
+        assert_eq!(seq.ledger.total_msgs(), thr.ledger.total_msgs());
+        assert_eq!(seq.ledger.total_bytes(), thr.ledger.total_bytes());
+        assert_eq!(seq.supersteps(), thr.supersteps());
+    }
+
+    #[test]
+    fn more_workers_than_vprocs_is_fine() {
+        let res = ThreadedRunner::new(32).run(&AllToAll, vec![0u64; 3]).unwrap();
+        assert_eq!(res.states.len(), 3);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let seq = crate::run_sequential(&AllToAll, vec![0u64; 8]).unwrap();
+        let one = ThreadedRunner::new(1).run(&AllToAll, vec![0u64; 8]).unwrap();
+        assert_eq!(seq.states, one.states);
+    }
+
+    struct Forever;
+    impl BspProgram for Forever {
+        type State = u8;
+        type Msg = u8;
+        fn superstep(&self, _: usize, _: &mut Mailbox<u8>, _: &mut u8) -> Step {
+            Step::Continue
+        }
+        fn max_state_bytes(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn superstep_limit_enforced_in_threads() {
+        let runner = ThreadedRunner { workers: 2, max_supersteps: 8 };
+        let err = runner.run(&Forever, vec![0u8; 4]).unwrap_err();
+        assert_eq!(err, BspError::SuperstepLimit { limit: 8 });
+    }
+}

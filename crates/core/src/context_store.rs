@@ -1,0 +1,196 @@
+//! Persisted virtual-processor contexts in standard consecutive format —
+//! the "Details of Steps 1(a) and 1(e)" of Algorithm 1.
+//!
+//! Each context `V_j` gets a fixed region of `⌈(4 + μ)/B⌉` blocks; block
+//! `i` of `V_j` lives on disk `(i + j·(μ/B)) mod D`, track
+//! `base + ⌊(i + j·(μ/B))/D⌋` — i.e. the regions are striped round-robin,
+//! so the contexts of `k` consecutive virtual processors are read/written
+//! with full `D`-way parallelism.
+//!
+//! On-disk encoding of one context: `u32` length prefix followed by the
+//! serialized state, zero-padded to the region size.
+
+use crate::{EmError, EmResult};
+use em_disk::{Block, ConsecutiveLayout, DiskArray, TrackAllocator};
+
+/// The context area of one simulating processor.
+#[derive(Debug, Clone)]
+pub struct ContextStore {
+    layout: ConsecutiveLayout,
+    capacity_bytes: usize,
+}
+
+impl ContextStore {
+    /// Reserve disk space for `v` contexts of at most `mu` serialized bytes
+    /// each on an array of shape (`num_disks`, `block_bytes`).
+    pub fn allocate(
+        alloc: &mut TrackAllocator,
+        num_disks: usize,
+        block_bytes: usize,
+        v: usize,
+        mu: usize,
+    ) -> EmResult<Self> {
+        let capacity_bytes = 4 + mu; // u32 length prefix + payload
+        let blocks_per_region = capacity_bytes.div_ceil(block_bytes);
+        let layout = ConsecutiveLayout::new(0, blocks_per_region, v, num_disks)?;
+        let base = alloc.reserve_region(layout.tracks_per_disk());
+        let layout = ConsecutiveLayout { base_track: base, ..layout };
+        Ok(ContextStore {
+            layout,
+            capacity_bytes: blocks_per_region * block_bytes,
+        })
+    }
+
+    /// Blocks per context region (`⌈(4+μ)/B⌉`).
+    pub fn blocks_per_context(&self) -> usize {
+        self.layout.blocks_per_region
+    }
+
+    /// Bytes a serialized context may occupy (excluding the length prefix).
+    pub fn payload_capacity(&self) -> usize {
+        self.capacity_bytes - 4
+    }
+
+    /// Tracks this store occupies per disk — the `O(vμ/DB)` of Lemma 1.
+    pub fn tracks_per_disk(&self) -> usize {
+        self.layout.tracks_per_disk()
+    }
+
+    /// Write the already-serialized contexts of virtual processors
+    /// `first..first+bufs.len()` (Step 1(e)). Full `D`-way-parallel stripes.
+    pub fn write_group(
+        &self,
+        disks: &mut DiskArray,
+        first: usize,
+        bufs: &[Vec<u8>],
+    ) -> EmResult<()> {
+        let bb = disks.block_bytes();
+        // Assemble the regions' raw bytes, then cut into blocks and write
+        // them stripe by stripe in global-index order.
+        let mut writes: Vec<(usize, usize, Block)> = Vec::new();
+        for (off, buf) in bufs.iter().enumerate() {
+            let pid = first + off;
+            if 4 + buf.len() > self.capacity_bytes {
+                return Err(EmError::ContextOverflow {
+                    pid,
+                    need: buf.len(),
+                    capacity: self.payload_capacity(),
+                });
+            }
+            let mut region = Vec::with_capacity(self.capacity_bytes);
+            region.extend_from_slice(&(buf.len() as u32).to_le_bytes());
+            region.extend_from_slice(buf);
+            region.resize(self.capacity_bytes, 0);
+            for (i, chunk) in region.chunks(bb).enumerate() {
+                let (disk, track) = self.layout.location(pid, i);
+                writes.push((disk, track, Block::from_bytes_padded(chunk, bb)));
+            }
+        }
+        // Consecutive global indices stripe cleanly: every chunk of D
+        // successive writes targets distinct disks.
+        for chunk in writes.chunks(disks.num_disks()) {
+            disks.write_stripe(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Read back the serialized contexts of `count` virtual processors
+    /// starting at `first` (Step 1(a)).
+    pub fn read_group(
+        &self,
+        disks: &mut DiskArray,
+        first: usize,
+        count: usize,
+    ) -> EmResult<Vec<Vec<u8>>> {
+        let stripes = self.layout.stripes(first, count);
+        let mut raw: Vec<u8> = Vec::with_capacity(count * self.capacity_bytes);
+        for stripe in &stripes {
+            for block in disks.read_stripe(stripe)? {
+                raw.extend_from_slice(block.as_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(count);
+        for r in 0..count {
+            let region = &raw[r * self.capacity_bytes..(r + 1) * self.capacity_bytes];
+            let len = u32::from_le_bytes(region[..4].try_into().expect("4-byte prefix")) as usize;
+            if len > self.payload_capacity() {
+                return Err(EmError::ContextOverflow {
+                    pid: first + r,
+                    need: len,
+                    capacity: self.payload_capacity(),
+                });
+            }
+            out.push(region[4..4 + len].to_vec());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_disk::DiskConfig;
+
+    fn setup(v: usize, mu: usize, d: usize, b: usize) -> (DiskArray, ContextStore) {
+        let mut alloc = TrackAllocator::new(d);
+        let store = ContextStore::allocate(&mut alloc, d, b, v, mu).unwrap();
+        let disks = DiskArray::new_memory(DiskConfig::new(d, b).unwrap());
+        (disks, store)
+    }
+
+    #[test]
+    fn round_trip_group() {
+        let (mut disks, store) = setup(8, 60, 4, 32);
+        let bufs: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 10 + i]).collect();
+        store.write_group(&mut disks, 2, &bufs).unwrap();
+        let back = store.read_group(&mut disks, 2, 4).unwrap();
+        assert_eq!(back, bufs);
+    }
+
+    #[test]
+    fn io_ops_are_fully_parallel() {
+        // 8 contexts x 2 blocks on 4 disks: writing all of them should be
+        // 16/4 = 4 ops; reading the same.
+        let (mut disks, store) = setup(8, 60, 4, 32);
+        assert_eq!(store.blocks_per_context(), 2);
+        let bufs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 60]).collect();
+        store.write_group(&mut disks, 0, &bufs).unwrap();
+        assert_eq!(disks.stats().parallel_ops, 4);
+        assert!((disks.stats().utilization() - 1.0).abs() < 1e-9);
+        disks.reset_stats();
+        store.read_group(&mut disks, 0, 8).unwrap();
+        assert_eq!(disks.stats().parallel_ops, 4);
+    }
+
+    #[test]
+    fn oversized_context_is_rejected() {
+        let (mut disks, store) = setup(4, 60, 2, 32);
+        let too_big = vec![vec![0u8; 61]];
+        let err = store.write_group(&mut disks, 0, &too_big).unwrap_err();
+        assert!(matches!(err, EmError::ContextOverflow { pid: 0, need: 61, .. }));
+    }
+
+    #[test]
+    fn empty_context_round_trips() {
+        let (mut disks, store) = setup(2, 16, 2, 32);
+        store.write_group(&mut disks, 0, &[vec![], vec![7]]).unwrap();
+        let back = store.read_group(&mut disks, 0, 2).unwrap();
+        assert_eq!(back, vec![vec![], vec![7]]);
+    }
+
+    #[test]
+    fn writes_do_not_clobber_neighbours() {
+        let (mut disks, store) = setup(6, 20, 3, 16);
+        let all: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 20]).collect();
+        store.write_group(&mut disks, 0, &all).unwrap();
+        // Overwrite the middle two only.
+        store
+            .write_group(&mut disks, 2, &[vec![99; 5], vec![98; 5]])
+            .unwrap();
+        let back = store.read_group(&mut disks, 0, 6).unwrap();
+        assert_eq!(back[0], vec![0u8; 20]);
+        assert_eq!(back[2], vec![99u8; 5]);
+        assert_eq!(back[3], vec![98u8; 5]);
+        assert_eq!(back[5], vec![5u8; 20]);
+    }
+}

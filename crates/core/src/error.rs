@@ -1,0 +1,117 @@
+//! Error type for the EM simulation.
+
+use em_bsp::BspError;
+use em_disk::DiskError;
+use em_serial::DecodeError;
+use std::fmt;
+
+/// Errors raised while simulating a BSP program in external memory.
+#[derive(Debug)]
+pub enum EmError {
+    /// Error from the BSP layer (bad destination, superstep limit, ...).
+    Bsp(BspError),
+    /// Error from the disk substrate.
+    Disk(DiskError),
+    /// A persisted context or message failed to decode — indicates state
+    /// corruption or a `Serial` implementation violating its laws.
+    Decode(DecodeError),
+    /// A virtual processor's serialized context exceeded the declared
+    /// μ = `max_state_bytes()` and no longer fits its disk region.
+    ContextOverflow {
+        /// Virtual processor whose context overflowed.
+        pid: usize,
+        /// Serialized size in bytes.
+        need: usize,
+        /// Region capacity in bytes.
+        capacity: usize,
+    },
+    /// A virtual processor sent more traffic in one superstep than the
+    /// declared γ = `max_comm_bytes()` (16-byte per-message envelope
+    /// headers included).
+    CommBudgetExceeded {
+        /// Offending virtual processor.
+        pid: usize,
+        /// Envelope bytes it tried to send.
+        sent: u64,
+        /// Declared budget γ.
+        budget: usize,
+    },
+    /// The message blocks destined for one group exceeded the group's
+    /// preallocated disk region (receive-side γ violation).
+    GroupRegionOverflow {
+        /// Destination group.
+        group: usize,
+        /// Blocks generated for it.
+        blocks: usize,
+        /// Region capacity in blocks.
+        capacity: usize,
+    },
+    /// The machine's memory cannot hold even one virtual processor's
+    /// context (`k = ⌊M/μ⌋ = 0`).
+    MemoryTooSmall {
+        /// Machine memory `M` in bytes.
+        m_bytes: usize,
+        /// Bytes needed for a single context plus working buffers.
+        needed: usize,
+    },
+    /// A configuration parameter combination is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::Bsp(e) => write!(f, "BSP error: {e}"),
+            EmError::Disk(e) => write!(f, "disk error: {e}"),
+            EmError::Decode(e) => write!(f, "decode error: {e}"),
+            EmError::ContextOverflow { pid, need, capacity } => write!(
+                f,
+                "context of virtual processor {pid} is {need} bytes, exceeding its μ-region of {capacity} bytes; \
+                 raise max_state_bytes()"
+            ),
+            EmError::CommBudgetExceeded { pid, sent, budget } => write!(
+                f,
+                "virtual processor {pid} sent {sent} envelope bytes in one superstep, exceeding γ = {budget}; \
+                 raise max_comm_bytes()"
+            ),
+            EmError::GroupRegionOverflow { group, blocks, capacity } => write!(
+                f,
+                "group {group} received {blocks} message blocks, exceeding its region of {capacity} blocks"
+            ),
+            EmError::MemoryTooSmall { m_bytes, needed } => write!(
+                f,
+                "machine memory M = {m_bytes} bytes cannot hold one context ({needed} bytes needed); k = ⌊M/μ⌋ = 0"
+            ),
+            EmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmError::Bsp(e) => Some(e),
+            EmError::Disk(e) => Some(e),
+            EmError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BspError> for EmError {
+    fn from(e: BspError) -> Self {
+        EmError::Bsp(e)
+    }
+}
+
+impl From<DiskError> for EmError {
+    fn from(e: DiskError) -> Self {
+        EmError::Disk(e)
+    }
+}
+
+impl From<DecodeError> for EmError {
+    fn from(e: DecodeError) -> Self {
+        EmError::Decode(e)
+    }
+}

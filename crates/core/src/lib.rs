@@ -1,0 +1,58 @@
+//! # em-core
+//!
+//! The paper's contribution: a simulation technique that executes any
+//! [`em_bsp::BspProgram`] (a BSP / BSP\* / CGM algorithm with `v` virtual
+//! processors) as an **external-memory algorithm** on a machine with `p`
+//! real processors, each having `M` bytes of memory and `D` disks of block
+//! size `B` — with all disk traffic *fully blocked* and *`D`-way parallel*.
+//!
+//! * [`SeqEmSimulator`] — Algorithm 1 (`SeqCompoundSuperstep`) +
+//!   Algorithm 2 (`SimulateRouting`): the single-processor simulation.
+//!   Groups of `k = ⌊M/μ⌋` virtual processors are simulated at a time;
+//!   contexts live in *standard consecutive format*; generated message
+//!   blocks are scattered over the disks with a fresh random permutation
+//!   per write cycle, bucketed by destination in *standard linked format*,
+//!   and reorganized once per superstep into per-group consecutive regions.
+//! * [`ParEmSimulator`] — Algorithm 3 (`ParCompoundSuperstep`): the
+//!   `p ≥ 1` generalization with random scattering of packets across real
+//!   processors.
+//! * [`theory`] — machine-checkable versions of the paper's bounds
+//!   (Lemma 2, Lemmas 8–10, Theorem 1, Corollary 1) used by the benchmark
+//!   harness to print predicted columns next to measured counts.
+//!
+//! The simulators produce results **identical** to the in-memory reference
+//! executor [`em_bsp::run_sequential`] — that is the correctness contract,
+//! enforced by differential tests — while every byte of context and message
+//! traffic flows through an [`em_disk::DiskArray`] whose parallel I/O
+//! operations are counted exactly.
+
+#![warn(missing_docs)]
+
+mod context_store;
+mod error;
+mod exec;
+mod machine;
+mod msg;
+mod par_sim;
+mod planner;
+mod report;
+mod routing;
+mod seq_sim;
+pub mod theory;
+
+pub use context_store::ContextStore;
+pub use error::EmError;
+pub use exec::Recording;
+pub use machine::{EmMachine, ModelCheck};
+pub use msg::{
+    fetch_group_messages, scatter_messages, GroupCounts, InMsg, MsgGeometry, OutMsg, Placement,
+    ScratchState, BLOCK_HEADER_BYTES, MSG_HEADER_BYTES,
+};
+pub use par_sim::ParEmSimulator;
+pub use planner::{Plan, Planner, ProblemProfile};
+pub use report::{CostReport, PhaseIo};
+pub use routing::{simulate_routing, RoutingTrace};
+pub use seq_sim::SeqEmSimulator;
+
+/// Result alias for simulation operations.
+pub type EmResult<T> = Result<T, EmError>;

@@ -1,0 +1,198 @@
+//! The EM-BSP\* machine description (Section 3 of the paper) and the
+//! side-condition checks of Theorem 1.
+
+use crate::EmError;
+use em_bsp::BspStarParams;
+use em_disk::DiskConfig;
+
+/// Parameters of the target external-memory machine: the BSP\* parameters
+/// `(p, g, b, L)` extended with `(M, D, B, G)` per Section 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmMachine {
+    /// `p` — number of real processors.
+    pub p: usize,
+    /// `M` — local memory of each real processor, in bytes.
+    pub m_bytes: usize,
+    /// `D` — number of disk drives per real processor.
+    pub d: usize,
+    /// `B` — transfer block (track) size in bytes.
+    pub b_bytes: usize,
+    /// `G` — time per parallel I/O operation (in computation units).
+    pub g_io: u64,
+    /// Router parameters `(g, b, L)` used to price communication.
+    pub router: BspStarParams,
+}
+
+impl EmMachine {
+    /// A single-processor machine with the given memory, disks and block
+    /// size, and a default router (irrelevant for `p = 1`).
+    pub fn uniprocessor(m_bytes: usize, d: usize, b_bytes: usize, g_io: u64) -> Self {
+        EmMachine {
+            p: 1,
+            m_bytes,
+            d,
+            b_bytes,
+            g_io,
+            router: BspStarParams { p: 1, g: 1.0, b: b_bytes.max(1), l: 1.0 },
+        }
+    }
+
+    /// Disk-array shape for one processor.
+    pub fn disk_config(&self) -> Result<DiskConfig, EmError> {
+        DiskConfig::new(self.d, self.b_bytes).map_err(EmError::from)
+    }
+
+    /// Validate the hard requirements of the model: `M ≥ D·B` ("a processor
+    /// can store in its local memory at least one block from each local
+    /// disk"), nonzero shape, and enough block room for the simulation's
+    /// 20-byte block headers.
+    pub fn validate(&self) -> Result<(), EmError> {
+        if self.p == 0 {
+            return Err(EmError::InvalidConfig("p must be >= 1".into()));
+        }
+        if self.d == 0 {
+            return Err(EmError::InvalidConfig("D must be >= 1".into()));
+        }
+        if self.b_bytes < crate::msg::BLOCK_HEADER_BYTES + 4 {
+            return Err(EmError::InvalidConfig(format!(
+                "B = {} bytes is too small; need at least {} for block headers",
+                self.b_bytes,
+                crate::msg::BLOCK_HEADER_BYTES + 4
+            )));
+        }
+        if self.m_bytes < self.d * self.b_bytes {
+            return Err(EmError::InvalidConfig(format!(
+                "model requires M >= D*B, but M = {} < {} * {}",
+                self.m_bytes, self.d, self.b_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    /// `k = ⌊M/μ⌋` clamped to `[1, v]` — how many virtual processors are
+    /// simulated per round. `μ_padded` is the context region size in bytes
+    /// (μ plus the length prefix, rounded up to whole blocks).
+    pub fn group_size(&self, mu_padded: usize, v: usize) -> Result<usize, EmError> {
+        if mu_padded == 0 {
+            return Err(EmError::InvalidConfig("μ must be positive".into()));
+        }
+        let k = self.m_bytes / mu_padded;
+        if k == 0 {
+            return Err(EmError::MemoryTooSmall {
+                m_bytes: self.m_bytes,
+                needed: mu_padded,
+            });
+        }
+        Ok(k.min(v).max(1))
+    }
+
+    /// `log2(M/B)` — the exponent that drives every high-probability bound
+    /// in the paper.
+    pub fn log_m_over_b(&self) -> f64 {
+        ((self.m_bytes as f64) / (self.b_bytes as f64)).log2().max(1.0)
+    }
+
+    /// Check the soft side conditions of Theorem 1, returning advisory
+    /// notes rather than failing: the simulation is still *correct* when
+    /// they are violated, but the high-probability cost bounds may not
+    /// hold.
+    pub fn check_theorem_conditions(&self, v: usize, k: usize, mu: usize) -> Vec<ModelCheck> {
+        let mut out = Vec::new();
+        let logmb = self.log_m_over_b();
+
+        let slack_needed = (k * self.p * self.d) as f64 * logmb;
+        out.push(ModelCheck {
+            condition: "v ≥ k·p·D·log(M/B)".into(),
+            satisfied: (v as f64) >= slack_needed,
+            detail: format!("v = {v}, k·p·D·log(M/B) = {slack_needed:.1}"),
+        });
+
+        out.push(ModelCheck {
+            condition: "M = Θ(k·μ)".into(),
+            satisfied: self.m_bytes >= k * mu,
+            detail: format!("M = {}, k·μ = {}", self.m_bytes, k * mu),
+        });
+
+        let b_router = self.router.b;
+        out.push(ModelCheck {
+            condition: "b ≥ B (router packet at least one disk block)".into(),
+            satisfied: b_router >= self.b_bytes,
+            detail: format!("b = {b_router}, B = {}", self.b_bytes),
+        });
+
+        out.push(ModelCheck {
+            condition: "b·log(M/B) = O(M)".into(),
+            satisfied: (b_router as f64) * logmb <= self.m_bytes as f64,
+            detail: format!(
+                "b·log(M/B) = {:.0}, M = {}",
+                b_router as f64 * logmb,
+                self.m_bytes
+            ),
+        });
+
+        if self.p > 1 {
+            // M/B ≥ p^ε for some constant ε > 0; we report against ε = 1/2.
+            let ratio = self.m_bytes as f64 / self.b_bytes as f64;
+            let p_eps = (self.p as f64).sqrt();
+            out.push(ModelCheck {
+                condition: "M/B ≥ p^ε (ε = 1/2)".into(),
+                satisfied: ratio >= p_eps,
+                detail: format!("M/B = {ratio:.1}, p^0.5 = {p_eps:.1}"),
+            });
+        }
+
+        out
+    }
+}
+
+/// One advisory side-condition check from Theorem 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCheck {
+    /// Human-readable condition.
+    pub condition: String,
+    /// Whether the current configuration satisfies it.
+    pub satisfied: bool,
+    /// The numbers behind the verdict.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_model_violations() {
+        let mut m = EmMachine::uniprocessor(1 << 20, 4, 256, 1);
+        m.validate().unwrap();
+        m.d = 0;
+        assert!(m.validate().is_err());
+        m.d = 4;
+        m.b_bytes = 8; // too small for headers
+        assert!(m.validate().is_err());
+        m.b_bytes = 1 << 19; // D*B = 2^21 > M
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn group_size_is_floor_m_over_mu() {
+        let m = EmMachine::uniprocessor(1000, 1, 64, 1);
+        assert_eq!(m.group_size(100, 64).unwrap(), 10);
+        assert_eq!(m.group_size(100, 4).unwrap(), 4); // clamped to v
+        assert!(matches!(
+            m.group_size(2000, 64),
+            Err(EmError::MemoryTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn theorem_conditions_report_slackness() {
+        let m = EmMachine::uniprocessor(1 << 16, 4, 256, 1);
+        let checks = m.check_theorem_conditions(1024, 4, 1 << 14);
+        let slack = &checks[0];
+        assert!(slack.condition.contains("log(M/B)"));
+        // v = 1024 vs 4*1*4*8 = 128 -> satisfied.
+        assert!(slack.satisfied);
+        let tiny = m.check_theorem_conditions(8, 4, 1 << 14);
+        assert!(!tiny[0].satisfied);
+    }
+}

@@ -1,0 +1,804 @@
+//! Algorithm 3 — `ParCompoundSuperstep`: the `p`-processor external-memory
+//! simulation.
+//!
+//! Real processor `i` is an OS thread owning a private [`DiskArray`] of
+//! `D` disks. The `v` virtual processors are processed in `⌈v/(k·p)⌉`
+//! *batches* of `k·p`; in round `j`, processor `i` simulates virtual
+//! processors `j·k·p + i·k … j·k·p + (i+1)·k − 1` — the assignment that
+//! matches the paper's batch definition (see DESIGN.md on the paper's
+//! internally inconsistent indexing).
+//!
+//! Per round:
+//!
+//! 1. **Fetching Phase** (Step 1(a)): each processor reads the message
+//!    blocks of the current batch from its local disks (fully blocked,
+//!    `D`-way parallel) and forwards each block to the processor
+//!    simulating its destination virtual processor, which reassembles the
+//!    `(src, dst)` streams. Contexts are read from the owner's local
+//!    disks.
+//! 2. **Computing Phase** (Step 1(b)): the owner runs the superstep for
+//!    its `k` virtual processors.
+//! 3. **Writing Phase** (Step 1(c)): generated messages are cut into
+//!    blocks and every block is sent to a *uniformly random* processor,
+//!    which stores it on its local disks in write cycles of `D` with a
+//!    random disk permutation, binned by destination batch.
+//!
+//! After the last round, each processor reorganizes its received blocks
+//! with Algorithm 2 ([`crate::routing::simulate_routing`]) — Step 2 of
+//! `ParCompoundSuperstep` — entirely locally.
+//!
+//! Inter-processor transport uses channels; exchanges are lock-stepped
+//! (every processor sends exactly one bundle to every other processor per
+//! exchange, empty if it has nothing), so the protocol needs no barriers
+//! inside a round. A failing processor turns into a "zombie" that keeps
+//! the protocol alive with empty bundles until the superstep ends, then
+//! every thread observes the failure and exits.
+
+use crate::context_store::ContextStore;
+use crate::machine::EmMachine;
+use crate::msg::{
+    build_stream_blocks, fetch_batch_raw_blocks, reassemble_blocks, store_received_blocks,
+    GroupCounts, MsgGeometry, OutMsg, Placement, RawBlock, MSG_HEADER_BYTES,
+};
+use crate::report::{CostReport, PhaseIo};
+use crate::routing::simulate_routing;
+use crate::{EmError, EmResult};
+use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
+use em_disk::{DiskArray, IoStats, TrackAllocator};
+use em_serial::{from_bytes, to_bytes};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// One inter-processor bundle: sender id, exchange phase, raw blocks.
+///
+/// The `phase` is a per-thread monotone exchange counter. Every thread
+/// executes the identical sequence of exchanges, but a fast thread can
+/// finish one exchange and send its next-phase bundles before a slow
+/// thread has drained the current phase — so receivers must match on the
+/// phase and stash early arrivals, or bundles from adjacent exchanges
+/// would be mixed.
+struct Bundle {
+    from: usize,
+    phase: u64,
+    blocks: Vec<RawBlock>,
+}
+
+/// Receive exactly `p` bundles of `phase`, buffering any early arrivals
+/// from later phases.
+fn recv_exchange(
+    rx: &crossbeam_channel::Receiver<Bundle>,
+    pending: &mut Vec<Bundle>,
+    phase: u64,
+    p: usize,
+) -> Vec<Bundle> {
+    let mut got: Vec<Bundle> = Vec::with_capacity(p);
+    let mut i = 0;
+    while i < pending.len() {
+        if pending[i].phase == phase {
+            got.push(pending.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    while got.len() < p {
+        let b = rx.recv().expect("sender alive");
+        debug_assert!(b.phase >= phase, "stale bundle from phase {}", b.phase);
+        if b.phase == phase {
+            got.push(b);
+        } else {
+            pending.push(b);
+        }
+    }
+    got.sort_by_key(|b| b.from);
+    got
+}
+
+/// The `p`-processor EM-BSP\* simulator (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct ParEmSimulator {
+    machine: EmMachine,
+    seed: u64,
+    placement: Placement,
+    max_supersteps: usize,
+    file_dir: Option<PathBuf>,
+}
+
+impl ParEmSimulator {
+    /// Simulator for the given machine (which carries `p`).
+    pub fn new(machine: EmMachine) -> Self {
+        ParEmSimulator {
+            machine,
+            seed: 0x9A7_5EED,
+            placement: Placement::Random,
+            max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
+            file_dir: None,
+        }
+    }
+
+    /// Use a specific RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Choose the disk-assignment strategy for stored blocks.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Back each processor's disks with real files under `dir/proc-<i>/`.
+    pub fn with_file_backend(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.file_dir = Some(dir.into());
+        self
+    }
+
+    /// Guard limit for non-terminating programs.
+    pub fn with_max_supersteps(mut self, limit: usize) -> Self {
+        self.max_supersteps = limit;
+        self
+    }
+
+    /// Run `prog` on `states.len()` virtual processors across `p` threads.
+    pub fn run<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let start = Instant::now();
+        self.machine.validate()?;
+        let v = states.len();
+        if v == 0 {
+            return Err(EmError::Bsp(BspError::NoProcessors));
+        }
+        let p = self.machine.p;
+        let mu = prog.max_state_bytes();
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        let ctx_region = 4 + mu;
+        let k = self.machine.group_size(ctx_region, v)?;
+        let batch_unit = k * p; // virtual processors per batch
+        let num_batches = v.div_ceil(batch_unit);
+
+        // Local context region index on the owner for (batch, slot).
+        let local_region = move |batch: usize, slot: usize| batch * k + slot;
+
+        // Shared state.
+        let slots: Vec<Mutex<Option<P::State>>> =
+            states.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let barrier = Barrier::new(p);
+        let stop = AtomicBool::new(false);
+        let failed: Mutex<Option<EmError>> = Mutex::new(None);
+        let any_continue = AtomicBool::new(false);
+        let any_msgs = AtomicBool::new(false);
+        let agg_msgs = AtomicU64::new(0);
+        let agg_bytes = AtomicU64::new(0);
+        let agg_h = AtomicU64::new(0);
+        let agg_h_msgs = AtomicU64::new(0);
+        let agg_w = AtomicU64::new(0);
+        let real_comm = AtomicU64::new(0);
+        let ledger: Mutex<CommLedger> = Mutex::new(CommLedger::default());
+        let reports: Mutex<Vec<(IoStats, PhaseIo, usize, Vec<f64>)>> =
+            Mutex::new(Vec::with_capacity(p));
+
+        // Lock-step transport: one channel per processor.
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p)
+            .map(|_| crossbeam_channel::unbounded::<Bundle>())
+            .unzip();
+
+        std::thread::scope(|scope| {
+            for (i, rx) in receivers.into_iter().enumerate() {
+                let senders = senders.clone();
+                let slots = &slots;
+                let barrier = &barrier;
+                let stop = &stop;
+                let failed = &failed;
+                let any_continue = &any_continue;
+                let any_msgs = &any_msgs;
+                let agg_msgs = &agg_msgs;
+                let agg_bytes = &agg_bytes;
+                let agg_h = &agg_h;
+                let agg_h_msgs = &agg_h_msgs;
+                let agg_w = &agg_w;
+                let real_comm = &real_comm;
+                let ledger = &ledger;
+                let reports = &reports;
+                let machine = self.machine;
+                let placement = self.placement;
+                let seed = self.seed;
+                let max_supersteps = self.max_supersteps;
+                let file_dir = self.file_dir.clone();
+
+                scope.spawn(move || {
+                    let work = (|| -> EmResult<()> {
+                        let cfg = machine.disk_config()?;
+                        let mut disks = match &file_dir {
+                            None => DiskArray::new_memory(cfg),
+                            Some(dir) => DiskArray::new_file(cfg, dir.join(format!("proc-{i}")))?,
+                        };
+                        let mut alloc = TrackAllocator::new(cfg.num_disks);
+                        // Context store: this processor holds num_batches*k regions.
+                        let ctx = ContextStore::allocate(
+                            &mut alloc,
+                            cfg.num_disks,
+                            cfg.block_bytes,
+                            num_batches * k,
+                            mu,
+                        )?;
+                        // Message geometry: groups are batches of k*p pids.
+                        // Partial-block slack: each of the p·num_batches
+                        // producer slots can leave one partial block per
+                        // owner stream of a batch (p streams).
+                        let geom = MsgGeometry::allocate_with_slack(
+                            &mut alloc,
+                            v.max(batch_unit),
+                            batch_unit,
+                            gamma,
+                            cfg.num_disks,
+                            cfg.block_bytes,
+                            p * p * num_batches + num_batches,
+                        )?;
+                        let mut rng =
+                            StdRng::seed_from_u64(seed ^ (0x9E37_79B9u64.wrapping_mul(i as u64 + 1)));
+
+                        // My pids in a batch: (pid, slot) pairs.
+                        let my_pids = |batch: usize| -> Vec<(usize, usize)> {
+                            (0..k)
+                                .map(move |slot| (batch * batch_unit + i * k + slot, slot))
+                                .filter(|&(pid, _)| pid < v)
+                                .collect()
+                        };
+
+                        // Initial context load (batched per round).
+                        for batch in 0..num_batches {
+                            let pids = my_pids(batch);
+                            if let Some(&(_, first_slot)) = pids.first() {
+                                let bufs: Vec<Vec<u8>> = pids
+                                    .iter()
+                                    .map(|&(pid, _)| {
+                                        let state = slots[pid]
+                                            .lock()
+                                            .take()
+                                            .expect("initial state present");
+                                        to_bytes(&state)
+                                    })
+                                    .collect();
+                                ctx.write_group(&mut disks, local_region(batch, first_slot), &bufs)?;
+                            }
+                        }
+                        disks.reset_stats();
+
+                        let mut counts = GroupCounts::empty(geom.num_groups);
+                        let mut phases = PhaseIo::default();
+                        let mut balances = Vec::new();
+                        let mut zombie: Option<EmError> = None;
+                        let mut exchange_phase = 0u64;
+                        let mut pending_bundles: Vec<Bundle> = Vec::new();
+
+                        'steps: for step in 0..max_supersteps {
+                            let mut scratch = crate::msg::ScratchState::new(&geom);
+
+                            for batch in 0..num_batches {
+                                // --- Fetching Phase: forward local blocks to owners. ---
+                                let mut fwd: Vec<Vec<RawBlock>> =
+                                    (0..p).map(|_| Vec::new()).collect();
+                                if zombie.is_none() {
+                                    let ops0 = disks.stats().parallel_ops;
+                                    match fetch_batch_raw_blocks(&mut disks, &geom, &counts, batch)
+                                    {
+                                        Ok(blocks) => {
+                                            for b in blocks {
+                                                // dst_tag = batch·p + owner.
+                                                fwd[b.dst_tag as usize % p].push(b);
+                                            }
+                                        }
+                                        Err(e) => zombie = Some(e),
+                                    }
+                                    phases.fetch_msg += disks.stats().parallel_ops - ops0;
+                                }
+                                for (dst, blocks) in fwd.into_iter().enumerate() {
+                                    if dst != i {
+                                        real_comm.fetch_add(
+                                            (blocks.len() * cfg.block_bytes) as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                    senders[dst]
+                                        .send(Bundle { from: i, phase: exchange_phase, blocks })
+                                        .expect("receiver alive");
+                                }
+                                let arrived = recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
+                                exchange_phase += 1;
+                                let my_blocks: Vec<RawBlock> =
+                                    arrived.into_iter().flat_map(|b| b.blocks).collect();
+
+                                // --- Computing + Writing Phases. ---
+                                let mut to_store: Vec<Vec<RawBlock>> =
+                                    (0..p).map(|_| Vec::new()).collect();
+                                if zombie.is_none() {
+                                    let result = run_batch_compute::<P>(
+                                        prog,
+                                        &mut disks,
+                                        &ctx,
+                                        &geom,
+                                        my_blocks,
+                                        &my_pids(batch),
+                                        local_region,
+                                        batch,
+                                        step,
+                                        v,
+                                        p,
+                                        batch_unit,
+                                        k,
+                                        gamma,
+                                        &mut rng,
+                                        &mut phases,
+                                        agg_msgs,
+                                        agg_bytes,
+                                        agg_h,
+                                        agg_h_msgs,
+                                        agg_w,
+                                        any_continue,
+                                        any_msgs,
+                                    );
+                                    match result {
+                                        Ok(bundles) => to_store = bundles,
+                                        Err(e) => zombie = Some(e),
+                                    }
+                                }
+                                for (dst, blocks) in to_store.into_iter().enumerate() {
+                                    if dst != i {
+                                        real_comm.fetch_add(
+                                            (blocks.len() * cfg.block_bytes) as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                    senders[dst]
+                                        .send(Bundle { from: i, phase: exchange_phase, blocks })
+                                        .expect("receiver alive");
+                                }
+                                let arrived = recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
+                                exchange_phase += 1;
+                                if zombie.is_none() {
+                                    let received: Vec<RawBlock> =
+                                        arrived.into_iter().flat_map(|b| b.blocks).collect();
+                                    let ops0 = disks.stats().parallel_ops;
+                                    if let Err(e) = store_received_blocks(
+                                        &mut disks,
+                                        &mut alloc,
+                                        &geom,
+                                        &mut scratch,
+                                        received,
+                                        |tag| tag as usize / p,
+                                        &mut rng,
+                                        placement,
+                                    ) {
+                                        zombie = Some(e);
+                                    }
+                                    phases.scatter += disks.stats().parallel_ops - ops0;
+                                }
+                            }
+
+                            // --- Step 2: local reorganization (Algorithm 2). ---
+                            if zombie.is_none() {
+                                balances.push(scratch.balance_factor());
+                                let ops0 = disks.stats().parallel_ops;
+                                match simulate_routing(&mut disks, &mut alloc, &geom, scratch) {
+                                    Ok((c, _)) => counts = c,
+                                    Err(e) => zombie = Some(e),
+                                }
+                                phases.routing += disks.stats().parallel_ops - ops0;
+                            }
+
+                            barrier.wait();
+                            if i == 0 {
+                                ledger.lock().push(SuperstepComm {
+                                    msgs: agg_msgs.swap(0, Ordering::Relaxed),
+                                    bytes: agg_bytes.swap(0, Ordering::Relaxed),
+                                    h_bytes: agg_h.swap(0, Ordering::Relaxed),
+                                    h_msgs: agg_h_msgs.swap(0, Ordering::Relaxed),
+                                    h_packets: 0,
+                                    w_comp: agg_w.swap(0, Ordering::Relaxed),
+                                });
+                                let had_continue = any_continue.swap(false, Ordering::Relaxed);
+                                let had_msgs = any_msgs.swap(false, Ordering::Relaxed);
+                                if !had_continue && !had_msgs {
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                                if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
+                                    let mut f = failed.lock();
+                                    if f.is_none() {
+                                        *f = Some(EmError::Bsp(BspError::SuperstepLimit {
+                                            limit: max_supersteps,
+                                        }));
+                                    }
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                            }
+                            if let Some(e) = zombie.take() {
+                                let mut f = failed.lock();
+                                if f.is_none() {
+                                    *f = Some(e);
+                                }
+                                stop.store(true, Ordering::SeqCst);
+                            }
+                            barrier.wait();
+                            if stop.load(Ordering::SeqCst) {
+                                break 'steps;
+                            }
+                        }
+
+                        // Return final states (batched per round).
+                        for batch in 0..num_batches {
+                            let pids = my_pids(batch);
+                            if let Some(&(_, first_slot)) = pids.first() {
+                                let bufs = ctx.read_group(
+                                    &mut disks,
+                                    local_region(batch, first_slot),
+                                    pids.len(),
+                                )?;
+                                for (&(pid, _), buf) in pids.iter().zip(bufs) {
+                                    *slots[pid].lock() = Some(from_bytes::<P::State>(&buf)?);
+                                }
+                            }
+                        }
+                        reports.lock().push((
+                            disks.take_stats(),
+                            phases,
+                            alloc.max_frontier(),
+                            balances,
+                        ));
+                        Ok(())
+                    })();
+                    if let Err(e) = work {
+                        let mut f = failed.lock();
+                        if f.is_none() {
+                            *f = Some(e);
+                        }
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+
+        if let Some(err) = failed.into_inner() {
+            return Err(err);
+        }
+        let ledger = ledger.into_inner();
+
+        let mut final_states = Vec::with_capacity(v);
+        for slot in slots {
+            final_states.push(
+                slot.into_inner()
+                    .ok_or_else(|| EmError::InvalidConfig("worker lost a state".into()))?,
+            );
+        }
+
+        let mut io = IoStats::new(self.machine.d);
+        let mut phases = PhaseIo::default();
+        let mut tracks = 0usize;
+        let mut balances: Vec<f64> = Vec::new();
+        let mut max_ops = 0u64;
+        for (s, ph, t, b) in reports.into_inner() {
+            max_ops = max_ops.max(s.parallel_ops);
+            io.merge(&s);
+            phases.fetch_ctx += ph.fetch_ctx;
+            phases.fetch_msg += ph.fetch_msg;
+            phases.scatter += ph.scatter;
+            phases.write_ctx += ph.write_ctx;
+            phases.routing += ph.routing;
+            tracks = tracks.max(t);
+            for (idx, bf) in b.into_iter().enumerate() {
+                if balances.len() <= idx {
+                    balances.push(bf);
+                } else {
+                    balances[idx] = balances[idx].max(bf);
+                }
+            }
+        }
+
+        let report = CostReport {
+            v,
+            k,
+            num_groups: num_batches,
+            p,
+            lambda: ledger.lambda(),
+            io_time: max_ops * self.machine.g_io,
+            phases,
+            comm: ledger.clone(),
+            real_comm_bytes: real_comm.into_inner(),
+            wall: start.elapsed(),
+            tracks_per_disk: tracks,
+            balance_factors: balances,
+            checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
+            io,
+        };
+        Ok((RunResult { states: final_states, ledger }, report))
+    }
+}
+
+/// Compute + Writing Phases for one processor's share of one batch.
+/// Returns the per-target-processor bundles of scatter blocks.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_compute<P: BspProgram>(
+    prog: &P,
+    disks: &mut DiskArray,
+    ctx: &ContextStore,
+    geom: &MsgGeometry,
+    my_blocks: Vec<RawBlock>,
+    pids: &[(usize, usize)],
+    local_region: impl Fn(usize, usize) -> usize,
+    batch: usize,
+    step: usize,
+    v: usize,
+    p: usize,
+    batch_unit: usize,
+    k_size: usize,
+    gamma: usize,
+    rng: &mut StdRng,
+    phases: &mut PhaseIo,
+    agg_msgs: &AtomicU64,
+    agg_bytes: &AtomicU64,
+    agg_h: &AtomicU64,
+    agg_h_msgs: &AtomicU64,
+    agg_w: &AtomicU64,
+    any_continue: &AtomicBool,
+    any_msgs: &AtomicBool,
+) -> EmResult<Vec<Vec<RawBlock>>> {
+    let msgs = reassemble_blocks(my_blocks)?;
+    let mut inboxes: Vec<Vec<(u32, u32, P::Msg)>> = (0..pids.len()).map(|_| Vec::new()).collect();
+    let mut recv_bytes = vec![0u64; pids.len()];
+    let mut recv_msgs = vec![0u64; pids.len()];
+    for m in msgs {
+        let dst = m.dst as usize;
+        let local = pids
+            .iter()
+            .position(|&(pid, _)| pid == dst)
+            .ok_or_else(|| EmError::InvalidConfig(format!("block for pid {dst} misrouted")))?;
+        recv_bytes[local] += m.payload.len() as u64;
+        recv_msgs[local] += 1;
+        inboxes[local].push((m.src, m.seq, from_bytes(&m.payload)?));
+    }
+
+    // Fetch the round's contexts in one fully-striped batch (Step 1(a)):
+    // the k regions of this round are consecutive on this processor.
+    let ctx_bufs = if pids.is_empty() {
+        Vec::new()
+    } else {
+        let ops0 = disks.stats().parallel_ops;
+        let first_slot = pids[0].1;
+        let bufs = ctx.read_group(disks, local_region(batch, first_slot), pids.len())?;
+        phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+        bufs
+    };
+    let mut new_states: Vec<Vec<u8>> = Vec::with_capacity(pids.len());
+    let mut outgoing: Vec<OutMsg> = Vec::new();
+    for (local, &(pid, _slot)) in pids.iter().enumerate() {
+        let buf = &ctx_bufs[local];
+        let mut state: P::State = from_bytes(buf)?;
+        let mut inbox = std::mem::take(&mut inboxes[local]);
+        inbox.sort_by_key(|&(s, q, _)| (s, q));
+        let incoming: Vec<Envelope<P::Msg>> = inbox
+            .into_iter()
+            .map(|(s, _, m)| Envelope { src: s as usize, msg: m })
+            .collect();
+        let mut mb = Mailbox::new(pid, v, incoming);
+        let status = prog.superstep(step, &mut mb, &mut state);
+        let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+        if status == Step::Continue {
+            any_continue.store(true, Ordering::Relaxed);
+        }
+        agg_msgs.fetch_add(msgs_sent, Ordering::Relaxed);
+        agg_bytes.fetch_add(bytes_sent, Ordering::Relaxed);
+        agg_h.fetch_max(bytes_sent.max(recv_bytes[local]), Ordering::Relaxed);
+        agg_h_msgs.fetch_max(msgs_sent.max(recv_msgs[local]), Ordering::Relaxed);
+        agg_w.fetch_max(work, Ordering::Relaxed);
+        let mut env_bytes = 0u64;
+        for (seq, (dst, msg)) in out.into_iter().enumerate() {
+            if dst >= v {
+                return Err(EmError::Bsp(BspError::InvalidDestination { dst, nprocs: v }));
+            }
+            let payload = to_bytes(&msg);
+            env_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
+            outgoing.push(OutMsg {
+                dst: dst as u32,
+                src: pid as u32,
+                seq: seq as u32,
+                payload,
+            });
+        }
+        if env_bytes > gamma as u64 {
+            return Err(EmError::CommBudgetExceeded { pid, sent: env_bytes, budget: gamma });
+        }
+        new_states.push(to_bytes(&state));
+    }
+    // Write the changed contexts back in one fully-striped batch (Step 1(b)).
+    if let Some(&(_, first_slot)) = pids.first() {
+        let ops0 = disks.stats().parallel_ops;
+        ctx.write_group(disks, local_region(batch, first_slot), &new_states)?;
+        phases.write_ctx += disks.stats().parallel_ops - ops0;
+    }
+
+    // Writing Phase: cut into blocks — one stream per (this producer,
+    // destination batch·owner), so blocks are shared by all messages that
+    // the same processor will simulate in the same round — then scatter
+    // each block to a uniformly random processor.
+    // The first pid of this (processor, round) slice is unique across all
+    // (processor, round) pairs of the superstep — a collision-free tag.
+    let src_tag = pids.first().map_or(0, |&(pid, _)| pid) as u32;
+    let blocks = build_stream_blocks(geom.block_bytes, outgoing, src_tag, |dst| {
+        let b = dst as usize / batch_unit;
+        let owner = (dst as usize % batch_unit) / k_size;
+        (b * p + owner) as u32
+    });
+    let mut bundles: Vec<Vec<RawBlock>> = (0..p).map(|_| Vec::new()).collect();
+    for b in blocks {
+        any_msgs.store(true, Ordering::Relaxed);
+        bundles[rng.gen_range(0..p)].push(b);
+    }
+    Ok(bundles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::{run_sequential, BspStarParams};
+
+    fn machine(p: usize, m: usize, d: usize, b: usize) -> EmMachine {
+        EmMachine {
+            p,
+            m_bytes: m,
+            d,
+            b_bytes: b,
+            g_io: 1,
+            router: BspStarParams { p, g: 1.0, b, l: 1.0 },
+        }
+    }
+
+    struct AllToAll {
+        mu: usize,
+    }
+    impl BspProgram for AllToAll {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            match step {
+                0 => {
+                    for dst in 0..mb.nprocs() {
+                        mb.send(dst, (mb.pid() as u64 + 1) * 1000 + dst as u64);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).sum();
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            self.mu.max(8)
+        }
+        fn max_comm_bytes(&self) -> usize {
+            32 * 24
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        let v = 32;
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; v]).unwrap();
+        // p=4, M=256 -> k=2, batches of 8.
+        let sim = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
+        let (res, report) = sim.run(&prog, vec![0u64; v]).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert_eq!(report.p, 4);
+        assert_eq!(report.k, 2);
+        assert_eq!(report.num_groups, 4); // 32 / (2*4)
+        assert!(report.io.parallel_ops > 0);
+        assert!(report.real_comm_bytes > 0);
+    }
+
+    #[test]
+    fn single_processor_degenerate_case() {
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 8]).unwrap();
+        let sim = ParEmSimulator::new(machine(1, 256, 2, 64));
+        let (res, _) = sim.run(&prog, vec![0u64; 8]).unwrap();
+        assert_eq!(res.states, reference.states);
+    }
+
+    #[test]
+    fn ragged_tail_batch() {
+        // v not divisible by k*p: last batch is partial.
+        let prog = AllToAll { mu: 124 };
+        let v = 13;
+        let reference = run_sequential(&prog, vec![0u64; v]).unwrap();
+        let sim = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(11);
+        let (res, _) = sim.run(&prog, vec![0u64; v]).unwrap();
+        assert_eq!(res.states, reference.states);
+    }
+
+    #[test]
+    fn multi_superstep_program_parallel() {
+        /// Nearest-neighbour diffusion for several rounds.
+        struct Diffuse;
+        impl BspProgram for Diffuse {
+            type State = u64;
+            type Msg = u64;
+            fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+                let v = mb.nprocs();
+                for e in mb.take_incoming() {
+                    *state = state.wrapping_add(e.msg);
+                }
+                if step < 5 {
+                    mb.send((mb.pid() + 1) % v, *state + step as u64);
+                    mb.send((mb.pid() + v - 1) % v, state.wrapping_mul(3));
+                    Step::Continue
+                } else {
+                    Step::Halt
+                }
+            }
+            fn max_state_bytes(&self) -> usize {
+                124
+            }
+            fn max_comm_bytes(&self) -> usize {
+                2 * 24
+            }
+        }
+        let v = 24;
+        let init: Vec<u64> = (0..v as u64).collect();
+        let reference = run_sequential(&Diffuse, init.clone()).unwrap();
+        let sim = ParEmSimulator::new(machine(3, 256, 2, 64)).with_seed(2);
+        let (res, report) = sim.run(&Diffuse, init).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert_eq!(report.lambda, reference.supersteps());
+    }
+
+    #[test]
+    fn error_in_one_thread_propagates() {
+        struct Chatty;
+        impl BspProgram for Chatty {
+            type State = u64;
+            type Msg = u64;
+            fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, _: &mut u64) -> Step {
+                if step == 0 && mb.pid() == 3 {
+                    for _ in 0..100 {
+                        mb.send(0, 1);
+                    }
+                }
+                if step == 0 {
+                    Step::Continue
+                } else {
+                    mb.take_incoming();
+                    Step::Halt
+                }
+            }
+            fn max_state_bytes(&self) -> usize {
+                124
+            }
+            fn max_comm_bytes(&self) -> usize {
+                48 // two messages' worth; pid 3 exceeds it
+            }
+        }
+        let sim = ParEmSimulator::new(machine(2, 256, 2, 64));
+        let err = sim.run(&Chatty, vec![0u64; 8]).unwrap_err();
+        assert!(matches!(err, EmError::CommBudgetExceeded { pid: 3, .. }));
+    }
+
+    #[test]
+    fn parallel_file_backend() {
+        let dir = std::env::temp_dir().join(format!("em-par-sim-{}", std::process::id()));
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
+        let sim = ParEmSimulator::new(machine(2, 256, 2, 64)).with_file_backend(&dir);
+        let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(res.states, reference.states);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

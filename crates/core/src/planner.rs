@@ -1,0 +1,215 @@
+//! Resource planning — the paper's closing claim made executable:
+//! *"an application that is based on our method could adapt dynamically to
+//! the operating parameters and numbers of the available resources such as
+//! processors, memory, and disks."*
+//!
+//! Given a machine description and a problem profile (size, per-record
+//! bytes, rounds), [`Planner::plan`] chooses the number of virtual
+//! processors `v` (and derives `k = ⌊M/μ⌋`), maximizing the theorem's
+//! slackness subject to the memory constraints, and predicts the run's
+//! cost under Theorem 1 / Corollary 1 so callers can compare candidate
+//! configurations before touching a disk.
+
+use crate::machine::{EmMachine, ModelCheck};
+use crate::theory;
+
+/// What the algorithm needs per virtual processor, as functions of `n`
+/// and `v`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemProfile {
+    /// Total records.
+    pub n: usize,
+    /// Encoded bytes per record.
+    pub rec_bytes: usize,
+    /// Communication rounds λ of the CGM algorithm.
+    pub lambda: usize,
+    /// Context chunk factor: records per context that scale with `n/v`
+    /// (2.2 covers the sample sort's worst-case chunk growth).
+    pub ctx_factor: f64,
+    /// Context per-`v` factor: records per context that scale with `v`
+    /// (the sample sort keeps `v − 1` splitters per virtual processor).
+    pub ctx_v_factor: f64,
+    /// Communication chunk factor (records scaling with `n/v`).
+    pub comm_factor: f64,
+    /// Communication per-`v²` factor (processor 0 collects `v²` samples).
+    pub comm_v2_factor: f64,
+}
+
+impl ProblemProfile {
+    /// Profile of a one-shot CGM sample sort of `n` records.
+    pub fn sort(n: usize, rec_bytes: usize) -> Self {
+        ProblemProfile {
+            n,
+            rec_bytes,
+            lambda: 4,
+            ctx_factor: 2.2,
+            ctx_v_factor: 2.2,
+            comm_factor: 2.2,
+            comm_v2_factor: 1.1,
+        }
+    }
+
+    /// μ in bytes for a given `v`.
+    pub fn mu(&self, v: usize) -> usize {
+        let records = self.ctx_factor * self.n.div_ceil(v) as f64 + self.ctx_v_factor * v as f64;
+        (records * self.rec_bytes as f64) as usize + 256
+    }
+
+    /// γ in envelope bytes for a given `v`.
+    pub fn gamma(&self, v: usize) -> usize {
+        let records =
+            self.comm_factor * self.n.div_ceil(v) as f64 + self.comm_v2_factor * (v * v) as f64;
+        (records * self.rec_bytes as f64) as usize + 48 * v + 512
+    }
+}
+
+/// A chosen configuration with its predicted costs.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Virtual processors to use.
+    pub v: usize,
+    /// Group size `k = ⌊M/μ⌋` the simulator will derive.
+    pub k: usize,
+    /// μ the profile predicts for this `v`.
+    pub mu: usize,
+    /// Predicted parallel I/O operations per simulating processor.
+    pub predicted_io_ops: f64,
+    /// Predicted I/O time (`G ·` ops).
+    pub predicted_io_time: f64,
+    /// Theorem 1 side-condition report at this configuration.
+    pub checks: Vec<ModelCheck>,
+    /// True when every advisory condition holds.
+    pub all_conditions_hold: bool,
+}
+
+/// Chooses `v` for a machine/problem pair.
+///
+/// ```
+/// use em_core::{EmMachine, Planner, ProblemProfile};
+///
+/// let planner = Planner { machine: EmMachine::uniprocessor(1 << 18, 4, 2048, 1) };
+/// let plan = planner.plan(&ProblemProfile::sort(1_000_000, 8)).unwrap();
+/// assert!(plan.v > 1 && plan.k >= 1);
+/// println!("simulate with v = {} (k = {}), predicted {} I/Os",
+///          plan.v, plan.k, plan.predicted_io_ops as u64);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    /// The target machine.
+    pub machine: EmMachine,
+}
+
+impl Planner {
+    /// Evaluate one candidate `v`, or `None` when it cannot run at all
+    /// (context too large for memory).
+    pub fn evaluate(&self, profile: &ProblemProfile, v: usize) -> Option<Plan> {
+        let mu = profile.mu(v);
+        let k = self.machine.group_size(4 + mu, v).ok()?;
+        let gamma = profile.gamma(v);
+        let io_ops = theory::superstep_io_prediction(
+            v as u64 / self.machine.p as u64,
+            mu as u64,
+            gamma as u64,
+            self.machine.d as u64,
+            self.machine.b_bytes as u64,
+            k as u64,
+            1.0,
+        ) * profile.lambda as f64;
+        let checks = self.machine.check_theorem_conditions(v, k, 4 + mu);
+        let all = checks.iter().all(|c| c.satisfied);
+        Some(Plan {
+            v,
+            k,
+            mu,
+            predicted_io_ops: io_ops,
+            predicted_io_time: io_ops * self.machine.g_io as f64,
+            checks,
+            all_conditions_hold: all,
+        })
+    }
+
+    /// Scan candidate `v` (powers of two times `p`, from `p` up to `n`)
+    /// and return the feasible plan with the lowest predicted I/O time,
+    /// preferring plans whose theorem conditions all hold.
+    pub fn plan(&self, profile: &ProblemProfile) -> Option<Plan> {
+        let mut best: Option<Plan> = None;
+        let mut v = self.machine.p.max(1);
+        while v <= profile.n.max(1) {
+            if let Some(plan) = self.evaluate(profile, v) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (plan.all_conditions_hold, -plan.predicted_io_time)
+                            > (b.all_conditions_hold, -b.predicted_io_time)
+                    }
+                };
+                if better {
+                    best = Some(plan);
+                }
+            }
+            v *= 2;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(m: usize, d: usize) -> EmMachine {
+        EmMachine::uniprocessor(m, d, 2048, 1)
+    }
+
+    #[test]
+    fn plan_exists_for_out_of_core_sort() {
+        let planner = Planner { machine: machine(1 << 18, 4) };
+        let profile = ProblemProfile::sort(1_000_000, 8);
+        let plan = planner.plan(&profile).expect("a feasible plan");
+        assert!(plan.v >= 32, "needs enough virtual processors, got {}", plan.v);
+        assert!(plan.k >= 1);
+        assert!(plan.predicted_io_ops > 0.0);
+        // The chosen μ must actually fit the machine.
+        assert!(plan.mu <= planner.machine.m_bytes);
+    }
+
+    #[test]
+    fn too_little_memory_is_infeasible_at_small_v_only() {
+        let planner = Planner { machine: machine(1 << 16, 2) };
+        let profile = ProblemProfile::sort(1_000_000, 8);
+        // v = p = 1 cannot hold an ~18MB context...
+        assert!(planner.evaluate(&profile, 1).is_none());
+        // ...but the planner finds a bigger v that fits.
+        let plan = planner.plan(&profile).expect("plan at high v");
+        assert!(plan.v >= 256, "v = {}", plan.v);
+
+        // And a machine below the profile's μ minimum (attained near
+        // v = √n) is infeasible at *every* v — honestly reported.
+        let tiny = Planner { machine: machine(1 << 14, 2) };
+        assert!(tiny.plan(&profile).is_none());
+    }
+
+    #[test]
+    fn more_disks_predict_less_io_time() {
+        let profile = ProblemProfile::sort(500_000, 8);
+        let p1 = Planner { machine: machine(1 << 18, 1) }.plan(&profile).unwrap();
+        let p8 = Planner { machine: machine(1 << 18, 8) }.plan(&profile).unwrap();
+        assert!(
+            p8.predicted_io_time < p1.predicted_io_time / 3.0,
+            "8 disks should predict far less I/O time: {} vs {}",
+            p8.predicted_io_time,
+            p1.predicted_io_time
+        );
+    }
+
+    #[test]
+    fn planner_tracks_processor_count() {
+        let mut m = machine(1 << 18, 4);
+        m.p = 4;
+        m.router.p = 4;
+        let profile = ProblemProfile::sort(500_000, 8);
+        let plan = Planner { machine: m }.plan(&profile).unwrap();
+        // v must be a multiple of p by construction of the scan.
+        assert_eq!(plan.v % 4, 0);
+    }
+}

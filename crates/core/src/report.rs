@@ -1,0 +1,123 @@
+//! Cost reporting for simulation runs.
+
+use crate::machine::ModelCheck;
+use em_bsp::CommLedger;
+use em_disk::IoStats;
+use std::time::Duration;
+
+/// Parallel I/O operations attributed to each phase of the simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseIo {
+    /// Step 1(a): context reads.
+    pub fetch_ctx: u64,
+    /// Step 1(b): message-region reads.
+    pub fetch_msg: u64,
+    /// Step 1(d): scratch message writes (the randomized scatter).
+    pub scatter: u64,
+    /// Step 1(e): context writes.
+    pub write_ctx: u64,
+    /// Step 2: `SimulateRouting` (both sub-steps).
+    pub routing: u64,
+}
+
+impl PhaseIo {
+    /// Total operations across phases.
+    pub fn total(&self) -> u64 {
+        self.fetch_ctx + self.fetch_msg + self.scatter + self.write_ctx + self.routing
+    }
+}
+
+/// Everything measured during one external-memory simulation run.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// `v` — virtual processors simulated.
+    pub v: usize,
+    /// `k` — group size used (`⌊M/μ⌋` clamped to `[1, v]`).
+    pub k: usize,
+    /// Number of groups (`⌈v/k⌉`) per simulating processor.
+    pub num_groups: usize,
+    /// `p` — real processors used.
+    pub p: usize,
+    /// λ — supersteps simulated.
+    pub lambda: usize,
+    /// Disk counters, merged across real processors.
+    pub io: IoStats,
+    /// Per-phase I/O operation counts, merged across real processors.
+    pub phases: PhaseIo,
+    /// Communication ledger of the simulated program (virtual traffic).
+    pub comm: CommLedger,
+    /// h-relation bytes actually exchanged between *real* processors
+    /// (zero for the uniprocessor simulation).
+    pub real_comm_bytes: u64,
+    /// Charged I/O time `G · parallel_ops` (max over real processors).
+    pub io_time: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Disk tracks used per drive (space, the `O(vμ/DB)` of Lemma 1).
+    pub tracks_per_disk: usize,
+    /// Empirical Lemma 2 balance factor per superstep (worst bucket/disk
+    /// load over its even share).
+    pub balance_factors: Vec<f64>,
+    /// Theorem 1 side-condition report for this configuration.
+    pub checks: Vec<ModelCheck>,
+}
+
+impl CostReport {
+    /// Blocks of message traffic routed, per superstep on average.
+    pub fn avg_blocks_per_superstep(&self) -> f64 {
+        if self.lambda == 0 {
+            return 0.0;
+        }
+        self.io.blocks_moved() as f64 / self.lambda as f64
+    }
+
+    /// Worst balance factor observed across supersteps.
+    pub fn worst_balance(&self) -> f64 {
+        self.balance_factors.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// Render a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "v={} k={} groups={} p={} λ={} | io_ops={} blocks={} util={:.2} io_time={} | \
+             phases: ctx_r={} msg_r={} scatter={} ctx_w={} routing={} | msgs={} bytes={} | \
+             tracks/disk={} balance≤{:.2} wall={:?}",
+            self.v,
+            self.k,
+            self.num_groups,
+            self.p,
+            self.lambda,
+            self.io.parallel_ops,
+            self.io.blocks_moved(),
+            self.io.utilization(),
+            self.io_time,
+            self.phases.fetch_ctx,
+            self.phases.fetch_msg,
+            self.phases.scatter,
+            self.phases.write_ctx,
+            self.phases.routing,
+            self.comm.total_msgs(),
+            self.comm.total_bytes(),
+            self.tracks_per_disk,
+            self.worst_balance(),
+            self.wall,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_totals_add_up() {
+        let p = PhaseIo {
+            fetch_ctx: 1,
+            fetch_msg: 2,
+            scatter: 3,
+            write_ctx: 4,
+            routing: 5,
+        };
+        assert_eq!(p.total(), 15);
+    }
+}

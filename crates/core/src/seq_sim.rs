@@ -1,0 +1,502 @@
+//! Algorithm 1 — `SeqCompoundSuperstep`: the single-processor external-
+//! memory simulation.
+//!
+//! The simulator holds at most one *group* of `k = ⌊M/μ⌋` virtual-processor
+//! contexts in memory at a time. Per superstep, for each group `i`:
+//!
+//! 1. **Fetching Phase** — read the group's contexts (Step 1(a)) and the
+//!    message blocks destined for it (Step 1(b)) from their fixed,
+//!    `D`-striped regions;
+//! 2. **Computation Phase** — run the BSP program's superstep for the `k`
+//!    virtual processors (Step 1(c));
+//! 3. **Writing Phase** — cut the generated messages into blocks and
+//!    scatter them over the disks with a fresh random permutation per
+//!    write cycle (Step 1(d)), then write the changed contexts back
+//!    (Step 1(e)).
+//!
+//! After all groups, Algorithm 2 ([`crate::routing::simulate_routing`])
+//! reorganizes the scattered blocks into each group's consecutive region
+//! for the next superstep. The run terminates exactly when the in-memory
+//! reference executor would: every virtual processor halted and no message
+//! is in flight.
+
+use crate::context_store::ContextStore;
+use crate::machine::EmMachine;
+use crate::msg::{
+    fetch_group_messages, scatter_messages, GroupCounts, MsgGeometry, OutMsg, Placement,
+    MSG_HEADER_BYTES,
+};
+use crate::report::{CostReport, PhaseIo};
+use crate::routing::simulate_routing;
+use crate::{EmError, EmResult};
+use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
+use em_disk::{DiskArray, TrackAllocator};
+use em_serial::{from_bytes, to_bytes};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Where the simulated disks live.
+#[derive(Debug, Clone)]
+enum Backend {
+    Memory,
+    File(PathBuf),
+}
+
+/// The single-processor EM-BSP\* simulator (Algorithms 1 + 2).
+///
+/// ```
+/// use em_bsp::{BspProgram, Mailbox, Step};
+/// use em_core::{EmMachine, SeqEmSimulator};
+///
+/// // A one-superstep program: every virtual processor doubles its state.
+/// struct Double;
+/// impl BspProgram for Double {
+///     type State = u64;
+///     type Msg = u64;
+///     fn superstep(&self, _: usize, _: &mut Mailbox<u64>, s: &mut u64) -> Step {
+///         *s *= 2;
+///         Step::Halt
+///     }
+///     fn max_state_bytes(&self) -> usize { 8 }
+/// }
+///
+/// // 64 KiB of memory, 4 disks of 1 KiB blocks, G = 1.
+/// let sim = SeqEmSimulator::new(EmMachine::uniprocessor(64 * 1024, 4, 1024, 1));
+/// let (res, report) = sim.run(&Double, (0..8).collect()).unwrap();
+/// assert_eq!(res.states[3], 6);
+/// assert!(report.io.parallel_ops > 0); // every context went through disk
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqEmSimulator {
+    machine: EmMachine,
+    seed: u64,
+    placement: Placement,
+    max_supersteps: usize,
+    backend: Backend,
+}
+
+impl SeqEmSimulator {
+    /// Simulator for the given machine with defaults: seeded RNG, random
+    /// placement, in-memory disks.
+    pub fn new(machine: EmMachine) -> Self {
+        SeqEmSimulator {
+            machine,
+            seed: 0xD15C_5EED,
+            placement: Placement::Random,
+            max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
+            backend: Backend::Memory,
+        }
+    }
+
+    /// Use a specific RNG seed (runs are reproducible per seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Choose the disk-assignment strategy of the Writing Phase.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Back the simulated disks with real files inside `dir`.
+    pub fn with_file_backend(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.backend = Backend::File(dir.into());
+        self
+    }
+
+    /// Guard limit for non-terminating programs.
+    pub fn with_max_supersteps(mut self, limit: usize) -> Self {
+        self.max_supersteps = limit;
+        self
+    }
+
+    /// The machine this simulator targets.
+    pub fn machine(&self) -> &EmMachine {
+        &self.machine
+    }
+
+    /// Run `prog` on `states.len()` virtual processors entirely through the
+    /// external-memory machinery; returns the final states (identical to
+    /// [`em_bsp::run_sequential`]) plus the measured [`CostReport`].
+    pub fn run<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let start = Instant::now();
+        self.machine.validate()?;
+        let v = states.len();
+        if v == 0 {
+            return Err(EmError::Bsp(BspError::NoProcessors));
+        }
+
+        let mu = prog.max_state_bytes();
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        let ctx_region = 4 + mu; // length prefix + payload
+        let k = self.machine.group_size(ctx_region, v)?;
+        let num_groups = v.div_ceil(k);
+
+        let cfg = self.machine.disk_config()?;
+        let mut disks = match &self.backend {
+            Backend::Memory => DiskArray::new_memory(cfg),
+            Backend::File(dir) => DiskArray::new_file(cfg, dir)?,
+        };
+        let mut alloc = TrackAllocator::new(cfg.num_disks);
+        let ctx_store =
+            ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
+        let geom = MsgGeometry::allocate(&mut alloc, v, k, gamma, cfg.num_disks, cfg.block_bytes)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Load the initial contexts onto disk.
+        let encoded: Vec<Vec<u8>> = states.iter().map(to_bytes).collect();
+        drop(states);
+        for g in 0..num_groups {
+            let first = g * k;
+            let last = (first + k).min(v);
+            ctx_store.write_group(&mut disks, first, &encoded[first..last])?;
+        }
+        drop(encoded);
+        disks.reset_stats(); // initial load is input distribution, not simulation cost
+
+        let mut counts = GroupCounts::empty(geom.num_groups);
+        let mut ledger = CommLedger::default();
+        let mut phases = PhaseIo::default();
+        let mut balance_factors = Vec::new();
+
+        let mut finished = false;
+        for step in 0..self.max_supersteps {
+            let mut scratch = crate::msg::ScratchState::new(&geom);
+            let mut all_halted = true;
+            let mut step_comm = SuperstepComm::default();
+
+            for group in 0..num_groups {
+                let first = group * k;
+                let count = (first + k).min(v) - first;
+
+                // --- Fetching Phase ---
+                let ops0 = disks.stats().parallel_ops;
+                let ctx_bufs = ctx_store.read_group(&mut disks, first, count)?;
+                phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+
+                let ops0 = disks.stats().parallel_ops;
+                let msgs_in = fetch_group_messages(&mut disks, &geom, &counts, group)?;
+                phases.fetch_msg += disks.stats().parallel_ops - ops0;
+
+                // Distribute fetched messages to per-pid inboxes, canonical
+                // (src, seq) order.
+                let mut inboxes: Vec<Vec<(u32, u32, P::Msg)>> =
+                    (0..count).map(|_| Vec::new()).collect();
+                let mut recv_bytes = vec![0u64; count];
+                let mut recv_msgs = vec![0u64; count];
+                for m in msgs_in {
+                    let local = m.dst as usize - first;
+                    recv_bytes[local] += m.payload.len() as u64;
+                    recv_msgs[local] += 1;
+                    let msg: P::Msg = from_bytes(&m.payload)?;
+                    inboxes[local].push((m.src, m.seq, msg));
+                }
+                for inbox in &mut inboxes {
+                    inbox.sort_by_key(|&(src, seq, _)| (src, seq));
+                }
+
+                // --- Computation Phase ---
+                let mut group_states: Vec<P::State> = Vec::with_capacity(count);
+                let mut outgoing: Vec<OutMsg> = Vec::new();
+                for (local, buf) in ctx_bufs.iter().enumerate() {
+                    let pid = first + local;
+                    let mut state: P::State = from_bytes(buf)?;
+                    let incoming: Vec<Envelope<P::Msg>> = std::mem::take(&mut inboxes[local])
+                        .into_iter()
+                        .map(|(src, _, msg)| Envelope { src: src as usize, msg })
+                        .collect();
+                    let mut mb = Mailbox::new(pid, v, incoming);
+                    let status = prog.superstep(step, &mut mb, &mut state);
+                    let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+                    if status == Step::Continue {
+                        all_halted = false;
+                    }
+                    step_comm.msgs += msgs_sent;
+                    step_comm.bytes += bytes_sent;
+                    step_comm.h_bytes = step_comm
+                        .h_bytes
+                        .max(bytes_sent)
+                        .max(recv_bytes[local]);
+                    step_comm.h_msgs = step_comm
+                        .h_msgs
+                        .max(msgs_sent)
+                        .max(recv_msgs[local]);
+                    step_comm.w_comp = step_comm.w_comp.max(work);
+
+                    let mut envelope_bytes = 0u64;
+                    for (seq, (dst, msg)) in out.into_iter().enumerate() {
+                        if dst >= v {
+                            return Err(EmError::Bsp(BspError::InvalidDestination {
+                                dst,
+                                nprocs: v,
+                            }));
+                        }
+                        let payload = to_bytes(&msg);
+                        envelope_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
+                        outgoing.push(OutMsg {
+                            dst: dst as u32,
+                            src: pid as u32,
+                            seq: seq as u32,
+                            payload,
+                        });
+                    }
+                    if envelope_bytes > gamma as u64 {
+                        return Err(EmError::CommBudgetExceeded {
+                            pid,
+                            sent: envelope_bytes,
+                            budget: gamma,
+                        });
+                    }
+                    group_states.push(state);
+                }
+
+                // --- Writing Phase ---
+                let ops0 = disks.stats().parallel_ops;
+                scatter_messages(
+                    &mut disks,
+                    &mut alloc,
+                    &geom,
+                    &mut scratch,
+                    group,
+                    outgoing,
+                    &mut rng,
+                    self.placement,
+                )?;
+                phases.scatter += disks.stats().parallel_ops - ops0;
+
+                let ops0 = disks.stats().parallel_ops;
+                let bufs: Vec<Vec<u8>> = group_states.iter().map(to_bytes).collect();
+                ctx_store.write_group(&mut disks, first, &bufs)?;
+                phases.write_ctx += disks.stats().parallel_ops - ops0;
+            }
+
+            // --- Step 2: reorganize the generated messages. ---
+            let any_msgs = scratch.total() > 0;
+            balance_factors.push(scratch.balance_factor());
+            let ops0 = disks.stats().parallel_ops;
+            let (new_counts, _trace) = simulate_routing(&mut disks, &mut alloc, &geom, scratch)?;
+            phases.routing += disks.stats().parallel_ops - ops0;
+            counts = new_counts;
+
+            ledger.push(step_comm);
+
+            if all_halted && !any_msgs {
+                finished = true;
+                break;
+            }
+        }
+        if !finished {
+            return Err(EmError::Bsp(BspError::SuperstepLimit {
+                limit: self.max_supersteps,
+            }));
+        }
+
+        // Read the final contexts back.
+        let mut final_states = Vec::with_capacity(v);
+        for g in 0..num_groups {
+            let first = g * k;
+            let count = (first + k).min(v) - first;
+            for buf in ctx_store.read_group(&mut disks, first, count)? {
+                final_states.push(from_bytes::<P::State>(&buf)?);
+            }
+        }
+
+        let io = disks.stats().clone();
+        let lambda = ledger.lambda();
+        let report = CostReport {
+            v,
+            k,
+            num_groups,
+            p: 1,
+            lambda,
+            io_time: io.io_time(self.machine.g_io),
+            phases,
+            comm: ledger.clone(),
+            real_comm_bytes: 0,
+            wall: start.elapsed(),
+            tracks_per_disk: alloc.max_frontier(),
+            balance_factors,
+            checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
+            io,
+        };
+        Ok((RunResult { states: final_states, ledger }, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::run_sequential;
+
+    fn machine(m: usize, d: usize, b: usize) -> EmMachine {
+        EmMachine::uniprocessor(m, d, b, 1)
+    }
+
+    /// All-to-all exchange and sum — the standard differential check.
+    /// Declares μ = `mu` (over-declaration is allowed and lets tests force
+    /// small group sizes while honouring the model's M ≥ D·B requirement).
+    struct AllToAll {
+        mu: usize,
+    }
+    impl BspProgram for AllToAll {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            match step {
+                0 => {
+                    for dst in 0..mb.nprocs() {
+                        mb.send(dst, (mb.pid() as u64 + 1) * 1000 + dst as u64);
+                    }
+                    Step::Continue
+                }
+                _ => {
+                    *state = mb.take_incoming().iter().map(|e| e.msg).sum();
+                    Step::Halt
+                }
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            self.mu.max(8)
+        }
+        fn max_comm_bytes(&self) -> usize {
+            // 16 vprocs * (16 header + 8 payload)
+            16 * 24
+        }
+    }
+
+    #[test]
+    fn matches_reference_runner() {
+        let v = 16;
+        let prog = AllToAll { mu: 124 }; // context region = 128 bytes
+        let reference = run_sequential(&prog, vec![0u64; v]).unwrap();
+        // M = 256 = 2 context regions per group, 4 disks of 64-byte blocks.
+        let sim = SeqEmSimulator::new(machine(256, 4, 64));
+        let (res, report) = sim.run(&prog, vec![0u64; v]).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert_eq!(res.ledger.total_msgs(), reference.ledger.total_msgs());
+        assert_eq!(report.k, 2);
+        assert_eq!(report.num_groups, 8);
+        assert!(report.io.parallel_ops > 0);
+        assert_eq!(report.lambda, reference.supersteps());
+    }
+
+    #[test]
+    fn single_group_fast_path() {
+        // Memory big enough for all contexts at once: k = v.
+        let prog = AllToAll { mu: 8 };
+        let reference = run_sequential(&prog, vec![0u64; 8]).unwrap();
+        let sim = SeqEmSimulator::new(machine(1 << 16, 2, 64));
+        let (res, report) = sim.run(&prog, vec![0u64; 8]).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert_eq!(report.num_groups, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let prog = AllToAll { mu: 124 };
+        let sim = SeqEmSimulator::new(machine(512, 4, 64)).with_seed(99);
+        let (a, ra) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        let (b, rb) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops);
+    }
+
+    #[test]
+    fn comm_budget_violation_is_detected() {
+        struct Chatty;
+        impl BspProgram for Chatty {
+            type State = u64;
+            type Msg = u64;
+            fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, _: &mut u64) -> Step {
+                if step == 0 {
+                    for _ in 0..100 {
+                        mb.send(0, 1);
+                    }
+                    Step::Continue
+                } else {
+                    mb.take_incoming();
+                    Step::Halt
+                }
+            }
+            fn max_state_bytes(&self) -> usize {
+                8
+            }
+            fn max_comm_bytes(&self) -> usize {
+                64 // far less than 100 * 24
+            }
+        }
+        let sim = SeqEmSimulator::new(machine(1 << 12, 2, 64));
+        let err = sim.run(&Chatty, vec![0u64; 4]).unwrap_err();
+        assert!(matches!(err, EmError::CommBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn memory_too_small_is_detected() {
+        struct Fat;
+        impl BspProgram for Fat {
+            type State = Vec<u8>;
+            type Msg = u8;
+            fn superstep(&self, _: usize, _: &mut Mailbox<u8>, _: &mut Vec<u8>) -> Step {
+                Step::Halt
+            }
+            fn max_state_bytes(&self) -> usize {
+                1 << 20
+            }
+        }
+        let sim = SeqEmSimulator::new(machine(1 << 10, 2, 64));
+        let err = sim.run(&Fat, vec![Vec::new(); 4]).unwrap_err();
+        assert!(matches!(err, EmError::MemoryTooSmall { .. }));
+    }
+
+    #[test]
+    fn context_overflow_is_detected() {
+        // State grows beyond the declared μ mid-run.
+        struct Grower;
+        impl BspProgram for Grower {
+            type State = Vec<u8>;
+            type Msg = u8;
+            fn superstep(&self, step: usize, _: &mut Mailbox<u8>, state: &mut Vec<u8>) -> Step {
+                if step < 3 {
+                    state.extend_from_slice(&[7; 100]);
+                    Step::Continue
+                } else {
+                    Step::Halt
+                }
+            }
+            fn max_state_bytes(&self) -> usize {
+                64 // lies: state reaches 300 bytes
+            }
+        }
+        let sim = SeqEmSimulator::new(machine(1 << 12, 2, 64));
+        let err = sim.run(&Grower, vec![Vec::new(); 4]).unwrap_err();
+        assert!(matches!(err, EmError::ContextOverflow { .. }));
+    }
+
+    #[test]
+    fn file_backend_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("em-seq-sim-{}", std::process::id()));
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 8]).unwrap();
+        let sim = SeqEmSimulator::new(machine(256, 2, 64)).with_file_backend(&dir);
+        let (res, _) = sim.run(&prog, vec![0u64; 8]).unwrap();
+        assert_eq!(res.states, reference.states);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn round_robin_placement_matches_reference_too() {
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
+        let sim = SeqEmSimulator::new(machine(512, 4, 64)).with_placement(Placement::RoundRobin);
+        let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(res.states, reference.states);
+    }
+}

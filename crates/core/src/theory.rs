@@ -1,0 +1,231 @@
+//! Machine-checkable versions of the paper's cost bounds and probability
+//! estimates: Lemma 2 (bucket balance), Lemmas 8–10 (tail estimates),
+//! Lemma 1 / Theorem 1 / Corollary 1 (I/O-operation predictions), plus the
+//! classical external-memory baselines of Table 1's second column
+//! (Aggarwal–Vitter). The benchmark harness prints these predictions next
+//! to measured counts so the *shape* agreement is visible per experiment.
+
+/// Lemma 2 upper bound on `Pr[X_{j,k} ≥ l·R/D]`: `exp(−Ω(l·log l·R/D))`.
+/// We evaluate the dominant exponent `exp(−(l·ln l − l + 1)·R/D)`, the
+/// exact form derived in the proof (before the Ω is applied), which is a
+/// valid bound for `l > 1`.
+pub fn lemma2_tail_bound(l: f64, r: f64, d: f64) -> f64 {
+    if l <= 1.0 || r <= 0.0 || d <= 0.0 {
+        return 1.0;
+    }
+    let exponent = (l * l.ln() - l + 1.0) * (r / d);
+    (-exponent).exp().min(1.0)
+}
+
+/// Lemma 9 (Chernoff–Hoeffding form): for independent `X_i ∈ [0, k]` with
+/// mean-sum `m`, `Pr[Σ X_i ≥ u·m] ≤ exp(−u·m/k)` for `u ≥ e²`.
+pub fn lemma9_tail_bound(u: f64, m: f64, k: f64) -> f64 {
+    if u < std::f64::consts::E * std::f64::consts::E || k <= 0.0 {
+        return 1.0;
+    }
+    (-u * m / k).exp().min(1.0)
+}
+
+/// Lemma 10 (balls in bins): `x` balls into `y` bins; probability any bin
+/// exceeds `l·x/y` is at most `exp(l·x/y − l·ln l·x/y − ln l + 2·ln y)`
+/// (the exact pre-Ω expression from the proof).
+pub fn lemma10_tail_bound(l: f64, x: f64, y: f64) -> f64 {
+    if l <= std::f64::consts::E || x <= 0.0 || y <= 0.0 {
+        return 1.0;
+    }
+    let share = x / y;
+    let exponent = l * share - l * l.ln() * share - l.ln() + 2.0 * y.ln();
+    exponent.exp().min(1.0)
+}
+
+/// Lemma 1: parallel I/O operations to read+write the contexts of all `v`
+/// virtual processors once (one compound superstep's Steps 1(a) + 1(e)):
+/// `2·⌈v·μ/(D·B)⌉` plus one partial stripe per group.
+pub fn lemma1_context_ops(v: u64, mu: u64, d: u64, b: u64, k: u64) -> u64 {
+    let blocks_per_ctx = mu.div_ceil(b);
+    let total_blocks = v * blocks_per_ctx;
+    let groups = v.div_ceil(k.max(1));
+    2 * (total_blocks.div_ceil(d) + groups)
+}
+
+/// Theorem 1 / Lemma 4 I/O prediction for one compound superstep of the
+/// uniprocessor simulation: `c · l · v·γ/(D·B)` operations for the message
+/// traffic (the constant `c` covers scatter + two-pass routing + fetch,
+/// c ≈ 5 in our implementation: 1 scatter write + 2 routing reads + 2
+/// routing writes per block over D) plus the context traffic of Lemma 1.
+pub fn superstep_io_prediction(v: u64, mu: u64, gamma: u64, d: u64, b: u64, k: u64, l: f64) -> f64 {
+    let msg_blocks = (v * gamma).div_ceil(b.saturating_sub(20).max(1)) as f64;
+    let msg_ops = 5.0 * l * msg_blocks / d as f64;
+    msg_ops + lemma1_context_ops(v, mu, d, b, k) as f64
+}
+
+/// Corollary 1: total I/O time prediction for a λ-round CGM algorithm
+/// simulated on `p` processors with `D` disks each: `λ·G·c·(n_bytes/(p·D·B))`
+/// I/O-time units — "the parallel EM algorithm reads the entire disk
+/// contents λ times".
+pub fn corollary1_io_time(lambda: u64, g_io: u64, n_bytes: u64, p: u64, d: u64, b: u64) -> f64 {
+    lambda as f64 * g_io as f64 * (n_bytes as f64 / (p * d * b) as f64)
+}
+
+/// Aggarwal–Vitter optimal external merge-sort I/O bound (Table 1, column
+/// 2, sorting): `Θ((n/(D·B)) · log_{M/B}(n/B))` parallel I/O operations,
+/// counting both reads and writes (factor 2 per pass).
+pub fn av_sort_io_prediction(n_records: u64, rec_bytes: u64, m_bytes: u64, d: u64, b: u64) -> f64 {
+    let n_bytes = (n_records * rec_bytes) as f64;
+    let blocks = n_bytes / b as f64;
+    let fanout = (m_bytes as f64 / b as f64).max(2.0);
+    let passes = (blocks.max(2.0)).log(fanout).ceil().max(1.0);
+    2.0 * (blocks / d as f64) * passes
+}
+
+/// Naive unblocked access: one record per parallel I/O — the `×B` penalty
+/// the introduction quantifies ("the runtime can typically be up to a
+/// factor of 10³ (the blocking factor) too high").
+pub fn naive_unblocked_io_prediction(n_records: u64) -> f64 {
+    n_records as f64
+}
+
+/// PRAM-simulation baseline (Chiang et al.): one EM sort of the whole
+/// input per PRAM step; for `t` steps, `t · sort(n)` I/Os.
+pub fn pram_sim_io_prediction(
+    steps: u64,
+    n_records: u64,
+    rec_bytes: u64,
+    m_bytes: u64,
+    d: u64,
+    b: u64,
+) -> f64 {
+    steps as f64 * av_sort_io_prediction(n_records, rec_bytes, m_bytes, d, b)
+}
+
+/// Sibeyn–Kaufmann-style simulation: one virtual processor at a time on a
+/// single disk, context plus a `v × v` message matrix, without blocking
+/// adaptation: per superstep, `v` context loads/stores plus `v²` message
+/// cell accesses (each a separate I/O on one disk when unblocked).
+pub fn sibeyn_io_prediction(v: u64, mu: u64, b: u64, lambda: u64) -> f64 {
+    let ctx = 2 * v * mu.div_ceil(b);
+    let cells = v * v;
+    lambda as f64 * (ctx + cells) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma2_decays_in_l_and_r() {
+        let p1 = lemma2_tail_bound(2.0, 64.0, 4.0);
+        let p2 = lemma2_tail_bound(3.0, 64.0, 4.0);
+        let p3 = lemma2_tail_bound(2.0, 256.0, 4.0);
+        assert!(p2 < p1, "larger l must shrink the bound");
+        assert!(p3 < p1, "larger R must shrink the bound");
+        assert!(p1 <= 1.0 && p2 > 0.0);
+        assert_eq!(lemma2_tail_bound(1.0, 64.0, 4.0), 1.0);
+    }
+
+    #[test]
+    fn lemma9_requires_u_at_least_e_squared() {
+        assert_eq!(lemma9_tail_bound(2.0, 100.0, 1.0), 1.0);
+        let p = lemma9_tail_bound(8.0, 100.0, 1.0);
+        assert!(p < 1e-100);
+    }
+
+    #[test]
+    fn lemma10_decays_in_l() {
+        let p1 = lemma10_tail_bound(4.0, 1000.0, 10.0);
+        let p2 = lemma10_tail_bound(8.0, 1000.0, 10.0);
+        assert!(p2 < p1);
+    }
+
+    #[test]
+    fn lemma1_counts_context_stripes() {
+        // 64 contexts of 2 blocks on 4 disks, k=8: 2*(32 + 8) = 80.
+        assert_eq!(lemma1_context_ops(64, 128, 4, 64, 8), 80);
+    }
+
+    #[test]
+    fn av_sort_scales_with_disks() {
+        let one = av_sort_io_prediction(1 << 20, 8, 1 << 20, 1, 4096);
+        let four = av_sort_io_prediction(1 << 20, 8, 1 << 20, 4, 4096);
+        assert!((one / four - 4.0).abs() < 1e-9, "D disks cut I/Os by D");
+    }
+
+    #[test]
+    fn corollary1_is_linear_in_lambda_and_inverse_in_pdb() {
+        let a = corollary1_io_time(3, 1, 1 << 20, 1, 1, 4096);
+        let b = corollary1_io_time(6, 1, 1 << 20, 1, 1, 4096);
+        let c = corollary1_io_time(3, 1, 1 << 20, 2, 2, 4096);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        assert!((a / c - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_factor_shows_up() {
+        // Naive unblocked I/O vs blocked: ratio ~ B/record_size.
+        let n = 1u64 << 16;
+        let naive = naive_unblocked_io_prediction(n);
+        let blocked = (n * 8).div_ceil(4096) as f64;
+        assert!(naive / blocked > 400.0);
+    }
+}
+
+/// Observation 2 — c-optimality preservation. Given a measured simulated
+/// run and the best sequential baseline time for the same problem, report
+/// the three c-optimality ratios of the paper's Section 5.4: computation
+/// over `T(A)/p`, communication over `T(A)/p`, and I/O over `T(A)/p`.
+/// An EM-BSP\* algorithm is c-optimal when the first is `c + o(1)` and
+/// the other two are `o(1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalityReport {
+    /// `T_comp(A*) / (T(A)/p)` — should be `c + o(1)`.
+    pub comp_ratio: f64,
+    /// `T_comm(A*) / (T(A)/p)` — should be `o(1)`.
+    pub comm_ratio: f64,
+    /// `T_io(A*) / (T(A)/p)` — should be `o(1)`.
+    pub io_ratio: f64,
+}
+
+/// Evaluate Observation 2's ratios from measured times (all in the same
+/// cost unit).
+pub fn observation2_ratios(
+    t_seq_best: f64,
+    p: u64,
+    t_comp_sim: f64,
+    t_comm_sim: f64,
+    t_io_sim: f64,
+) -> OptimalityReport {
+    let denom = (t_seq_best / p as f64).max(f64::MIN_POSITIVE);
+    OptimalityReport {
+        comp_ratio: t_comp_sim / denom,
+        comm_ratio: t_comm_sim / denom,
+        io_ratio: t_io_sim / denom,
+    }
+}
+
+#[cfg(test)]
+mod obs2_tests {
+    use super::*;
+
+    #[test]
+    fn ratios_divide_by_per_processor_sequential_time() {
+        let r = observation2_ratios(1000.0, 4, 260.0, 10.0, 25.0);
+        assert!((r.comp_ratio - 1.04).abs() < 1e-9);
+        assert!((r.comm_ratio - 0.04).abs() < 1e-9);
+        assert!((r.io_ratio - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_optimality_shape_under_scaling() {
+        // With G = BD·o(β/μλ) (Observation 2's condition), growing the
+        // problem at fixed machine shrinks the I/O ratio: model it by
+        // scaling t_seq linearly and t_io as n/(BD).
+        let mut prev = f64::MAX;
+        for n in [1_000_000.0f64, 4_000_000.0, 16_000_000.0] {
+            let t_seq = n * n.log2();
+            let t_io = n / (4.0 * 4096.0) * 5.0;
+            let r = observation2_ratios(t_seq, 4, t_seq / 4.0, 0.0, t_io);
+            assert!(r.io_ratio < prev, "io ratio must shrink with n");
+            prev = r.io_ratio;
+        }
+    }
+}

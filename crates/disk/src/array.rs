@@ -1,0 +1,397 @@
+//! The disk array front-end: validated, counted parallel I/O.
+
+use crate::{Block, DiskBackend, DiskConfig, DiskError, DiskResult, FileBackend, IoStats, MemoryBackend};
+use std::path::Path;
+
+/// An array of `D` track-addressed drives with blocked, `D`-way-parallel
+/// I/O — the storage half of one EM-BSP processor.
+///
+/// Every operation is validated against the model's rules:
+///
+/// * blocks are exactly `B` bytes;
+/// * one parallel operation touches **at most one track per drive**;
+/// * each operation costs one unit (`G` time), *no matter how many drives
+///   it uses* — so leaving drives idle is a measurable waste.
+///
+/// ```
+/// use em_disk::{Block, DiskArray, DiskConfig};
+///
+/// let mut arr = DiskArray::new_memory(DiskConfig::new(4, 64).unwrap());
+/// // One parallel I/O writes a block to each of the 4 drives.
+/// let stripe: Vec<_> = (0..4)
+///     .map(|d| (d, 0usize, Block::from_bytes_padded(&[d as u8], 64)))
+///     .collect();
+/// arr.write_stripe(&stripe).unwrap();
+/// assert_eq!(arr.stats().parallel_ops, 1);
+/// assert_eq!(arr.stats().blocks_written, 4);
+/// ```
+pub struct DiskArray {
+    cfg: DiskConfig,
+    backend: Box<dyn DiskBackend>,
+    stats: IoStats,
+    /// Optional capacity limit, for failure-injection tests.
+    max_tracks: Option<usize>,
+    /// Scratch marker reused across stripe validations.
+    seen: Vec<u64>,
+    epoch: u64,
+}
+
+impl DiskArray {
+    /// Create an array over an in-memory backend.
+    pub fn new_memory(cfg: DiskConfig) -> Self {
+        let backend = Box::new(MemoryBackend::new(cfg.num_disks));
+        Self::with_backend(cfg, backend)
+    }
+
+    /// Create an array backed by one file per drive inside `dir`.
+    pub fn new_file<P: AsRef<Path>>(cfg: DiskConfig, dir: P) -> DiskResult<Self> {
+        let backend = Box::new(FileBackend::create(dir, cfg.num_disks, cfg.block_bytes)?);
+        Ok(Self::with_backend(cfg, backend))
+    }
+
+    /// Create an array over an arbitrary backend.
+    pub fn with_backend(cfg: DiskConfig, backend: Box<dyn DiskBackend>) -> Self {
+        assert_eq!(
+            backend.num_disks(),
+            cfg.num_disks,
+            "backend drive count must match configuration"
+        );
+        DiskArray {
+            stats: IoStats::new(cfg.num_disks),
+            seen: vec![0; cfg.num_disks],
+            epoch: 0,
+            cfg,
+            backend,
+            max_tracks: None,
+        }
+    }
+
+    /// Impose a per-drive capacity limit of `max_tracks` tracks; writes
+    /// beyond it fail with [`DiskError::CapacityExceeded`].
+    pub fn with_capacity_limit(mut self, max_tracks: usize) -> Self {
+        self.max_tracks = Some(max_tracks);
+        self
+    }
+
+    /// Array shape.
+    pub fn config(&self) -> DiskConfig {
+        self.cfg
+    }
+
+    /// `D`.
+    pub fn num_disks(&self) -> usize {
+        self.cfg.num_disks
+    }
+
+    /// `B` in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.cfg.block_bytes
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Reset counters (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Take the counters, leaving zeros behind.
+    pub fn take_stats(&mut self) -> IoStats {
+        let out = self.stats.clone();
+        self.stats.reset();
+        out
+    }
+
+    /// Highest written track index + 1 on `disk`.
+    pub fn tracks_used(&self, disk: usize) -> usize {
+        self.backend.tracks_used(disk)
+    }
+
+    /// Flush the backend (meaningful for files).
+    pub fn sync(&mut self) -> DiskResult<()> {
+        self.backend.sync()?;
+        Ok(())
+    }
+
+    fn validate_stripe(&mut self, addrs: impl Iterator<Item = usize>) -> DiskResult<()> {
+        self.epoch += 1;
+        for disk in addrs {
+            if disk >= self.cfg.num_disks {
+                return Err(DiskError::DiskOutOfRange {
+                    disk,
+                    num_disks: self.cfg.num_disks,
+                });
+            }
+            if self.seen[disk] == self.epoch {
+                return Err(DiskError::StripeConflict { disk });
+            }
+            self.seen[disk] = self.epoch;
+        }
+        Ok(())
+    }
+
+    fn check_capacity(&self, disk: usize, track: usize) -> DiskResult<()> {
+        if let Some(max) = self.max_tracks {
+            if track >= max {
+                return Err(DiskError::CapacityExceeded { disk, max_tracks: max });
+            }
+        }
+        Ok(())
+    }
+
+    /// One parallel read: fetch at most one track from each listed drive.
+    ///
+    /// Counts exactly one parallel I/O operation (even if `addrs` names
+    /// fewer than `D` drives). Returns blocks in request order.
+    pub fn read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
+        self.validate_stripe(addrs.iter().map(|&(d, _)| d))?;
+        let mut out = Vec::with_capacity(addrs.len());
+        for &(disk, track) in addrs {
+            let mut block = Block::zeroed(self.cfg.block_bytes);
+            self.backend.read_track(disk, track, block.as_bytes_mut())?;
+            self.stats.per_disk_reads[disk] += 1;
+            out.push(block);
+        }
+        if !addrs.is_empty() {
+            self.stats.parallel_ops += 1;
+            self.stats.blocks_read += addrs.len() as u64;
+            self.stats.bytes_read += (addrs.len() * self.cfg.block_bytes) as u64;
+        }
+        Ok(out)
+    }
+
+    /// One parallel write: store at most one track on each listed drive.
+    ///
+    /// Counts exactly one parallel I/O operation.
+    pub fn write_stripe(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
+        self.validate_stripe(writes.iter().map(|(d, _, _)| *d))?;
+        for (disk, track, block) in writes {
+            if block.len() != self.cfg.block_bytes {
+                return Err(DiskError::BadBlockSize {
+                    expected: self.cfg.block_bytes,
+                    got: block.len(),
+                });
+            }
+            self.check_capacity(*disk, *track)?;
+        }
+        for (disk, track, block) in writes {
+            self.backend.write_track(*disk, *track, block.as_bytes())?;
+            self.stats.per_disk_writes[*disk] += 1;
+        }
+        if !writes.is_empty() {
+            self.stats.parallel_ops += 1;
+            self.stats.blocks_written += writes.len() as u64;
+            self.stats.bytes_written += (writes.len() * self.cfg.block_bytes) as u64;
+        }
+        Ok(())
+    }
+
+    /// Read a single block. Costs a full parallel I/O operation — this is
+    /// exactly the "unblocked / single-disk" penalty the model charges.
+    pub fn read_block(&mut self, disk: usize, track: usize) -> DiskResult<Block> {
+        let mut v = self.read_stripe(&[(disk, track)])?;
+        Ok(v.pop().expect("one block requested"))
+    }
+
+    /// Write a single block. Costs a full parallel I/O operation.
+    pub fn write_block(&mut self, disk: usize, track: usize, block: Block) -> DiskResult<()> {
+        self.write_stripe(&[(disk, track, block)])
+    }
+
+    /// Read `addrs` in batches of at most one-track-per-disk stripes,
+    /// preserving order. Convenience for callers whose address list may
+    /// target the same drive repeatedly; each batch counts one operation.
+    pub fn read_blocks_batched(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
+        let mut out: Vec<Option<Block>> = (0..addrs.len()).map(|_| None).collect();
+        let mut remaining: Vec<usize> = (0..addrs.len()).collect();
+        let mut stripe: Vec<(usize, usize)> = Vec::with_capacity(self.cfg.num_disks);
+        let mut stripe_idx: Vec<usize> = Vec::with_capacity(self.cfg.num_disks);
+        while !remaining.is_empty() {
+            stripe.clear();
+            stripe_idx.clear();
+            self.epoch += 1;
+            let epoch = self.epoch;
+            remaining.retain(|&i| {
+                let (disk, track) = addrs[i];
+                if disk < self.seen.len() && self.seen[disk] != epoch && stripe.len() < self.cfg.num_disks {
+                    self.seen[disk] = epoch;
+                    stripe.push((disk, track));
+                    stripe_idx.push(i);
+                    false
+                } else {
+                    true
+                }
+            });
+            if stripe.is_empty() {
+                // Only possible if an address is out of range.
+                let (disk, _) = addrs[remaining[0]];
+                return Err(DiskError::DiskOutOfRange {
+                    disk,
+                    num_disks: self.cfg.num_disks,
+                });
+            }
+            let blocks = self.read_stripe(&stripe)?;
+            for (i, b) in stripe_idx.iter().zip(blocks) {
+                out[*i] = Some(b);
+            }
+        }
+        Ok(out.into_iter().map(|b| b.expect("all blocks read")).collect())
+    }
+
+    /// Write `(disk, track, block)` triples in batches of valid stripes.
+    pub fn write_blocks_batched(&mut self, mut writes: Vec<(usize, usize, Block)>) -> DiskResult<()> {
+        while !writes.is_empty() {
+            let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(self.cfg.num_disks);
+            self.epoch += 1;
+            let epoch = self.epoch;
+            let mut rest = Vec::new();
+            for w in writes {
+                let disk = w.0;
+                if disk >= self.cfg.num_disks {
+                    return Err(DiskError::DiskOutOfRange {
+                        disk,
+                        num_disks: self.cfg.num_disks,
+                    });
+                }
+                if self.seen[disk] != epoch {
+                    self.seen[disk] = epoch;
+                    stripe.push(w);
+                } else {
+                    rest.push(w);
+                }
+            }
+            self.write_stripe(&stripe)?;
+            writes = rest;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array(d: usize, b: usize) -> DiskArray {
+        DiskArray::new_memory(DiskConfig::new(d, b).unwrap())
+    }
+
+    #[test]
+    fn stripe_round_trip_counts_one_op() {
+        let mut a = array(4, 16);
+        let writes: Vec<_> = (0..4)
+            .map(|d| (d, 0, Block::from_bytes_padded(&[d as u8 + 1], 16)))
+            .collect();
+        a.write_stripe(&writes).unwrap();
+        assert_eq!(a.stats().parallel_ops, 1);
+        assert_eq!(a.stats().blocks_written, 4);
+
+        let blocks = a.read_stripe(&[(0, 0), (1, 0), (2, 0), (3, 0)]).unwrap();
+        assert_eq!(a.stats().parallel_ops, 2);
+        for (d, b) in blocks.iter().enumerate() {
+            assert_eq!(b.as_bytes()[0], d as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn stripe_conflict_is_rejected() {
+        let mut a = array(2, 8);
+        let err = a.read_stripe(&[(1, 0), (1, 1)]).unwrap_err();
+        assert!(matches!(err, DiskError::StripeConflict { disk: 1 }));
+        // Counters unchanged by failed ops.
+        assert_eq!(a.stats().parallel_ops, 0);
+    }
+
+    #[test]
+    fn out_of_range_disk_is_rejected() {
+        let mut a = array(2, 8);
+        let err = a.read_stripe(&[(2, 0)]).unwrap_err();
+        assert!(matches!(err, DiskError::DiskOutOfRange { disk: 2, num_disks: 2 }));
+    }
+
+    #[test]
+    fn wrong_block_size_is_rejected() {
+        let mut a = array(1, 8);
+        let err = a
+            .write_stripe(&[(0, 0, Block::zeroed(9))])
+            .unwrap_err();
+        assert!(matches!(err, DiskError::BadBlockSize { expected: 8, got: 9 }));
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut a = array(1, 8).with_capacity_limit(2);
+        a.write_block(0, 1, Block::zeroed(8)).unwrap();
+        let err = a.write_block(0, 2, Block::zeroed(8)).unwrap_err();
+        assert!(matches!(err, DiskError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn single_block_costs_full_op() {
+        let mut a = array(8, 8);
+        for t in 0..10 {
+            a.write_block(0, t, Block::zeroed(8)).unwrap();
+        }
+        // 10 ops for 10 blocks on one drive out of 8: utilization 10/(10*8).
+        assert_eq!(a.stats().parallel_ops, 10);
+        assert!((a.stats().utilization() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_reads_split_conflicting_addresses() {
+        let mut a = array(2, 8);
+        for t in 0..3 {
+            a.write_block(0, t, Block::from_bytes_padded(&[t as u8], 8))
+                .unwrap();
+        }
+        a.write_block(1, 0, Block::from_bytes_padded(&[9], 8)).unwrap();
+        a.reset_stats();
+        // Three addresses on disk 0 and one on disk 1 -> 3 stripes.
+        let blocks = a
+            .read_blocks_batched(&[(0, 0), (0, 1), (0, 2), (1, 0)])
+            .unwrap();
+        assert_eq!(a.stats().parallel_ops, 3);
+        assert_eq!(blocks[0].as_bytes()[0], 0);
+        assert_eq!(blocks[1].as_bytes()[0], 1);
+        assert_eq!(blocks[2].as_bytes()[0], 2);
+        assert_eq!(blocks[3].as_bytes()[0], 9);
+    }
+
+    #[test]
+    fn batched_writes_split_conflicting_addresses() {
+        let mut a = array(2, 8);
+        let writes = vec![
+            (0, 0, Block::from_bytes_padded(&[1], 8)),
+            (0, 1, Block::from_bytes_padded(&[2], 8)),
+            (1, 0, Block::from_bytes_padded(&[3], 8)),
+        ];
+        a.write_blocks_batched(writes).unwrap();
+        assert_eq!(a.stats().parallel_ops, 2);
+        assert_eq!(a.read_block(0, 1).unwrap().as_bytes()[0], 2);
+    }
+
+    #[test]
+    fn empty_stripe_is_free() {
+        let mut a = array(2, 8);
+        assert!(a.read_stripe(&[]).unwrap().is_empty());
+        a.write_stripe(&[]).unwrap();
+        assert_eq!(a.stats().parallel_ops, 0);
+    }
+
+    #[test]
+    fn file_backed_array_round_trip() {
+        let dir = std::env::temp_dir().join(format!("em-array-test-{}", std::process::id()));
+        let cfg = DiskConfig::new(3, 32).unwrap();
+        let mut a = DiskArray::new_file(cfg, &dir).unwrap();
+        let writes: Vec<_> = (0..3)
+            .map(|d| (d, 5, Block::from_bytes_padded(&[d as u8 * 7], 32)))
+            .collect();
+        a.write_stripe(&writes).unwrap();
+        a.sync().unwrap();
+        let blocks = a.read_stripe(&[(0, 5), (1, 5), (2, 5)]).unwrap();
+        assert_eq!(blocks[2].as_bytes()[0], 14);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

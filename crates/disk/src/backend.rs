@@ -1,0 +1,240 @@
+//! Storage backends: where track bytes actually live.
+//!
+//! The [`DiskArray`](crate::DiskArray) front-end is backend-agnostic. The
+//! memory backend gives deterministic, allocation-cheap simulation for unit
+//! tests and I/O-op counting experiments; the file backend performs real
+//! positional file I/O (one file per simulated drive) so that wall-clock
+//! behaviour of the blocked access patterns can be observed.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Raw track storage for an array of `D` drives.
+///
+/// Tracks that have never been written read back as zeros — the model's
+/// disks are "formatted" at creation, matching the paper's preallocated
+/// context and message regions.
+pub trait DiskBackend: Send {
+    /// Number of drives this backend was created with.
+    fn num_disks(&self) -> usize;
+
+    /// Read one track into `buf` (whose length is the block size `B`).
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()>;
+
+    /// Write one track from `data` (whose length is the block size `B`).
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()>;
+
+    /// Highest track index written so far on `disk`, plus one (0 if never
+    /// written). Used for disk-space accounting.
+    fn tracks_used(&self, disk: usize) -> usize;
+
+    /// Flush any buffered state to stable storage (no-op for memory).
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory backend: tracks are boxed byte buffers.
+pub struct MemoryBackend {
+    disks: Vec<Vec<Option<Box<[u8]>>>>,
+}
+
+impl MemoryBackend {
+    /// Create a memory backend for `num_disks` drives.
+    pub fn new(num_disks: usize) -> Self {
+        MemoryBackend {
+            disks: vec![Vec::new(); num_disks],
+        }
+    }
+
+    /// Total bytes currently resident across all drives (for tests).
+    pub fn resident_bytes(&self) -> usize {
+        self.disks
+            .iter()
+            .flatten()
+            .filter_map(|t| t.as_ref().map(|b| b.len()))
+            .sum()
+    }
+}
+
+impl DiskBackend for MemoryBackend {
+    fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()> {
+        match self.disks[disk].get(track).and_then(Option::as_ref) {
+            Some(data) => {
+                debug_assert_eq!(data.len(), buf.len());
+                buf.copy_from_slice(data);
+            }
+            None => buf.fill(0),
+        }
+        Ok(())
+    }
+
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()> {
+        let tracks = &mut self.disks[disk];
+        if tracks.len() <= track {
+            tracks.resize_with(track + 1, || None);
+        }
+        tracks[track] = Some(data.to_vec().into_boxed_slice());
+        Ok(())
+    }
+
+    fn tracks_used(&self, disk: usize) -> usize {
+        self.disks[disk].len()
+    }
+}
+
+/// File-backed backend: one file per drive, positional I/O at
+/// `track * block_bytes` offsets.
+pub struct FileBackend {
+    files: Vec<File>,
+    paths: Vec<PathBuf>,
+    block_bytes: usize,
+    tracks_used: Vec<usize>,
+}
+
+impl FileBackend {
+    /// Create (or truncate) `num_disks` drive files named `disk-<i>.bin`
+    /// inside `dir`.
+    pub fn create<P: AsRef<Path>>(
+        dir: P,
+        num_disks: usize,
+        block_bytes: usize,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let mut files = Vec::with_capacity(num_disks);
+        let mut paths = Vec::with_capacity(num_disks);
+        for i in 0..num_disks {
+            let path = dir.as_ref().join(format!("disk-{i}.bin"));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)?;
+            files.push(file);
+            paths.push(path);
+        }
+        Ok(FileBackend {
+            files,
+            paths,
+            block_bytes,
+            tracks_used: vec![0; num_disks],
+        })
+    }
+
+    /// Paths of the backing files (for inspection in examples/tests).
+    pub fn paths(&self) -> &[PathBuf] {
+        &self.paths
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+    use std::os::unix::fs::FileExt;
+    file.read_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_at(file: &File, data: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(data, offset)
+}
+
+#[cfg(not(unix))]
+fn read_at(_file: &File, _buf: &mut [u8], _offset: u64) -> io::Result<usize> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "FileBackend requires a unix platform",
+    ))
+}
+
+#[cfg(not(unix))]
+fn write_at(_file: &File, _data: &[u8], _offset: u64) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "FileBackend requires a unix platform",
+    ))
+}
+
+impl DiskBackend for FileBackend {
+    fn num_disks(&self) -> usize {
+        self.files.len()
+    }
+
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()> {
+        let offset = (track * self.block_bytes) as u64;
+        let n = read_at(&self.files[disk], buf, offset)?;
+        // Reads past EOF (never-written tracks) come back as zeros.
+        buf[n..].fill(0);
+        if n > 0 && n < buf.len() {
+            // Partial track at EOF: the unread tail is zero by construction.
+            let m = read_at(&self.files[disk], &mut buf[n..], offset + n as u64)?;
+            buf[n + m..].fill(0);
+        }
+        Ok(())
+    }
+
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()> {
+        let offset = (track * self.block_bytes) as u64;
+        write_at(&self.files[disk], data, offset)?;
+        self.tracks_used[disk] = self.tracks_used[disk].max(track + 1);
+        Ok(())
+    }
+
+    fn tracks_used(&self, disk: usize) -> usize {
+        self.tracks_used[disk]
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        for f in &self.files {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_unwritten_tracks_read_zero() {
+        let mut be = MemoryBackend::new(2);
+        let mut buf = [0xAAu8; 16];
+        be.read_track(1, 5, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut be = MemoryBackend::new(1);
+        be.write_track(0, 3, &[7u8; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        be.read_track(0, 3, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 8]);
+        assert_eq!(be.tracks_used(0), 4);
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let dir = std::env::temp_dir().join(format!("em-disk-test-{}", std::process::id()));
+        let mut be = FileBackend::create(&dir, 2, 32).unwrap();
+        be.write_track(0, 2, &[9u8; 32]).unwrap();
+        let mut buf = [0u8; 32];
+        be.read_track(0, 2, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 32]);
+        // Unwritten track (including holes before a written one) is zeros.
+        be.read_track(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+        be.read_track(1, 99, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+        assert_eq!(be.tracks_used(0), 3);
+        assert_eq!(be.tracks_used(1), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,101 @@
+//! A disk block: exactly one track's worth of bytes.
+
+/// An owned buffer holding exactly one track (`B` bytes) of data.
+///
+/// Blocks are the unit of every disk transfer. The size is fixed at
+/// construction; the array validates it against its configured `B` on every
+/// operation, so a `Block` of the wrong size can never be silently
+/// truncated or padded by the substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    data: Box<[u8]>,
+}
+
+impl Block {
+    /// A zero-filled block of `block_bytes` bytes.
+    pub fn zeroed(block_bytes: usize) -> Self {
+        Block {
+            data: vec![0u8; block_bytes].into_boxed_slice(),
+        }
+    }
+
+    /// Build a block from `bytes`, padding with zeros up to `block_bytes`.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() > block_bytes`; callers are responsible for
+    /// cutting payloads into block-sized pieces first.
+    pub fn from_bytes_padded(bytes: &[u8], block_bytes: usize) -> Self {
+        assert!(
+            bytes.len() <= block_bytes,
+            "payload of {} bytes does not fit a {} byte block",
+            bytes.len(),
+            block_bytes
+        );
+        let mut data = vec![0u8; block_bytes];
+        data[..bytes.len()].copy_from_slice(bytes);
+        Block {
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Take ownership of an exactly-sized buffer.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Block {
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Size of this block in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the block has zero size (never the case for blocks made by
+    /// a valid [`crate::DiskConfig`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the payload.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the payload.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consume the block, returning its buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data.into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_has_requested_size() {
+        let b = Block::zeroed(128);
+        assert_eq!(b.len(), 128);
+        assert!(b.as_bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn padding_preserves_prefix() {
+        let b = Block::from_bytes_padded(&[1, 2, 3], 8);
+        assert_eq!(b.as_bytes(), &[1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_payload_panics() {
+        let _ = Block::from_bytes_padded(&[0; 9], 8);
+    }
+}

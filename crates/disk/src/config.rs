@@ -1,0 +1,62 @@
+//! Disk-array configuration (the `D`, `B` parameters of the EM model).
+
+use crate::DiskError;
+
+/// Shape of a disk array: `D` drives with tracks of `B` bytes each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// `D` — number of disk drives attached to one processor.
+    pub num_disks: usize,
+    /// `B` — bytes per track (the transfer block size).
+    pub block_bytes: usize,
+}
+
+impl DiskConfig {
+    /// Create a configuration, validating that both parameters are nonzero.
+    pub fn new(num_disks: usize, block_bytes: usize) -> Result<Self, DiskError> {
+        if num_disks == 0 {
+            return Err(DiskError::InvalidConfig("num_disks must be >= 1"));
+        }
+        if block_bytes == 0 {
+            return Err(DiskError::InvalidConfig("block_bytes must be >= 1"));
+        }
+        Ok(DiskConfig { num_disks, block_bytes })
+    }
+
+    /// Number of blocks needed to hold `bytes` bytes.
+    #[inline]
+    pub fn blocks_for_bytes(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.block_bytes)
+    }
+
+    /// Number of parallel I/O operations needed to move `blocks` blocks at
+    /// full `D`-way parallelism.
+    #[inline]
+    pub fn ops_for_blocks(&self, blocks: usize) -> usize {
+        blocks.div_ceil(self.num_disks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(DiskConfig::new(0, 64).is_err());
+        assert!(DiskConfig::new(4, 0).is_err());
+        assert!(DiskConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn block_and_op_arithmetic() {
+        let cfg = DiskConfig::new(4, 64).unwrap();
+        assert_eq!(cfg.blocks_for_bytes(0), 0);
+        assert_eq!(cfg.blocks_for_bytes(1), 1);
+        assert_eq!(cfg.blocks_for_bytes(64), 1);
+        assert_eq!(cfg.blocks_for_bytes(65), 2);
+        assert_eq!(cfg.ops_for_blocks(0), 0);
+        assert_eq!(cfg.ops_for_blocks(4), 1);
+        assert_eq!(cfg.ops_for_blocks(5), 2);
+    }
+}

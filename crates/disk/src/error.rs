@@ -1,0 +1,77 @@
+//! Error type for the disk substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors raised by the disk-array substrate.
+#[derive(Debug)]
+pub enum DiskError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(&'static str),
+    /// A request addressed a drive index `disk >= D`.
+    DiskOutOfRange {
+        /// Requested drive index.
+        disk: usize,
+        /// Number of drives in the array.
+        num_disks: usize,
+    },
+    /// A single parallel I/O operation addressed the same drive twice —
+    /// the model permits at most one track per disk per operation.
+    StripeConflict {
+        /// The drive that was addressed more than once.
+        disk: usize,
+    },
+    /// A block had the wrong size for this array's track size `B`.
+    BadBlockSize {
+        /// Expected size (`B`).
+        expected: usize,
+        /// Actual buffer size.
+        got: usize,
+    },
+    /// The array's capacity limit (if configured) was exceeded.
+    CapacityExceeded {
+        /// Drive that ran out of tracks.
+        disk: usize,
+        /// Configured maximum tracks per drive.
+        max_tracks: usize,
+    },
+    /// An underlying OS I/O failure (file backend only).
+    Io(io::Error),
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::InvalidConfig(msg) => write!(f, "invalid disk configuration: {msg}"),
+            DiskError::DiskOutOfRange { disk, num_disks } => {
+                write!(f, "disk index {disk} out of range (array has {num_disks} drives)")
+            }
+            DiskError::StripeConflict { disk } => write!(
+                f,
+                "parallel I/O addressed drive {disk} more than once (model allows one track per disk per operation)"
+            ),
+            DiskError::BadBlockSize { expected, got } => {
+                write!(f, "block size mismatch: expected {expected} bytes, got {got}")
+            }
+            DiskError::CapacityExceeded { disk, max_tracks } => {
+                write!(f, "drive {disk} exceeded its capacity of {max_tracks} tracks")
+            }
+            DiskError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DiskError {
+    fn from(e: io::Error) -> Self {
+        DiskError::Io(e)
+    }
+}

@@ -1,0 +1,52 @@
+//! # em-disk
+//!
+//! A faithful substrate for the **EM-BSP disk model** of Dehne, Dittrich and
+//! Hutchinson (and of Vitter–Shriver's parallel disk model): each processor
+//! owns `D` disk drives, each drive is a sequence of *tracks* addressed by
+//! number, and a track stores exactly one block of `B` bytes. In a single
+//! parallel I/O operation the processor may transfer **at most one track per
+//! disk** — up to `D` blocks — at cost `G`.
+//!
+//! The paper's cost claims are all stated in counted parallel I/O
+//! operations, so this crate's job is to *count exactly those*, while also
+//! optionally performing real file I/O so wall-clock trends can be observed:
+//!
+//! * [`MemoryBackend`] — tracks held in memory; deterministic and fast.
+//! * [`FileBackend`] — one file per simulated drive, positional reads and
+//!   writes at `track * B` offsets.
+//!
+//! On top of the raw [`DiskArray`] this crate implements the paper's two
+//! on-disk layouts:
+//!
+//! * [`ConsecutiveLayout`] — *standard consecutive format* (Definition 2):
+//!   blocked records, per-disk block counts differing by at most one,
+//!   consecutive tracks. Used for virtual-processor contexts and for
+//!   reorganized message groups.
+//! * [`BucketStore`] — *standard linked format*: per-disk tables of `D`
+//!   bucket list heads, used by the Writing Phase of Algorithm 1 to absorb
+//!   message blocks whose arrival order is randomized.
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod array;
+mod backend;
+mod block;
+mod config;
+mod consecutive;
+mod error;
+mod linked;
+mod stats;
+
+pub use alloc::TrackAllocator;
+pub use array::DiskArray;
+pub use backend::{DiskBackend, FileBackend, MemoryBackend};
+pub use block::Block;
+pub use config::DiskConfig;
+pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
+pub use error::DiskError;
+pub use linked::BucketStore;
+pub use stats::IoStats;
+
+/// Convenience alias used throughout the workspace.
+pub type DiskResult<T> = Result<T, DiskError>;

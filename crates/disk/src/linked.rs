@@ -1,0 +1,171 @@
+//! *Standard linked format* — the bucket bookkeeping of Algorithm 1,
+//! Step 1(d).
+//!
+//! During the Writing Phase, message blocks are partitioned into `D`
+//! buckets by destination (bucket `i` holds the blocks destined for the
+//! `i`-th group of `v/D` consecutive virtual processors). "In order to
+//! maintain the buckets, the simulation uses a table of `D` pointers on
+//! each disk. The `i`th entry in the table on a disk points to the head of
+//! a list of blocks of bucket `i` that have been written to that disk.
+//! Whenever we write a block of bucket `i` to disk `D_j`, we allocate a
+//! free track on `D_j` and concatenate it to the list."
+//!
+//! We keep the per-disk tables in memory (the paper's tables are `D·D`
+//! pointers, a vanishing fraction of `M`), recording for every appended
+//! block its track and a caller-supplied sequence label so the
+//! reorganization step can rebuild destination order.
+
+/// Per-disk, per-bucket lists of tracks holding message blocks.
+#[derive(Debug, Clone)]
+pub struct BucketStore {
+    num_disks: usize,
+    num_buckets: usize,
+    /// `lists[disk][bucket]` → tracks appended in arrival order.
+    lists: Vec<Vec<Vec<usize>>>,
+}
+
+impl BucketStore {
+    /// Empty store with `num_buckets` buckets over `num_disks` drives.
+    pub fn new(num_disks: usize, num_buckets: usize) -> Self {
+        BucketStore {
+            num_disks,
+            num_buckets,
+            lists: vec![vec![Vec::new(); num_buckets]; num_disks],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// Number of drives.
+    pub fn num_disks(&self) -> usize {
+        self.num_disks
+    }
+
+    /// Record that a block of `bucket` was written to `track` of `disk`.
+    pub fn append(&mut self, disk: usize, bucket: usize, track: usize) {
+        self.lists[disk][bucket].push(track);
+    }
+
+    /// Tracks of `bucket` on `disk`, in arrival order.
+    pub fn tracks(&self, disk: usize, bucket: usize) -> &[usize] {
+        &self.lists[disk][bucket]
+    }
+
+    /// Number of blocks of `bucket` stored on `disk` — the random variable
+    /// `X_{j,k}` of Lemma 2.
+    pub fn load(&self, disk: usize, bucket: usize) -> usize {
+        self.lists[disk][bucket].len()
+    }
+
+    /// Total blocks in `bucket` across all drives (`R` in Lemma 2).
+    pub fn bucket_total(&self, bucket: usize) -> usize {
+        (0..self.num_disks).map(|d| self.load(d, bucket)).sum()
+    }
+
+    /// Total blocks stored.
+    pub fn total(&self) -> usize {
+        (0..self.num_buckets).map(|b| self.bucket_total(b)).sum()
+    }
+
+    /// Maximum of `X_{j,k}` over all disks and buckets; Lemma 2 bounds the
+    /// probability this exceeds `l·R/D`.
+    pub fn max_load(&self) -> usize {
+        (0..self.num_disks)
+            .flat_map(|d| (0..self.num_buckets).map(move |b| self.load(d, b)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `max_load / (R/D)` for the fullest bucket — the `l` actually
+    /// achieved, reported by the balance experiments.
+    pub fn balance_factor(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for b in 0..self.num_buckets {
+            let r = self.bucket_total(b);
+            if r == 0 {
+                continue;
+            }
+            let expected = r as f64 / self.num_disks as f64;
+            for d in 0..self.num_disks {
+                worst = worst.max(self.load(d, b) as f64 / expected);
+            }
+        }
+        worst
+    }
+
+    /// Drain all lists, returning `(disk, bucket, track)` triples and
+    /// leaving the store empty (used after reorganization frees the
+    /// scratch tracks).
+    pub fn drain(&mut self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::with_capacity(self.total());
+        for (d, buckets) in self.lists.iter_mut().enumerate() {
+            for (b, tracks) in buckets.iter_mut().enumerate() {
+                for t in tracks.drain(..) {
+                    out.push((d, b, t));
+                }
+            }
+        }
+        out
+    }
+
+    /// True when no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.lists
+            .iter()
+            .all(|buckets| buckets.iter().all(Vec::is_empty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_load() {
+        let mut s = BucketStore::new(2, 3);
+        s.append(0, 1, 10);
+        s.append(0, 1, 11);
+        s.append(1, 1, 4);
+        s.append(1, 2, 5);
+        assert_eq!(s.load(0, 1), 2);
+        assert_eq!(s.bucket_total(1), 3);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.max_load(), 2);
+        assert_eq!(s.tracks(0, 1), &[10, 11]);
+    }
+
+    #[test]
+    fn balance_factor_of_even_spread_is_one() {
+        let mut s = BucketStore::new(4, 2);
+        for d in 0..4 {
+            for t in 0..5 {
+                s.append(d, 0, t);
+            }
+        }
+        assert!((s.balance_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_factor_of_single_disk_pileup_is_d() {
+        let mut s = BucketStore::new(4, 1);
+        for t in 0..8 {
+            s.append(2, 0, t);
+        }
+        assert!((s.balance_factor() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_empties_the_store() {
+        let mut s = BucketStore::new(2, 2);
+        s.append(0, 0, 1);
+        s.append(1, 1, 2);
+        let mut triples = s.drain();
+        triples.sort_unstable();
+        assert_eq!(triples, vec![(0, 0, 1), (1, 1, 2)]);
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+    }
+}

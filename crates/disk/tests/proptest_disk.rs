@@ -1,0 +1,99 @@
+//! Property tests for the disk substrate: arbitrary write/read programs
+//! against an in-memory model, layout invariants, and allocator safety.
+
+use em_disk::{check_consecutive_format, Block, ConsecutiveLayout, DiskArray, DiskConfig, TrackAllocator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The array behaves like a map from (disk, track) to the last block
+    /// written, with unwritten tracks reading as zeros.
+    #[test]
+    fn array_matches_model(
+        ops in proptest::collection::vec((0usize..4, 0usize..32, any::<u8>(), any::<bool>()), 1..120)
+    ) {
+        let cfg = DiskConfig::new(4, 16).unwrap();
+        let mut arr = DiskArray::new_memory(cfg);
+        let mut model: HashMap<(usize, usize), u8> = HashMap::new();
+        for (disk, track, byte, is_write) in ops {
+            if is_write {
+                arr.write_block(disk, track, Block::from_bytes_padded(&[byte], 16)).unwrap();
+                model.insert((disk, track), byte);
+            } else {
+                let got = arr.read_block(disk, track).unwrap();
+                let want = model.get(&(disk, track)).copied().unwrap_or(0);
+                prop_assert_eq!(got.as_bytes()[0], want);
+            }
+        }
+    }
+
+    /// Every consecutive layout satisfies Definition 2 and addresses are
+    /// unique.
+    #[test]
+    fn layout_always_satisfies_definition2(
+        bpr in 1usize..6,
+        regions in 1usize..20,
+        d in 1usize..8,
+        base in 0usize..50,
+    ) {
+        let l = ConsecutiveLayout::new(base, bpr, regions, d).unwrap();
+        let locs: Vec<(usize, usize)> = (0..regions)
+            .flat_map(|j| (0..bpr).map(move |i| (j, i)))
+            .map(|(j, i)| l.location(j, i))
+            .collect();
+        // Unique addresses.
+        let mut dedup = locs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), locs.len());
+        // Definition 2.
+        prop_assert!(check_consecutive_format(&locs, d).is_ok());
+        // All tracks within the computed footprint.
+        for (disk, track) in locs {
+            prop_assert!(disk < d);
+            prop_assert!(track >= base && track < base + l.tracks_per_disk());
+        }
+    }
+
+    /// Stripes returned by the layout are always legal parallel I/Os and
+    /// cover exactly the requested regions.
+    #[test]
+    fn stripes_are_legal_and_complete(
+        bpr in 1usize..5,
+        regions in 1usize..16,
+        d in 1usize..6,
+        first in 0usize..8,
+        count in 0usize..8,
+    ) {
+        prop_assume!(first + count <= regions);
+        let l = ConsecutiveLayout::new(0, bpr, regions, d).unwrap();
+        let stripes = l.stripes(first, count);
+        let total: usize = stripes.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, count * bpr);
+        for s in &stripes {
+            let mut disks: Vec<usize> = s.iter().map(|&(dk, _)| dk).collect();
+            disks.sort_unstable();
+            disks.dedup();
+            prop_assert_eq!(disks.len(), s.len(), "stripe reuses a disk");
+        }
+    }
+
+    /// The allocator never hands out the same live track twice on a disk.
+    #[test]
+    fn allocator_never_double_allocates(
+        ops in proptest::collection::vec((0usize..3, any::<bool>()), 1..200)
+    ) {
+        let mut alloc = TrackAllocator::new(3);
+        let mut live: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        for (disk, free_one) in ops {
+            if free_one && !live[disk].is_empty() {
+                let t = live[disk].pop().unwrap();
+                alloc.free_track(disk, t);
+            } else {
+                let t = alloc.alloc_track(disk);
+                prop_assert!(!live[disk].contains(&t), "track {t} double-allocated");
+                live[disk].push(t);
+            }
+        }
+    }
+}

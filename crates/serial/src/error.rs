@@ -1,0 +1,63 @@
+//! Decode-side error type.
+
+use std::fmt;
+
+/// Errors produced while decoding a [`crate::Serial`] value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The reader ran out of bytes.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// A discriminant byte had no corresponding variant.
+    InvalidTag {
+        /// Human-readable name of the type being decoded.
+        type_name: &'static str,
+        /// Offending tag value.
+        tag: u8,
+    },
+    /// A length prefix was implausibly large for the remaining input.
+    LengthOverflow {
+        /// Declared length.
+        declared: usize,
+        /// Bytes remaining in the reader.
+        available: usize,
+    },
+    /// The decoded bytes were not valid for the target type (e.g. UTF-8).
+    InvalidValue {
+        /// Human-readable name of the type being decoded.
+        type_name: &'static str,
+    },
+    /// `from_bytes` was asked to consume a whole slice but bytes remained.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, had {available}")
+            }
+            DecodeError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            DecodeError::LengthOverflow { declared, available } => {
+                write!(f, "declared length {declared} exceeds remaining input {available}")
+            }
+            DecodeError::InvalidValue { type_name } => {
+                write!(f, "decoded bytes are not a valid {type_name}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

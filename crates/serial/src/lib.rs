@@ -1,0 +1,111 @@
+//! # em-serial
+//!
+//! A small, dependency-free byte codec used by the external-memory (EM)
+//! simulation to persist virtual-processor *contexts* and *messages* on
+//! simulated disks.
+//!
+//! The EM simulation of Dehne, Dittrich and Hutchinson stores each virtual
+//! processor's context padded to a fixed size `μ` and cuts message streams
+//! into disk blocks of exactly `B` bytes. That requires a codec with
+//! *exact, stable* encoded sizes — which is why this crate exists instead of
+//! a general-purpose serialization framework: every type knows its encoded
+//! length up front (`Serial::encoded_len`), encoding appends to a caller
+//! provided buffer without intermediate allocation, and decoding consumes a
+//! cursor so that multiple values can be packed back to back in one block.
+//!
+//! ## Example
+//!
+//! ```
+//! use em_serial::{Serial, Reader, to_bytes, from_bytes};
+//!
+//! let value: (u32, Vec<u16>) = (7, vec![1, 2, 3]);
+//! let bytes = to_bytes(&value);
+//! assert_eq!(bytes.len(), value.encoded_len());
+//! let back: (u32, Vec<u16>) = from_bytes(&bytes).unwrap();
+//! assert_eq!(back, value);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod primitives;
+mod composite;
+mod reader;
+
+#[macro_use]
+mod macros;
+
+pub use error::DecodeError;
+pub use reader::Reader;
+
+/// A value that can be encoded into a flat byte stream and decoded back.
+///
+/// Implementations must satisfy the round-trip law: for any value `v`,
+/// `decode(encode(v)) == v`, and `encode(v).len() == v.encoded_len()`.
+/// The encoding must be *self-delimiting* when read through a [`Reader`]
+/// (i.e. `decode` consumes exactly `encoded_len` bytes), so values can be
+/// concatenated.
+pub trait Serial: Sized {
+    /// Exact number of bytes [`Serial::encode`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one value from the reader, consuming exactly the bytes that
+    /// `encode` produced.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encode a single value into a fresh byte vector.
+pub fn to_bytes<T: Serial>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.encoded_len());
+    value.encode(&mut buf);
+    debug_assert_eq!(buf.len(), value.encoded_len(), "encoded_len mismatch");
+    buf
+}
+
+/// Decode a single value from a byte slice, requiring that the whole slice
+/// is consumed.
+pub fn from_bytes<T: Serial>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::TrailingBytes {
+            remaining: r.remaining(),
+        });
+    }
+    Ok(v)
+}
+
+/// Decode a single value from the front of a byte slice, ignoring trailing
+/// bytes (useful for values padded to a fixed region size).
+pub fn from_bytes_prefix<T: Serial>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = Reader::new(bytes);
+    T::decode(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_helpers() {
+        let v = 0xDEAD_BEEF_u64;
+        let b = to_bytes(&v);
+        assert_eq!(b.len(), 8);
+        assert_eq!(from_bytes::<u64>(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = to_bytes(&1u32);
+        b.push(0);
+        assert!(matches!(
+            from_bytes::<u32>(&b),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        ));
+        // ...but accepted by the prefix variant.
+        assert_eq!(from_bytes_prefix::<u32>(&b).unwrap(), 1);
+    }
+}

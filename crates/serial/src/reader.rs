@@ -1,0 +1,112 @@
+//! Cursor over a byte slice used by decoders.
+
+use crate::DecodeError;
+
+/// A consuming cursor over a byte slice.
+///
+/// Decoders pull bytes from the front; the reader tracks how much input
+/// remains so that concatenated values can be decoded in sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader over the whole slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Number of bytes consumed so far.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Consume exactly `n` bytes and return them.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume a fixed-size array of `N` bytes.
+    #[inline]
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    #[inline]
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        let s = self.take(1)?;
+        Ok(s[0])
+    }
+
+    /// Validate that a declared element count is plausible given the
+    /// remaining input (each element needs at least one byte unless the
+    /// element type is zero-sized; zero-sized elements are bounded
+    /// separately by the caller).
+    #[inline]
+    pub fn check_len(&self, declared: usize, min_elem_bytes: usize) -> Result<(), DecodeError> {
+        let needed = declared.saturating_mul(min_elem_bytes);
+        if min_elem_bytes > 0 && needed > self.remaining() {
+            return Err(DecodeError::LengthOverflow {
+                declared,
+                available: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_position() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.take_array::<2>().unwrap(), [3, 4]);
+        assert!(r.is_empty());
+        assert!(r.take(1).is_err());
+    }
+
+    #[test]
+    fn check_len_guards_bogus_prefixes() {
+        let data = [0u8; 4];
+        let r = Reader::new(&data);
+        assert!(r.check_len(usize::MAX, 8).is_err());
+        assert!(r.check_len(4, 1).is_ok());
+        assert!(r.check_len(5, 1).is_err());
+        // zero-sized elements are never bounded by input length here
+        assert!(r.check_len(usize::MAX, 0).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based round-trip tests for the codec: `decode(encode(v)) == v`
+//! and `encode(v).len() == v.encoded_len()` for arbitrary values, plus
+//! robustness against arbitrary (possibly garbage) input bytes.
+
+use em_serial::{from_bytes, to_bytes, Reader, Serial};
+use proptest::prelude::*;
+
+fn assert_round_trip<T: Serial + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = to_bytes(v);
+    assert_eq!(bytes.len(), v.encoded_len(), "encoded_len mismatch for {v:?}");
+    let back: T = from_bytes(&bytes).expect("decode failed");
+    assert_eq!(&back, v);
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trip(v: u64) { assert_round_trip(&v); }
+
+    #[test]
+    fn i128_round_trip(v: i128) { assert_round_trip(&v); }
+
+    #[test]
+    fn f64_bits_round_trip(v: u64) {
+        // Compare via bits so NaNs round-trip too.
+        let f = f64::from_bits(v);
+        let bytes = to_bytes(&f);
+        let back: f64 = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.to_bits(), v);
+    }
+
+    #[test]
+    fn vec_u32_round_trip(v: Vec<u32>) { assert_round_trip(&v); }
+
+    #[test]
+    fn nested_round_trip(v: Vec<(u16, Option<String>)>) { assert_round_trip(&v); }
+
+    #[test]
+    fn tuple_round_trip(v: (u8, i64, bool, Vec<u8>)) { assert_round_trip(&v); }
+
+    #[test]
+    fn string_round_trip(v: String) { assert_round_trip(&v); }
+
+    /// Decoding arbitrary bytes must never panic — it either produces a
+    /// value or a typed error.
+    #[test]
+    fn garbage_never_panics(bytes: Vec<u8>) {
+        let _ = from_bytes::<Vec<u64>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = from_bytes::<(u32, Option<Vec<u16>>)>(&bytes);
+        let _ = from_bytes::<bool>(&bytes);
+    }
+
+    /// Concatenated values decode in sequence through one reader.
+    #[test]
+    fn concatenation(a: u32, b: Vec<u8>, c: (bool, i16)) {
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        c.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(u32::decode(&mut r).unwrap(), a);
+        prop_assert_eq!(Vec::<u8>::decode(&mut r).unwrap(), b);
+        prop_assert_eq!(<(bool, i16)>::decode(&mut r).unwrap(), c);
+        prop_assert!(r.is_empty());
+    }
+}

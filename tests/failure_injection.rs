@@ -1,0 +1,155 @@
+//! Failure injection across the stack: misdeclared budgets, model
+//! violations, capacity limits and malformed inputs must surface as typed
+//! errors, never as silent corruption or hangs.
+
+use em_bsp::{BspError, BspProgram, BspStarParams, Mailbox, Step};
+use em_core::{EmError, EmMachine, ParEmSimulator, SeqEmSimulator};
+use em_disk::{Block, DiskArray, DiskConfig, DiskError};
+
+struct Noisy {
+    mu_lie: usize,
+    gamma_lie: usize,
+    grow_to: usize,
+    fan: usize,
+}
+
+impl BspProgram for Noisy {
+    type State = Vec<u8>;
+    type Msg = Vec<u8>;
+    fn superstep(&self, step: usize, mb: &mut Mailbox<Vec<u8>>, state: &mut Vec<u8>) -> Step {
+        mb.take_incoming();
+        if step == 0 {
+            state.resize(self.grow_to, 7);
+            for f in 0..self.fan {
+                mb.send(f % mb.nprocs(), vec![1; 64]);
+            }
+            Step::Continue
+        } else {
+            Step::Halt
+        }
+    }
+    fn max_state_bytes(&self) -> usize {
+        self.mu_lie
+    }
+    fn max_comm_bytes(&self) -> usize {
+        self.gamma_lie
+    }
+}
+
+fn machine(p: usize) -> EmMachine {
+    EmMachine {
+        p,
+        m_bytes: 1 << 14,
+        d: 2,
+        b_bytes: 256,
+        g_io: 1,
+        router: BspStarParams { p, g: 1.0, b: 256, l: 1.0 },
+    }
+}
+
+#[test]
+fn context_overflow_is_typed_on_both_simulators() {
+    let prog = Noisy { mu_lie: 64, gamma_lie: 4096, grow_to: 500, fan: 0 };
+    let err = SeqEmSimulator::new(machine(1)).run(&prog, vec![vec![]; 4]).unwrap_err();
+    assert!(matches!(err, EmError::ContextOverflow { .. }), "{err}");
+    let err = ParEmSimulator::new(machine(2)).run(&prog, vec![vec![]; 4]).unwrap_err();
+    assert!(matches!(err, EmError::ContextOverflow { .. }), "{err}");
+}
+
+#[test]
+fn comm_budget_violation_is_typed_on_both_simulators() {
+    let prog = Noisy { mu_lie: 600, gamma_lie: 100, grow_to: 10, fan: 12 };
+    let err = SeqEmSimulator::new(machine(1)).run(&prog, vec![vec![]; 4]).unwrap_err();
+    assert!(matches!(err, EmError::CommBudgetExceeded { .. }), "{err}");
+    let err = ParEmSimulator::new(machine(2)).run(&prog, vec![vec![]; 4]).unwrap_err();
+    assert!(matches!(err, EmError::CommBudgetExceeded { .. }), "{err}");
+}
+
+#[test]
+fn machine_model_violations_are_rejected() {
+    // M < D·B violates the model's "one block from each disk" minimum.
+    let bad = EmMachine::uniprocessor(256, 4, 256, 1);
+    let prog = Noisy { mu_lie: 64, gamma_lie: 256, grow_to: 10, fan: 1 };
+    let err = SeqEmSimulator::new(bad).run(&prog, vec![vec![]; 2]).unwrap_err();
+    assert!(matches!(err, EmError::InvalidConfig(_)), "{err}");
+    // B too small for block headers.
+    let bad = EmMachine::uniprocessor(1 << 14, 2, 16, 1);
+    let err = SeqEmSimulator::new(bad).run(&prog, vec![vec![]; 2]).unwrap_err();
+    assert!(matches!(err, EmError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn superstep_limit_is_typed_on_both_simulators() {
+    struct Forever;
+    impl BspProgram for Forever {
+        type State = u8;
+        type Msg = u8;
+        fn superstep(&self, _: usize, _: &mut Mailbox<u8>, _: &mut u8) -> Step {
+            Step::Continue
+        }
+        fn max_state_bytes(&self) -> usize {
+            1
+        }
+    }
+    let err = SeqEmSimulator::new(machine(1))
+        .with_max_supersteps(7)
+        .run(&Forever, vec![0u8; 2])
+        .unwrap_err();
+    assert!(matches!(err, EmError::Bsp(BspError::SuperstepLimit { limit: 7 })), "{err}");
+    let err = ParEmSimulator::new(machine(2))
+        .with_max_supersteps(7)
+        .run(&Forever, vec![0u8; 4])
+        .unwrap_err();
+    assert!(matches!(err, EmError::Bsp(BspError::SuperstepLimit { limit: 7 })), "{err}");
+}
+
+#[test]
+fn bad_destination_is_typed_on_both_simulators() {
+    struct Bad;
+    impl BspProgram for Bad {
+        type State = u8;
+        type Msg = u8;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u8>, _: &mut u8) -> Step {
+            if step == 0 {
+                mb.send(1_000_000, 1);
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            1
+        }
+    }
+    let err = SeqEmSimulator::new(machine(1)).run(&Bad, vec![0u8; 2]).unwrap_err();
+    assert!(matches!(err, EmError::Bsp(BspError::InvalidDestination { .. })), "{err}");
+    let err = ParEmSimulator::new(machine(2)).run(&Bad, vec![0u8; 4]).unwrap_err();
+    assert!(matches!(err, EmError::Bsp(BspError::InvalidDestination { .. })), "{err}");
+}
+
+#[test]
+fn disk_capacity_limit_fires() {
+    let mut arr = DiskArray::new_memory(DiskConfig::new(2, 64).unwrap()).with_capacity_limit(4);
+    for t in 0..4 {
+        arr.write_block(0, t, Block::zeroed(64)).unwrap();
+    }
+    let err = arr.write_block(0, 4, Block::zeroed(64)).unwrap_err();
+    assert!(matches!(err, DiskError::CapacityExceeded { disk: 0, max_tracks: 4 }));
+}
+
+#[test]
+fn algorithm_drivers_reject_malformed_inputs() {
+    use em_algos::AlgoError;
+    use em_bsp::SeqExecutor;
+    // Non-permutation.
+    assert!(matches!(
+        em_algos::permute::cgm_permute(&SeqExecutor, 2, vec![1u8, 2], &[0, 0]),
+        Err(AlgoError::Input(_))
+    ));
+    // Wrong matrix shape.
+    assert!(em_algos::transpose::cgm_transpose(&SeqExecutor, 2, 3, 3, vec![0u8; 8]).is_err());
+    // Tree with wrong edge count.
+    assert!(em_algos::graph::euler::cgm_euler_tree(&SeqExecutor, 2, 5, &[(0, 1)], 0).is_err());
+    // Out-of-range successor.
+    assert!(em_algos::graph::list_ranking::cgm_list_rank(&SeqExecutor, 2, &[7], &[1]).is_err());
+}

@@ -1,0 +1,59 @@
+//! Capstone: the resource planner's chosen configuration actually runs —
+//! the plan's `v` executes on the simulator without budget violations, the
+//! plan's `k` matches what the simulator derives, and the predicted I/O is
+//! within a small constant factor of the measured count.
+
+use em_core::{EmMachine, Planner, ProblemProfile, Recording, SeqEmSimulator};
+
+#[test]
+fn planned_configuration_executes_within_predictions() {
+    let machine = EmMachine::uniprocessor(1 << 18, 4, 2048, 1);
+    let n = 120_000usize;
+    let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+
+    let profile = ProblemProfile::sort(n, 8);
+    let planner = Planner { machine };
+    let plan = planner.plan(&profile).expect("feasible plan");
+
+    // The chosen plan must actually execute without budget violations.
+    let rec = Recording::new(SeqEmSimulator::new(machine).with_seed(5));
+    let sorted = em_algos::sort::cgm_sort(&rec, plan.v, items.clone()).unwrap();
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    let report = rec.take_reports().pop().unwrap();
+    assert!(report.io.parallel_ops > 0);
+
+    // At a moderate v where the γ upper bound is not dominated by the
+    // v²-sample worst case, the prediction tracks the measurement within
+    // a small constant factor (it is a bound-based estimate).
+    let eval = planner.evaluate(&profile, 64).expect("v = 64 feasible");
+    let rec = Recording::new(SeqEmSimulator::new(machine).with_seed(5));
+    let _ = em_algos::sort::cgm_sort(&rec, 64, items).unwrap();
+    let report = rec.take_reports().pop().unwrap();
+    assert!(
+        report.k.abs_diff(eval.k) <= eval.k / 2 + 1,
+        "planned k = {}, simulator derived k = {}",
+        eval.k,
+        report.k
+    );
+    let measured = report.io.parallel_ops as f64;
+    assert!(
+        eval.predicted_io_ops >= measured / 2.0 && eval.predicted_io_ops <= measured * 10.0,
+        "prediction {} vs measured {measured}",
+        eval.predicted_io_ops
+    );
+}
+
+#[test]
+fn planner_prefers_condition_satisfying_plans() {
+    let machine = EmMachine::uniprocessor(1 << 18, 8, 2048, 1);
+    let plan = Planner { machine }
+        .plan(&ProblemProfile::sort(4_000_000, 8))
+        .expect("plan");
+    // With a large problem there is enough slackness to satisfy every
+    // Theorem 1 condition.
+    assert!(
+        plan.all_conditions_hold,
+        "expected a condition-satisfying plan, got: {:#?}",
+        plan.checks
+    );
+}
