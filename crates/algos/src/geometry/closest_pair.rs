@@ -37,9 +37,8 @@ fn sweep_closest(pts: &[Point2]) -> Option<(u128, Point2, Point2)> {
     let mut best: Option<(u128, Point2, Point2)> = None;
     let mut left = 0usize;
     for &p in pts {
-        let limit = |best: &Option<(u128, Point2, Point2)>| {
-            best.map_or(i64::MAX as u128, |(d, _, _)| d)
-        };
+        let limit =
+            |best: &Option<(u128, Point2, Point2)>| best.map_or(i64::MAX as u128, |(d, _, _)| d);
         // Shrink the active window to x within the current best radius.
         while left < pts.len() {
             let q = pts[left];
@@ -100,7 +99,12 @@ impl BspProgram for ClosestPair {
     /// neighbour discovery).
     type Msg = (u8, Vec<i64>);
 
-    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, Vec<i64>)>, state: &mut CpState) -> Step {
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, Vec<i64>)>,
+        state: &mut CpState,
+    ) -> Step {
         match step {
             0 => {
                 // Local solve + broadcast candidate and my presence.
@@ -133,8 +137,8 @@ impl BspProgram for ClosestPair {
                 for env in mb.take_incoming() {
                     match env.msg.0 {
                         0 => {
-                            let d = ((env.msg.1[0] as u64 as u128) << 64)
-                                | env.msg.1[1] as u64 as u128;
+                            let d =
+                                ((env.msg.1[0] as u64 as u128) << 64) | env.msg.1[1] as u64 as u128;
                             delta = Some(delta.map_or(d, |x| x.min(d)));
                         }
                         _ => present.push((env.src, env.msg.1[0])),
@@ -173,12 +177,8 @@ impl BspProgram for ClosestPair {
                     if env.msg.0 != 1 {
                         continue;
                     }
-                    let strip: Vec<Point2> = env
-                        .msg
-                        .1
-                        .chunks(2)
-                        .map(|c| Point2::new(c[0], c[1]))
-                        .collect();
+                    let strip: Vec<Point2> =
+                        env.msg.1.chunks(2).map(|c| Point2::new(c[0], c[1])).collect();
                     // Merge the strip with my own left portion and sweep.
                     let d = best.map_or(u128::MAX, |(d, _, _)| d);
                     let w = ((d as f64).sqrt() as i64).saturating_add(1);
@@ -241,10 +241,7 @@ pub fn cgm_closest_pair<E: Executor>(
     if points.len() < 2 {
         return Err(AlgoError::Input("need at least two points".into()));
     }
-    if points
-        .iter()
-        .any(|p| p.x.abs() > 1 << 31 || p.y.abs() > 1 << 31)
-    {
+    if points.iter().any(|p| p.x.abs() > 1 << 31 || p.y.abs() > 1 << 31) {
         return Err(AlgoError::Input(
             "coordinates must fit 32 bits (squared distances are exact in u128)".into(),
         ));
@@ -252,10 +249,8 @@ pub fn cgm_closest_pair<E: Executor>(
     let n = points.len();
     let sorted = cgm_sort(exec, v, points)?;
     let prog = ClosestPair { chunk: n.div_ceil(v).max(1), v, max_strip: n.div_ceil(v) + 16 };
-    let states = distribute(sorted, v)
-        .into_iter()
-        .map(|pts| CpState { pts, best: Vec::new() })
-        .collect();
+    let states =
+        distribute(sorted, v).into_iter().map(|pts| CpState { pts, best: Vec::new() }).collect();
     let res = exec.execute(&prog, states)?;
     let best = res
         .states

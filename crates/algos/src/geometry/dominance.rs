@@ -199,11 +199,8 @@ impl BspProgram for DomSweep {
                 let mut answers = Vec::with_capacity(state.bases.len());
                 for &(id, base) in &state.bases {
                     let idx = within.partition_point(|&(i, _)| i < id);
-                    let w = if idx < within.len() && within[idx].0 == id {
-                        within[idx].1
-                    } else {
-                        0
-                    };
+                    let w =
+                        if idx < within.len() && within[idx].0 == id { within[idx].1 } else { 0 };
                     answers.push((id, base.wrapping_add(w)));
                 }
                 state.answers = answers;
@@ -242,11 +239,8 @@ pub fn cgm_dominance_counts<E: Executor>(
     }
 
     // Sort by (y, x, id) → y-ranks (offsets are driver glue on counts).
-    let by_y: Vec<(i64, i64, u64, u64)> = pts
-        .iter()
-        .enumerate()
-        .map(|(id, &(p, w))| (p.y, p.x, id as u64, w))
-        .collect();
+    let by_y: Vec<(i64, i64, u64, u64)> =
+        pts.iter().enumerate().map(|(id, &(p, w))| (p.y, p.x, id as u64, w)).collect();
     let sorted_y = cgm_sort(exec, v, by_y)?;
     // yr = global position in this order.
     let with_yr: Vec<(i64, i64, u64, u64, u64)> = sorted_y
@@ -288,10 +282,7 @@ pub fn seq_dominance_counts(pts: &[(Point2, u64)]) -> Vec<u64> {
             pts.iter()
                 .enumerate()
                 .filter(|&(j, &(q, _))| {
-                    j != i
-                        && q.x <= p.x
-                        && q.y <= p.y
-                        && ((q.x, q.y) != (p.x, p.y) || j < i)
+                    j != i && q.x <= p.x && q.y <= p.y && ((q.x, q.y) != (p.x, p.y) || j < i)
                 })
                 .map(|(_, &(_, w))| w)
                 .fold(0u64, |a, b| a.wrapping_add(b))
@@ -323,10 +314,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let pts: Vec<(Point2, u64)> = (0..250)
             .map(|_| {
-                (
-                    Point2::new(rng.gen_range(-40..40), rng.gen_range(-40..40)),
-                    rng.gen_range(1..10),
-                )
+                (Point2::new(rng.gen_range(-40..40), rng.gen_range(-40..40)), rng.gen_range(1..10))
             })
             .collect();
         let want = seq_dominance_counts(&pts);

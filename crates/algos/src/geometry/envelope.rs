@@ -86,10 +86,7 @@ impl BspProgram for EnvSweep {
                         // Empty chunk: nothing to sweep, nothing to forward.
                         return Step::Continue;
                     }
-                    Some(idx) => (
-                        firsts[idx].1,
-                        firsts.get(idx + 1).map_or(i64::MAX, |&(_, x)| x),
-                    ),
+                    Some(idx) => (firsts[idx].1, firsts.get(idx + 1).map_or(i64::MAX, |&(_, x)| x)),
                 };
                 // Forward opens whose interval extends past my slab end to
                 // every later nonempty processor whose slab it reaches.
@@ -230,19 +227,12 @@ pub fn cgm_lower_envelope_with_budget<E: Executor>(
         .iter()
         .enumerate()
         .flat_map(|(id, &(x1, x2, y))| {
-            [
-                (x1, 1u8, id as u64, x1, x2, y),
-                (x2, 0u8, id as u64, x1, x2, y),
-            ]
+            [(x1, 1u8, id as u64, x1, x2, y), (x2, 0u8, id as u64, x1, x2, y)]
         })
         .collect();
     let n = events.len();
     let sorted = cgm_sort(exec, v, events)?;
-    let prog = EnvSweep {
-        chunk: n.div_ceil(v).max(1),
-        v,
-        max_crossings,
-    };
+    let prog = EnvSweep { chunk: n.div_ceil(v).max(1), v, max_crossings };
     let states = distribute(sorted, v)
         .into_iter()
         .map(|events| EnvState { events, out: Vec::new() })
@@ -266,10 +256,8 @@ pub fn seq_lower_envelope(segments: &[(i64, i64, i64)]) -> Vec<(i64, Option<i64>
     if segments.is_empty() {
         return Vec::new();
     }
-    let mut events: Vec<(i64, u8, i64)> = segments
-        .iter()
-        .flat_map(|&(x1, x2, y)| [(x1, 1u8, y), (x2, 0u8, y)])
-        .collect();
+    let mut events: Vec<(i64, u8, i64)> =
+        segments.iter().flat_map(|&(x1, x2, y)| [(x1, 1u8, y), (x2, 0u8, y)]).collect();
     events.sort_unstable();
     let mut active: BTreeMap<i64, u32> = BTreeMap::new();
     let mut out: Vec<(i64, Option<i64>)> = Vec::new();
@@ -331,14 +319,7 @@ mod tests {
         let got = cgm_lower_envelope(&SeqExecutor, 3, &segs).unwrap();
         assert_eq!(
             got,
-            vec![
-                (0, Some(5)),
-                (2, Some(3)),
-                (4, Some(1)),
-                (6, Some(3)),
-                (8, Some(5)),
-                (10, None)
-            ]
+            vec![(0, Some(5)), (2, Some(3)), (4, Some(1)), (6, Some(3)), (8, Some(5)), (10, None)]
         );
     }
 

@@ -102,10 +102,8 @@ pub fn cgm_convex_hull_with_budget<E: Executor>(
     let n = points.len();
     let sorted = cgm_sort(exec, v, points)?;
     let prog = HullGather { chunk: n.div_ceil(v).max(1), max_hull_points };
-    let states = distribute(sorted, v)
-        .into_iter()
-        .map(|pts| HullState { pts, hull: Vec::new() })
-        .collect();
+    let states =
+        distribute(sorted, v).into_iter().map(|pts| HullState { pts, hull: Vec::new() }).collect();
     let res = exec.execute(&prog, states)?;
     Ok(res.states.into_iter().next().expect("processor 0").hull)
 }
@@ -132,15 +130,13 @@ pub fn monotone_chain(points: &[Point2]) -> Vec<Point2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev() {
-        while hull.len() >= lower_len
-            && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
-        {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0 {
             hull.pop();
         }
         hull.push(p);
     }
     hull.pop(); // last point repeats the first
-    // Degenerate all-collinear input: the two passes leave [a, b].
+                // Degenerate all-collinear input: the two passes leave [a, b].
     hull
 }
 
@@ -158,12 +154,8 @@ mod tests {
 
     #[test]
     fn square_with_interior_points() {
-        let mut pts = vec![
-            Point2::new(0, 0),
-            Point2::new(10, 0),
-            Point2::new(10, 10),
-            Point2::new(0, 10),
-        ];
+        let mut pts =
+            vec![Point2::new(0, 0), Point2::new(10, 0), Point2::new(10, 10), Point2::new(0, 10)];
         for i in 1..9 {
             pts.push(Point2::new(i, 5));
         }
@@ -206,9 +198,8 @@ mod tests {
     #[test]
     fn hull_is_convex_and_contains_all_points() {
         let mut rng = StdRng::seed_from_u64(7);
-        let pts: Vec<Point2> = (0..200)
-            .map(|_| Point2::new(rng.gen_range(-50..50), rng.gen_range(-50..50)))
-            .collect();
+        let pts: Vec<Point2> =
+            (0..200).map(|_| Point2::new(rng.gen_range(-50..50), rng.gen_range(-50..50))).collect();
         let hull = cgm_convex_hull(&SeqExecutor, 5, pts.clone()).unwrap();
         let m = hull.len();
         // Strictly convex turns.

@@ -62,11 +62,7 @@ impl Staircase {
         // Remove entries weakly dominated by the new point: y' ≤ y, z' ≤ z.
         // They form a suffix of entries[..idx] (z grows towards smaller y),
         // plus possibly one same-y entry at idx with smaller z.
-        let end = if idx < self.entries.len() && self.entries[idx].0 == y {
-            idx + 1
-        } else {
-            idx
-        };
+        let end = if idx < self.entries.len() && self.entries[idx].0 == y { idx + 1 } else { idx };
         let mut first = idx;
         while first > 0 && self.entries[first - 1].1 <= z {
             first -= 1;
@@ -133,8 +129,8 @@ impl BspProgram for MaximaSweep {
                 let mut local = Staircase::default();
                 let mut maxima = Vec::new();
                 for p in state.pts.iter().rev() {
-                    let dominated = local.dominates(p.y, p.z)
-                        || received.iter().any(|s| s.dominates(p.y, p.z));
+                    let dominated =
+                        local.dominates(p.y, p.z) || received.iter().any(|s| s.dominates(p.y, p.z));
                     if !dominated {
                         maxima.push(*p);
                     }
@@ -195,11 +191,7 @@ pub fn seq_maxima3d(points: &[Point3]) -> Vec<Point3> {
     let mut out: Vec<Point3> = points
         .iter()
         .copied()
-        .filter(|p| {
-            !points
-                .iter()
-                .any(|q| q.x > p.x && q.y > p.y && q.z > p.z)
-        })
+        .filter(|p| !points.iter().any(|q| q.x > p.x && q.y > p.y && q.z > p.z))
         .collect();
     out.sort_unstable();
     out.dedup();
@@ -210,8 +202,8 @@ pub fn seq_maxima3d(points: &[Point3]) -> Vec<Point3> {
 mod tests {
     use super::*;
     use em_bsp::SeqExecutor;
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::{Rng, SeedableRng};
 
     fn random_points(n: usize, seed: u64) -> Vec<Point3> {
@@ -265,10 +257,7 @@ mod tests {
     #[test]
     fn duplicate_x_rejected() {
         let pts = vec![Point3::new(1, 2, 3), Point3::new(1, 5, 6)];
-        assert!(matches!(
-            cgm_maxima3d(&SeqExecutor, 2, pts),
-            Err(AlgoError::Input(_))
-        ));
+        assert!(matches!(cgm_maxima3d(&SeqExecutor, 2, pts), Err(AlgoError::Input(_))));
     }
 
     #[test]

@@ -44,8 +44,7 @@ impl BspProgram for PredScan {
         match step {
             0 => {
                 // Announce my largest key (if any) to all higher processors.
-                if let Some(&(val, _, _)) =
-                    state.items.iter().rev().find(|&&(_, tag, _)| tag == 0)
+                if let Some(&(val, _, _)) = state.items.iter().rev().find(|&&(_, tag, _)| tag == 0)
                 {
                     for dst in mb.pid() + 1..mb.nprocs() {
                         mb.send(dst, val);
@@ -54,12 +53,7 @@ impl BspProgram for PredScan {
                 Step::Continue
             }
             _ => {
-                let mut last = mb
-                    .take_incoming()
-                    .iter()
-                    .map(|e| e.msg)
-                    .max()
-                    .unwrap_or(i64::MIN);
+                let mut last = mb.take_incoming().iter().map(|e| e.msg).max().unwrap_or(i64::MIN);
                 let mut answers = Vec::new();
                 for &(val, tag, id) in &state.items {
                     if tag == 0 {

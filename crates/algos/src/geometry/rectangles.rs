@@ -47,11 +47,7 @@ impl CoverageTree {
     pub fn new(ys: Vec<i64>) -> Self {
         debug_assert!(ys.windows(2).all(|w| w[0] < w[1]));
         let slots = ys.len().saturating_sub(1).max(1);
-        CoverageTree {
-            ys,
-            count: vec![0; 4 * slots],
-            covered: vec![0; 4 * slots],
-        }
+        CoverageTree { ys, count: vec![0; 4 * slots], covered: vec![0; 4 * slots] }
     }
 
     /// Total covered length.
@@ -183,8 +179,8 @@ impl BspProgram for AreaSweep {
                     .filter(|e| e.msg.0 == 1)
                     .map(|e| Rect::new(slab_start, e.msg.1, e.msg.2, e.msg.3))
                     .collect();
-                state.area = sweep_slab_area(&state.events, &crossings, slab_start, slab_end)
-                    as u64;
+                state.area =
+                    sweep_slab_area(&state.events, &crossings, slab_start, slab_end) as u64;
                 state.bounds.clear();
                 Step::Halt
             }
@@ -202,12 +198,7 @@ impl BspProgram for AreaSweep {
 
 /// Sweep one slab: classical coverage-tree area sweep over the x-range
 /// `[slab_start, slab_end)`, seeded with the crossing rectangles.
-fn sweep_slab_area(
-    events: &[REvent],
-    crossings: &[Rect],
-    slab_start: i64,
-    slab_end: i64,
-) -> i64 {
+fn sweep_slab_area(events: &[REvent], crossings: &[Rect], slab_start: i64, slab_end: i64) -> i64 {
     // y-coordinate universe of everything active in this slab.
     let mut ys: Vec<i64> = events
         .iter()
@@ -278,11 +269,7 @@ pub fn cgm_union_area_with_budget<E: Executor>(
         .collect();
     let n = events.len();
     let sorted = cgm_sort(exec, v, events)?;
-    let prog = AreaSweep {
-        chunk: n.div_ceil(v).max(1),
-        v,
-        max_crossings,
-    };
+    let prog = AreaSweep { chunk: n.div_ceil(v).max(1), v, max_crossings };
     let states = distribute(sorted, v)
         .into_iter()
         .map(|events| AreaState { events, area: 0, bounds: Vec::new() })
@@ -296,10 +283,8 @@ pub fn seq_union_area(rects: &[Rect]) -> u64 {
     if rects.is_empty() {
         return 0;
     }
-    let mut events: Vec<(i64, u8, Rect)> = rects
-        .iter()
-        .flat_map(|&r| [(r.x1, 1u8, r), (r.x2, 0u8, r)])
-        .collect();
+    let mut events: Vec<(i64, u8, Rect)> =
+        rects.iter().flat_map(|&r| [(r.x1, 1u8, r), (r.x2, 0u8, r)]).collect();
     events.sort_unstable_by_key(|&(x, typ, _)| (x, typ));
     let mut ys: Vec<i64> = rects.iter().flat_map(|r| [r.y1, r.y2]).collect();
     ys.sort_unstable();

@@ -125,7 +125,12 @@ impl BspProgram for UniSeparable {
     /// `(set_tag, min_proj, max_proj)` per processor.
     type Msg = (u8, i64, i64);
 
-    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, i64, i64)>, state: &mut UniState) -> Step {
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, i64, i64)>,
+        state: &mut UniState,
+    ) -> Step {
         match step {
             0 => {
                 for tag in [0u8, 1] {
@@ -195,19 +200,14 @@ pub fn cgm_separable_in_direction<E: Executor>(
         return Err(AlgoError::Input("coordinates/direction must fit 31 bits".into()));
     }
     let proj = |p: &Point2| p.x * dir.0 + p.y * dir.1;
-    let tagged: Vec<(i64, u8)> = a
-        .iter()
-        .map(|p| (proj(p), 0u8))
-        .chain(b.iter().map(|p| (proj(p), 1u8)))
-        .collect();
+    let tagged: Vec<(i64, u8)> =
+        a.iter().map(|p| (proj(p), 0u8)).chain(b.iter().map(|p| (proj(p), 1u8))).collect();
     if tagged.is_empty() {
         return Ok(true);
     }
     let prog = UniSeparable { chunk: tagged.len().div_ceil(v).max(1) };
-    let states = distribute(tagged, v)
-        .into_iter()
-        .map(|proj| UniState { proj, verdict: 0 })
-        .collect();
+    let states =
+        distribute(tagged, v).into_iter().map(|proj| UniState { proj, verdict: 0 }).collect();
     let res = exec.execute(&prog, states)?;
     Ok(res.states[0].verdict != 0)
 }

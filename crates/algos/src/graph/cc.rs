@@ -73,11 +73,8 @@ impl BspProgram for HookCompress {
                 // Edge queries: for edge i ask owners of u and v for their
                 // parents. kind 0 = u-side, 1 = v-side. Token = edge index
                 // local to me, so replies can be matched.
-                state.lookups = state
-                    .edges
-                    .iter()
-                    .map(|&(_, _, _)| (0, u64::MAX, u64::MAX))
-                    .collect();
+                state.lookups =
+                    state.edges.iter().map(|&(_, _, _)| (0, u64::MAX, u64::MAX)).collect();
                 for (i, &(u, v, _)) in state.edges.iter().enumerate() {
                     state.lookups[i].0 = i as u64;
                     mb.send(self.vmap.owner(u as usize), (0, u, i as u64, 0));
@@ -215,11 +212,8 @@ pub fn cgm_connected_components<E: Executor>(
         }
     }
     let vmap = ChunkMap { n, v };
-    let tagged: Vec<(u64, u64, u64)> = edges
-        .iter()
-        .enumerate()
-        .map(|(i, &(a, b))| (a, b, i as u64))
-        .collect();
+    let tagged: Vec<(u64, u64, u64)> =
+        edges.iter().enumerate().map(|(i, &(a, b))| (a, b, i as u64)).collect();
     let echunks = distribute(tagged, v);
     let mut states = Vec::with_capacity(v);
     for (pid, edges) in echunks.into_iter().enumerate() {
@@ -306,11 +300,7 @@ mod tests {
         assert_eq!(got.label, want);
         // The forest connects exactly what the graph connects: rebuild CC
         // from forest edges and compare.
-        let forest: Vec<(u64, u64)> = got
-            .forest_edges
-            .iter()
-            .map(|&i| edges[i as usize])
-            .collect();
+        let forest: Vec<(u64, u64)> = got.forest_edges.iter().map(|&i| edges[i as usize]).collect();
         let rebuilt = seq_connected_components(n, &forest);
         assert_eq!(rebuilt, want, "forest spans differently");
         // Forest has exactly n - #components edges.

@@ -53,7 +53,15 @@ pub struct CtState {
     pub rank: Vec<u64>,
 }
 impl_serial_struct!(CtState {
-    start, succ, pred, w, alive, splice_t, splice_w, splice_round, rank
+    start,
+    succ,
+    pred,
+    w,
+    alive,
+    splice_t,
+    splice_w,
+    splice_round,
+    rank
 });
 
 /// Contraction stage: one superstep per round. Superstep 0 additionally
@@ -70,7 +78,12 @@ impl BspProgram for Contract {
     /// `(p, new_succ, folded_w)`; 2: set-pred `(t, new_pred, _)`.
     type Msg = (u8, u64, u64, u64);
 
-    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, u64, u64, u64)>, state: &mut CtState) -> Step {
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, u64, u64, u64)>,
+        state: &mut CtState,
+    ) -> Step {
         if step == 0 {
             for (l, &s) in state.succ.iter().enumerate() {
                 if s != NIL {
@@ -165,7 +178,12 @@ impl BspProgram for Unwind {
     /// `(s, rank_t, _)`.
     type Msg = (u8, u64, u64, u64);
 
-    fn superstep(&self, step: usize, mb: &mut Mailbox<(u8, u64, u64, u64)>, state: &mut CtState) -> Step {
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut Mailbox<(u8, u64, u64, u64)>,
+        state: &mut CtState,
+    ) -> Step {
         // Even steps: apply replies, then issue queries for the next
         // reverse round; odd steps: answer queries.
         if step % 2 == 0 {

@@ -44,9 +44,7 @@ pub struct EbState {
     /// Position of the tour's first arc (first arc out of the root).
     pub head_root: u64,
 }
-impl_serial_struct!(EbState {
-    start, arcs, succ, ranges, heads, waiting, pending, head_root
-});
+impl_serial_struct!(EbState { start, arcs, succ, ranges, heads, waiting, pending, head_root });
 
 /// The successor-construction BSP program (5 fixed supersteps).
 #[derive(Debug, Clone)]
@@ -229,11 +227,7 @@ impl BspProgram for EulerBuild {
                         .arcs
                         .binary_search(&(uu, vv))
                         .expect("twin arc owned by its range owner");
-                    state.succ[idx] = if succ_pos == state.head_root {
-                        NIL
-                    } else {
-                        succ_pos
-                    };
+                    state.succ[idx] = if succ_pos == state.head_root { NIL } else { succ_pos };
                 }
                 Step::Halt
             }
@@ -380,11 +374,7 @@ impl BspProgram for FirstVisit {
                     let idx = replies
                         .binary_search_by_key(&pos, |&(p, _)| p)
                         .expect("weight reply per arc");
-                    state.weight[i] = if replies[idx].1 == 1 {
-                        1u64
-                    } else {
-                        (-1i64) as u64
-                    };
+                    state.weight[i] = if replies[idx].1 == 1 { 1u64 } else { (-1i64) as u64 };
                 }
                 Step::Halt
             }
@@ -392,11 +382,7 @@ impl BspProgram for FirstVisit {
     }
 
     fn max_state_bytes(&self) -> usize {
-        let chunk = self
-            .m
-            .div_ceil(self.vmap.v)
-            .max(self.vmap.n.div_ceil(self.vmap.v))
-            .max(1);
+        let chunk = self.m.div_ceil(self.vmap.v).max(self.vmap.n.div_ceil(self.vmap.v)).max(1);
         256 + 24 * (chunk + 2) + 8 * 4 * (chunk + 2)
     }
 
@@ -492,11 +478,8 @@ pub fn cgm_euler_tree<E: Executor>(
 
     // Stage 4: first visits, parents, sizes, ±1 weights.
     let vmap = ChunkMap { n: n_vertices, v };
-    let arc_recs: Vec<(u64, u64, u64)> = sorted
-        .iter()
-        .zip(&tour_pos)
-        .map(|(&(u, vv), &pos)| (u, vv, pos))
-        .collect();
+    let arc_recs: Vec<(u64, u64, u64)> =
+        sorted.iter().zip(&tour_pos).map(|(&(u, vv), &pos)| (u, vv, pos)).collect();
     let chunks = distribute(arc_recs, v);
     let mut states = Vec::with_capacity(v);
     for (pid, chunk) in chunks.into_iter().enumerate() {
@@ -625,9 +608,7 @@ mod tests {
         for _ in 0..5 {
             let n = rng.gen_range(20..80);
             // Random attachment tree.
-            let edges: Vec<(u64, u64)> = (1..n as u64)
-                .map(|i| (rng.gen_range(0..i), i))
-                .collect();
+            let edges: Vec<(u64, u64)> = (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
             let root = rng.gen_range(0..n as u64);
             check_tree(n, &edges, root, 5);
         }

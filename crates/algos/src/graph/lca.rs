@@ -102,16 +102,11 @@ impl BspProgram for RmqBatch {
                 Step::Continue
             }
             _ => {
-                let mut subs: Vec<(u64, Entry)> = mb
-                    .take_incoming()
-                    .into_iter()
-                    .map(|e| (e.msg.1, (e.msg.2, e.msg.3)))
-                    .collect();
+                let mut subs: Vec<(u64, Entry)> =
+                    mb.take_incoming().into_iter().map(|e| (e.msg.1, (e.msg.2, e.msg.3))).collect();
                 subs.sort_unstable();
                 let lookup = |key: u64| -> Option<Entry> {
-                    subs.binary_search_by_key(&key, |&(k, _)| k)
-                        .ok()
-                        .map(|i| subs[i].1)
+                    subs.binary_search_by_key(&key, |&(k, _)| k).ok().map(|i| subs[i].1)
                 };
                 let mut answers = Vec::with_capacity(state.queries.len());
                 for (qi, &(l, r, qid)) in state.queries.iter().enumerate() {
@@ -167,11 +162,8 @@ pub fn cgm_batched_rmq<E: Executor>(
         }
     }
     let map = ChunkMap { n: seq.len(), v };
-    let tagged: Vec<(u64, u64, u64)> = ranges
-        .iter()
-        .enumerate()
-        .map(|(i, &(l, r))| (l, r, i as u64))
-        .collect();
+    let tagged: Vec<(u64, u64, u64)> =
+        ranges.iter().enumerate().map(|(i, &(l, r))| (l, r, i as u64)).collect();
     let qchunks = distribute(tagged, v);
     let schunks = distribute(seq.to_vec(), v);
     let mut states = Vec::with_capacity(v);
@@ -235,10 +227,7 @@ pub fn cgm_batched_lca<E: Executor>(
             0
         } else {
             // enter arc position + 1 (driver glue on already-local data).
-            let arc_idx = info
-                .arcs
-                .binary_search(&(parent, vx as u64))
-                .expect("enter arc exists");
+            let arc_idx = info.arcs.binary_search(&(parent, vx as u64)).expect("enter arc exists");
             info.tour_pos[arc_idx] + 1
         };
     }
@@ -314,7 +303,8 @@ mod tests {
         assert_eq!(got, vec![2, 0, 3, 1]);
         // Star rooted at center.
         let edges: Vec<(u64, u64)> = (1..6).map(|i| (0, i)).collect();
-        let got = cgm_batched_lca(&SeqExecutor, 3, 6, &edges, 0, &[(1, 2), (3, 3), (5, 1)]).unwrap();
+        let got =
+            cgm_batched_lca(&SeqExecutor, 3, 6, &edges, 0, &[(1, 2), (3, 3), (5, 1)]).unwrap();
         assert_eq!(got, vec![0, 3, 0]);
     }
 
@@ -323,17 +313,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         for _ in 0..4 {
             let n = rng.gen_range(10..80);
-            let edges: Vec<(u64, u64)> =
-                (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
+            let edges: Vec<(u64, u64)> = (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
             let root = rng.gen_range(0..n as u64);
             let (parent, depth, _) = seq_tree_info(n, &edges, root);
-            let queries: Vec<(u64, u64)> = (0..60)
-                .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
-                .collect();
-            let want: Vec<u64> = queries
-                .iter()
-                .map(|&(a, b)| seq_lca(&parent, &depth, a, b))
-                .collect();
+            let queries: Vec<(u64, u64)> =
+                (0..60).map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64))).collect();
+            let want: Vec<u64> =
+                queries.iter().map(|&(a, b)| seq_lca(&parent, &depth, a, b)).collect();
             let got = cgm_batched_lca(&SeqExecutor, 5, n, &edges, root, &queries).unwrap();
             assert_eq!(got, want, "n={n} root={root}");
         }

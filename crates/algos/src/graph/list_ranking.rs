@@ -249,10 +249,7 @@ mod tests {
 
     #[test]
     fn bad_input_rejected() {
-        assert!(matches!(
-            cgm_list_rank(&SeqExecutor, 2, &[5], &[1]),
-            Err(AlgoError::Input(_))
-        ));
+        assert!(matches!(cgm_list_rank(&SeqExecutor, 2, &[5], &[1]), Err(AlgoError::Input(_))));
         assert!(matches!(
             cgm_list_rank(&SeqExecutor, 2, &[NIL], &[1, 2]),
             Err(AlgoError::Input(_))

@@ -27,11 +27,7 @@ pub struct PermuteProg<T> {
 impl<T> PermuteProg<T> {
     /// Program for routing `n` records over `v` processors.
     pub fn new(n: usize, v: usize, item_bytes: usize) -> Self {
-        PermuteProg {
-            map: ChunkMap { n, v },
-            item_bytes,
-            _marker: std::marker::PhantomData,
-        }
+        PermuteProg { map: ChunkMap { n, v }, item_bytes, _marker: std::marker::PhantomData }
     }
 }
 
@@ -115,17 +111,9 @@ pub fn cgm_permute<E: Executor, T: Rec>(
     let item_bytes = max_item_bytes(&items);
     let tagged: Vec<(u64, T)> = perm.iter().map(|&d| d as u64).zip(items).collect();
     let prog = PermuteProg::<T>::new(n, v, item_bytes);
-    let states = distribute(tagged, v)
-        .into_iter()
-        .map(|data| PermuteState { data })
-        .collect();
+    let states = distribute(tagged, v).into_iter().map(|data| PermuteState { data }).collect();
     let res = exec.execute(&prog, states)?;
-    Ok(res
-        .states
-        .into_iter()
-        .flat_map(|s| s.data)
-        .map(|(_, item)| item)
-        .collect())
+    Ok(res.states.into_iter().flat_map(|s| s.data).map(|(_, item)| item).collect())
 }
 
 /// Sequential reference.
@@ -141,8 +129,8 @@ pub fn seq_permute<T: Clone>(items: &[T], perm: &[usize]) -> Vec<T> {
 mod tests {
     use super::*;
     use em_bsp::SeqExecutor;
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     #[test]

@@ -45,10 +45,8 @@ impl BspProgram for PrefixSums {
                 Step::Continue
             }
             _ => {
-                let offset: u64 = mb
-                    .take_incoming()
-                    .iter()
-                    .fold(0u64, |a, e| a.wrapping_add(e.msg));
+                let offset: u64 =
+                    mb.take_incoming().iter().fold(0u64, |a, e| a.wrapping_add(e.msg));
                 let mut acc = offset;
                 for x in &mut state.data {
                     acc = acc.wrapping_add(*x);
@@ -78,10 +76,7 @@ pub fn cgm_prefix_sums<E: Executor>(exec: &E, v: usize, items: Vec<u64>) -> Algo
         return Ok(items);
     }
     let prog = PrefixSums::new(items.len(), v);
-    let states = distribute(items, v)
-        .into_iter()
-        .map(|data| PrefixState { data })
-        .collect();
+    let states = distribute(items, v).into_iter().map(|data| PrefixState { data }).collect();
     let res = exec.execute(&prog, states)?;
     Ok(res.states.into_iter().flat_map(|s| s.data).collect())
 }
@@ -124,10 +119,7 @@ mod tests {
     fn edge_cases() {
         assert!(cgm_prefix_sums(&SeqExecutor, 3, vec![]).unwrap().is_empty());
         assert_eq!(cgm_prefix_sums(&SeqExecutor, 3, vec![5]).unwrap(), vec![5]);
-        assert_eq!(
-            cgm_prefix_sums(&SeqExecutor, 8, vec![1; 4]).unwrap(),
-            vec![1, 2, 3, 4]
-        );
+        assert_eq!(cgm_prefix_sums(&SeqExecutor, 8, vec![1; 4]).unwrap(), vec![1, 2, 3, 4]);
     }
 
     #[test]

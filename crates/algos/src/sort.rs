@@ -66,9 +66,8 @@ impl<T: Rec> BspProgram for SampleSortProg<T> {
                 }
                 // v regular samples of the local sorted run.
                 let len = state.data.len();
-                let samples: Vec<T> = (0..v)
-                    .filter_map(|j| state.data.get(j * len / v).cloned())
-                    .collect();
+                let samples: Vec<T> =
+                    (0..v).filter_map(|j| state.data.get(j * len / v).cloned()).collect();
                 mb.send(0, samples);
                 Step::Continue
             }
@@ -78,9 +77,8 @@ impl<T: Rec> BspProgram for SampleSortProg<T> {
                         mb.take_incoming().into_iter().flat_map(|e| e.msg).collect();
                     all.sort_unstable();
                     mb.charge(sort_cost(all.len()));
-                    let splitters: Vec<T> = (1..v)
-                        .filter_map(|i| all.get(i * all.len() / v).cloned())
-                        .collect();
+                    let splitters: Vec<T> =
+                        (1..v).filter_map(|i| all.get(i * all.len() / v).cloned()).collect();
                     for dst in 0..v {
                         mb.send(dst, splitters.clone());
                     }
@@ -88,11 +86,7 @@ impl<T: Rec> BspProgram for SampleSortProg<T> {
                 Step::Continue
             }
             2 => {
-                let splitters = mb
-                    .take_incoming()
-                    .pop()
-                    .map(|e| e.msg)
-                    .unwrap_or_default();
+                let splitters = mb.take_incoming().pop().map(|e| e.msg).unwrap_or_default();
                 let data = std::mem::take(&mut state.data);
                 mb.charge(data.len() as u64);
                 // Partition the sorted run by the splitters.
@@ -211,8 +205,7 @@ mod tests {
     #[test]
     fn sorts_tuples_by_lexicographic_order() {
         let mut rng = StdRng::seed_from_u64(3);
-        let items: Vec<(u32, u64)> =
-            (0..200).map(|_| (rng.gen_range(0..50), rng.gen())).collect();
+        let items: Vec<(u32, u64)> = (0..200).map(|_| (rng.gen_range(0..50), rng.gen())).collect();
         let want = seq_sort(items.clone());
         let got = cgm_sort(&SeqExecutor, 5, items).unwrap();
         assert_eq!(got, want);

@@ -30,8 +30,8 @@ where
 mod tests {
     use super::*;
     use em_disk::DiskConfig;
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     #[test]

@@ -68,10 +68,7 @@ impl ExternalSort {
         let per_block = (bb / T::BYTES).max(1);
         let n = items.len();
         if n == 0 {
-            return Ok((
-                items,
-                SortStats { runs: 0, passes: 0, fanout: 2, io: IoStats::new(d) },
-            ));
+            return Ok((items, SortStats { runs: 0, passes: 0, fanout: 2, io: IoStats::new(d) }));
         }
         let total_blocks = n.div_ceil(per_block);
         let mut alloc = TrackAllocator::new(d);
@@ -127,8 +124,16 @@ impl ExternalSort {
             let mut next_runs: Vec<Run> = Vec::new();
             let mut out_cursor = 0usize;
             for batch in runs.chunks(fanout) {
-                let merged =
-                    self.merge_batch::<T>(disks, batch, src_base, dst_base, &mut out_cursor, d, bb, per_block)?;
+                let merged = self.merge_batch::<T>(
+                    disks,
+                    batch,
+                    src_base,
+                    dst_base,
+                    &mut out_cursor,
+                    d,
+                    bb,
+                    per_block,
+                )?;
                 next_runs.push(merged);
             }
             runs = next_runs;
@@ -154,10 +159,7 @@ impl ExternalSort {
             g += width;
         }
 
-        Ok((
-            out,
-            SortStats { runs: initial_runs, passes, fanout, io },
-        ))
+        Ok((out, SortStats { runs: initial_runs, passes, fanout, io }))
     }
 
     /// Merge one batch of runs from `src_base` into a single run at
@@ -224,26 +226,27 @@ impl ExternalSort {
         let total_records: usize = batch.iter().map(|r| r.records).sum();
         let mut out_buf: Vec<T> = Vec::with_capacity(d * per_block);
         let mut written = 0usize;
-        let flush = |disks: &mut DiskArray, out_buf: &mut Vec<T>, cursor: &mut usize| -> DiskResult<()> {
-            let mut off = 0;
-            let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(d);
-            while off < out_buf.len() {
-                let (payload, took) = pack_block(&out_buf[off..], bb);
-                let (disk, track) = locate(dst_base, *cursor, d);
-                stripe.push((disk, track, Block::from_vec(payload)));
-                *cursor += 1;
-                off += took;
-                if stripe.len() == d {
-                    disks.write_stripe(&stripe)?;
-                    stripe.clear();
+        let flush =
+            |disks: &mut DiskArray, out_buf: &mut Vec<T>, cursor: &mut usize| -> DiskResult<()> {
+                let mut off = 0;
+                let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(d);
+                while off < out_buf.len() {
+                    let (payload, took) = pack_block(&out_buf[off..], bb);
+                    let (disk, track) = locate(dst_base, *cursor, d);
+                    stripe.push((disk, track, Block::from_vec(payload)));
+                    *cursor += 1;
+                    off += took;
+                    if stripe.len() == d {
+                        disks.write_stripe(&stripe)?;
+                        stripe.clear();
+                    }
                 }
-            }
-            if !stripe.is_empty() {
-                disks.write_stripe(&stripe)?;
-            }
-            out_buf.clear();
-            Ok(())
-        };
+                if !stripe.is_empty() {
+                    disks.write_stripe(&stripe)?;
+                }
+                out_buf.clear();
+                Ok(())
+            };
 
         while let Some(Reverse((x, i))) = heap.pop() {
             out_buf.push(x);
@@ -328,8 +331,7 @@ mod tests {
     #[test]
     fn duplicates_and_tuples() {
         let mut rng = StdRng::seed_from_u64(33);
-        let items: Vec<(u64, u64)> =
-            (0..1500).map(|_| (rng.gen_range(0..10), rng.gen())).collect();
+        let items: Vec<(u64, u64)> = (0..1500).map(|_| (rng.gen_range(0..10), rng.gen())).collect();
         let mut want = items.clone();
         want.sort_unstable();
         let (got, _) = external_sort(1024, 3, 128, items).unwrap();

@@ -32,11 +32,8 @@ pub fn pram_list_rank(
     let n = succ.len();
     let sorter = ExternalSort { m_bytes };
     // Node records: (id, ptr, rank).
-    let mut nodes: Vec<(u64, u64, u64)> = succ
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (i as u64, s, 1))
-        .collect();
+    let mut nodes: Vec<(u64, u64, u64)> =
+        succ.iter().enumerate().map(|(i, &s)| (i as u64, s, 1)).collect();
     let mut io = IoStats::new(disks.num_disks());
     let mut steps = 0usize;
 
@@ -50,18 +47,14 @@ pub fn pram_list_rank(
         // EM realization: sort read-requests by target, scan against the
         // id-sorted node table, sort replies back by requester.
         // Requests: (target, requester, _, _).
-        let requests: Vec<(u64, u64, u64, u64)> = nodes
-            .iter()
-            .filter(|&&(_, p, _)| p != NIL)
-            .map(|&(x, p, _)| (p, x, 0, 0))
-            .collect();
+        let requests: Vec<(u64, u64, u64, u64)> =
+            nodes.iter().filter(|&&(_, p, _)| p != NIL).map(|&(x, p, _)| (p, x, 0, 0)).collect();
         let (sorted_req, s1) = sorter.run(disks, requests)?;
         io.merge(&s1.io);
 
         // Scan: nodes are kept id-sorted, so a merge-scan answers all
         // requests (counts as one linear pass: n/DB reads + writes).
-        let scan_blocks =
-            (n * 24).div_ceil(disks.block_bytes()) as u64;
+        let scan_blocks = (n * 24).div_ceil(disks.block_bytes()) as u64;
         let scan_ops = 2 * scan_blocks.div_ceil(disks.num_disks() as u64);
         io.parallel_ops += scan_ops;
         io.blocks_read += scan_blocks;
@@ -105,14 +98,13 @@ mod tests {
     fn pram_pays_sort_per_step() {
         // The I/O count grows ~log n times the per-sort cost.
         let n = 512;
-        let succ: Vec<u64> = (0..n as u64)
-            .map(|i| if i + 1 < n as u64 { i + 1 } else { NIL })
-            .collect();
+        let succ: Vec<u64> =
+            (0..n as u64).map(|i| if i + 1 < n as u64 { i + 1 } else { NIL }).collect();
         let mut disks = DiskArray::new_memory(DiskConfig::new(2, 64).unwrap());
         let (ranks, io, steps) = pram_list_rank(&mut disks, 1024, &succ).unwrap();
         assert_eq!(ranks[0], n as u64);
         assert!(steps >= 9); // log2(512)
-        // Far more than a couple of linear passes over the data.
+                             // Far more than a couple of linear passes over the data.
         let linear_pass = (n as u64 * 32) / 64 / 2;
         assert!(io.parallel_ops > 10 * linear_pass, "ops = {}", io.parallel_ops);
     }

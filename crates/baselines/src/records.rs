@@ -51,9 +51,7 @@ pub fn pack_block<T: FixedRec>(items: &[T], block_bytes: usize) -> (Vec<u8>, usi
 /// Decode `count` records from a block payload.
 pub fn unpack_block<T: FixedRec>(bytes: &[u8], count: usize) -> Vec<T> {
     let mut r = em_serial::Reader::new(bytes);
-    (0..count)
-        .map(|_| T::decode(&mut r).expect("packed records decode"))
-        .collect()
+    (0..count).map(|_| T::decode(&mut r).expect("packed records decode")).collect()
 }
 
 #[cfg(test)]

@@ -10,8 +10,10 @@
 //! Results are identical to `em_bsp::run_sequential` — correctness is not
 //! the difference, cost is.
 
+use em_bsp::{
+    BspProgram, CommLedger, Envelope, ExecError, Mailbox, RunResult, Step, SuperstepComm,
+};
 use em_disk::{Block, DiskArray, DiskConfig, IoStats};
-use em_bsp::{BspProgram, Envelope, ExecError, Mailbox, RunResult, Step, CommLedger, SuperstepComm};
 use em_serial::{from_bytes, to_bytes, Serial};
 
 /// Runner configuration.
@@ -51,27 +53,25 @@ impl SibeynRunner {
         // Layout on the single disk: contexts, then two v×v matrices
         // (ping/pong so messages written this superstep are read next).
         let ctx_base = 0usize;
-        let mat_base = [
-            ctx_base + v * ctx_blocks,
-            ctx_base + v * ctx_blocks + v * v * cell_blocks,
-        ];
-        let cell_track =
-            |mat: usize, i: usize, j: usize| mat_base[mat] + (i * v + j) * cell_blocks;
+        let mat_base = [ctx_base + v * ctx_blocks, ctx_base + v * ctx_blocks + v * v * cell_blocks];
+        let cell_track = |mat: usize, i: usize, j: usize| mat_base[mat] + (i * v + j) * cell_blocks;
 
         // Write a byte region (length-prefixed) at consecutive tracks.
-        let write_region = |disks: &mut DiskArray, track: usize, cap_blocks: usize, bytes: &[u8]| {
-            let mut framed = Vec::with_capacity(4 + bytes.len());
-            framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
-            framed.extend_from_slice(bytes);
-            assert!(framed.len() <= cap_blocks * bb, "region overflow");
-            for (k, chunk) in framed.chunks(bb).enumerate() {
-                disks.write_block(0, track + k, Block::from_bytes_padded(chunk, bb))?;
-            }
-            em_disk::DiskResult::Ok(())
-        };
+        let write_region =
+            |disks: &mut DiskArray, track: usize, cap_blocks: usize, bytes: &[u8]| {
+                let mut framed = Vec::with_capacity(4 + bytes.len());
+                framed.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                framed.extend_from_slice(bytes);
+                assert!(framed.len() <= cap_blocks * bb, "region overflow");
+                for (k, chunk) in framed.chunks(bb).enumerate() {
+                    disks.write_block(0, track + k, Block::from_bytes_padded(chunk, bb))?;
+                }
+                em_disk::DiskResult::Ok(())
+            };
         let read_region = |disks: &mut DiskArray, track: usize, cap_blocks: usize| {
             let first = disks.read_block(0, track)?;
-            let len = u32::from_le_bytes(first.as_bytes()[..4].try_into().expect("prefix")) as usize;
+            let len =
+                u32::from_le_bytes(first.as_bytes()[..4].try_into().expect("prefix")) as usize;
             let mut bytes = first.as_bytes()[4..].to_vec();
             let mut k = 1;
             while bytes.len() < len {
@@ -124,10 +124,8 @@ impl SibeynRunner {
                     }
                 }
                 inbox.sort_by_key(|&(src, seq, _)| (src, seq));
-                let recv_bytes: u64 = inbox
-                    .iter()
-                    .map(|(_, _, e)| e.msg.encoded_len() as u64)
-                    .sum();
+                let recv_bytes: u64 =
+                    inbox.iter().map(|(_, _, e)| e.msg.encoded_len() as u64).sum();
                 let incoming = inbox.into_iter().map(|(_, _, e)| e).collect();
 
                 let mut mb = Mailbox::new(j, v, incoming);
@@ -159,10 +157,7 @@ impl SibeynRunner {
                         continue;
                     }
                     if bytes.len() + 4 > cell_blocks * bb {
-                        return Err(format!(
-                            "cell ({j},{dst}) overflows γ = {gamma} bytes"
-                        )
-                        .into());
+                        return Err(format!("cell ({j},{dst}) overflows γ = {gamma} bytes").into());
                     }
                     write_region(&mut disks, cell_track(nxt, j, dst), cell_blocks, &bytes)?;
                     fill[nxt][j * v + dst] = bytes.len();

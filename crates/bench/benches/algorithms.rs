@@ -37,9 +37,7 @@ fn bench_graph(c: &mut Criterion) {
     let edges = random_graph(n, 2 * n, 6);
     g.bench_function("simulated_cc_10k", |b| {
         let sim = SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048));
-        b.iter(|| {
-            em_algos::graph::cc::cgm_connected_components(&sim, 32, n, &edges).unwrap()
-        });
+        b.iter(|| em_algos::graph::cc::cgm_connected_components(&sim, 32, n, &edges).unwrap());
     });
     let succ = em_algos::graph::list_ranking::random_chain(n, 7);
     let w = vec![1u64; n];

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use em_bsp::{BspProgram, Mailbox, Step};
 use em_core::{
-    scatter_messages, simulate_routing, EmMachine, MsgGeometry, OutMsg, ParEmSimulator,
-    Placement, ScratchState, SeqEmSimulator,
+    scatter_messages, simulate_routing, EmMachine, MsgGeometry, OutMsg, ParEmSimulator, Placement,
+    ScratchState, SeqEmSimulator,
 };
 use em_disk::{DiskArray, DiskConfig, TrackAllocator};
 use rand::rngs::StdRng;
@@ -23,8 +23,7 @@ fn bench_scatter_and_routing(c: &mut Criterion) {
     g.bench_function("scatter_plus_simulate_routing_512KiB", |bch| {
         bch.iter(|| {
             let mut alloc = TrackAllocator::new(d);
-            let geom =
-                MsgGeometry::allocate(&mut alloc, v, k, per_group_bytes * 2, d, b).unwrap();
+            let geom = MsgGeometry::allocate(&mut alloc, v, k, per_group_bytes * 2, d, b).unwrap();
             let mut disks = DiskArray::new_memory(DiskConfig::new(d, b).unwrap());
             let mut scratch = ScratchState::new(&geom);
             let mut rng = StdRng::seed_from_u64(1);
@@ -38,7 +37,13 @@ fn bench_scatter_and_routing(c: &mut Criterion) {
                     })
                     .collect();
                 scatter_messages(
-                    &mut disks, &mut alloc, &geom, &mut scratch, src_group, msgs, &mut rng,
+                    &mut disks,
+                    &mut alloc,
+                    &geom,
+                    &mut scratch,
+                    src_group,
+                    msgs,
+                    &mut rng,
                     Placement::Random,
                 )
                 .unwrap();

@@ -11,9 +11,7 @@ fn bench_codec(c: &mut Criterion) {
     let v: Vec<(u64, u64)> = (0..4096).map(|i| (i, i * 7)).collect();
     let bytes = to_bytes(&v);
     g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_vec_4096_pairs", |b| {
-        b.iter(|| to_bytes(std::hint::black_box(&v)))
-    });
+    g.bench_function("encode_vec_4096_pairs", |b| b.iter(|| to_bytes(std::hint::black_box(&v))));
     g.bench_function("decode_vec_4096_pairs", |b| {
         b.iter(|| from_bytes::<Vec<(u64, u64)>>(std::hint::black_box(&bytes)).unwrap())
     });
@@ -27,9 +25,8 @@ fn bench_disk_array(c: &mut Criterion) {
         g.throughput(Throughput::Bytes((d * 4096) as u64));
         g.bench_with_input(BenchmarkId::new("memory_stripe_rw", d), &d, |b, &d| {
             let mut arr = DiskArray::new_memory(cfg);
-            let writes: Vec<_> = (0..d)
-                .map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096)))
-                .collect();
+            let writes: Vec<_> =
+                (0..d).map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096))).collect();
             let addrs: Vec<_> = (0..d).map(|i| (i, 0usize)).collect();
             b.iter(|| {
                 arr.write_stripe(std::hint::black_box(&writes)).unwrap();
@@ -41,9 +38,8 @@ fn bench_disk_array(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("em-bench-disk-{}", std::process::id()));
     let cfg = DiskConfig::new(4, 4096).unwrap();
     let mut arr = DiskArray::new_file(cfg, &dir).unwrap();
-    let writes: Vec<_> = (0..4)
-        .map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096)))
-        .collect();
+    let writes: Vec<_> =
+        (0..4).map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096))).collect();
     let addrs: Vec<_> = (0..4).map(|i| (i, 0usize)).collect();
     g.throughput(Throughput::Bytes(4 * 4096));
     g.bench_function("file_stripe_rw_d4", |b| {

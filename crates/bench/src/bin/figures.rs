@@ -3,18 +3,33 @@
 //!
 //! Usage: `figures [experiment] [--json]` with experiment ∈ {blocking,
 //! disks, procs, balance, fig2, lambda, sibeyn, group-size, det-vs-rand,
-//! all}.
+//! contraction, obs2, all}.
+//!
+//! The `disks` and `procs` sweeps emit both memory-backend rows (counted
+//! parallel I/O ops — the primary signal) and file-backend rows whose
+//! wall-clock column is the secondary signal: real positional file I/O,
+//! serial vs worker-per-drive parallel stripe execution (see DESIGN.md
+//! §3.2.2 for when each signal is authoritative).
 
-use em_bench::measure::{machine, measure_par, measure_seq};
+use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, measure_seq_file};
 use em_bench::report::{print_json, print_table, Row};
 use em_bench::workloads::*;
 use em_core::theory;
 use em_core::{scatter_messages, simulate_routing, MsgGeometry, OutMsg, Placement, ScratchState};
-use em_disk::{DiskArray, DiskConfig, TrackAllocator};
+use em_disk::{DiskArray, DiskConfig, IoMode, TrackAllocator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 const SEED: u64 = 0xF16;
+
+/// Scratch directory for one file-backed sweep variant; wiped before and
+/// after use so reruns start from empty drive files.
+fn sweep_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("em-figures-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
 
 /// F-blocking: the ×B penalty of unblocked I/O (intro's "factor 10³").
 fn fig_blocking() -> Vec<Row> {
@@ -24,9 +39,8 @@ fn fig_blocking() -> Vec<Row> {
     let mut blocked_at_4096 = 1u64;
     for b in [64usize, 256, 1024, 4096] {
         let mut disks = DiskArray::new_memory(DiskConfig::new(1, b).unwrap());
-        let (_, stats) = em_baselines::ExternalSort { m_bytes: 4096 }
-            .run(&mut disks, items.clone())
-            .unwrap();
+        let (_, stats) =
+            em_baselines::ExternalSort { m_bytes: 4096 }.run(&mut disks, items.clone()).unwrap();
         if b == 4096 {
             blocked_at_4096 = stats.io.parallel_ops.max(1);
         }
@@ -63,7 +77,12 @@ fn fig_blocking() -> Vec<Row> {
     rows
 }
 
-/// F-disks: I/O operations vs D — the ×D parallel-disk speedup.
+/// F-disks: I/O operations vs D — the ×D parallel-disk speedup. The
+/// memory rows carry the counted-ops claim; the file rows add the
+/// secondary wall-clock signal, comparing serial stripe execution (the
+/// pre-engine behaviour: one drive after another, flat in D) against the
+/// worker-per-drive parallel engine (wall clock should fall as D grows on
+/// a multi-core host).
 fn fig_disks() -> Vec<Row> {
     let n = 100_000usize;
     let items = random_u64(n, SEED + 1);
@@ -88,11 +107,36 @@ fn fig_disks() -> Vec<Row> {
             wall_ms: cost.wall_ms,
             note: format!("speedup {:.2}x vs D=1", base as f64 / cost.io_ops as f64),
         });
+        for (mode, tag) in [(IoMode::Serial, "serial io"), (IoMode::Parallel, "parallel io")] {
+            let dir = sweep_dir(&format!("disks-d{d}-{tag}"));
+            let (_, fcost) = measure_seq_file(machine(1, m, d, 2048), SEED, &dir, mode, |rec| {
+                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+            });
+            std::fs::remove_dir_all(&dir).ok();
+            assert_eq!(
+                fcost.io_ops, cost.io_ops,
+                "file backend must count the same parallel I/O ops as memory"
+            );
+            rows.push(Row {
+                id: "F-disks".into(),
+                variant: format!("file sort D={d} ({tag})"),
+                n,
+                io_ops: fcost.io_ops,
+                predicted: base as f64 / d as f64,
+                lambda: fcost.lambda,
+                utilization: fcost.utilization,
+                wall_ms: fcost.wall_ms,
+                note: "wall clock is the signal on file rows".into(),
+            });
+        }
     }
     rows
 }
 
-/// F-procs: per-processor I/O and wall time vs p (Theorem 1 scaling).
+/// F-procs: per-processor I/O and wall time vs p (Theorem 1 scaling). The
+/// file rows run every processor's disks through the parallel engine
+/// (p·D I/O worker threads), adding a durable-write wall-clock column
+/// next to the counted per-processor ops.
 fn fig_procs() -> Vec<Row> {
     let n = 120_000usize;
     let items = random_u64(n, SEED + 2);
@@ -126,6 +170,32 @@ fn fig_procs() -> Vec<Row> {
                 base as f64 / per_proc.max(1) as f64,
                 cost.real_comm_bytes / 1024
             ),
+        });
+        let dir = sweep_dir(&format!("procs-p{p}"));
+        let (_, fcost) = if p == 1 {
+            measure_seq_file(machine(1, 1 << 18, 4, 2048), SEED, &dir, IoMode::Parallel, |rec| {
+                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+            })
+        } else {
+            measure_par_file(machine(p, 1 << 18, 4, 2048), SEED, &dir, IoMode::Parallel, |rec| {
+                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+            })
+        };
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            fcost.io_ops, cost.io_ops,
+            "file backend must count the same parallel I/O ops as memory"
+        );
+        rows.push(Row {
+            id: "F-procs".into(),
+            variant: format!("file sort p={p} (parallel io)"),
+            n,
+            io_ops: fcost.io_ops / p as u64,
+            predicted: base as f64 / p as f64,
+            lambda: fcost.lambda,
+            utilization: fcost.utilization,
+            wall_ms: fcost.wall_ms,
+            note: "per-proc; wall clock is the signal on file rows".into(),
         });
     }
     rows
@@ -168,7 +238,13 @@ fn fig_balance() -> Vec<Row> {
                         payload: vec![0u8; b - 20 - 16],
                     }];
                     scatter_messages(
-                        &mut disks, &mut alloc, &geom, &mut scratch, 0, msgs, &mut rng,
+                        &mut disks,
+                        &mut alloc,
+                        &geom,
+                        &mut scratch,
+                        0,
+                        msgs,
+                        &mut rng,
                         Placement::Random,
                     )
                     .unwrap();
@@ -248,9 +324,8 @@ fn fig_lambda() -> Vec<Row> {
     let mut rows = Vec::new();
     let mut per_round = 0.0;
     for rounds in [2usize, 4, 8, 16] {
-        let states: Vec<DiffState> = (0..v)
-            .map(|i| DiffState { data: vec![i as u64; chunk] })
-            .collect();
+        let states: Vec<DiffState> =
+            (0..v).map(|i| DiffState { data: vec![i as u64; chunk] }).collect();
         let prog = Diffuse { rounds, chunk };
         let (_, cost) = measure_seq(machine(1, 1 << 16, 4, 2048), SEED, |rec| {
             rec.execute(&prog, states.clone()).unwrap().states
@@ -378,7 +453,8 @@ fn fig_det_vs_rand() -> Vec<Row> {
     let n = 100_000usize;
     let items = random_u64(n, SEED + 4);
     let mut rows = Vec::new();
-    for (name, placement) in [("random π", Placement::Random), ("round-robin", Placement::RoundRobin)]
+    for (name, placement) in
+        [("random π", Placement::Random), ("round-robin", Placement::RoundRobin)]
     {
         let rec = em_core::Recording::new(
             em_core::SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048))
@@ -391,10 +467,7 @@ fn fig_det_vs_rand() -> Vec<Row> {
         let wall = t0.elapsed().as_secs_f64() * 1e3;
         let reports = rec.take_reports();
         let io_ops: u64 = reports.iter().map(|r| r.io.parallel_ops).sum();
-        let balance = reports
-            .iter()
-            .map(|r| r.worst_balance())
-            .fold(1.0f64, f64::max);
+        let balance = reports.iter().map(|r| r.worst_balance()).fold(1.0f64, f64::max);
         rows.push(Row {
             id: "F-detrand".into(),
             variant: format!("sort placement={name}"),
@@ -475,9 +548,8 @@ fn fig_obs2() -> Vec<Row> {
         // Theorem 1: the uniprocessor simulation performs v·β computation,
         // where β = Σ per-superstep max charged work.
         let t_comp = 64.0 * stage.comm.total_comp() as f64;
-        let t_comm = stage
-            .comm
-            .bsp_star_comm_time(&em_bsp::BspStarParams { p: 1, g: 1.0, b: 2048, l: 1.0 });
+        let t_comm =
+            stage.comm.bsp_star_comm_time(&em_bsp::BspStarParams { p: 1, g: 1.0, b: 2048, l: 1.0 });
         let t_io = cost.io_time as f64;
         let r = theory::observation2_ratios(t_seq, 1, t_comp, t_comm, t_io);
         rows.push(Row {
@@ -517,7 +589,13 @@ fn fig_fig2() -> Vec<Row> {
             })
             .collect();
         scatter_messages(
-            &mut disks, &mut alloc, &geom, &mut scratch, src_group as usize, msgs, &mut rng,
+            &mut disks,
+            &mut alloc,
+            &geom,
+            &mut scratch,
+            src_group as usize,
+            msgs,
+            &mut rng,
             Placement::Random,
         )
         .unwrap();
@@ -549,11 +627,7 @@ fn fig_fig2() -> Vec<Row> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     let mut rows = Vec::new();
     if matches!(which, "all" | "blocking") {

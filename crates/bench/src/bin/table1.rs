@@ -71,9 +71,8 @@ fn sort_rows(scale: f64) -> Vec<Row> {
 
     // Baseline: Aggarwal–Vitter external merge sort.
     let mut disks = baseline_disks();
-    let (out, stats) = em_baselines::ExternalSort { m_bytes: M }
-        .run(&mut disks, items.clone())
-        .unwrap();
+    let (out, stats) =
+        em_baselines::ExternalSort { m_bytes: M }.run(&mut disks, items.clone()).unwrap();
     assert!(out.windows(2).all(|w| w[0] <= w[1]));
     rows.push(Row {
         id: "T1-A-sort".into(),
@@ -108,8 +107,7 @@ fn permute_rows(scale: f64) -> Vec<Row> {
     let mut rows = Vec::new();
 
     let mut disks = baseline_disks();
-    let (_, stats) =
-        em_baselines::external_permute(&mut disks, M, items.clone(), &perm).unwrap();
+    let (_, stats) = em_baselines::external_permute(&mut disks, M, items.clone(), &perm).unwrap();
     rows.push(Row {
         id: "T1-A-perm".into(),
         variant: "seq EM permute (dest sort)".into(),
@@ -241,8 +239,10 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
 
     // Batched next-element search.
     let n = (50_000 as f64 * scale) as usize;
-    let keys: Vec<i64> = random_u64(n, SEED + 7).into_iter().map(|x| (x % 2_000_000) as i64 - 1_000_000).collect();
-    let queries: Vec<i64> = random_u64(n, SEED + 8).into_iter().map(|x| (x % 2_000_000) as i64 - 1_000_000).collect();
+    let keys: Vec<i64> =
+        random_u64(n, SEED + 7).into_iter().map(|x| (x % 2_000_000) as i64 - 1_000_000).collect();
+    let queries: Vec<i64> =
+        random_u64(n, SEED + 8).into_iter().map(|x| (x % 2_000_000) as i64 - 1_000_000).collect();
     let (_, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::next_element::cgm_predecessor(rec, V, &keys, &queries).unwrap()
     });
@@ -317,13 +317,21 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         .collect();
     let (sep_seq, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::separability::cgm_separable_with_budget(
-            rec, V, a.clone(), b.clone(), 4096,
+            rec,
+            V,
+            a.clone(),
+            b.clone(),
+            4096,
         )
         .unwrap()
     });
     let (sep_par, par) = measure_par(machine(P, M, D, B), SEED, |rec| {
         em_algos::geometry::separability::cgm_separable_with_budget(
-            rec, V, a.clone(), b.clone(), 4096,
+            rec,
+            V,
+            a.clone(),
+            b.clone(),
+            4096,
         )
         .unwrap()
     });
@@ -507,7 +515,14 @@ fn main() {
     }
     if matches!(
         which,
-        "all" | "hull" | "maxima3d" | "dominance" | "next-element" | "envelope" | "rectangles" | "geometry"
+        "all"
+            | "hull"
+            | "maxima3d"
+            | "dominance"
+            | "next-element"
+            | "envelope"
+            | "rectangles"
+            | "geometry"
     ) {
         rows.extend(geometry_rows(scale));
     }

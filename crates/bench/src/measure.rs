@@ -1,8 +1,18 @@
 //! Measurement plumbing: run a CGM pipeline on a recording EM simulator
 //! and collapse the per-stage cost reports into one comparable record.
+//!
+//! Wall-clock methodology: the timed region wraps the whole pipeline, and
+//! the simulators sync their disks at every superstep boundary (including
+//! the last one) *inside* `run()` — so for file-backed runs the measured
+//! wall clock covers durable writes, not just submitted ones. Counted
+//! parallel I/O operations remain the primary, backend- and
+//! `IoMode`-independent signal; wall clock is the secondary signal and is
+//! only meaningful on the file backend (see DESIGN.md).
 
 use em_bsp::BspStarParams;
 use em_core::{CostReport, EmMachine, ParEmSimulator, Recording, SeqEmSimulator};
+use em_disk::IoMode;
+use std::path::Path;
 use std::time::Instant;
 
 /// One EM-simulated run's aggregate cost.
@@ -70,13 +80,39 @@ pub fn machine(p: usize, m: usize, d: usize, b: usize) -> EmMachine {
 }
 
 /// Run `pipeline` against a recording uniprocessor simulator and collapse
-/// the cost.
+/// the cost. The timed region includes the simulator's final durable
+/// `sync()` (performed inside `run()` at the last superstep boundary), so
+/// file-backed wall clocks cover writes that actually reached the files.
 pub fn measure_seq<T>(
     mach: EmMachine,
     seed: u64,
     pipeline: impl FnOnce(&Recording<SeqEmSimulator>) -> T,
 ) -> (T, EmRunCost) {
-    let rec = Recording::new(SeqEmSimulator::new(mach).with_seed(seed));
+    measure_seq_sim(SeqEmSimulator::new(mach).with_seed(seed), pipeline)
+}
+
+/// [`measure_seq`] on a file backend under `dir`, with an explicit
+/// [`IoMode`]. Counted I/O is identical to the memory run; only the wall
+/// clock (and the bytes on disk) differ.
+pub fn measure_seq_file<T>(
+    mach: EmMachine,
+    seed: u64,
+    dir: impl AsRef<Path>,
+    mode: IoMode,
+    pipeline: impl FnOnce(&Recording<SeqEmSimulator>) -> T,
+) -> (T, EmRunCost) {
+    let sim = SeqEmSimulator::new(mach)
+        .with_seed(seed)
+        .with_file_backend(dir.as_ref())
+        .with_io_mode(mode);
+    measure_seq_sim(sim, pipeline)
+}
+
+fn measure_seq_sim<T>(
+    sim: SeqEmSimulator,
+    pipeline: impl FnOnce(&Recording<SeqEmSimulator>) -> T,
+) -> (T, EmRunCost) {
+    let rec = Recording::new(sim);
     let t0 = Instant::now();
     let out = pipeline(&rec);
     let wall = t0.elapsed().as_secs_f64() * 1e3;
@@ -85,14 +121,40 @@ pub fn measure_seq<T>(
 }
 
 /// Run `pipeline` against a recording `p`-processor simulator and collapse
-/// the cost.
+/// the cost. As with [`measure_seq`], the timed region covers each
+/// processor's final durable `sync()`.
 pub fn measure_par<T>(
     mach: EmMachine,
     seed: u64,
     pipeline: impl FnOnce(&Recording<ParEmSimulator>) -> T,
 ) -> (T, EmRunCost) {
     let p = mach.p;
-    let rec = Recording::new(ParEmSimulator::new(mach).with_seed(seed));
+    measure_par_sim(p, ParEmSimulator::new(mach).with_seed(seed), pipeline)
+}
+
+/// [`measure_par`] on file backends under `dir/proc-<i>/`, with an
+/// explicit [`IoMode`].
+pub fn measure_par_file<T>(
+    mach: EmMachine,
+    seed: u64,
+    dir: impl AsRef<Path>,
+    mode: IoMode,
+    pipeline: impl FnOnce(&Recording<ParEmSimulator>) -> T,
+) -> (T, EmRunCost) {
+    let p = mach.p;
+    let sim = ParEmSimulator::new(mach)
+        .with_seed(seed)
+        .with_file_backend(dir.as_ref())
+        .with_io_mode(mode);
+    measure_par_sim(p, sim, pipeline)
+}
+
+fn measure_par_sim<T>(
+    p: usize,
+    sim: ParEmSimulator,
+    pipeline: impl FnOnce(&Recording<ParEmSimulator>) -> T,
+) -> (T, EmRunCost) {
+    let rec = Recording::new(sim);
     let t0 = Instant::now();
     let out = pipeline(&rec);
     let wall = t0.elapsed().as_secs_f64() * 1e3;

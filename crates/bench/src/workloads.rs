@@ -41,7 +41,13 @@ pub fn random_points_3d(n: usize, seed: u64) -> Vec<Point3> {
     let mut xs: Vec<i64> = (0..n as i64).collect();
     xs.shuffle(&mut rng);
     xs.into_iter()
-        .map(|x| Point3::new(x, rng.gen_range(-1_000_000..1_000_000), rng.gen_range(-1_000_000..1_000_000)))
+        .map(|x| {
+            Point3::new(
+                x,
+                rng.gen_range(-1_000_000..1_000_000),
+                rng.gen_range(-1_000_000..1_000_000),
+            )
+        })
         .collect()
 }
 
@@ -51,7 +57,10 @@ pub fn random_weighted_points(n: usize, seed: u64) -> Vec<(Point2, u64)> {
     (0..n)
         .map(|_| {
             (
-                Point2::new(rng.gen_range(-1_000_000..1_000_000), rng.gen_range(-1_000_000..1_000_000)),
+                Point2::new(
+                    rng.gen_range(-1_000_000..1_000_000),
+                    rng.gen_range(-1_000_000..1_000_000),
+                ),
                 rng.gen_range(1..100),
             )
         })
@@ -76,12 +85,7 @@ pub fn random_rects(n: usize, side: i64, seed: u64) -> Vec<Rect> {
         .map(|_| {
             let x1 = rng.gen_range(-1_000_000..1_000_000);
             let y1 = rng.gen_range(-1_000_000..1_000_000);
-            Rect::new(
-                x1,
-                x1 + rng.gen_range(1..2 * side),
-                y1,
-                y1 + rng.gen_range(1..2 * side),
-            )
+            Rect::new(x1, x1 + rng.gen_range(1..2 * side), y1, y1 + rng.gen_range(1..2 * side))
         })
         .collect()
 }

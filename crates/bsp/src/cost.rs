@@ -107,8 +107,22 @@ mod tests {
     fn ledger() -> CommLedger {
         CommLedger {
             steps: vec![
-                SuperstepComm { msgs: 4, bytes: 400, h_bytes: 200, h_msgs: 2, h_packets: 4, w_comp: 50 },
-                SuperstepComm { msgs: 2, bytes: 100, h_bytes: 100, h_msgs: 1, h_packets: 2, w_comp: 10 },
+                SuperstepComm {
+                    msgs: 4,
+                    bytes: 400,
+                    h_bytes: 200,
+                    h_msgs: 2,
+                    h_packets: 4,
+                    w_comp: 50,
+                },
+                SuperstepComm {
+                    msgs: 2,
+                    bytes: 100,
+                    h_bytes: 100,
+                    h_msgs: 1,
+                    h_packets: 2,
+                    w_comp: 10,
+                },
             ],
         }
     }
@@ -143,7 +157,14 @@ mod tests {
         // 10 tiny messages of 8 bytes on a 64-byte packet router: bytes/b
         // would say 2 packets, message count says 10.
         let l = CommLedger {
-            steps: vec![SuperstepComm { msgs: 10, bytes: 80, h_bytes: 80, h_msgs: 10, h_packets: 0, w_comp: 0 }],
+            steps: vec![SuperstepComm {
+                msgs: 10,
+                bytes: 80,
+                h_bytes: 80,
+                h_msgs: 10,
+                h_packets: 0,
+                w_comp: 0,
+            }],
         };
         let p = BspStarParams { p: 2, g: 1.0, b: 64, l: 0.0 };
         assert_eq!(l.bsp_star_comm_time(&p), 10.0);

@@ -6,7 +6,10 @@
 //! workspace's differential tests compare their outputs against this one.
 
 use crate::program::sort_envelopes;
-use crate::{BspError, BspProgram, CommLedger, Envelope, Mailbox, Step, SuperstepComm, DEFAULT_MAX_SUPERSTEPS};
+use crate::{
+    BspError, BspProgram, CommLedger, Envelope, Mailbox, Step, SuperstepComm,
+    DEFAULT_MAX_SUPERSTEPS,
+};
 use em_serial::Serial;
 
 /// Result of running a program to completion.
@@ -45,14 +48,16 @@ pub fn run_sequential_limited<P: BspProgram>(
     }
 
     // inboxes[pid] holds (src, seq, envelope) awaiting delivery.
-    let mut inboxes: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> = (0..v).map(|_| Vec::new()).collect();
+    let mut inboxes: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> =
+        (0..v).map(|_| Vec::new()).collect();
     let mut ledger = CommLedger::default();
 
     for step in 0..max_supersteps {
         let mut all_halted = true;
         let mut any_msgs = false;
         let mut step_comm = SuperstepComm::default();
-        let mut next: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> = (0..v).map(|_| Vec::new()).collect();
+        let mut next: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> =
+            (0..v).map(|_| Vec::new()).collect();
 
         for pid in 0..v {
             let mut pending = std::mem::take(&mut inboxes[pid]);

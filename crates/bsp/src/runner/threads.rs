@@ -15,7 +15,10 @@
 //! not depend on intra-superstep execution order.
 
 use crate::program::sort_envelopes;
-use crate::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm, DEFAULT_MAX_SUPERSTEPS};
+use crate::{
+    BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm,
+    DEFAULT_MAX_SUPERSTEPS,
+};
 use em_serial::Serial;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,10 +45,7 @@ impl Default for ThreadedRunner {
 impl ThreadedRunner {
     /// Executor with an explicit worker count.
     pub fn new(workers: usize) -> Self {
-        ThreadedRunner {
-            workers: workers.max(1),
-            ..Default::default()
-        }
+        ThreadedRunner { workers: workers.max(1), ..Default::default() }
     }
 
     /// Run `prog` on `states.len()` virtual processors until all halt.
@@ -136,14 +136,17 @@ impl ThreadedRunner {
 
                             for (seq, (dst, msg)) in outgoing.into_iter().enumerate() {
                                 if dst >= v {
-                                    *failed.lock() = Some(BspError::InvalidDestination { dst, nprocs: v });
+                                    *failed.lock() =
+                                        Some(BspError::InvalidDestination { dst, nprocs: v });
                                     stop.store(true, Ordering::SeqCst);
                                     break;
                                 }
                                 any_msgs.store(true, Ordering::Relaxed);
-                                next[dst]
-                                    .lock()
-                                    .push((pid, seq as u64, Envelope { src: pid, msg }));
+                                next[dst].lock().push((
+                                    pid,
+                                    seq as u64,
+                                    Envelope { src: pid, msg },
+                                ));
                             }
                         }
 
@@ -166,7 +169,8 @@ impl ThreadedRunner {
                                 stop.store(true, Ordering::SeqCst);
                             }
                             if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
-                                *failed.lock() = Some(BspError::SuperstepLimit { limit: max_supersteps });
+                                *failed.lock() =
+                                    Some(BspError::SuperstepLimit { limit: max_supersteps });
                                 stop.store(true, Ordering::SeqCst);
                             }
                         }
@@ -190,14 +194,9 @@ impl ThreadedRunner {
         if let Some(err) = failed.into_inner() {
             return Err(err);
         }
-        let states: Vec<P::State> = slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("state returned by worker"))
-            .collect();
-        Ok(RunResult {
-            states,
-            ledger: ledger.into_inner(),
-        })
+        let states: Vec<P::State> =
+            slots.into_iter().map(|m| m.into_inner().expect("state returned by worker")).collect();
+        Ok(RunResult { states, ledger: ledger.into_inner() })
     }
 }
 

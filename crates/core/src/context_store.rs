@@ -35,10 +35,7 @@ impl ContextStore {
         let layout = ConsecutiveLayout::new(0, blocks_per_region, v, num_disks)?;
         let base = alloc.reserve_region(layout.tracks_per_disk());
         let layout = ConsecutiveLayout { base_track: base, ..layout };
-        Ok(ContextStore {
-            layout,
-            capacity_bytes: blocks_per_region * block_bytes,
-        })
+        Ok(ContextStore { layout, capacity_bytes: blocks_per_region * block_bytes })
     }
 
     /// Blocks per context region (`⌈(4+μ)/B⌉`).
@@ -184,9 +181,7 @@ mod tests {
         let all: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 20]).collect();
         store.write_group(&mut disks, 0, &all).unwrap();
         // Overwrite the middle two only.
-        store
-            .write_group(&mut disks, 2, &[vec![99; 5], vec![98; 5]])
-            .unwrap();
+        store.write_group(&mut disks, 2, &[vec![99; 5], vec![98; 5]]).unwrap();
         let back = store.read_group(&mut disks, 0, 6).unwrap();
         assert_eq!(back[0], vec![0u8; 20]);
         assert_eq!(back[2], vec![99u8; 5]);

@@ -13,9 +13,7 @@ impl Executor for SeqEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<RunResult<P::State>, ExecError> {
-        self.run(prog, states)
-            .map(|(res, _report)| res)
-            .map_err(|e| Box::new(e) as ExecError)
+        self.run(prog, states).map(|(res, _report)| res).map_err(|e| Box::new(e) as ExecError)
     }
 }
 
@@ -25,9 +23,7 @@ impl Executor for ParEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<RunResult<P::State>, ExecError> {
-        self.run(prog, states)
-            .map(|(res, _report)| res)
-            .map_err(|e| Box::new(e) as ExecError)
+        self.run(prog, states).map(|(res, _report)| res).map_err(|e| Box::new(e) as ExecError)
     }
 }
 
@@ -73,10 +69,7 @@ impl Executor for Recording<SeqEmSimulator> {
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<RunResult<P::State>, ExecError> {
-        let (res, report) = self
-            .sim
-            .run(prog, states)
-            .map_err(|e| Box::new(e) as ExecError)?;
+        let (res, report) = self.sim.run(prog, states).map_err(|e| Box::new(e) as ExecError)?;
         self.reports.lock().push(report);
         Ok(res)
     }
@@ -88,10 +81,7 @@ impl Executor for Recording<ParEmSimulator> {
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<RunResult<P::State>, ExecError> {
-        let (res, report) = self
-            .sim
-            .run(prog, states)
-            .map_err(|e| Box::new(e) as ExecError)?;
+        let (res, report) = self.sim.run(prog, states).map_err(|e| Box::new(e) as ExecError)?;
         self.reports.lock().push(report);
         Ok(res)
     }

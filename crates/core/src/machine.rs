@@ -78,10 +78,7 @@ impl EmMachine {
         }
         let k = self.m_bytes / mu_padded;
         if k == 0 {
-            return Err(EmError::MemoryTooSmall {
-                m_bytes: self.m_bytes,
-                needed: mu_padded,
-            });
+            return Err(EmError::MemoryTooSmall { m_bytes: self.m_bytes, needed: mu_padded });
         }
         Ok(k.min(v).max(1))
     }
@@ -123,11 +120,7 @@ impl EmMachine {
         out.push(ModelCheck {
             condition: "b·log(M/B) = O(M)".into(),
             satisfied: (b_router as f64) * logmb <= self.m_bytes as f64,
-            detail: format!(
-                "b·log(M/B) = {:.0}, M = {}",
-                b_router as f64 * logmb,
-                self.m_bytes
-            ),
+            detail: format!("b·log(M/B) = {:.0}, M = {}", b_router as f64 * logmb, self.m_bytes),
         });
 
         if self.p > 1 {
@@ -178,10 +171,7 @@ mod tests {
         let m = EmMachine::uniprocessor(1000, 1, 64, 1);
         assert_eq!(m.group_size(100, 64).unwrap(), 10);
         assert_eq!(m.group_size(100, 4).unwrap(), 4); // clamped to v
-        assert!(matches!(
-            m.group_size(2000, 64),
-            Err(EmError::MemoryTooSmall { .. })
-        ));
+        assert!(matches!(m.group_size(2000, 64), Err(EmError::MemoryTooSmall { .. })));
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::report::{CostReport, PhaseIo};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, IoStats, TrackAllocator};
+use em_disk::{DiskArray, IoMode, IoStats, TrackAllocator};
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -107,6 +107,7 @@ pub struct ParEmSimulator {
     placement: Placement,
     max_supersteps: usize,
     file_dir: Option<PathBuf>,
+    io_mode: IoMode,
 }
 
 impl ParEmSimulator {
@@ -118,6 +119,7 @@ impl ParEmSimulator {
             placement: Placement::Random,
             max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
             file_dir: None,
+            io_mode: IoMode::Parallel,
         }
     }
 
@@ -136,6 +138,16 @@ impl ParEmSimulator {
     /// Back each processor's disks with real files under `dir/proc-<i>/`.
     pub fn with_file_backend(mut self, dir: impl Into<PathBuf>) -> Self {
         self.file_dir = Some(dir.into());
+        self
+    }
+
+    /// Choose how each processor's file backend executes stripes
+    /// ([`IoMode::Parallel`] by default — one worker thread per drive, so a
+    /// `p`-processor file-backed run uses up to `p·D` I/O threads). Ignored
+    /// by the memory backend; counted I/O and final states are identical
+    /// either way.
+    pub fn with_io_mode(mut self, mode: IoMode) -> Self {
+        self.io_mode = mode;
         self
     }
 
@@ -187,9 +199,8 @@ impl ParEmSimulator {
             Mutex::new(Vec::with_capacity(p));
 
         // Lock-step transport: one channel per processor.
-        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p)
-            .map(|_| crossbeam_channel::unbounded::<Bundle>())
-            .unzip();
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..p).map(|_| crossbeam_channel::unbounded::<Bundle>()).unzip();
 
         std::thread::scope(|scope| {
             for (i, rx) in receivers.into_iter().enumerate() {
@@ -213,10 +224,11 @@ impl ParEmSimulator {
                 let seed = self.seed;
                 let max_supersteps = self.max_supersteps;
                 let file_dir = self.file_dir.clone();
+                let io_mode = self.io_mode;
 
                 scope.spawn(move || {
                     let work = (|| -> EmResult<()> {
-                        let cfg = machine.disk_config()?;
+                        let cfg = machine.disk_config()?.with_io_mode(io_mode);
                         let mut disks = match &file_dir {
                             None => DiskArray::new_memory(cfg),
                             Some(dir) => DiskArray::new_file(cfg, dir.join(format!("proc-{i}")))?,
@@ -243,8 +255,9 @@ impl ParEmSimulator {
                             cfg.block_bytes,
                             p * p * num_batches + num_batches,
                         )?;
-                        let mut rng =
-                            StdRng::seed_from_u64(seed ^ (0x9E37_79B9u64.wrapping_mul(i as u64 + 1)));
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (0x9E37_79B9u64.wrapping_mul(i as u64 + 1)),
+                        );
 
                         // My pids in a batch: (pid, slot) pairs.
                         let my_pids = |batch: usize| -> Vec<(usize, usize)> {
@@ -268,9 +281,14 @@ impl ParEmSimulator {
                                         to_bytes(&state)
                                     })
                                     .collect();
-                                ctx.write_group(&mut disks, local_region(batch, first_slot), &bufs)?;
+                                ctx.write_group(
+                                    &mut disks,
+                                    local_region(batch, first_slot),
+                                    &bufs,
+                                )?;
                             }
                         }
+                        disks.sync()?; // input distribution durable before timing
                         disks.reset_stats();
 
                         let mut counts = GroupCounts::empty(geom.num_groups);
@@ -312,7 +330,8 @@ impl ParEmSimulator {
                                         .send(Bundle { from: i, phase: exchange_phase, blocks })
                                         .expect("receiver alive");
                                 }
-                                let arrived = recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
+                                let arrived =
+                                    recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
                                 exchange_phase += 1;
                                 let my_blocks: Vec<RawBlock> =
                                     arrived.into_iter().flat_map(|b| b.blocks).collect();
@@ -362,7 +381,8 @@ impl ParEmSimulator {
                                         .send(Bundle { from: i, phase: exchange_phase, blocks })
                                         .expect("receiver alive");
                                 }
-                                let arrived = recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
+                                let arrived =
+                                    recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
                                 exchange_phase += 1;
                                 if zombie.is_none() {
                                     let received: Vec<RawBlock> =
@@ -393,6 +413,15 @@ impl ParEmSimulator {
                                     Err(e) => zombie = Some(e),
                                 }
                                 phases.routing += disks.stats().parallel_ops - ops0;
+                            }
+
+                            // Superstep boundary: this processor's writes are
+                            // durable before the barrier ends the superstep.
+                            // No-op on memory; generates no counted I/O ops.
+                            if zombie.is_none() {
+                                if let Err(e) = disks.sync() {
+                                    zombie = Some(e.into());
+                                }
                             }
 
                             barrier.wait();
@@ -583,10 +612,8 @@ fn run_batch_compute<P: BspProgram>(
         let mut state: P::State = from_bytes(buf)?;
         let mut inbox = std::mem::take(&mut inboxes[local]);
         inbox.sort_by_key(|&(s, q, _)| (s, q));
-        let incoming: Vec<Envelope<P::Msg>> = inbox
-            .into_iter()
-            .map(|(s, _, m)| Envelope { src: s as usize, msg: m })
-            .collect();
+        let incoming: Vec<Envelope<P::Msg>> =
+            inbox.into_iter().map(|(s, _, m)| Envelope { src: s as usize, msg: m }).collect();
         let mut mb = Mailbox::new(pid, v, incoming);
         let status = prog.superstep(step, &mut mb, &mut state);
         let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
@@ -605,12 +632,7 @@ fn run_batch_compute<P: BspProgram>(
             }
             let payload = to_bytes(&msg);
             env_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
-            outgoing.push(OutMsg {
-                dst: dst as u32,
-                src: pid as u32,
-                seq: seq as u32,
-                payload,
-            });
+            outgoing.push(OutMsg { dst: dst as u32, src: pid as u32, seq: seq as u32, payload });
         }
         if env_bytes > gamma as u64 {
             return Err(EmError::CommBudgetExceeded { pid, sent: env_bytes, budget: gamma });

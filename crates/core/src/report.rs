@@ -111,13 +111,7 @@ mod tests {
 
     #[test]
     fn phase_totals_add_up() {
-        let p = PhaseIo {
-            fetch_ctx: 1,
-            fetch_msg: 2,
-            scatter: 3,
-            write_ctx: 4,
-            routing: 5,
-        };
+        let p = PhaseIo { fetch_ctx: 1, fetch_msg: 2, scatter: 3, write_ctx: 4, routing: 5 };
         assert_eq!(p.total(), 15);
     }
 }

@@ -55,11 +55,7 @@ pub fn simulate_routing(
     let balance_factor = scratch.balance_factor();
     let counts = GroupCounts::compute(geom, scratch.counts.clone())?;
     let total = counts.total();
-    let mut trace = RoutingTrace {
-        balance_factor,
-        blocks: total,
-        ..Default::default()
-    };
+    let mut trace = RoutingTrace { balance_factor, blocks: total, ..Default::default() };
     if total == 0 {
         return Ok((counts, trace));
     }
@@ -194,7 +190,13 @@ mod tests {
                 msgs.push(OutMsg { dst, src, seq: t, payload });
             }
             scatter_messages(
-                &mut disks, &mut alloc, &geom, &mut scratch, src_group, msgs, &mut rng,
+                &mut disks,
+                &mut alloc,
+                &geom,
+                &mut scratch,
+                src_group,
+                msgs,
+                &mut rng,
                 Placement::Random,
             )
             .unwrap();
@@ -240,7 +242,14 @@ mod tests {
             })
             .collect();
         scatter_messages(
-            &mut disks, &mut alloc, &geom, &mut scratch, 0, msgs, &mut rng, Placement::RoundRobin,
+            &mut disks,
+            &mut alloc,
+            &geom,
+            &mut scratch,
+            0,
+            msgs,
+            &mut rng,
+            Placement::RoundRobin,
         )
         .unwrap();
         let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
@@ -255,8 +264,7 @@ mod tests {
     #[test]
     fn final_layout_is_consecutive_per_bucket() {
         let (_, _, geom) = setup(16, 2, 500, 4, 64);
-        let counts =
-            GroupCounts::compute(&geom, vec![3, 2, 4, 1, 0, 5, 2, 3]).unwrap();
+        let counts = GroupCounts::compute(&geom, vec![3, 2, 4, 1, 0, 5, 2, 3]).unwrap();
         for bucket in 0..geom.num_buckets {
             let total = counts.bucket_total(&geom, bucket);
             let locs: Vec<(usize, usize)> =
@@ -284,7 +292,14 @@ mod tests {
                 })
                 .collect();
             scatter_messages(
-                &mut disks, &mut alloc, &geom, &mut scratch, 0, msgs, &mut rng, Placement::Random,
+                &mut disks,
+                &mut alloc,
+                &geom,
+                &mut scratch,
+                0,
+                msgs,
+                &mut rng,
+                Placement::Random,
             )
             .unwrap();
             simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();

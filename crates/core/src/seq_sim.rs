@@ -30,7 +30,7 @@ use crate::report::{CostReport, PhaseIo};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, TrackAllocator};
+use em_disk::{DiskArray, IoMode, TrackAllocator};
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +75,7 @@ pub struct SeqEmSimulator {
     placement: Placement,
     max_supersteps: usize,
     backend: Backend,
+    io_mode: IoMode,
 }
 
 impl SeqEmSimulator {
@@ -87,6 +88,7 @@ impl SeqEmSimulator {
             placement: Placement::Random,
             max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
             backend: Backend::Memory,
+            io_mode: IoMode::Parallel,
         }
     }
 
@@ -105,6 +107,14 @@ impl SeqEmSimulator {
     /// Back the simulated disks with real files inside `dir`.
     pub fn with_file_backend(mut self, dir: impl Into<PathBuf>) -> Self {
         self.backend = Backend::File(dir.into());
+        self
+    }
+
+    /// Choose how a file backend executes stripes ([`IoMode::Parallel`] by
+    /// default — one worker thread per drive). Ignored by the memory
+    /// backend; counted I/O and final states are identical either way.
+    pub fn with_io_mode(mut self, mode: IoMode) -> Self {
+        self.io_mode = mode;
         self
     }
 
@@ -140,14 +150,13 @@ impl SeqEmSimulator {
         let k = self.machine.group_size(ctx_region, v)?;
         let num_groups = v.div_ceil(k);
 
-        let cfg = self.machine.disk_config()?;
+        let cfg = self.machine.disk_config()?.with_io_mode(self.io_mode);
         let mut disks = match &self.backend {
             Backend::Memory => DiskArray::new_memory(cfg),
             Backend::File(dir) => DiskArray::new_file(cfg, dir)?,
         };
         let mut alloc = TrackAllocator::new(cfg.num_disks);
-        let ctx_store =
-            ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
+        let ctx_store = ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
         let geom = MsgGeometry::allocate(&mut alloc, v, k, gamma, cfg.num_disks, cfg.block_bytes)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
 
@@ -160,6 +169,7 @@ impl SeqEmSimulator {
             ctx_store.write_group(&mut disks, first, &encoded[first..last])?;
         }
         drop(encoded);
+        disks.sync()?; // the input distribution is durable before timing starts
         disks.reset_stats(); // initial load is input distribution, not simulation cost
 
         let mut counts = GroupCounts::empty(geom.num_groups);
@@ -221,14 +231,8 @@ impl SeqEmSimulator {
                     }
                     step_comm.msgs += msgs_sent;
                     step_comm.bytes += bytes_sent;
-                    step_comm.h_bytes = step_comm
-                        .h_bytes
-                        .max(bytes_sent)
-                        .max(recv_bytes[local]);
-                    step_comm.h_msgs = step_comm
-                        .h_msgs
-                        .max(msgs_sent)
-                        .max(recv_msgs[local]);
+                    step_comm.h_bytes = step_comm.h_bytes.max(bytes_sent).max(recv_bytes[local]);
+                    step_comm.h_msgs = step_comm.h_msgs.max(msgs_sent).max(recv_msgs[local]);
                     step_comm.w_comp = step_comm.w_comp.max(work);
 
                     let mut envelope_bytes = 0u64;
@@ -286,6 +290,12 @@ impl SeqEmSimulator {
             phases.routing += disks.stats().parallel_ops - ops0;
             counts = new_counts;
 
+            // Superstep boundary: everything written this superstep is on
+            // disk before the next superstep's wall clock (or the report's)
+            // is read. No-op on the memory backend; generates no counted
+            // I/O operations.
+            disks.sync()?;
+
             ledger.push(step_comm);
 
             if all_halted && !any_msgs {
@@ -294,9 +304,7 @@ impl SeqEmSimulator {
             }
         }
         if !finished {
-            return Err(EmError::Bsp(BspError::SuperstepLimit {
-                limit: self.max_supersteps,
-            }));
+            return Err(EmError::Bsp(BspError::SuperstepLimit { limit: self.max_supersteps }));
         }
 
         // Read the final contexts back.

@@ -24,10 +24,7 @@ pub struct TrackAllocator {
 impl TrackAllocator {
     /// A fresh allocator for `num_disks` drives, starting at track 0.
     pub fn new(num_disks: usize) -> Self {
-        TrackAllocator {
-            next: vec![0; num_disks],
-            free: vec![Vec::new(); num_disks],
-        }
+        TrackAllocator { next: vec![0; num_disks], free: vec![Vec::new(); num_disks] }
     }
 
     /// Number of drives managed.

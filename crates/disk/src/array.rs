@@ -1,6 +1,8 @@
 //! The disk array front-end: validated, counted parallel I/O.
 
-use crate::{Block, DiskBackend, DiskConfig, DiskError, DiskResult, FileBackend, IoStats, MemoryBackend};
+use crate::{
+    Block, DiskBackend, DiskConfig, DiskError, DiskResult, FileBackend, IoStats, MemoryBackend,
+};
 use std::path::Path;
 
 /// An array of `D` track-addressed drives with blocked, `D`-way-parallel
@@ -43,9 +45,15 @@ impl DiskArray {
         Self::with_backend(cfg, backend)
     }
 
-    /// Create an array backed by one file per drive inside `dir`.
+    /// Create an array backed by one file per drive inside `dir`, honouring
+    /// `cfg.io_mode` (per-drive worker threads when [`crate::IoMode::Parallel`]).
     pub fn new_file<P: AsRef<Path>>(cfg: DiskConfig, dir: P) -> DiskResult<Self> {
-        let backend = Box::new(FileBackend::create(dir, cfg.num_disks, cfg.block_bytes)?);
+        let backend = Box::new(FileBackend::create_with_mode(
+            dir,
+            cfg.num_disks,
+            cfg.block_bytes,
+            cfg.io_mode,
+        )?);
         Ok(Self::with_backend(cfg, backend))
     }
 
@@ -120,10 +128,7 @@ impl DiskArray {
         self.epoch += 1;
         for disk in addrs {
             if disk >= self.cfg.num_disks {
-                return Err(DiskError::DiskOutOfRange {
-                    disk,
-                    num_disks: self.cfg.num_disks,
-                });
+                return Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
             }
             if self.seen[disk] == self.epoch {
                 return Err(DiskError::StripeConflict { disk });
@@ -145,15 +150,17 @@ impl DiskArray {
     /// One parallel read: fetch at most one track from each listed drive.
     ///
     /// Counts exactly one parallel I/O operation (even if `addrs` names
-    /// fewer than `D` drives). Returns blocks in request order.
+    /// fewer than `D` drives). Returns blocks in request order. On backends
+    /// with real parallelism the `≤ D` transfers overlap; the call returns
+    /// only after all of them complete.
     pub fn read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
         self.validate_stripe(addrs.iter().map(|&(d, _)| d))?;
-        let mut out = Vec::with_capacity(addrs.len());
-        for &(disk, track) in addrs {
-            let mut block = Block::zeroed(self.cfg.block_bytes);
-            self.backend.read_track(disk, track, block.as_bytes_mut())?;
+        let mut out: Vec<Block> =
+            (0..addrs.len()).map(|_| Block::zeroed(self.cfg.block_bytes)).collect();
+        let mut bufs: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_bytes_mut()).collect();
+        self.backend.read_stripe(addrs, &mut bufs)?;
+        for &(disk, _) in addrs {
             self.stats.per_disk_reads[disk] += 1;
-            out.push(block);
         }
         if !addrs.is_empty() {
             self.stats.parallel_ops += 1;
@@ -165,7 +172,9 @@ impl DiskArray {
 
     /// One parallel write: store at most one track on each listed drive.
     ///
-    /// Counts exactly one parallel I/O operation.
+    /// Counts exactly one parallel I/O operation. All validation happens
+    /// before any byte is submitted, so a rejected stripe leaves both the
+    /// backend and the counters untouched.
     pub fn write_stripe(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
         self.validate_stripe(writes.iter().map(|(d, _, _)| *d))?;
         for (disk, track, block) in writes {
@@ -177,8 +186,10 @@ impl DiskArray {
             }
             self.check_capacity(*disk, *track)?;
         }
-        for (disk, track, block) in writes {
-            self.backend.write_track(*disk, *track, block.as_bytes())?;
+        let stripe: Vec<(usize, usize, &[u8])> =
+            writes.iter().map(|(d, t, b)| (*d, *t, b.as_bytes())).collect();
+        self.backend.write_stripe(&stripe)?;
+        for (disk, _, _) in writes {
             self.stats.per_disk_writes[*disk] += 1;
         }
         if !writes.is_empty() {
@@ -216,7 +227,10 @@ impl DiskArray {
             let epoch = self.epoch;
             remaining.retain(|&i| {
                 let (disk, track) = addrs[i];
-                if disk < self.seen.len() && self.seen[disk] != epoch && stripe.len() < self.cfg.num_disks {
+                if disk < self.seen.len()
+                    && self.seen[disk] != epoch
+                    && stripe.len() < self.cfg.num_disks
+                {
                     self.seen[disk] = epoch;
                     stripe.push((disk, track));
                     stripe_idx.push(i);
@@ -228,10 +242,7 @@ impl DiskArray {
             if stripe.is_empty() {
                 // Only possible if an address is out of range.
                 let (disk, _) = addrs[remaining[0]];
-                return Err(DiskError::DiskOutOfRange {
-                    disk,
-                    num_disks: self.cfg.num_disks,
-                });
+                return Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
             }
             let blocks = self.read_stripe(&stripe)?;
             for (i, b) in stripe_idx.iter().zip(blocks) {
@@ -242,7 +253,10 @@ impl DiskArray {
     }
 
     /// Write `(disk, track, block)` triples in batches of valid stripes.
-    pub fn write_blocks_batched(&mut self, mut writes: Vec<(usize, usize, Block)>) -> DiskResult<()> {
+    pub fn write_blocks_batched(
+        &mut self,
+        mut writes: Vec<(usize, usize, Block)>,
+    ) -> DiskResult<()> {
         while !writes.is_empty() {
             let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(self.cfg.num_disks);
             self.epoch += 1;
@@ -251,10 +265,7 @@ impl DiskArray {
             for w in writes {
                 let disk = w.0;
                 if disk >= self.cfg.num_disks {
-                    return Err(DiskError::DiskOutOfRange {
-                        disk,
-                        num_disks: self.cfg.num_disks,
-                    });
+                    return Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
                 }
                 if self.seen[disk] != epoch {
                     self.seen[disk] = epoch;
@@ -281,9 +292,8 @@ mod tests {
     #[test]
     fn stripe_round_trip_counts_one_op() {
         let mut a = array(4, 16);
-        let writes: Vec<_> = (0..4)
-            .map(|d| (d, 0, Block::from_bytes_padded(&[d as u8 + 1], 16)))
-            .collect();
+        let writes: Vec<_> =
+            (0..4).map(|d| (d, 0, Block::from_bytes_padded(&[d as u8 + 1], 16))).collect();
         a.write_stripe(&writes).unwrap();
         assert_eq!(a.stats().parallel_ops, 1);
         assert_eq!(a.stats().blocks_written, 4);
@@ -314,9 +324,7 @@ mod tests {
     #[test]
     fn wrong_block_size_is_rejected() {
         let mut a = array(1, 8);
-        let err = a
-            .write_stripe(&[(0, 0, Block::zeroed(9))])
-            .unwrap_err();
+        let err = a.write_stripe(&[(0, 0, Block::zeroed(9))]).unwrap_err();
         assert!(matches!(err, DiskError::BadBlockSize { expected: 8, got: 9 }));
     }
 
@@ -343,15 +351,12 @@ mod tests {
     fn batched_reads_split_conflicting_addresses() {
         let mut a = array(2, 8);
         for t in 0..3 {
-            a.write_block(0, t, Block::from_bytes_padded(&[t as u8], 8))
-                .unwrap();
+            a.write_block(0, t, Block::from_bytes_padded(&[t as u8], 8)).unwrap();
         }
         a.write_block(1, 0, Block::from_bytes_padded(&[9], 8)).unwrap();
         a.reset_stats();
         // Three addresses on disk 0 and one on disk 1 -> 3 stripes.
-        let blocks = a
-            .read_blocks_batched(&[(0, 0), (0, 1), (0, 2), (1, 0)])
-            .unwrap();
+        let blocks = a.read_blocks_batched(&[(0, 0), (0, 1), (0, 2), (1, 0)]).unwrap();
         assert_eq!(a.stats().parallel_ops, 3);
         assert_eq!(blocks[0].as_bytes()[0], 0);
         assert_eq!(blocks[1].as_bytes()[0], 1);
@@ -381,13 +386,40 @@ mod tests {
     }
 
     #[test]
+    fn serial_and_parallel_file_arrays_count_identically() {
+        use crate::IoMode;
+        let pid = std::process::id();
+        let mk = |mode: IoMode, tag: &str| {
+            let dir = std::env::temp_dir().join(format!("em-array-mode-{tag}-{pid}"));
+            let cfg = DiskConfig::new(4, 16).unwrap().with_io_mode(mode);
+            (dir.clone(), DiskArray::new_file(cfg, dir).unwrap())
+        };
+        let (dir_s, mut serial) = mk(IoMode::Serial, "s");
+        let (dir_p, mut parallel) = mk(IoMode::Parallel, "p");
+        for a in [&mut serial, &mut parallel] {
+            for t in 0..3 {
+                let writes: Vec<_> = (0..4)
+                    .map(|d| (d, t, Block::from_bytes_padded(&[(d * 8 + t) as u8], 16)))
+                    .collect();
+                a.write_stripe(&writes).unwrap();
+            }
+            let blocks = a.read_stripe(&[(0, 1), (1, 1), (2, 1), (3, 1)]).unwrap();
+            assert_eq!(blocks[2].as_bytes()[0], 17);
+            a.sync().unwrap();
+        }
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(serial.tracks_used(0), parallel.tracks_used(0));
+        std::fs::remove_dir_all(&dir_s).ok();
+        std::fs::remove_dir_all(&dir_p).ok();
+    }
+
+    #[test]
     fn file_backed_array_round_trip() {
         let dir = std::env::temp_dir().join(format!("em-array-test-{}", std::process::id()));
         let cfg = DiskConfig::new(3, 32).unwrap();
         let mut a = DiskArray::new_file(cfg, &dir).unwrap();
-        let writes: Vec<_> = (0..3)
-            .map(|d| (d, 5, Block::from_bytes_padded(&[d as u8 * 7], 32)))
-            .collect();
+        let writes: Vec<_> =
+            (0..3).map(|d| (d, 5, Block::from_bytes_padded(&[d as u8 * 7], 32))).collect();
         a.write_stripe(&writes).unwrap();
         a.sync().unwrap();
         let blocks = a.read_stripe(&[(0, 5), (1, 5), (2, 5)]).unwrap();

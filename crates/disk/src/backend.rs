@@ -3,11 +3,15 @@
 //! The [`DiskArray`](crate::DiskArray) front-end is backend-agnostic. The
 //! memory backend gives deterministic, allocation-cheap simulation for unit
 //! tests and I/O-op counting experiments; the file backend performs real
-//! positional file I/O (one file per simulated drive) so that wall-clock
-//! behaviour of the blocked access patterns can be observed.
+//! positional file I/O (one file per simulated drive) and, in
+//! [`IoMode::Parallel`](crate::IoMode), overlaps the `≤ D` track transfers
+//! of a stripe across one dedicated worker thread per drive — so the
+//! wall-clock behaviour of the blocked access patterns can show the
+//! model's `D`-way parallelism, not just count it.
 
+use crate::engine::{read_full_track, write_at, IoEngine};
+use crate::{DiskResult, IoMode};
 use std::fs::{File, OpenOptions};
-use std::io;
 use std::path::{Path, PathBuf};
 
 /// Raw track storage for an array of `D` drives.
@@ -15,27 +19,60 @@ use std::path::{Path, PathBuf};
 /// Tracks that have never been written read back as zeros — the model's
 /// disks are "formatted" at creation, matching the paper's preallocated
 /// context and message regions.
+///
+/// The stripe methods have serial default implementations, so a backend
+/// only needs `read_track`/`write_track` to be correct; backends with real
+/// parallelism (the file backend's worker engine) override them to overlap
+/// the per-drive transfers. Whatever the overlap, a stripe call returns
+/// only after **every** listed track has completed — callers never observe
+/// in-flight I/O.
 pub trait DiskBackend: Send {
     /// Number of drives this backend was created with.
     fn num_disks(&self) -> usize;
 
     /// Read one track into `buf` (whose length is the block size `B`).
-    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()>;
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()>;
 
     /// Write one track from `data` (whose length is the block size `B`).
-    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()>;
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()>;
+
+    /// Read one track from each listed drive into the matching buffer.
+    ///
+    /// `addrs[i]` is `(disk, track)` and fills `bufs[i]`. The caller (the
+    /// array front-end) has already validated the one-track-per-drive
+    /// stripe rule; backends may execute the transfers in any order or in
+    /// parallel, but must complete all of them before returning.
+    fn read_stripe(&mut self, addrs: &[(usize, usize)], bufs: &mut [&mut [u8]]) -> DiskResult<()> {
+        for (&(disk, track), buf) in addrs.iter().zip(bufs.iter_mut()) {
+            self.read_track(disk, track, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Write one track on each listed drive (same contract as
+    /// [`DiskBackend::read_stripe`]).
+    fn write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> DiskResult<()> {
+        for &(disk, track, data) in writes {
+            self.write_track(disk, track, data)?;
+        }
+        Ok(())
+    }
 
     /// Highest track index written so far on `disk`, plus one (0 if never
     /// written). Used for disk-space accounting.
     fn tracks_used(&self, disk: usize) -> usize;
 
     /// Flush any buffered state to stable storage (no-op for memory).
-    fn sync(&mut self) -> io::Result<()> {
+    fn sync(&mut self) -> DiskResult<()> {
         Ok(())
     }
 }
 
 /// In-memory backend: tracks are boxed byte buffers.
+///
+/// Always serial and deterministic regardless of the configured
+/// [`IoMode`] — a memcpy cannot be usefully overlapped, and the memory
+/// backend is the reference for seeded-trace tests.
 pub struct MemoryBackend {
     disks: Vec<Vec<Option<Box<[u8]>>>>,
 }
@@ -43,18 +80,12 @@ pub struct MemoryBackend {
 impl MemoryBackend {
     /// Create a memory backend for `num_disks` drives.
     pub fn new(num_disks: usize) -> Self {
-        MemoryBackend {
-            disks: vec![Vec::new(); num_disks],
-        }
+        MemoryBackend { disks: vec![Vec::new(); num_disks] }
     }
 
     /// Total bytes currently resident across all drives (for tests).
     pub fn resident_bytes(&self) -> usize {
-        self.disks
-            .iter()
-            .flatten()
-            .filter_map(|t| t.as_ref().map(|b| b.len()))
-            .sum()
+        self.disks.iter().flatten().filter_map(|t| t.as_ref().map(|b| b.len())).sum()
     }
 }
 
@@ -63,7 +94,7 @@ impl DiskBackend for MemoryBackend {
         self.disks.len()
     }
 
-    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()> {
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()> {
         match self.disks[disk].get(track).and_then(Option::as_ref) {
             Some(data) => {
                 debug_assert_eq!(data.len(), buf.len());
@@ -74,7 +105,7 @@ impl DiskBackend for MemoryBackend {
         Ok(())
     }
 
-    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()> {
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()> {
         let tracks = &mut self.disks[disk];
         if tracks.len() <= track {
             tracks.resize_with(track + 1, || None);
@@ -88,10 +119,27 @@ impl DiskBackend for MemoryBackend {
     }
 }
 
+/// Where a file backend's track transfers execute.
+enum FileIo {
+    /// Positional I/O on the calling thread, one drive after another.
+    Serial(Vec<File>),
+    /// One worker thread per drive; stripes are dispatched to all listed
+    /// drives at once and joined before the operation returns.
+    Parallel(IoEngine),
+}
+
 /// File-backed backend: one file per drive, positional I/O at
 /// `track * block_bytes` offsets.
+///
+/// In [`IoMode::Parallel`] (the default of [`crate::DiskConfig::new`]) the
+/// drive files are owned by an [`IoEngine`] worker per drive and each
+/// stripe's transfers overlap; in [`IoMode::Serial`] the transfers run on
+/// the calling thread in drive order. Both modes produce identical bytes,
+/// identical [`crate::IoStats`] and identical seeded I/O traces — the mode
+/// only changes who performs the file I/O and when, never what is
+/// transferred.
 pub struct FileBackend {
-    files: Vec<File>,
+    io: FileIo,
     paths: Vec<PathBuf>,
     block_bytes: usize,
     tracks_used: Vec<usize>,
@@ -99,12 +147,25 @@ pub struct FileBackend {
 
 impl FileBackend {
     /// Create (or truncate) `num_disks` drive files named `disk-<i>.bin`
-    /// inside `dir`.
+    /// inside `dir`, with the parallel worker engine enabled.
     pub fn create<P: AsRef<Path>>(
         dir: P,
         num_disks: usize,
         block_bytes: usize,
-    ) -> io::Result<Self> {
+    ) -> DiskResult<Self> {
+        Self::create_with_mode(dir, num_disks, block_bytes, IoMode::Parallel)
+    }
+
+    /// Create (or truncate) the drive files with an explicit I/O mode.
+    ///
+    /// A single-drive array has nothing to overlap, so it always uses the
+    /// serial path regardless of `mode`.
+    pub fn create_with_mode<P: AsRef<Path>>(
+        dir: P,
+        num_disks: usize,
+        block_bytes: usize,
+        mode: IoMode,
+    ) -> DiskResult<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
         let mut files = Vec::with_capacity(num_disks);
         let mut paths = Vec::with_capacity(num_disks);
@@ -119,70 +180,82 @@ impl FileBackend {
             files.push(file);
             paths.push(path);
         }
-        Ok(FileBackend {
-            files,
-            paths,
-            block_bytes,
-            tracks_used: vec![0; num_disks],
-        })
+        let io = match mode {
+            IoMode::Parallel if num_disks > 1 => {
+                FileIo::Parallel(IoEngine::spawn(files, block_bytes))
+            }
+            _ => FileIo::Serial(files),
+        };
+        Ok(FileBackend { io, paths, block_bytes, tracks_used: vec![0; num_disks] })
     }
 
     /// Paths of the backing files (for inspection in examples/tests).
     pub fn paths(&self) -> &[PathBuf] {
         &self.paths
     }
-}
 
-#[cfg(unix)]
-fn read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
-    use std::os::unix::fs::FileExt;
-    file.read_at(buf, offset)
-}
+    /// True when stripes are dispatched to per-drive worker threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.io, FileIo::Parallel(_))
+    }
 
-#[cfg(unix)]
-fn write_at(file: &File, data: &[u8], offset: u64) -> io::Result<()> {
-    use std::os::unix::fs::FileExt;
-    file.write_all_at(data, offset)
-}
-
-#[cfg(not(unix))]
-fn read_at(_file: &File, _buf: &mut [u8], _offset: u64) -> io::Result<usize> {
-    Err(io::Error::new(
-        io::ErrorKind::Unsupported,
-        "FileBackend requires a unix platform",
-    ))
-}
-
-#[cfg(not(unix))]
-fn write_at(_file: &File, _data: &[u8], _offset: u64) -> io::Result<()> {
-    Err(io::Error::new(
-        io::ErrorKind::Unsupported,
-        "FileBackend requires a unix platform",
-    ))
+    fn note_write(&mut self, disk: usize, track: usize) {
+        self.tracks_used[disk] = self.tracks_used[disk].max(track + 1);
+    }
 }
 
 impl DiskBackend for FileBackend {
     fn num_disks(&self) -> usize {
-        self.files.len()
+        self.paths.len()
     }
 
-    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> io::Result<()> {
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()> {
         let offset = (track * self.block_bytes) as u64;
-        let n = read_at(&self.files[disk], buf, offset)?;
-        // Reads past EOF (never-written tracks) come back as zeros.
-        buf[n..].fill(0);
-        if n > 0 && n < buf.len() {
-            // Partial track at EOF: the unread tail is zero by construction.
-            let m = read_at(&self.files[disk], &mut buf[n..], offset + n as u64)?;
-            buf[n + m..].fill(0);
+        match &self.io {
+            FileIo::Serial(files) => Ok(read_full_track(&files[disk], buf, offset)?),
+            FileIo::Parallel(engine) => {
+                let mut bufs = [buf];
+                engine.read_stripe(&[(disk, track)], &mut bufs)
+            }
         }
+    }
+
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()> {
+        let offset = (track * self.block_bytes) as u64;
+        match &self.io {
+            FileIo::Serial(files) => write_at(&files[disk], data, offset)?,
+            FileIo::Parallel(engine) => engine.write_stripe(&[(disk, track, data)])?,
+        }
+        self.note_write(disk, track);
         Ok(())
     }
 
-    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> io::Result<()> {
-        let offset = (track * self.block_bytes) as u64;
-        write_at(&self.files[disk], data, offset)?;
-        self.tracks_used[disk] = self.tracks_used[disk].max(track + 1);
+    fn read_stripe(&mut self, addrs: &[(usize, usize)], bufs: &mut [&mut [u8]]) -> DiskResult<()> {
+        match &self.io {
+            FileIo::Serial(files) => {
+                for (&(disk, track), buf) in addrs.iter().zip(bufs.iter_mut()) {
+                    let offset = (track * self.block_bytes) as u64;
+                    read_full_track(&files[disk], buf, offset)?;
+                }
+                Ok(())
+            }
+            FileIo::Parallel(engine) => engine.read_stripe(addrs, bufs),
+        }
+    }
+
+    fn write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> DiskResult<()> {
+        match &self.io {
+            FileIo::Serial(files) => {
+                for &(disk, track, data) in writes {
+                    let offset = (track * self.block_bytes) as u64;
+                    write_at(&files[disk], data, offset)?;
+                }
+            }
+            FileIo::Parallel(engine) => engine.write_stripe(writes)?,
+        }
+        for &(disk, track, _) in writes {
+            self.note_write(disk, track);
+        }
         Ok(())
     }
 
@@ -190,11 +263,16 @@ impl DiskBackend for FileBackend {
         self.tracks_used[disk]
     }
 
-    fn sync(&mut self) -> io::Result<()> {
-        for f in &self.files {
-            f.sync_data()?;
+    fn sync(&mut self) -> DiskResult<()> {
+        match &self.io {
+            FileIo::Serial(files) => {
+                for f in files {
+                    f.sync_data()?;
+                }
+                Ok(())
+            }
+            FileIo::Parallel(engine) => engine.sync_all(),
         }
-        Ok(())
     }
 }
 
@@ -220,10 +298,9 @@ mod tests {
         assert_eq!(be.tracks_used(0), 4);
     }
 
-    #[test]
-    fn file_backend_round_trip() {
-        let dir = std::env::temp_dir().join(format!("em-disk-test-{}", std::process::id()));
-        let mut be = FileBackend::create(&dir, 2, 32).unwrap();
+    fn file_round_trip(mode: IoMode, tag: &str) {
+        let dir = std::env::temp_dir().join(format!("em-disk-test-{tag}-{}", std::process::id()));
+        let mut be = FileBackend::create_with_mode(&dir, 2, 32, mode).unwrap();
         be.write_track(0, 2, &[9u8; 32]).unwrap();
         let mut buf = [0u8; 32];
         be.read_track(0, 2, &mut buf).unwrap();
@@ -235,6 +312,47 @@ mod tests {
         assert_eq!(buf, [0u8; 32]);
         assert_eq!(be.tracks_used(0), 3);
         assert_eq!(be.tracks_used(1), 0);
+        be.sync().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backend_round_trip_serial() {
+        file_round_trip(IoMode::Serial, "serial");
+    }
+
+    #[test]
+    fn file_backend_round_trip_parallel() {
+        file_round_trip(IoMode::Parallel, "parallel");
+    }
+
+    #[test]
+    fn serial_and_parallel_write_identical_files() {
+        let pid = std::process::id();
+        let dir_s = std::env::temp_dir().join(format!("em-disk-eq-s-{pid}"));
+        let dir_p = std::env::temp_dir().join(format!("em-disk-eq-p-{pid}"));
+        let mut serial = FileBackend::create_with_mode(&dir_s, 3, 16, IoMode::Serial).unwrap();
+        let mut parallel = FileBackend::create_with_mode(&dir_p, 3, 16, IoMode::Parallel).unwrap();
+        assert!(!serial.is_parallel());
+        assert!(parallel.is_parallel());
+        let writes: Vec<(usize, usize, Vec<u8>)> = (0..3)
+            .flat_map(|d| (0..4).map(move |t| (d, t, vec![(d * 16 + t) as u8; 16])))
+            .collect();
+        for be in [&mut serial as &mut FileBackend, &mut parallel] {
+            let stripe: Vec<(usize, usize, &[u8])> =
+                writes.iter().map(|(d, t, v)| (*d, *t, v.as_slice())).collect();
+            for chunk in stripe.chunks(3) {
+                be.write_stripe(chunk).unwrap();
+            }
+            be.sync().unwrap();
+        }
+        for d in 0..3 {
+            let a = std::fs::read(dir_s.join(format!("disk-{d}.bin"))).unwrap();
+            let b = std::fs::read(dir_p.join(format!("disk-{d}.bin"))).unwrap();
+            assert_eq!(a, b, "drive {d} bytes diverge between serial and parallel");
+            assert_eq!(serial.tracks_used(d), parallel.tracks_used(d));
+        }
+        std::fs::remove_dir_all(&dir_s).ok();
+        std::fs::remove_dir_all(&dir_p).ok();
     }
 }

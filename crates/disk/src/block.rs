@@ -14,9 +14,7 @@ pub struct Block {
 impl Block {
     /// A zero-filled block of `block_bytes` bytes.
     pub fn zeroed(block_bytes: usize) -> Self {
-        Block {
-            data: vec![0u8; block_bytes].into_boxed_slice(),
-        }
+        Block { data: vec![0u8; block_bytes].into_boxed_slice() }
     }
 
     /// Build a block from `bytes`, padding with zeros up to `block_bytes`.
@@ -33,16 +31,12 @@ impl Block {
         );
         let mut data = vec![0u8; block_bytes];
         data[..bytes.len()].copy_from_slice(bytes);
-        Block {
-            data: data.into_boxed_slice(),
-        }
+        Block { data: data.into_boxed_slice() }
     }
 
     /// Take ownership of an exactly-sized buffer.
     pub fn from_vec(data: Vec<u8>) -> Self {
-        Block {
-            data: data.into_boxed_slice(),
-        }
+        Block { data: data.into_boxed_slice() }
     }
 
     /// Size of this block in bytes.

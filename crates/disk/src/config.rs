@@ -2,6 +2,23 @@
 
 use crate::DiskError;
 
+/// How the file backend executes the `≤ D` track transfers of one stripe.
+///
+/// The mode changes *who* performs the file I/O (the calling thread vs one
+/// dedicated worker thread per drive) and whether the transfers overlap in
+/// time — never what bytes are transferred, what [`crate::IoStats`] count,
+/// or what a seeded run's I/O trace looks like. The memory backend ignores
+/// the mode entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoMode {
+    /// Execute each stripe as a loop over drives on the calling thread.
+    /// Useful as a baseline and for pinning down threading-related bugs.
+    Serial,
+    /// Dispatch each stripe to per-drive worker threads and join them
+    /// before returning, so the transfers overlap `D`-ways.
+    Parallel,
+}
+
 /// Shape of a disk array: `D` drives with tracks of `B` bytes each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskConfig {
@@ -9,10 +26,13 @@ pub struct DiskConfig {
     pub num_disks: usize,
     /// `B` — bytes per track (the transfer block size).
     pub block_bytes: usize,
+    /// How file-backed stripes execute (default [`IoMode::Parallel`]).
+    pub io_mode: IoMode,
 }
 
 impl DiskConfig {
     /// Create a configuration, validating that both parameters are nonzero.
+    /// The I/O mode defaults to [`IoMode::Parallel`].
     pub fn new(num_disks: usize, block_bytes: usize) -> Result<Self, DiskError> {
         if num_disks == 0 {
             return Err(DiskError::InvalidConfig("num_disks must be >= 1"));
@@ -20,7 +40,13 @@ impl DiskConfig {
         if block_bytes == 0 {
             return Err(DiskError::InvalidConfig("block_bytes must be >= 1"));
         }
-        Ok(DiskConfig { num_disks, block_bytes })
+        Ok(DiskConfig { num_disks, block_bytes, io_mode: IoMode::Parallel })
+    }
+
+    /// Select how file-backed stripes execute.
+    pub fn with_io_mode(mut self, mode: IoMode) -> Self {
+        self.io_mode = mode;
+        self
     }
 
     /// Number of blocks needed to hold `bytes` bytes.
@@ -46,6 +72,17 @@ mod tests {
         assert!(DiskConfig::new(0, 64).is_err());
         assert!(DiskConfig::new(4, 0).is_err());
         assert!(DiskConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn io_mode_defaults_to_parallel_and_is_overridable() {
+        let cfg = DiskConfig::new(4, 64).unwrap();
+        assert_eq!(cfg.io_mode, IoMode::Parallel);
+        let cfg = cfg.with_io_mode(IoMode::Serial);
+        assert_eq!(cfg.io_mode, IoMode::Serial);
+        // The mode does not affect configuration equality of shape fields.
+        assert_eq!(cfg.num_disks, 4);
+        assert_eq!(cfg.block_bytes, 64);
     }
 
     #[test]

@@ -44,12 +44,7 @@ impl ConsecutiveLayout {
         if blocks_per_region == 0 {
             return Err(DiskError::InvalidConfig("blocks_per_region must be >= 1"));
         }
-        Ok(ConsecutiveLayout {
-            base_track,
-            blocks_per_region,
-            num_regions,
-            num_disks,
-        })
+        Ok(ConsecutiveLayout { base_track, blocks_per_region, num_regions, num_disks })
     }
 
     /// Total blocks across all regions.
@@ -123,14 +118,10 @@ pub fn check_consecutive_format(
         per_disk[d].push(t);
     }
     let counts: Vec<usize> = per_disk.iter().map(Vec::len).collect();
-    let (min, max) = (
-        counts.iter().copied().min().unwrap_or(0),
-        counts.iter().copied().max().unwrap_or(0),
-    );
+    let (min, max) =
+        (counts.iter().copied().min().unwrap_or(0), counts.iter().copied().max().unwrap_or(0));
     if max - min > 1 {
-        return Err(format!(
-            "per-disk block counts differ by more than one: {counts:?}"
-        ));
+        return Err(format!("per-disk block counts differ by more than one: {counts:?}"));
     }
     let mut ranges = Vec::with_capacity(num_disks);
     for (d, tracks) in per_disk.iter_mut().enumerate() {
@@ -141,10 +132,7 @@ pub fn check_consecutive_format(
         tracks.sort_unstable();
         for w in tracks.windows(2) {
             if w[1] != w[0] + 1 {
-                return Err(format!(
-                    "disk {d}: tracks not consecutive ({} then {})",
-                    w[0], w[1]
-                ));
+                return Err(format!("disk {d}: tracks not consecutive ({} then {})", w[0], w[1]));
             }
         }
         ranges.push(Some((tracks[0], *tracks.last().unwrap())));

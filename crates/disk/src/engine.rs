@@ -1,0 +1,302 @@
+//! The `D`-way parallel I/O engine behind the file backend.
+//!
+//! The EM-BSP cost model's central object is the *parallel I/O operation*:
+//! one operation moves up to `D` blocks — at most one per drive —
+//! simultaneously, at cost `G`. The [`IoEngine`] makes the file backend
+//! honour that "simultaneously": each simulated drive gets a dedicated
+//! worker thread that owns the drive's `File` exclusively, and a stripe is
+//! executed by handing every `(track, buffer)` pair to its drive's worker
+//! at once, then joining all replies before the operation returns.
+//!
+//! Design points (see DESIGN.md §3.2 for the full contract):
+//!
+//! * **Ownership** — a drive's `File` lives on its worker thread; the
+//!   engine only holds the command channel. No file handle is ever shared,
+//!   so per-drive positional I/O needs no locking.
+//! * **Join per stripe** — `read_stripe`/`write_stripe` block until every
+//!   listed drive has replied. At the [`DiskArray`](crate::DiskArray)
+//!   level an operation is therefore still synchronous and atomic: the
+//!   one-op-per-stripe cost accounting and the deterministic, seed-stable
+//!   I/O traces are untouched; only the wall-clock of the `≤ D` track
+//!   transfers overlaps.
+//! * **Error propagation** — each command carries a reply channel. A
+//!   failed transfer comes back as [`DiskError::WorkerIo`] tagged with the
+//!   drive index; a worker whose thread has died (panic, channel torn
+//!   down) surfaces as [`DiskError::WorkerLost`]. On a multi-drive stripe
+//!   all replies are joined first and the lowest-indexed drive's error is
+//!   returned, so error selection is deterministic.
+//! * **Shutdown** — dropping the engine closes every command channel;
+//!   workers drain and exit, and the engine joins them. A worker that
+//!   errored stays alive and keeps serving subsequent commands (the drive
+//!   is poisoned only for the failed track, not for the array).
+
+use crate::{DiskError, DiskResult};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use std::fs::File;
+use std::io;
+use std::thread::JoinHandle;
+
+/// One command to a drive worker. Buffers are owned so commands can cross
+/// the thread boundary without borrowing from the caller; the engine pays
+/// one `B`-byte copy per block, which is noise next to the file I/O the
+/// workers overlap.
+enum Cmd {
+    /// Read the full track at `track` into `buf` and send it back.
+    Read { track: usize, buf: Vec<u8>, reply: Sender<DiskResult<Vec<u8>>> },
+    /// Write `data` as the full track at `track`.
+    Write { track: usize, data: Vec<u8>, reply: Sender<DiskResult<()>> },
+    /// Flush the drive's file to stable storage.
+    Sync { reply: Sender<DiskResult<()>> },
+}
+
+/// Worker-thread-per-disk I/O engine. See the module docs for the
+/// ownership, join and shutdown contract.
+pub(crate) struct IoEngine {
+    /// Command channel of worker `d` (same index as the drive).
+    txs: Vec<Sender<Cmd>>,
+    /// Join handles, drained on drop.
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Read a full track (`buf.len()` bytes) at `offset`, zero-filling any
+/// part past EOF — never-written tracks read back as zeros, matching the
+/// memory backend and the model's "formatted" disks.
+pub(crate) fn read_full_track(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match read_at(file, &mut buf[filled..], offset + filled as u64) {
+            Ok(0) => break, // EOF: the rest of the track was never written
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    buf[filled..].fill(0);
+    Ok(())
+}
+
+#[cfg(unix)]
+pub(crate) fn read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+    use std::os::unix::fs::FileExt;
+    file.read_at(buf, offset)
+}
+
+#[cfg(unix)]
+pub(crate) fn write_at(file: &File, data: &[u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(data, offset)
+}
+
+#[cfg(not(unix))]
+pub(crate) fn read_at(_file: &File, _buf: &mut [u8], _offset: u64) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "FileBackend requires a unix platform"))
+}
+
+#[cfg(not(unix))]
+pub(crate) fn write_at(_file: &File, _data: &[u8], _offset: u64) -> io::Result<()> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "FileBackend requires a unix platform"))
+}
+
+/// The worker loop: serve commands until the engine drops the channel.
+fn drive_worker(disk: usize, file: File, block_bytes: usize, rx: Receiver<Cmd>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Read { track, mut buf, reply } => {
+                let offset = (track * block_bytes) as u64;
+                let res = read_full_track(&file, &mut buf, offset)
+                    .map(|()| buf)
+                    .map_err(|source| DiskError::WorkerIo { disk, source });
+                // A dropped reply receiver means the engine gave up on the
+                // stripe (it is being torn down); nothing left to do.
+                let _ = reply.send(res);
+            }
+            Cmd::Write { track, data, reply } => {
+                let offset = (track * block_bytes) as u64;
+                let res = write_at(&file, &data, offset)
+                    .map_err(|source| DiskError::WorkerIo { disk, source });
+                let _ = reply.send(res);
+            }
+            Cmd::Sync { reply } => {
+                let res = file.sync_data().map_err(|source| DiskError::WorkerIo { disk, source });
+                let _ = reply.send(res);
+            }
+        }
+    }
+}
+
+impl IoEngine {
+    /// Spawn one worker per file; worker `d` takes exclusive ownership of
+    /// `files[d]`.
+    pub(crate) fn spawn(files: Vec<File>, block_bytes: usize) -> Self {
+        let mut txs = Vec::with_capacity(files.len());
+        let mut handles = Vec::with_capacity(files.len());
+        for (disk, file) in files.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<Cmd>();
+            let handle = std::thread::Builder::new()
+                .name(format!("em-disk-{disk}"))
+                .spawn(move || drive_worker(disk, file, block_bytes, rx))
+                .expect("spawn disk worker thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        IoEngine { txs, handles }
+    }
+
+    /// Dispatch one read per listed drive, join all replies, and copy the
+    /// results into the caller's buffers (request order).
+    pub(crate) fn read_stripe(
+        &self,
+        addrs: &[(usize, usize)],
+        bufs: &mut [&mut [u8]],
+    ) -> DiskResult<()> {
+        debug_assert_eq!(addrs.len(), bufs.len());
+        let mut replies = Vec::with_capacity(addrs.len());
+        for &(disk, track) in addrs {
+            let (reply_tx, reply_rx) = bounded::<DiskResult<Vec<u8>>>(1);
+            let buf = vec![0u8; bufs[replies.len()].len()];
+            self.txs[disk]
+                .send(Cmd::Read { track, buf, reply: reply_tx })
+                .map_err(|_| DiskError::WorkerLost { disk })?;
+            replies.push((disk, reply_rx));
+        }
+        // Join every in-flight transfer before touching any result, then
+        // report the lowest-indexed failure deterministically.
+        let mut first_err: Option<DiskError> = None;
+        for (i, (disk, rx)) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(data)) => bufs[i].copy_from_slice(&data),
+                Ok(Err(e)) => merge_err(&mut first_err, e),
+                Err(_) => merge_err(&mut first_err, DiskError::WorkerLost { disk }),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Dispatch one write per listed drive and join all replies.
+    pub(crate) fn write_stripe(&self, writes: &[(usize, usize, &[u8])]) -> DiskResult<()> {
+        let mut replies = Vec::with_capacity(writes.len());
+        for &(disk, track, data) in writes {
+            let (reply_tx, reply_rx) = bounded::<DiskResult<()>>(1);
+            self.txs[disk]
+                .send(Cmd::Write { track, data: data.to_vec(), reply: reply_tx })
+                .map_err(|_| DiskError::WorkerLost { disk })?;
+            replies.push((disk, reply_rx));
+        }
+        let mut first_err: Option<DiskError> = None;
+        for (disk, rx) in replies {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => merge_err(&mut first_err, e),
+                Err(_) => merge_err(&mut first_err, DiskError::WorkerLost { disk }),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Flush every drive to stable storage (joined like a stripe).
+    pub(crate) fn sync_all(&self) -> DiskResult<()> {
+        let mut replies = Vec::with_capacity(self.txs.len());
+        for (disk, tx) in self.txs.iter().enumerate() {
+            let (reply_tx, reply_rx) = bounded::<DiskResult<()>>(1);
+            tx.send(Cmd::Sync { reply: reply_tx }).map_err(|_| DiskError::WorkerLost { disk })?;
+            replies.push((disk, reply_rx));
+        }
+        let mut first_err: Option<DiskError> = None;
+        for (disk, rx) in replies {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => merge_err(&mut first_err, e),
+                Err(_) => merge_err(&mut first_err, DiskError::WorkerLost { disk }),
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+/// Keep the error of the lowest-indexed drive: replies are joined in disk
+/// order, so the first error seen wins.
+fn merge_err(slot: &mut Option<DiskError>, e: DiskError) {
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+}
+
+impl Drop for IoEngine {
+    fn drop(&mut self) {
+        // Closing the command channels lets each worker drain and exit.
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            // A panicked worker already surfaced as WorkerLost on its last
+            // command; don't double-panic during drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+
+    fn tmp_files(name: &str, n: usize) -> (std::path::PathBuf, Vec<File>) {
+        let dir = std::env::temp_dir().join(format!("em-engine-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let files = (0..n)
+            .map(|i| {
+                OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(true)
+                    .open(dir.join(format!("disk-{i}.bin")))
+                    .unwrap()
+            })
+            .collect();
+        (dir, files)
+    }
+
+    #[test]
+    fn stripe_round_trip_through_workers() {
+        let (dir, files) = tmp_files("rt", 3);
+        let engine = IoEngine::spawn(files, 16);
+        engine.write_stripe(&[(0, 0, &[1u8; 16]), (1, 2, &[2u8; 16]), (2, 1, &[3u8; 16])]).unwrap();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        let mut c = [0u8; 16];
+        {
+            let mut bufs: Vec<&mut [u8]> = vec![&mut a[..], &mut b[..], &mut c[..]];
+            engine.read_stripe(&[(0, 0), (1, 2), (2, 1)], &mut bufs).unwrap();
+        }
+        assert_eq!(a, [1u8; 16]);
+        assert_eq!(b, [2u8; 16]);
+        assert_eq!(c, [3u8; 16]);
+        engine.sync_all().unwrap();
+        drop(engine); // joins workers
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritten_tracks_read_zero_through_workers() {
+        let (dir, files) = tmp_files("zero", 2);
+        let engine = IoEngine::spawn(files, 8);
+        engine.write_stripe(&[(0, 3, &[9u8; 8])]).unwrap();
+        let mut hole = [0xAAu8; 8];
+        let mut never = [0xBBu8; 8];
+        {
+            let mut bufs: Vec<&mut [u8]> = vec![&mut hole[..], &mut never[..]];
+            engine.read_stripe(&[(0, 1), (1, 7)], &mut bufs).unwrap();
+        }
+        assert_eq!(hole, [0u8; 8]);
+        assert_eq!(never, [0u8; 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -37,6 +37,21 @@ pub enum DiskError {
     },
     /// An underlying OS I/O failure (file backend only).
     Io(io::Error),
+    /// An OS I/O failure on one drive's dedicated worker thread (parallel
+    /// file backend only). When several drives of a stripe fail at once,
+    /// the error from the lowest drive index is reported, deterministically.
+    WorkerIo {
+        /// Drive whose worker hit the failure.
+        disk: usize,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A drive's I/O worker thread is gone (its channel disconnected) —
+    /// the engine is unusable and the array should be rebuilt.
+    WorkerLost {
+        /// Drive whose worker terminated.
+        disk: usize,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -57,6 +72,12 @@ impl fmt::Display for DiskError {
                 write!(f, "drive {disk} exceeded its capacity of {max_tracks} tracks")
             }
             DiskError::Io(e) => write!(f, "I/O error: {e}"),
+            DiskError::WorkerIo { disk, source } => {
+                write!(f, "I/O error on drive {disk}'s worker: {source}")
+            }
+            DiskError::WorkerLost { disk } => {
+                write!(f, "drive {disk}'s I/O worker thread terminated")
+            }
         }
     }
 }
@@ -65,6 +86,7 @@ impl std::error::Error for DiskError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DiskError::Io(e) => Some(e),
+            DiskError::WorkerIo { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -13,7 +13,11 @@
 //!
 //! * [`MemoryBackend`] — tracks held in memory; deterministic and fast.
 //! * [`FileBackend`] — one file per simulated drive, positional reads and
-//!   writes at `track * B` offsets.
+//!   writes at `track * B` offsets. With [`IoMode::Parallel`] (the default)
+//!   each drive's file is owned by a dedicated worker thread and the
+//!   `≤ D` transfers of one stripe overlap in time — real `D`-way
+//!   parallelism, joined before the operation returns so callers, counted
+//!   [`IoStats`] and seeded I/O traces are unaffected.
 //!
 //! On top of the raw [`DiskArray`] this crate implements the paper's two
 //! on-disk layouts:
@@ -34,6 +38,7 @@ mod backend;
 mod block;
 mod config;
 mod consecutive;
+mod engine;
 mod error;
 mod linked;
 mod stats;
@@ -42,7 +47,7 @@ pub use alloc::TrackAllocator;
 pub use array::DiskArray;
 pub use backend::{DiskBackend, FileBackend, MemoryBackend};
 pub use block::Block;
-pub use config::DiskConfig;
+pub use config::{DiskConfig, IoMode};
 pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
 pub use error::DiskError;
 pub use linked::BucketStore;

@@ -113,9 +113,7 @@ impl BucketStore {
 
     /// True when no blocks are stored.
     pub fn is_empty(&self) -> bool {
-        self.lists
-            .iter()
-            .all(|buckets| buckets.iter().all(Vec::is_empty))
+        self.lists.iter().all(|buckets| buckets.iter().all(Vec::is_empty))
     }
 }
 

@@ -59,12 +59,8 @@ impl IoStats {
     /// Largest per-drive block count divided by the mean — 1.0 is perfectly
     /// balanced. Used in the Lemma 2 balance experiments.
     pub fn imbalance(&self) -> f64 {
-        let totals: Vec<u64> = self
-            .per_disk_reads
-            .iter()
-            .zip(&self.per_disk_writes)
-            .map(|(r, w)| r + w)
-            .collect();
+        let totals: Vec<u64> =
+            self.per_disk_reads.iter().zip(&self.per_disk_writes).map(|(r, w)| r + w).collect();
         let sum: u64 = totals.iter().sum();
         if sum == 0 {
             return 1.0;

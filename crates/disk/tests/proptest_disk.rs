@@ -1,7 +1,9 @@
 //! Property tests for the disk substrate: arbitrary write/read programs
 //! against an in-memory model, layout invariants, and allocator safety.
 
-use em_disk::{check_consecutive_format, Block, ConsecutiveLayout, DiskArray, DiskConfig, TrackAllocator};
+use em_disk::{
+    check_consecutive_format, Block, ConsecutiveLayout, DiskArray, DiskConfig, TrackAllocator,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

@@ -154,8 +154,7 @@ impl<T: Serial, const N: usize> Serial for [T; N] {
         for _ in 0..N {
             out.push(T::decode(r)?);
         }
-        out.try_into()
-            .map_err(|_| DecodeError::InvalidValue { type_name: "[T; N]" })
+        out.try_into().map_err(|_| DecodeError::InvalidValue { type_name: "[T; N]" })
     }
 }
 

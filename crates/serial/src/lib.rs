@@ -27,9 +27,9 @@
 
 #![warn(missing_docs)]
 
+mod composite;
 mod error;
 mod primitives;
-mod composite;
 mod reader;
 
 #[macro_use]
@@ -71,9 +71,7 @@ pub fn from_bytes<T: Serial>(bytes: &[u8]) -> Result<T, DecodeError> {
     let mut r = Reader::new(bytes);
     let v = T::decode(&mut r)?;
     if !r.is_empty() {
-        return Err(DecodeError::TrailingBytes {
-            remaining: r.remaining(),
-        });
+        return Err(DecodeError::TrailingBytes { remaining: r.remaining() });
     }
     Ok(v)
 }
@@ -101,10 +99,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut b = to_bytes(&1u32);
         b.push(0);
-        assert!(matches!(
-            from_bytes::<u32>(&b),
-            Err(DecodeError::TrailingBytes { remaining: 1 })
-        ));
+        assert!(matches!(from_bytes::<u32>(&b), Err(DecodeError::TrailingBytes { remaining: 1 })));
         // ...but accepted by the prefix variant.
         assert_eq!(from_bytes_prefix::<u32>(&b).unwrap(), 1);
     }

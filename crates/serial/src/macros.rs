@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn struct_round_trip() {
-        let r = Record {
-            key: 42,
-            payload: vec![1, 2, 3],
-            tag: Some(9),
-        };
+        let r = Record { key: 42, payload: vec![1, 2, 3], tag: Some(9) };
         let b = to_bytes(&r);
         assert_eq!(b.len(), r.encoded_len());
         assert_eq!(from_bytes::<Record>(&b).unwrap(), r);

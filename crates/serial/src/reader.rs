@@ -40,10 +40,7 @@ impl<'a> Reader<'a> {
     #[inline]
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError::UnexpectedEof {
-                needed: n,
-                available: self.remaining(),
-            });
+            return Err(DecodeError::UnexpectedEof { needed: n, available: self.remaining() });
         }
         let out = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -74,10 +71,7 @@ impl<'a> Reader<'a> {
     pub fn check_len(&self, declared: usize, min_elem_bytes: usize) -> Result<(), DecodeError> {
         let needed = declared.saturating_mul(min_elem_bytes);
         if min_elem_bytes > 0 && needed > self.remaining() {
-            return Err(DecodeError::LengthOverflow {
-                declared,
-                available: self.remaining(),
-            });
+            return Err(DecodeError::LengthOverflow { declared, available: self.remaining() });
         }
         Ok(())
     }

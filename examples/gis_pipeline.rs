@@ -29,8 +29,7 @@ fn main() {
             pts.push(Point2::new(x, y));
         }
     }
-    let weighted: Vec<(Point2, u64)> =
-        pts.iter().map(|&p| (p, rng.gen_range(1..1000))).collect();
+    let weighted: Vec<(Point2, u64)> = pts.iter().map(|&p| (p, rng.gen_range(1..1000))).collect();
 
     // One machine, one recording simulator for the whole pipeline.
     let machine = EmMachine::uniprocessor(256 * 1024, 4, 2048, 1);
@@ -44,10 +43,7 @@ fn main() {
     //    south-west of it.
     let counts = cgm_dominance_counts(&rec, v, &weighted).unwrap();
     let richest = counts.iter().enumerate().max_by_key(|&(_, c)| c).unwrap();
-    println!(
-        "dominance: city #{} dominates weight {}",
-        richest.0, richest.1
-    );
+    println!("dominance: city #{} dominates weight {}", richest.0, richest.1);
 
     // 3. Batched next-element search — snap river gauge readings to the
     //    nearest station at or below them.

@@ -42,9 +42,7 @@ fn main() {
     // The paper's route: take the *parallel* CGM sample sort unchanged and
     // simulate it on the same machine shape.
     let machine = EmMachine::uniprocessor(m, d, b, 1);
-    let rec = Recording::new(
-        SeqEmSimulator::new(machine).with_file_backend(dir.join("sim")),
-    );
+    let rec = Recording::new(SeqEmSimulator::new(machine).with_file_backend(dir.join("sim")));
     let t0 = Instant::now();
     let sorted_sim = cgm_sort(&rec, v, items).unwrap();
     let wall = t0.elapsed();

@@ -59,9 +59,7 @@ fn main() {
     let v = 16; // virtual processors
     let chunk = 1024; // numbers per processor
     let prog = PrefixSum { chunk };
-    let states: Vec<Chunk> = (0..v)
-        .map(|i| Chunk { data: vec![i as u64 + 1; chunk] })
-        .collect();
+    let states: Vec<Chunk> = (0..v).map(|i| Chunk { data: vec![i as u64 + 1; chunk] }).collect();
 
     // 1. Sequential in-memory reference.
     let reference = run_sequential(&prog, states.clone()).unwrap();
@@ -106,8 +104,5 @@ fn main() {
     assert_eq!(res.states, reference.states);
     println!("\n3-processor EM simulation (Algorithm 3):");
     println!("  {}", report.summary());
-    println!(
-        "  real inter-processor traffic: {} KiB",
-        report.real_comm_bytes / 1024
-    );
+    println!("  real inter-processor traffic: {} KiB", report.real_comm_bytes / 1024);
 }

@@ -18,16 +18,16 @@ use em_algos::geometry::rectangles::{cgm_union_area, seq_union_area, Rect};
 use em_algos::geometry::{Point2, Point3};
 use em_algos::graph::cc::{cgm_connected_components, seq_connected_components};
 use em_algos::graph::contraction::cgm_list_rank_contraction;
-use em_algos::graph::lca::{cgm_batched_lca, seq_lca};
 use em_algos::graph::euler::{cgm_euler_tree, seq_tree_info};
+use em_algos::graph::lca::{cgm_batched_lca, seq_lca};
 use em_algos::graph::list_ranking::{cgm_list_rank, random_chain, seq_list_rank};
 use em_algos::permute::{cgm_permute, seq_permute};
 use em_algos::prefix::{cgm_prefix_sums, seq_prefix_sums};
 use em_algos::sort::{cgm_sort, seq_sort};
 use em_algos::transpose::{cgm_transpose, seq_transpose};
+use em_bsp::BspStarParams;
 use em_bsp::{Executor, SeqExecutor, ThreadedRunner};
 use em_core::{EmMachine, ParEmSimulator, SeqEmSimulator};
-use em_bsp::BspStarParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -47,10 +47,7 @@ fn em_machine(p: usize) -> EmMachine {
 }
 
 /// Run `f` against all four executors and assert the outputs agree.
-fn check_all<T: PartialEq + std::fmt::Debug>(
-    f: impl Fn(&dyn ExecDyn) -> T,
-    reference: T,
-) {
+fn check_all<T: PartialEq + std::fmt::Debug>(f: impl Fn(&dyn ExecDyn) -> T, reference: T) {
     let seq = SeqExecutor;
     let thr = ThreadedRunner::new(4);
     let em1 = SeqEmSimulator::new(em_machine(1)).with_seed(77);
@@ -74,12 +71,23 @@ trait ExecDyn {
     fn envelope(&self, v: usize, segs: &[(i64, i64, i64)]) -> Vec<(i64, Option<i64>)>;
     fn union_area(&self, v: usize, rects: &[Rect]) -> u64;
     fn list_rank(&self, v: usize, succ: &[u64], w: &[u64]) -> Vec<u64>;
-    fn tree_depths(&self, v: usize, n: usize, edges: &[(u64, u64)], root: u64)
-        -> (Vec<u64>, Vec<u64>, Vec<u64>);
+    fn tree_depths(
+        &self,
+        v: usize,
+        n: usize,
+        edges: &[(u64, u64)],
+        root: u64,
+    ) -> (Vec<u64>, Vec<u64>, Vec<u64>);
     fn cc_labels(&self, v: usize, n: usize, edges: &[(u64, u64)]) -> Vec<u64>;
     fn list_rank_contraction(&self, v: usize, succ: &[u64], w: &[u64]) -> Vec<u64>;
-    fn lca(&self, v: usize, n: usize, edges: &[(u64, u64)], root: u64, q: &[(u64, u64)])
-        -> Vec<u64>;
+    fn lca(
+        &self,
+        v: usize,
+        n: usize,
+        edges: &[(u64, u64)],
+        root: u64,
+        q: &[(u64, u64)],
+    ) -> Vec<u64>;
 }
 
 impl<E: Executor> ExecDyn for E {
@@ -132,7 +140,14 @@ impl<E: Executor> ExecDyn for E {
     fn list_rank_contraction(&self, v: usize, succ: &[u64], w: &[u64]) -> Vec<u64> {
         cgm_list_rank_contraction(self, v, succ, w).unwrap()
     }
-    fn lca(&self, v: usize, n: usize, edges: &[(u64, u64)], root: u64, q: &[(u64, u64)]) -> Vec<u64> {
+    fn lca(
+        &self,
+        v: usize,
+        n: usize,
+        edges: &[(u64, u64)],
+        root: u64,
+        q: &[(u64, u64)],
+    ) -> Vec<u64> {
         cgm_batched_lca(self, v, n, edges, root, q).unwrap()
     }
 }
@@ -175,9 +190,8 @@ fn prefix_sums_all_executors() {
 #[test]
 fn convex_hull_all_executors() {
     let mut rng = StdRng::seed_from_u64(103);
-    let pts: Vec<Point2> = (0..300)
-        .map(|_| Point2::new(rng.gen_range(-500..500), rng.gen_range(-500..500)))
-        .collect();
+    let pts: Vec<Point2> =
+        (0..300).map(|_| Point2::new(rng.gen_range(-500..500), rng.gen_range(-500..500))).collect();
     let want = seq_convex_hull(&pts);
     check_all(|e| e.hull(V, pts.clone()), want);
 }
@@ -199,12 +213,7 @@ fn maxima3d_all_executors() {
 fn dominance_all_executors() {
     let mut rng = StdRng::seed_from_u64(105);
     let pts: Vec<(Point2, u64)> = (0..200)
-        .map(|_| {
-            (
-                Point2::new(rng.gen_range(-30..30), rng.gen_range(-30..30)),
-                rng.gen_range(1..5),
-            )
-        })
+        .map(|_| (Point2::new(rng.gen_range(-30..30), rng.gen_range(-30..30)), rng.gen_range(1..5)))
         .collect();
     let want = seq_dominance_counts(&pts);
     check_all(|e| e.dominance(V, &pts), want);
@@ -292,13 +301,9 @@ fn batched_lca_all_executors() {
     let n = 50;
     let edges: Vec<(u64, u64)> = (1..n as u64).map(|i| (rng.gen_range(0..i), i)).collect();
     let root = 3u64;
-    let queries: Vec<(u64, u64)> = (0..40)
-        .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
-        .collect();
+    let queries: Vec<(u64, u64)> =
+        (0..40).map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64))).collect();
     let (parent, depth, _) = seq_tree_info(n, &edges, root);
-    let want: Vec<u64> = queries
-        .iter()
-        .map(|&(a, b)| seq_lca(&parent, &depth, a, b))
-        .collect();
+    let want: Vec<u64> = queries.iter().map(|&(a, b)| seq_lca(&parent, &depth, a, b)).collect();
     check_all(|e| e.lca(V, n, &edges, root, &queries), want);
 }

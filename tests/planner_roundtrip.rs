@@ -46,9 +46,7 @@ fn planned_configuration_executes_within_predictions() {
 #[test]
 fn planner_prefers_condition_satisfying_plans() {
     let machine = EmMachine::uniprocessor(1 << 18, 8, 2048, 1);
-    let plan = Planner { machine }
-        .plan(&ProblemProfile::sort(4_000_000, 8))
-        .expect("plan");
+    let plan = Planner { machine }.plan(&ProblemProfile::sort(4_000_000, 8)).expect("plan");
     // With a large problem there is enough slackness to satisfy every
     // Theorem 1 condition.
     assert!(
