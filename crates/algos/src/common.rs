@@ -104,10 +104,8 @@ impl ChunkMap {
         let big = extra * (base + 1);
         if idx < big {
             idx / (base + 1)
-        } else if base == 0 {
-            self.v - 1
         } else {
-            extra + (idx - big) / base
+            (idx - big).checked_div(base).map_or(self.v - 1, |q| extra + q)
         }
     }
 }

@@ -90,7 +90,7 @@ pub fn cgm_predecessor<E: Executor>(
     if v == 0 {
         return Err(AlgoError::Input("v must be >= 1".into()));
     }
-    if keys.iter().any(|&k| k == i64::MIN) {
+    if keys.contains(&i64::MIN) {
         return Err(AlgoError::Input("i64::MIN is reserved".into()));
     }
     if queries.is_empty() {

@@ -263,7 +263,7 @@ pub fn cgm_connected_components<E: Executor>(
 /// Sequential reference: union-find with min-label extraction.
 pub fn seq_connected_components(n: usize, edges: &[(u64, u64)]) -> Vec<u64> {
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut r = x;
         while parent[r] != r {
             r = parent[r];

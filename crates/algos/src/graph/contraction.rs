@@ -186,7 +186,7 @@ impl BspProgram for Unwind {
     ) -> Step {
         // Even steps: apply replies, then issue queries for the next
         // reverse round; odd steps: answer queries.
-        if step % 2 == 0 {
+        if step.is_multiple_of(2) {
             for env in mb.take_incoming() {
                 let (_, s, rank_t, _) = env.msg;
                 let local = (s - state.start) as usize;

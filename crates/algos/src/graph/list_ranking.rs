@@ -50,7 +50,7 @@ impl BspProgram for PointerJump {
         mb: &mut Mailbox<(u64, u64, u64)>,
         state: &mut LrState,
     ) -> Step {
-        if step % 2 == 0 {
+        if step.is_multiple_of(2) {
             // Apply replies from the previous round, then issue queries.
             for env in mb.take_incoming() {
                 let (x, succ_s, rank_s) = env.msg;
@@ -151,8 +151,8 @@ pub fn seq_list_rank(succ: &[u64], weights: &[u64]) -> Vec<u64> {
     let mut rank = vec![0u64; n];
     // Start from heads (indegree 0) and push ranks backwards from tails:
     // compute by following each chain once from its head using a stack.
-    for head in 0..n {
-        if indeg[head] != 0 {
+    for (head, &deg) in indeg.iter().enumerate() {
+        if deg != 0 {
             continue;
         }
         let mut path = Vec::new();

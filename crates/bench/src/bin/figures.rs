@@ -1,27 +1,51 @@
 //! Figure-style parameter sweeps for the paper's claims that have no table
 //! of their own.
 //!
-//! Usage: `figures [experiment] [--json]` with experiment ∈ {blocking,
-//! disks, procs, balance, fig2, lambda, sibeyn, group-size, det-vs-rand,
-//! contraction, obs2, all}.
+//! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
+//! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
+//! det-vs-rand, contraction, obs2, all}. `--smoke` shrinks every sweep to
+//! CI-sized inputs (seconds, debug build) while exercising the same code
+//! paths and in-process asserts.
 //!
 //! The `disks` and `procs` sweeps emit both memory-backend rows (counted
 //! parallel I/O ops — the primary signal) and file-backend rows whose
 //! wall-clock column is the secondary signal: real positional file I/O,
-//! serial vs worker-per-drive parallel stripe execution (see DESIGN.md
-//! §3.2.2 for when each signal is authoritative).
+//! serial vs worker-per-drive parallel stripe execution, and — for the
+//! "pipelined" rows — double-buffered compound supersteps (see DESIGN.md
+//! §3.2.2–§3.2.3 for when each signal is authoritative). Every pipelined
+//! row asserts, in process, that its counted [`em_disk::IoStats`] equal
+//! the corresponding `Pipeline::Off` row's bit for bit.
 
 use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, measure_seq_file};
 use em_bench::report::{print_json, print_table, Row};
 use em_bench::workloads::*;
 use em_core::theory;
 use em_core::{scatter_messages, simulate_routing, MsgGeometry, OutMsg, Placement, ScratchState};
-use em_disk::{DiskArray, DiskConfig, IoMode, TrackAllocator};
+use em_disk::{DiskArray, DiskConfig, IoMode, IoStats, Pipeline, TrackAllocator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const SEED: u64 = 0xF16;
+
+/// Set once in `main` when `--smoke` is passed; read by the sweeps.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Pick `full` normally, `small` under `--smoke`.
+fn pick<T>(full: T, small: T) -> T {
+    if SMOKE.load(Ordering::Relaxed) {
+        small
+    } else {
+        full
+    }
+}
+
+/// Per-stage counted I/O of a run — the payload the pipelined rows must
+/// reproduce exactly.
+fn stage_stats(cost: &em_bench::EmRunCost) -> Vec<IoStats> {
+    cost.stages.iter().map(|r| r.io.clone()).collect()
+}
 
 /// Scratch directory for one file-backed sweep variant; wiped before and
 /// after use so reruns start from empty drive files.
@@ -33,7 +57,7 @@ fn sweep_dir(tag: &str) -> PathBuf {
 
 /// F-blocking: the ×B penalty of unblocked I/O (intro's "factor 10³").
 fn fig_blocking() -> Vec<Row> {
-    let n = 20_000usize;
+    let n = pick(20_000usize, 2_000);
     let items = random_u64(n, SEED);
     let mut rows = Vec::new();
     let mut blocked_at_4096 = 1u64;
@@ -84,11 +108,11 @@ fn fig_blocking() -> Vec<Row> {
 /// worker-per-drive parallel engine (wall clock should fall as D grows on
 /// a multi-core host).
 fn fig_disks() -> Vec<Row> {
-    let n = 100_000usize;
+    let n = pick(100_000usize, 4_000);
     let items = random_u64(n, SEED + 1);
     let mut rows = Vec::new();
     let mut base = 0u64;
-    for d in [1usize, 2, 4, 8, 16] {
+    for &d in pick(&[1usize, 2, 4, 8, 16][..], &[1usize, 2, 4][..]) {
         let m = (1usize << 18).max(d * 2048);
         let (_, cost) = measure_seq(machine(1, m, d, 2048), SEED, |rec| {
             em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
@@ -107,16 +131,36 @@ fn fig_disks() -> Vec<Row> {
             wall_ms: cost.wall_ms,
             note: format!("speedup {:.2}x vs D=1", base as f64 / cost.io_ops as f64),
         });
-        for (mode, tag) in [(IoMode::Serial, "serial io"), (IoMode::Parallel, "parallel io")] {
+        let mut off_stats: Option<Vec<IoStats>> = None;
+        for (mode, pl, tag) in [
+            (IoMode::Serial, Pipeline::Off, "serial io"),
+            (IoMode::Parallel, Pipeline::Off, "parallel io"),
+            (IoMode::Parallel, Pipeline::DoubleBuffer, "parallel io, pipelined"),
+        ] {
             let dir = sweep_dir(&format!("disks-d{d}-{tag}"));
-            let (_, fcost) = measure_seq_file(machine(1, m, d, 2048), SEED, &dir, mode, |rec| {
-                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
-            });
+            let (_, fcost) =
+                measure_seq_file(machine(1, m, d, 2048), SEED, &dir, mode, pl, |rec| {
+                    em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+                });
             std::fs::remove_dir_all(&dir).ok();
             assert_eq!(
                 fcost.io_ops, cost.io_ops,
                 "file backend must count the same parallel I/O ops as memory"
             );
+            // The pipeline knob must not change what is counted: compare
+            // the full per-stage IoStats against the Pipeline::Off run.
+            match pl {
+                Pipeline::Off => {
+                    if mode == IoMode::Parallel {
+                        off_stats = Some(stage_stats(&fcost));
+                    }
+                }
+                Pipeline::DoubleBuffer => assert_eq!(
+                    Some(stage_stats(&fcost)),
+                    off_stats,
+                    "pipelined run must count bit-identical IoStats to Pipeline::Off"
+                ),
+            }
             rows.push(Row {
                 id: "F-disks".into(),
                 variant: format!("file sort D={d} ({tag})"),
@@ -126,7 +170,11 @@ fn fig_disks() -> Vec<Row> {
                 lambda: fcost.lambda,
                 utilization: fcost.utilization,
                 wall_ms: fcost.wall_ms,
-                note: "wall clock is the signal on file rows".into(),
+                note: if pl == Pipeline::DoubleBuffer {
+                    "IoStats asserted identical to the non-pipelined row".into()
+                } else {
+                    "wall clock is the signal on file rows".into()
+                },
             });
         }
     }
@@ -138,11 +186,11 @@ fn fig_disks() -> Vec<Row> {
 /// (p·D I/O worker threads), adding a durable-write wall-clock column
 /// next to the counted per-processor ops.
 fn fig_procs() -> Vec<Row> {
-    let n = 120_000usize;
+    let n = pick(120_000usize, 4_000);
     let items = random_u64(n, SEED + 2);
     let mut rows = Vec::new();
     let mut base = 0u64;
-    for p in [1usize, 2, 4, 8] {
+    for &p in pick(&[1usize, 2, 4, 8][..], &[1usize, 2][..]) {
         let (_, cost) = if p == 1 {
             measure_seq(machine(1, 1 << 18, 4, 2048), SEED, |rec| {
                 em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
@@ -171,32 +219,52 @@ fn fig_procs() -> Vec<Row> {
                 cost.real_comm_bytes / 1024
             ),
         });
-        let dir = sweep_dir(&format!("procs-p{p}"));
-        let (_, fcost) = if p == 1 {
-            measure_seq_file(machine(1, 1 << 18, 4, 2048), SEED, &dir, IoMode::Parallel, |rec| {
-                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
-            })
-        } else {
-            measure_par_file(machine(p, 1 << 18, 4, 2048), SEED, &dir, IoMode::Parallel, |rec| {
-                em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
-            })
-        };
-        std::fs::remove_dir_all(&dir).ok();
-        assert_eq!(
-            fcost.io_ops, cost.io_ops,
-            "file backend must count the same parallel I/O ops as memory"
-        );
-        rows.push(Row {
-            id: "F-procs".into(),
-            variant: format!("file sort p={p} (parallel io)"),
-            n,
-            io_ops: fcost.io_ops / p as u64,
-            predicted: base as f64 / p as f64,
-            lambda: fcost.lambda,
-            utilization: fcost.utilization,
-            wall_ms: fcost.wall_ms,
-            note: "per-proc; wall clock is the signal on file rows".into(),
-        });
+        let mut off_stats: Option<Vec<IoStats>> = None;
+        for (pl, tag) in
+            [(Pipeline::Off, "parallel io"), (Pipeline::DoubleBuffer, "parallel io, pipelined")]
+        {
+            let m = 1usize << 18;
+            let dir = sweep_dir(&format!("procs-p{p}-{tag}"));
+            let (_, fcost) = if p == 1 {
+                measure_seq_file(machine(1, m, 4, 2048), SEED, &dir, IoMode::Parallel, pl, |rec| {
+                    em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+                })
+            } else {
+                measure_par_file(machine(p, m, 4, 2048), SEED, &dir, IoMode::Parallel, pl, |rec| {
+                    em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+                })
+            };
+            std::fs::remove_dir_all(&dir).ok();
+            assert_eq!(
+                fcost.io_ops, cost.io_ops,
+                "file backend must count the same parallel I/O ops as memory"
+            );
+            // As in `fig_disks`: pipelining must not change the counted
+            // per-stage IoStats (summed over processors for p > 1).
+            match pl {
+                Pipeline::Off => off_stats = Some(stage_stats(&fcost)),
+                Pipeline::DoubleBuffer => assert_eq!(
+                    Some(stage_stats(&fcost)),
+                    off_stats,
+                    "pipelined run must count bit-identical IoStats to Pipeline::Off"
+                ),
+            }
+            rows.push(Row {
+                id: "F-procs".into(),
+                variant: format!("file sort p={p} ({tag})"),
+                n,
+                io_ops: fcost.io_ops / p as u64,
+                predicted: base as f64 / p as f64,
+                lambda: fcost.lambda,
+                utilization: fcost.utilization,
+                wall_ms: fcost.wall_ms,
+                note: if pl == Pipeline::DoubleBuffer {
+                    "per-proc; IoStats asserted identical to the non-pipelined row".into()
+                } else {
+                    "per-proc; wall clock is the signal on file rows".into()
+                },
+            });
+        }
     }
     rows
 }
@@ -209,8 +277,8 @@ fn fig_balance() -> Vec<Row> {
     let mut rows = Vec::new();
     let d = 8usize;
     let b = 256usize;
-    for &r_per_bucket in &[4usize, 16, 64, 256] {
-        let trials = 20u64;
+    for &r_per_bucket in pick(&[4usize, 16, 64, 256][..], &[4usize, 16][..]) {
+        let trials = pick(20u64, 4);
         let mut worst: f64 = 0.0;
         let mut sum = 0.0;
         for t in 0..trials {
@@ -320,10 +388,10 @@ fn fig_lambda() -> Vec<Row> {
     }
 
     let v = 32usize;
-    let chunk = 2048usize;
+    let chunk = pick(2048usize, 256);
     let mut rows = Vec::new();
     let mut per_round = 0.0;
-    for rounds in [2usize, 4, 8, 16] {
+    for &rounds in pick(&[2usize, 4, 8, 16][..], &[2usize, 4][..]) {
         let states: Vec<DiffState> =
             (0..v).map(|i| DiffState { data: vec![i as u64; chunk] }).collect();
         let prog = Diffuse { rounds, chunk };
@@ -382,7 +450,7 @@ fn fig_sibeyn() -> Vec<Row> {
     }
 
     let mut rows = Vec::new();
-    for v in [16usize, 32, 64] {
+    for &v in pick(&[16usize, 32, 64][..], &[16usize][..]) {
         let prog = AllToAll { v };
         let states = vec![0u64; v];
 
@@ -423,10 +491,10 @@ fn fig_sibeyn() -> Vec<Row> {
 /// F-koptim: group-size ablation — k = ⌊M/μ⌋ shrinks with M; cost stays
 /// near-flat until the slackness conditions break.
 fn fig_group_size() -> Vec<Row> {
-    let n = 100_000usize;
+    let n = pick(100_000usize, 4_000);
     let items = random_u64(n, SEED + 3);
     let mut rows = Vec::new();
-    for m_kb in [64usize, 128, 256, 512, 1024] {
+    for &m_kb in pick(&[64usize, 128, 256, 512, 1024][..], &[64usize, 128][..]) {
         let m = m_kb * 1024;
         let (_, cost) = measure_seq(machine(1, m, 4, 2048), SEED, |rec| {
             em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
@@ -450,7 +518,7 @@ fn fig_group_size() -> Vec<Row> {
 /// F-detrand: random permutation placement (the paper's randomized scheme)
 /// vs deterministic round-robin (the CGM deterministic variant).
 fn fig_det_vs_rand() -> Vec<Row> {
-    let n = 100_000usize;
+    let n = pick(100_000usize, 4_000);
     let items = random_u64(n, SEED + 4);
     let mut rows = Vec::new();
     for (name, placement) in
@@ -489,7 +557,7 @@ fn fig_det_vs_rand() -> Vec<Row> {
 /// total I/O grows like n/DB instead of (n/DB)·log n.
 fn fig_contraction() -> Vec<Row> {
     let mut rows = Vec::new();
-    for n in [8_000usize, 16_000, 32_000] {
+    for &n in pick(&[8_000usize, 16_000, 32_000][..], &[2_000usize][..]) {
         let succ = em_algos::graph::list_ranking::random_chain(n, SEED + 5);
         let w = vec![1u64; n];
         let (a, jump) = measure_seq(machine(1, 1 << 18, 4, 2048), SEED, |rec| {
@@ -537,7 +605,7 @@ fn fig_contraction() -> Vec<Row> {
 /// constant c.
 fn fig_obs2() -> Vec<Row> {
     let mut rows = Vec::new();
-    for n in [50_000usize, 100_000, 200_000, 400_000] {
+    for &n in pick(&[50_000usize, 100_000, 200_000, 400_000][..], &[5_000usize, 10_000][..]) {
         let items = random_u64(n, SEED + 6);
         let (_, cost) = measure_seq(machine(1, 1 << 18, 4, 2048), SEED, |rec| {
             em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
@@ -627,6 +695,7 @@ fn fig_fig2() -> Vec<Row> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    SMOKE.store(args.iter().any(|a| a == "--smoke"), Ordering::Relaxed);
     let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     let mut rows = Vec::new();

@@ -6,7 +6,9 @@
 //! Usage: `table1 [problem] [--json]` where problem ∈ {sort, permute,
 //! transpose, hull, maxima3d, dominance, next-element, envelope,
 //! rectangles, list-ranking, euler-tour, cc, all}. Sizes can be scaled
-//! with `--scale <f>` (default 1.0).
+//! with `--scale <f>` (default 1.0); `--smoke` is shorthand for a tiny
+//! CI-sized scale that keeps every problem and assert on the same code
+//! path but finishes in seconds in a debug build.
 
 use em_bench::measure::{machine, measure_par, measure_seq};
 use em_bench::report::{print_json, print_table, Row};
@@ -65,7 +67,7 @@ fn push_sim_rows(
 }
 
 fn sort_rows(scale: f64) -> Vec<Row> {
-    let n = (200_000 as f64 * scale) as usize;
+    let n = (200_000_f64 * scale) as usize;
     let items = random_u64(n, SEED);
     let mut rows = Vec::new();
 
@@ -101,7 +103,7 @@ fn sort_rows(scale: f64) -> Vec<Row> {
 }
 
 fn permute_rows(scale: f64) -> Vec<Row> {
-    let n = (150_000 as f64 * scale) as usize;
+    let n = (150_000_f64 * scale) as usize;
     let items = random_u64(n, SEED + 1);
     let perm = random_perm(n, SEED + 2);
     let mut rows = Vec::new();
@@ -131,7 +133,7 @@ fn permute_rows(scale: f64) -> Vec<Row> {
 }
 
 fn transpose_rows(scale: f64) -> Vec<Row> {
-    let r = (400 as f64 * scale.sqrt()) as usize;
+    let r = (400_f64 * scale.sqrt()) as usize;
     let c = 300;
     let n = r * c;
     let data = random_u64(n, SEED + 3);
@@ -170,7 +172,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     let nb = |n: usize, rec: usize| (n * rec) as u64;
 
     // Convex hull.
-    let n = (60_000 as f64 * scale) as usize;
+    let n = (60_000_f64 * scale) as usize;
     let pts = random_points_disc(n, 1_000_000, SEED + 4);
     // Random-disc inputs have O(n^{1/3}) expected hull size; a 4096-point
     // gather budget keeps μ within the benchmark machine's memory.
@@ -194,7 +196,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-hull", n, nb(n, 16), seq, par);
 
     // 3D maxima.
-    let n = (50_000 as f64 * scale) as usize;
+    let n = (50_000_f64 * scale) as usize;
     let pts = random_points_3d(n, SEED + 5);
     let (mx, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::maxima3d::cgm_maxima3d(rec, V, pts.clone()).unwrap()
@@ -216,7 +218,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-max3d", n, nb(n, 24), seq, par);
 
     // Weighted dominance counting.
-    let n = (40_000 as f64 * scale) as usize;
+    let n = (40_000_f64 * scale) as usize;
     let pts = random_weighted_points(n, SEED + 6);
     let (_, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::dominance::cgm_dominance_counts(rec, V, &pts).unwrap()
@@ -238,7 +240,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-dom", n, nb(n, 48), seq, par);
 
     // Batched next-element search.
-    let n = (50_000 as f64 * scale) as usize;
+    let n = (50_000_f64 * scale) as usize;
     let keys: Vec<i64> =
         random_u64(n, SEED + 7).into_iter().map(|x| (x % 2_000_000) as i64 - 1_000_000).collect();
     let queries: Vec<i64> =
@@ -263,7 +265,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-next", 2 * n, nb(2 * n, 17), seq, par);
 
     // Lower envelope.
-    let n = (30_000 as f64 * scale) as usize;
+    let n = (30_000_f64 * scale) as usize;
     let segs = random_segments(n, 2_000, SEED + 9);
     // Short segments over a wide domain: few cross any one slab.
     let (_, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
@@ -286,7 +288,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-env", n, nb(2 * n, 35), seq, par);
 
     // 2D closest pair (the "2D-nearest neighbors" row's core).
-    let n = (50_000 as f64 * scale) as usize;
+    let n = (50_000_f64 * scale) as usize;
     let pts: Vec<em_algos::geometry::Point2> = random_points_disc(n, 1 << 30, SEED + 20);
     let (cp_seq, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::closest_pair::cgm_closest_pair(rec, V, pts.clone()).unwrap()
@@ -309,7 +311,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-cp", n, nb(n, 16), seq, par);
 
     // Multi-directional separability (hull disjointness).
-    let n = (40_000 as f64 * scale) as usize;
+    let n = (40_000_f64 * scale) as usize;
     let a = random_points_disc(n, 900_000, SEED + 21);
     let b: Vec<em_algos::geometry::Point2> = random_points_disc(n, 900_000, SEED + 22)
         .into_iter()
@@ -350,7 +352,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-B-sep", 2 * n, nb(2 * n, 16), seq, par);
 
     // Area of union of rectangles.
-    let n = (25_000 as f64 * scale) as usize;
+    let n = (25_000_f64 * scale) as usize;
     let rects = random_rects(n, 3_000, SEED + 10);
     let (area_seq, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::geometry::rectangles::cgm_union_area_with_budget(rec, V, &rects, 2048).unwrap()
@@ -378,7 +380,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // List ranking: PRAM-simulation baseline vs our simulation.
-    let n = (30_000 as f64 * scale) as usize;
+    let n = (30_000_f64 * scale) as usize;
     let succ = em_algos::graph::list_ranking::random_chain(n, SEED + 11);
     let weights = vec![1u64; n];
     let mut disks = baseline_disks();
@@ -412,7 +414,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-C-lr", n, (n * 16) as u64, seq, par);
 
     // Euler tour + tree aggregates.
-    let n = (15_000 as f64 * scale) as usize;
+    let n = (15_000_f64 * scale) as usize;
     let edges = random_tree(n, SEED + 12);
     let (_, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::graph::euler::cgm_euler_tree(rec, V, n, &edges, 0).unwrap()
@@ -434,7 +436,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-C-et", n, (2 * n * 16) as u64, seq, par);
 
     // Batched LCA (Euler tour + range-minimum).
-    let n = (10_000 as f64 * scale) as usize;
+    let n = (10_000_f64 * scale) as usize;
     let edges = random_tree(n, SEED + 14);
     let mut qrng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(SEED + 15);
     let queries: Vec<(u64, u64)> = (0..n)
@@ -465,7 +467,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
     push_sim_rows(&mut rows, "T1-C-lca", n, (3 * n * 16) as u64, seq, par);
 
     // Connected components + spanning forest.
-    let n = (20_000 as f64 * scale) as usize;
+    let n = (20_000_f64 * scale) as usize;
     let edges = random_graph(n, 2 * n, SEED + 13);
     let (_, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
         em_algos::graph::cc::cgm_connected_components(rec, V, n, &edges).unwrap()
@@ -491,12 +493,15 @@ fn graph_rows(scale: f64) -> Vec<Row> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        0.1
+    } else {
+        args.iter()
+            .position(|a| a == "--scale")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0)
+    };
     let which = args
         .iter()
         .find(|a| !a.starts_with("--") && a.parse::<f64>().is_err())

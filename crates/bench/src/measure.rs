@@ -11,7 +11,7 @@
 
 use em_bsp::BspStarParams;
 use em_core::{CostReport, EmMachine, ParEmSimulator, Recording, SeqEmSimulator};
-use em_disk::IoMode;
+use em_disk::{IoMode, Pipeline};
 use std::path::Path;
 use std::time::Instant;
 
@@ -92,19 +92,23 @@ pub fn measure_seq<T>(
 }
 
 /// [`measure_seq`] on a file backend under `dir`, with an explicit
-/// [`IoMode`]. Counted I/O is identical to the memory run; only the wall
-/// clock (and the bytes on disk) differ.
+/// [`IoMode`] and [`Pipeline`] policy. Counted I/O is identical to the
+/// memory run — and, by construction, identical across pipeline modes
+/// (ops are counted at submission time) — only the wall clock (and the
+/// bytes on disk) differ.
 pub fn measure_seq_file<T>(
     mach: EmMachine,
     seed: u64,
     dir: impl AsRef<Path>,
     mode: IoMode,
+    pl: Pipeline,
     pipeline: impl FnOnce(&Recording<SeqEmSimulator>) -> T,
 ) -> (T, EmRunCost) {
     let sim = SeqEmSimulator::new(mach)
         .with_seed(seed)
         .with_file_backend(dir.as_ref())
-        .with_io_mode(mode);
+        .with_io_mode(mode)
+        .with_pipeline(pl);
     measure_seq_sim(sim, pipeline)
 }
 
@@ -133,19 +137,21 @@ pub fn measure_par<T>(
 }
 
 /// [`measure_par`] on file backends under `dir/proc-<i>/`, with an
-/// explicit [`IoMode`].
+/// explicit [`IoMode`] and [`Pipeline`] policy.
 pub fn measure_par_file<T>(
     mach: EmMachine,
     seed: u64,
     dir: impl AsRef<Path>,
     mode: IoMode,
+    pl: Pipeline,
     pipeline: impl FnOnce(&Recording<ParEmSimulator>) -> T,
 ) -> (T, EmRunCost) {
     let p = mach.p;
     let sim = ParEmSimulator::new(mach)
         .with_seed(seed)
         .with_file_backend(dir.as_ref())
-        .with_io_mode(mode);
+        .with_io_mode(mode)
+        .with_pipeline(pl);
     measure_par_sim(p, sim, pipeline)
 }
 

@@ -29,8 +29,8 @@ pub struct Row {
 pub fn print_table(title: &str, rows: &[Row]) {
     println!("\n== {title} ==");
     println!(
-        "{:<14} {:<26} {:>9} {:>10} {:>12} {:>5} {:>6} {:>9}  {}",
-        "id", "variant", "n", "io_ops", "predicted", "λ", "util", "wall_ms", "note"
+        "{:<14} {:<26} {:>9} {:>10} {:>12} {:>5} {:>6} {:>9}  note",
+        "id", "variant", "n", "io_ops", "predicted", "λ", "util", "wall_ms"
     );
     for r in rows {
         println!(

@@ -12,6 +12,9 @@ use crate::{
 };
 use em_serial::Serial;
 
+/// One queued delivery: `(src pid, per-sender send order, envelope)`.
+type Delivery<M> = (usize, u64, Envelope<M>);
+
 /// Result of running a program to completion.
 #[derive(Debug)]
 pub struct RunResult<S> {
@@ -48,16 +51,14 @@ pub fn run_sequential_limited<P: BspProgram>(
     }
 
     // inboxes[pid] holds (src, seq, envelope) awaiting delivery.
-    let mut inboxes: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> =
-        (0..v).map(|_| Vec::new()).collect();
+    let mut inboxes: Vec<Vec<Delivery<P::Msg>>> = (0..v).map(|_| Vec::new()).collect();
     let mut ledger = CommLedger::default();
 
     for step in 0..max_supersteps {
         let mut all_halted = true;
         let mut any_msgs = false;
         let mut step_comm = SuperstepComm::default();
-        let mut next: Vec<Vec<(usize, u64, Envelope<P::Msg>)>> =
-            (0..v).map(|_| Vec::new()).collect();
+        let mut next: Vec<Vec<Delivery<P::Msg>>> = (0..v).map(|_| Vec::new()).collect();
 
         for pid in 0..v {
             let mut pending = std::mem::take(&mut inboxes[pid]);

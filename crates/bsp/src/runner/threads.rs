@@ -24,6 +24,12 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 
+/// One queued delivery: `(src pid, per-sender send order, envelope)`.
+type Delivery<M> = (usize, u64, Envelope<M>);
+
+/// One superstep's worth of shared inboxes, one locked queue per pid.
+type InboxBuffer<M> = Vec<Mutex<Vec<Delivery<M>>>>;
+
 /// Configuration for the threaded executor.
 #[derive(Debug, Clone)]
 pub struct ThreadedRunner {
@@ -66,7 +72,7 @@ impl ThreadedRunner {
         // observed in the superstep that sent it.
         let slots: Vec<Mutex<Option<P::State>>> =
             states.into_iter().map(|s| Mutex::new(Some(s))).collect();
-        let inbox_buffers: [Vec<Mutex<Vec<(usize, u64, Envelope<P::Msg>)>>>; 2] = [
+        let inbox_buffers: [InboxBuffer<P::Msg>; 2] = [
             (0..v).map(|_| Mutex::new(Vec::new())).collect(),
             (0..v).map(|_| Mutex::new(Vec::new())).collect(),
         ];
@@ -184,7 +190,7 @@ impl ThreadedRunner {
                     }
 
                     // Return states to the shared slots.
-                    for (&pid, state) in my_pids.iter().zip(my_states.into_iter()) {
+                    for (&pid, state) in my_pids.iter().zip(my_states) {
                         *slots[pid].lock() = Some(state);
                     }
                 });

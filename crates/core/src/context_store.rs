@@ -11,7 +11,9 @@
 //! serialized state, zero-padded to the region size.
 
 use crate::{EmError, EmResult};
-use em_disk::{Block, ConsecutiveLayout, DiskArray, TrackAllocator};
+use em_disk::{
+    Block, ConsecutiveLayout, DiskArray, ReadStripeTicket, TrackAllocator, WriteBacklog,
+};
 
 /// The context area of one simulating processor.
 #[derive(Debug, Clone)]
@@ -61,6 +63,25 @@ impl ContextStore {
         first: usize,
         bufs: &[Vec<u8>],
     ) -> EmResult<()> {
+        let mut backlog = WriteBacklog::new();
+        self.submit_write_group(disks, first, bufs, &mut backlog)?;
+        backlog.drain()?;
+        Ok(())
+    }
+
+    /// Submit the stripes of [`Self::write_group`] without waiting for them.
+    ///
+    /// The tickets land in `backlog`; counted I/O is identical to the
+    /// synchronous call because [`DiskArray`] counts at submission. The
+    /// caller must [`WriteBacklog::drain`] before reading these regions
+    /// back (the simulators drain before Algorithm 2's reorganization).
+    pub fn submit_write_group(
+        &self,
+        disks: &mut DiskArray,
+        first: usize,
+        bufs: &[Vec<u8>],
+        backlog: &mut WriteBacklog,
+    ) -> EmResult<()> {
         let bb = disks.block_bytes();
         // Assemble the regions' raw bytes, then cut into blocks and write
         // them stripe by stripe in global-index order.
@@ -86,7 +107,7 @@ impl ContextStore {
         // Consecutive global indices stripe cleanly: every chunk of D
         // successive writes targets distinct disks.
         for chunk in writes.chunks(disks.num_disks()) {
-            disks.write_stripe(chunk)?;
+            backlog.push(disks.submit_write_stripe(chunk)?);
         }
         Ok(())
     }
@@ -99,22 +120,68 @@ impl ContextStore {
         first: usize,
         count: usize,
     ) -> EmResult<Vec<Vec<u8>>> {
+        self.submit_read_group(disks, first, count)?.join()
+    }
+
+    /// Submit the stripe reads of [`Self::read_group`] and return a handle;
+    /// [`PendingGroupRead::join`] waits for the transfers and decodes the
+    /// contexts. Counted I/O happens here, at submission, so prefetching a
+    /// group early costs exactly what fetching it on demand costs.
+    pub fn submit_read_group(
+        &self,
+        disks: &mut DiskArray,
+        first: usize,
+        count: usize,
+    ) -> EmResult<PendingGroupRead> {
         let stripes = self.layout.stripes(first, count);
-        let mut raw: Vec<u8> = Vec::with_capacity(count * self.capacity_bytes);
+        let mut tickets = Vec::with_capacity(stripes.len());
         for stripe in &stripes {
-            for block in disks.read_stripe(stripe)? {
-                raw.extend_from_slice(block.as_bytes());
+            tickets.push(disks.submit_read_stripe(stripe)?);
+        }
+        Ok(PendingGroupRead { tickets, first, count, capacity_bytes: self.capacity_bytes })
+    }
+}
+
+/// Contexts in flight from [`ContextStore::submit_read_group`].
+pub struct PendingGroupRead {
+    tickets: Vec<ReadStripeTicket>,
+    first: usize,
+    count: usize,
+    capacity_bytes: usize,
+}
+
+impl PendingGroupRead {
+    /// Wait for every submitted stripe (all are joined even on failure, so
+    /// the earliest submission's error wins deterministically) and decode
+    /// the length-prefixed contexts.
+    pub fn join(self) -> EmResult<Vec<Vec<u8>>> {
+        let payload_capacity = self.capacity_bytes - 4;
+        let mut raw: Vec<u8> = Vec::with_capacity(self.count * self.capacity_bytes);
+        let mut first_err: Option<EmError> = None;
+        for ticket in self.tickets {
+            match ticket.join() {
+                Ok(blocks) => {
+                    for block in &blocks {
+                        raw.extend_from_slice(block.as_bytes());
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e.into());
+                }
             }
         }
-        let mut out = Vec::with_capacity(count);
-        for r in 0..count {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(self.count);
+        for r in 0..self.count {
             let region = &raw[r * self.capacity_bytes..(r + 1) * self.capacity_bytes];
             let len = u32::from_le_bytes(region[..4].try_into().expect("4-byte prefix")) as usize;
-            if len > self.payload_capacity() {
+            if len > payload_capacity {
                 return Err(EmError::ContextOverflow {
-                    pid: first + r,
+                    pid: self.first + r,
                     need: len,
-                    capacity: self.payload_capacity(),
+                    capacity: payload_capacity,
                 });
             }
             out.push(region[4..4 + len].to_vec());
@@ -173,6 +240,39 @@ mod tests {
         store.write_group(&mut disks, 0, &[vec![], vec![7]]).unwrap();
         let back = store.read_group(&mut disks, 0, 2).unwrap();
         assert_eq!(back, vec![vec![], vec![7]]);
+    }
+
+    #[test]
+    fn submitted_group_io_round_trips_and_counts_identically() {
+        // Deferred writes + prefetch-style reads must move the same data and
+        // count the same ops as the synchronous entry points.
+        let (mut disks, store) = setup(8, 60, 4, 32);
+        let bufs: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 60]).collect();
+        store.write_group(&mut disks, 0, &bufs).unwrap();
+        let sync_stats = disks.take_stats();
+
+        let mut backlog = WriteBacklog::new();
+        store.submit_write_group(&mut disks, 0, &bufs, &mut backlog).unwrap();
+        // Overlap: both groups' reads submitted while writes are in flight
+        // is illegal (read-after-write); drain first, as the simulators do.
+        backlog.drain().unwrap();
+        let a = store.submit_read_group(&mut disks, 0, 4).unwrap();
+        let b = store.submit_read_group(&mut disks, 4, 4).unwrap();
+        let mut back = a.join().unwrap();
+        back.extend(b.join().unwrap());
+        assert_eq!(back, bufs);
+        let mut deferred_stats = disks.take_stats();
+        // The deferred run also performed the reads; remove them to compare
+        // the write halves, then compare the read half against a sync read.
+        store.read_group(&mut disks, 0, 8).unwrap();
+        let read_stats = disks.take_stats();
+        deferred_stats.parallel_ops -= read_stats.parallel_ops;
+        deferred_stats.blocks_read -= read_stats.blocks_read;
+        deferred_stats.bytes_read -= read_stats.bytes_read;
+        for (a, b) in deferred_stats.per_disk_reads.iter_mut().zip(&read_stats.per_disk_reads) {
+            *a -= b;
+        }
+        assert_eq!(deferred_stats, sync_stats);
     }
 
     #[test]

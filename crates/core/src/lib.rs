@@ -40,12 +40,13 @@ mod routing;
 mod seq_sim;
 pub mod theory;
 
-pub use context_store::ContextStore;
+pub use context_store::{ContextStore, PendingGroupRead};
 pub use error::EmError;
 pub use exec::Recording;
 pub use machine::{EmMachine, ModelCheck};
 pub use msg::{
-    fetch_group_messages, scatter_messages, GroupCounts, InMsg, MsgGeometry, OutMsg, Placement,
+    fetch_group_messages, scatter_messages, scatter_messages_deferred, submit_fetch_group_messages,
+    GroupCounts, InMsg, MsgGeometry, OutMsg, PendingGroupMsgs, PendingRawBlocks, Placement,
     ScratchState, BLOCK_HEADER_BYTES, MSG_HEADER_BYTES,
 };
 pub use par_sim::ParEmSimulator;

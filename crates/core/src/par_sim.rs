@@ -34,17 +34,18 @@
 //! the protocol alive with empty bundles until the superstep ends, then
 //! every thread observes the failure and exits.
 
-use crate::context_store::ContextStore;
+use crate::context_store::{ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
 use crate::msg::{
     build_stream_blocks, fetch_batch_raw_blocks, reassemble_blocks, store_received_blocks,
-    GroupCounts, MsgGeometry, OutMsg, Placement, RawBlock, MSG_HEADER_BYTES,
+    store_received_blocks_deferred, GroupCounts, MsgGeometry, OutMsg, Placement, RawBlock,
+    MSG_HEADER_BYTES,
 };
 use crate::report::{CostReport, PhaseIo};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, IoMode, IoStats, TrackAllocator};
+use em_disk::{DiskArray, IoMode, IoStats, Pipeline, TrackAllocator, WriteBacklog};
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -54,6 +55,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
+
+/// Per-worker run summary: counted I/O, per-phase split, the allocator's
+/// track frontier, and per-superstep balance factors.
+type WorkerReport = (IoStats, PhaseIo, usize, Vec<f64>);
 
 /// One inter-processor bundle: sender id, exchange phase, raw blocks.
 ///
@@ -108,6 +113,7 @@ pub struct ParEmSimulator {
     max_supersteps: usize,
     file_dir: Option<PathBuf>,
     io_mode: IoMode,
+    pipeline: Pipeline,
 }
 
 impl ParEmSimulator {
@@ -120,6 +126,7 @@ impl ParEmSimulator {
             max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
             file_dir: None,
             io_mode: IoMode::Parallel,
+            pipeline: Pipeline::Off,
         }
     }
 
@@ -148,6 +155,18 @@ impl ParEmSimulator {
     /// either way.
     pub fn with_io_mode(mut self, mode: IoMode) -> Self {
         self.io_mode = mode;
+        self
+    }
+
+    /// Overlap each processor's local disk transfers with computation and
+    /// with the inter-processor exchanges ([`Pipeline::Off`] by default).
+    /// With [`Pipeline::DoubleBuffer`] a round's context read is in flight
+    /// while the block-forwarding exchange runs, and context/scatter
+    /// writes drain in the background, joined before the local
+    /// reorganization. Counted I/O, final states and the per-thread RNG
+    /// streams are identical either way.
+    pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -195,8 +214,7 @@ impl ParEmSimulator {
         let agg_w = AtomicU64::new(0);
         let real_comm = AtomicU64::new(0);
         let ledger: Mutex<CommLedger> = Mutex::new(CommLedger::default());
-        let reports: Mutex<Vec<(IoStats, PhaseIo, usize, Vec<f64>)>> =
-            Mutex::new(Vec::with_capacity(p));
+        let reports: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(p));
 
         // Lock-step transport: one channel per processor.
         let (senders, receivers): (Vec<_>, Vec<_>) =
@@ -225,10 +243,13 @@ impl ParEmSimulator {
                 let max_supersteps = self.max_supersteps;
                 let file_dir = self.file_dir.clone();
                 let io_mode = self.io_mode;
+                let pipeline = self.pipeline;
 
                 scope.spawn(move || {
                     let work = (|| -> EmResult<()> {
-                        let cfg = machine.disk_config()?.with_io_mode(io_mode);
+                        let pipelined = pipeline == Pipeline::DoubleBuffer;
+                        let cfg =
+                            machine.disk_config()?.with_io_mode(io_mode).with_pipeline(pipeline);
                         let mut disks = match &file_dir {
                             None => DiskArray::new_memory(cfg),
                             Some(dir) => DiskArray::new_file(cfg, dir.join(format!("proc-{i}")))?,
@@ -300,8 +321,28 @@ impl ParEmSimulator {
 
                         'steps: for step in 0..max_supersteps {
                             let mut scratch = crate::msg::ScratchState::new(&geom);
+                            let mut backlog = WriteBacklog::new();
 
                             for batch in 0..num_batches {
+                                let pids = my_pids(batch);
+
+                                // Prefetch this round's contexts so the
+                                // local read overlaps the block-forwarding
+                                // exchange below (counted here, at submit).
+                                let mut pending_ctx: Option<PendingGroupRead> = None;
+                                if pipelined && zombie.is_none() && !pids.is_empty() {
+                                    let ops0 = disks.stats().parallel_ops;
+                                    match ctx.submit_read_group(
+                                        &mut disks,
+                                        local_region(batch, pids[0].1),
+                                        pids.len(),
+                                    ) {
+                                        Ok(pending) => pending_ctx = Some(pending),
+                                        Err(e) => zombie = Some(e),
+                                    }
+                                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+                                }
+
                                 // --- Fetching Phase: forward local blocks to owners. ---
                                 let mut fwd: Vec<Vec<RawBlock>> =
                                     (0..p).map(|_| Vec::new()).collect();
@@ -346,7 +387,7 @@ impl ParEmSimulator {
                                         &ctx,
                                         &geom,
                                         my_blocks,
-                                        &my_pids(batch),
+                                        &pids,
                                         local_region,
                                         batch,
                                         step,
@@ -355,6 +396,8 @@ impl ParEmSimulator {
                                         batch_unit,
                                         k,
                                         gamma,
+                                        pending_ctx.take(),
+                                        if pipelined { Some(&mut backlog) } else { None },
                                         &mut rng,
                                         &mut phases,
                                         agg_msgs,
@@ -388,19 +431,43 @@ impl ParEmSimulator {
                                     let received: Vec<RawBlock> =
                                         arrived.into_iter().flat_map(|b| b.blocks).collect();
                                     let ops0 = disks.stats().parallel_ops;
-                                    if let Err(e) = store_received_blocks(
-                                        &mut disks,
-                                        &mut alloc,
-                                        &geom,
-                                        &mut scratch,
-                                        received,
-                                        |tag| tag as usize / p,
-                                        &mut rng,
-                                        placement,
-                                    ) {
+                                    let stored = if pipelined {
+                                        store_received_blocks_deferred(
+                                            &mut disks,
+                                            &mut alloc,
+                                            &geom,
+                                            &mut scratch,
+                                            received,
+                                            |tag| tag as usize / p,
+                                            &mut rng,
+                                            placement,
+                                            &mut backlog,
+                                        )
+                                    } else {
+                                        store_received_blocks(
+                                            &mut disks,
+                                            &mut alloc,
+                                            &geom,
+                                            &mut scratch,
+                                            received,
+                                            |tag| tag as usize / p,
+                                            &mut rng,
+                                            placement,
+                                        )
+                                    };
+                                    if let Err(e) = stored {
                                         zombie = Some(e);
                                     }
                                     phases.scatter += disks.stats().parallel_ops - ops0;
+                                }
+                            }
+
+                            // Deferred writes must be on disk before the
+                            // local reorganization reads the scratch blocks
+                            // and recycles their tracks.
+                            if zombie.is_none() {
+                                if let Err(e) = backlog.drain() {
+                                    zombie = Some(e.into());
                                 }
                             }
 
@@ -569,6 +636,8 @@ fn run_batch_compute<P: BspProgram>(
     batch_unit: usize,
     k_size: usize,
     gamma: usize,
+    pending_ctx: Option<PendingGroupRead>,
+    backlog: Option<&mut WriteBacklog>,
     rng: &mut StdRng,
     phases: &mut PhaseIo,
     agg_msgs: &AtomicU64,
@@ -595,9 +664,13 @@ fn run_batch_compute<P: BspProgram>(
     }
 
     // Fetch the round's contexts in one fully-striped batch (Step 1(a)):
-    // the k regions of this round are consecutive on this processor.
+    // the k regions of this round are consecutive on this processor. A
+    // pipelined caller submitted (and counted) the read before the
+    // block-forwarding exchange; only the join happens here.
     let ctx_bufs = if pids.is_empty() {
         Vec::new()
+    } else if let Some(pending) = pending_ctx {
+        pending.join()?
     } else {
         let ops0 = disks.stats().parallel_ops;
         let first_slot = pids[0].1;
@@ -639,10 +712,19 @@ fn run_batch_compute<P: BspProgram>(
         }
         new_states.push(to_bytes(&state));
     }
-    // Write the changed contexts back in one fully-striped batch (Step 1(b)).
+    // Write the changed contexts back in one fully-striped batch
+    // (Step 1(b)) — deferred into the superstep's backlog when pipelined.
     if let Some(&(_, first_slot)) = pids.first() {
         let ops0 = disks.stats().parallel_ops;
-        ctx.write_group(disks, local_region(batch, first_slot), &new_states)?;
+        match backlog {
+            Some(backlog) => ctx.submit_write_group(
+                disks,
+                local_region(batch, first_slot),
+                &new_states,
+                backlog,
+            )?,
+            None => ctx.write_group(disks, local_region(batch, first_slot), &new_states)?,
+        }
         phases.write_ctx += disks.stats().parallel_ops - ops0;
     }
 
@@ -724,6 +806,34 @@ mod tests {
         assert_eq!(report.num_groups, 4); // 32 / (2*4)
         assert!(report.io.parallel_ops > 0);
         assert!(report.real_comm_bytes > 0);
+    }
+
+    #[test]
+    fn pipelined_parallel_run_is_bit_identical() {
+        let v = 32;
+        let prog = AllToAll { mu: 124 };
+        let base = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
+        let (a, ra) = base.run(&prog, vec![0u64; v]).unwrap();
+        let pipelined = base.clone().with_pipeline(Pipeline::DoubleBuffer);
+        let (b, rb) = pipelined.run(&prog, vec![0u64; v]).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
+        assert_eq!(ra.phases, rb.phases);
+        assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn pipelined_parallel_file_backend_matches_reference() {
+        let dir = std::env::temp_dir().join(format!("em-par-pipe-{}", std::process::id()));
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
+        let sim = ParEmSimulator::new(machine(2, 256, 2, 64))
+            .with_file_backend(&dir)
+            .with_pipeline(Pipeline::DoubleBuffer);
+        let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(res.states, reference.states);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -69,11 +69,11 @@ pub fn simulate_routing(
     while remaining > 0 {
         let mut reads: Vec<(usize, usize)> = Vec::with_capacity(nb);
         let mut meta: Vec<(usize, usize)> = Vec::with_capacity(nb); // (bucket, stage_rank)
-        for bucket in 0..nb {
+        for (bucket, bucket_cursors) in cursors.iter_mut().enumerate() {
             let src_disk = (bucket + j) % d;
-            let cur = cursors[bucket][src_disk];
+            let cur = bucket_cursors[src_disk];
             if let Some(r) = scratch.refs[bucket][src_disk].get(cur) {
-                cursors[bucket][src_disk] += 1;
+                bucket_cursors[src_disk] += 1;
                 reads.push((src_disk, r.track));
                 let rank = counts.prefix_in_bucket[r.group as usize] + r.gseq as usize;
                 meta.push((bucket, rank));
@@ -124,8 +124,8 @@ pub fn simulate_routing(
     for j in 0..rounds {
         let mut reads: Vec<(usize, usize)> = Vec::with_capacity(nb);
         let mut meta: Vec<usize> = Vec::with_capacity(nb); // bucket
-        for bucket in 0..nb {
-            if j < staged[bucket] {
+        for (bucket, &bucket_staged) in staged.iter().enumerate() {
+            if j < bucket_staged {
                 let (disk, track) = geom.stage_location(bucket, j);
                 reads.push((disk, track));
                 meta.push(bucket);

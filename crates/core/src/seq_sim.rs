@@ -23,14 +23,14 @@
 use crate::context_store::ContextStore;
 use crate::machine::EmMachine;
 use crate::msg::{
-    fetch_group_messages, scatter_messages, GroupCounts, MsgGeometry, OutMsg, Placement,
-    MSG_HEADER_BYTES,
+    fetch_group_messages, scatter_messages, scatter_messages_deferred, submit_fetch_group_messages,
+    GroupCounts, InMsg, MsgGeometry, OutMsg, Placement, MSG_HEADER_BYTES,
 };
 use crate::report::{CostReport, PhaseIo};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, IoMode, TrackAllocator};
+use em_disk::{DiskArray, IoMode, Pipeline, TrackAllocator, WriteBacklog};
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,6 +76,7 @@ pub struct SeqEmSimulator {
     max_supersteps: usize,
     backend: Backend,
     io_mode: IoMode,
+    pipeline: Pipeline,
 }
 
 impl SeqEmSimulator {
@@ -89,6 +90,7 @@ impl SeqEmSimulator {
             max_supersteps: em_bsp::DEFAULT_MAX_SUPERSTEPS,
             backend: Backend::Memory,
             io_mode: IoMode::Parallel,
+            pipeline: Pipeline::Off,
         }
     }
 
@@ -115,6 +117,18 @@ impl SeqEmSimulator {
     /// backend; counted I/O and final states are identical either way.
     pub fn with_io_mode(mut self, mode: IoMode) -> Self {
         self.io_mode = mode;
+        self
+    }
+
+    /// Overlap disk transfers with computation ([`Pipeline::Off`] by
+    /// default). With [`Pipeline::DoubleBuffer`] the next group's contexts
+    /// and message blocks are in flight while the current group computes,
+    /// and the previous groups' writes drain in the background, joined
+    /// before Algorithm 2's reorganization. Counted I/O, final states, the
+    /// RNG stream and seeded I/O traces are identical either way — the
+    /// knob changes only *when* transfers complete.
+    pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -150,7 +164,8 @@ impl SeqEmSimulator {
         let k = self.machine.group_size(ctx_region, v)?;
         let num_groups = v.div_ceil(k);
 
-        let cfg = self.machine.disk_config()?.with_io_mode(self.io_mode);
+        let cfg =
+            self.machine.disk_config()?.with_io_mode(self.io_mode).with_pipeline(self.pipeline);
         let mut disks = match &self.backend {
             Backend::Memory => DiskArray::new_memory(cfg),
             Backend::File(dir) => DiskArray::new_file(cfg, dir)?,
@@ -183,103 +198,123 @@ impl SeqEmSimulator {
             let mut all_halted = true;
             let mut step_comm = SuperstepComm::default();
 
-            for group in 0..num_groups {
-                let first = group * k;
-                let count = (first + k).min(v) - first;
+            if self.pipeline == Pipeline::DoubleBuffer {
+                // Double-buffered variant of the same loop: group `g+1`'s
+                // fetches are in flight while group `g` computes, and the
+                // Writing Phases drain in the background. Submission order
+                // within each phase — and therefore the RNG stream, the
+                // track allocations and every counted stripe — is identical
+                // to the synchronous loop below.
+                let mut backlog = WriteBacklog::new();
+                let mut next = {
+                    let ops0 = disks.stats().parallel_ops;
+                    let ctx = ctx_store.submit_read_group(&mut disks, 0, k.min(v))?;
+                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+                    let ops0 = disks.stats().parallel_ops;
+                    let msgs = submit_fetch_group_messages(&mut disks, &geom, &counts, 0)?;
+                    phases.fetch_msg += disks.stats().parallel_ops - ops0;
+                    Some((ctx, msgs))
+                };
+                for group in 0..num_groups {
+                    let first = group * k;
+                    let (pend_ctx, pend_msgs) = next.take().expect("group was prefetched");
 
-                // --- Fetching Phase ---
-                let ops0 = disks.stats().parallel_ops;
-                let ctx_bufs = ctx_store.read_group(&mut disks, first, count)?;
-                phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-
-                let ops0 = disks.stats().parallel_ops;
-                let msgs_in = fetch_group_messages(&mut disks, &geom, &counts, group)?;
-                phases.fetch_msg += disks.stats().parallel_ops - ops0;
-
-                // Distribute fetched messages to per-pid inboxes, canonical
-                // (src, seq) order.
-                let mut inboxes: Vec<Vec<(u32, u32, P::Msg)>> =
-                    (0..count).map(|_| Vec::new()).collect();
-                let mut recv_bytes = vec![0u64; count];
-                let mut recv_msgs = vec![0u64; count];
-                for m in msgs_in {
-                    let local = m.dst as usize - first;
-                    recv_bytes[local] += m.payload.len() as u64;
-                    recv_msgs[local] += 1;
-                    let msg: P::Msg = from_bytes(&m.payload)?;
-                    inboxes[local].push((m.src, m.seq, msg));
-                }
-                for inbox in &mut inboxes {
-                    inbox.sort_by_key(|&(src, seq, _)| (src, seq));
-                }
-
-                // --- Computation Phase ---
-                let mut group_states: Vec<P::State> = Vec::with_capacity(count);
-                let mut outgoing: Vec<OutMsg> = Vec::new();
-                for (local, buf) in ctx_bufs.iter().enumerate() {
-                    let pid = first + local;
-                    let mut state: P::State = from_bytes(buf)?;
-                    let incoming: Vec<Envelope<P::Msg>> = std::mem::take(&mut inboxes[local])
-                        .into_iter()
-                        .map(|(src, _, msg)| Envelope { src: src as usize, msg })
-                        .collect();
-                    let mut mb = Mailbox::new(pid, v, incoming);
-                    let status = prog.superstep(step, &mut mb, &mut state);
-                    let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
-                    if status == Step::Continue {
-                        all_halted = false;
+                    // --- Fetching Phase (next group) ---
+                    if group + 1 < num_groups {
+                        let nfirst = (group + 1) * k;
+                        let ncount = (nfirst + k).min(v) - nfirst;
+                        let ops0 = disks.stats().parallel_ops;
+                        let ctx = ctx_store.submit_read_group(&mut disks, nfirst, ncount)?;
+                        phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+                        let ops0 = disks.stats().parallel_ops;
+                        let msgs =
+                            submit_fetch_group_messages(&mut disks, &geom, &counts, group + 1)?;
+                        phases.fetch_msg += disks.stats().parallel_ops - ops0;
+                        next = Some((ctx, msgs));
                     }
-                    step_comm.msgs += msgs_sent;
-                    step_comm.bytes += bytes_sent;
-                    step_comm.h_bytes = step_comm.h_bytes.max(bytes_sent).max(recv_bytes[local]);
-                    step_comm.h_msgs = step_comm.h_msgs.max(msgs_sent).max(recv_msgs[local]);
-                    step_comm.w_comp = step_comm.w_comp.max(work);
 
-                    let mut envelope_bytes = 0u64;
-                    for (seq, (dst, msg)) in out.into_iter().enumerate() {
-                        if dst >= v {
-                            return Err(EmError::Bsp(BspError::InvalidDestination {
-                                dst,
-                                nprocs: v,
-                            }));
-                        }
-                        let payload = to_bytes(&msg);
-                        envelope_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
-                        outgoing.push(OutMsg {
-                            dst: dst as u32,
-                            src: pid as u32,
-                            seq: seq as u32,
-                            payload,
-                        });
-                    }
-                    if envelope_bytes > gamma as u64 {
-                        return Err(EmError::CommBudgetExceeded {
-                            pid,
-                            sent: envelope_bytes,
-                            budget: gamma,
-                        });
-                    }
-                    group_states.push(state);
+                    // --- Computation Phase ---
+                    let ctx_bufs = pend_ctx.join()?;
+                    let msgs_in = pend_msgs.join()?;
+                    let (bufs, outgoing) = compute_group(
+                        prog,
+                        step,
+                        v,
+                        first,
+                        gamma,
+                        ctx_bufs,
+                        msgs_in,
+                        &mut step_comm,
+                        &mut all_halted,
+                    )?;
+
+                    // --- Writing Phase (deferred) ---
+                    let ops0 = disks.stats().parallel_ops;
+                    scatter_messages_deferred(
+                        &mut disks,
+                        &mut alloc,
+                        &geom,
+                        &mut scratch,
+                        group,
+                        outgoing,
+                        &mut rng,
+                        self.placement,
+                        &mut backlog,
+                    )?;
+                    phases.scatter += disks.stats().parallel_ops - ops0;
+
+                    let ops0 = disks.stats().parallel_ops;
+                    ctx_store.submit_write_group(&mut disks, first, &bufs, &mut backlog)?;
+                    phases.write_ctx += disks.stats().parallel_ops - ops0;
                 }
+                // Algorithm 2 reads the scratch blocks and recycles their
+                // tracks: every deferred write must be on disk first.
+                backlog.drain()?;
+            } else {
+                for group in 0..num_groups {
+                    let first = group * k;
+                    let count = (first + k).min(v) - first;
 
-                // --- Writing Phase ---
-                let ops0 = disks.stats().parallel_ops;
-                scatter_messages(
-                    &mut disks,
-                    &mut alloc,
-                    &geom,
-                    &mut scratch,
-                    group,
-                    outgoing,
-                    &mut rng,
-                    self.placement,
-                )?;
-                phases.scatter += disks.stats().parallel_ops - ops0;
+                    // --- Fetching Phase ---
+                    let ops0 = disks.stats().parallel_ops;
+                    let ctx_bufs = ctx_store.read_group(&mut disks, first, count)?;
+                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
 
-                let ops0 = disks.stats().parallel_ops;
-                let bufs: Vec<Vec<u8>> = group_states.iter().map(to_bytes).collect();
-                ctx_store.write_group(&mut disks, first, &bufs)?;
-                phases.write_ctx += disks.stats().parallel_ops - ops0;
+                    let ops0 = disks.stats().parallel_ops;
+                    let msgs_in = fetch_group_messages(&mut disks, &geom, &counts, group)?;
+                    phases.fetch_msg += disks.stats().parallel_ops - ops0;
+
+                    // --- Computation Phase ---
+                    let (bufs, outgoing) = compute_group(
+                        prog,
+                        step,
+                        v,
+                        first,
+                        gamma,
+                        ctx_bufs,
+                        msgs_in,
+                        &mut step_comm,
+                        &mut all_halted,
+                    )?;
+
+                    // --- Writing Phase ---
+                    let ops0 = disks.stats().parallel_ops;
+                    scatter_messages(
+                        &mut disks,
+                        &mut alloc,
+                        &geom,
+                        &mut scratch,
+                        group,
+                        outgoing,
+                        &mut rng,
+                        self.placement,
+                    )?;
+                    phases.scatter += disks.stats().parallel_ops - ops0;
+
+                    let ops0 = disks.stats().parallel_ops;
+                    ctx_store.write_group(&mut disks, first, &bufs)?;
+                    phases.write_ctx += disks.stats().parallel_ops - ops0;
+                }
             }
 
             // --- Step 2: reorganize the generated messages. ---
@@ -337,6 +372,77 @@ impl SeqEmSimulator {
         };
         Ok((RunResult { states: final_states, ledger }, report))
     }
+}
+
+/// Computation Phase for one group (Step 1(c)): distribute the fetched
+/// messages to per-pid inboxes in canonical `(src, seq)` order, run the
+/// superstep for every virtual processor of the group, and serialize the
+/// updated contexts. Returns `(serialized contexts, outgoing messages)`.
+/// Pure with respect to the disks — both the synchronous and the
+/// double-buffered group loops share it.
+#[allow(clippy::too_many_arguments)]
+fn compute_group<P: BspProgram>(
+    prog: &P,
+    step: usize,
+    v: usize,
+    first: usize,
+    gamma: usize,
+    ctx_bufs: Vec<Vec<u8>>,
+    msgs_in: Vec<InMsg>,
+    step_comm: &mut SuperstepComm,
+    all_halted: &mut bool,
+) -> EmResult<(Vec<Vec<u8>>, Vec<OutMsg>)> {
+    let count = ctx_bufs.len();
+    let mut inboxes: Vec<Vec<(u32, u32, P::Msg)>> = (0..count).map(|_| Vec::new()).collect();
+    let mut recv_bytes = vec![0u64; count];
+    let mut recv_msgs = vec![0u64; count];
+    for m in msgs_in {
+        let local = m.dst as usize - first;
+        recv_bytes[local] += m.payload.len() as u64;
+        recv_msgs[local] += 1;
+        let msg: P::Msg = from_bytes(&m.payload)?;
+        inboxes[local].push((m.src, m.seq, msg));
+    }
+    for inbox in &mut inboxes {
+        inbox.sort_by_key(|&(src, seq, _)| (src, seq));
+    }
+
+    let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(count);
+    let mut outgoing: Vec<OutMsg> = Vec::new();
+    for (local, buf) in ctx_bufs.iter().enumerate() {
+        let pid = first + local;
+        let mut state: P::State = from_bytes(buf)?;
+        let incoming: Vec<Envelope<P::Msg>> = std::mem::take(&mut inboxes[local])
+            .into_iter()
+            .map(|(src, _, msg)| Envelope { src: src as usize, msg })
+            .collect();
+        let mut mb = Mailbox::new(pid, v, incoming);
+        let status = prog.superstep(step, &mut mb, &mut state);
+        let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+        if status == Step::Continue {
+            *all_halted = false;
+        }
+        step_comm.msgs += msgs_sent;
+        step_comm.bytes += bytes_sent;
+        step_comm.h_bytes = step_comm.h_bytes.max(bytes_sent).max(recv_bytes[local]);
+        step_comm.h_msgs = step_comm.h_msgs.max(msgs_sent).max(recv_msgs[local]);
+        step_comm.w_comp = step_comm.w_comp.max(work);
+
+        let mut envelope_bytes = 0u64;
+        for (seq, (dst, msg)) in out.into_iter().enumerate() {
+            if dst >= v {
+                return Err(EmError::Bsp(BspError::InvalidDestination { dst, nprocs: v }));
+            }
+            let payload = to_bytes(&msg);
+            envelope_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
+            outgoing.push(OutMsg { dst: dst as u32, src: pid as u32, seq: seq as u32, payload });
+        }
+        if envelope_bytes > gamma as u64 {
+            return Err(EmError::CommBudgetExceeded { pid, sent: envelope_bytes, budget: gamma });
+        }
+        bufs.push(to_bytes(&state));
+    }
+    Ok((bufs, outgoing))
 }
 
 #[cfg(test)]
@@ -415,6 +521,34 @@ mod tests {
         let (b, rb) = sim.run(&prog, vec![0u64; 16]).unwrap();
         assert_eq!(a.states, b.states);
         assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops);
+    }
+
+    #[test]
+    fn pipelined_run_is_bit_identical_to_synchronous() {
+        let prog = AllToAll { mu: 124 };
+        let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
+        let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
+        let pipelined = base.clone().with_pipeline(Pipeline::DoubleBuffer);
+        let (b, rb) = pipelined.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
+        assert_eq!(ra.phases, rb.phases, "per-phase attribution must not depend on the knob");
+        assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn pipelined_file_backend_matches_reference() {
+        let dir = std::env::temp_dir().join(format!("em-seq-pipe-{}", std::process::id()));
+        let prog = AllToAll { mu: 124 };
+        let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
+        let sim = SeqEmSimulator::new(machine(256, 4, 64))
+            .with_file_backend(&dir)
+            .with_pipeline(Pipeline::DoubleBuffer);
+        let (res, report) = sim.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(res.states, reference.states);
+        assert!(report.io.parallel_ops > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::{
     Block, DiskBackend, DiskConfig, DiskError, DiskResult, FileBackend, IoStats, MemoryBackend,
+    Pipeline, ReadTicket, WriteTicket,
 };
 use std::path::Path;
 
@@ -96,6 +97,13 @@ impl DiskArray {
         self.cfg.block_bytes
     }
 
+    /// Whether callers should overlap adjacent groups' I/O (a simulator
+    /// policy knob carried on the configuration; the array itself behaves
+    /// identically either way).
+    pub fn pipeline(&self) -> Pipeline {
+        self.cfg.pipeline
+    }
+
     /// Counters accumulated so far.
     pub fn stats(&self) -> &IoStats {
         &self.stats
@@ -147,18 +155,19 @@ impl DiskArray {
         Ok(())
     }
 
-    /// One parallel read: fetch at most one track from each listed drive.
+    /// Submit one parallel read — fetch at most one track from each listed
+    /// drive — and return a joinable ticket without waiting for the
+    /// transfers.
     ///
-    /// Counts exactly one parallel I/O operation (even if `addrs` names
-    /// fewer than `D` drives). Returns blocks in request order. On backends
-    /// with real parallelism the `≤ D` transfers overlap; the call returns
-    /// only after all of them complete.
-    pub fn read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
+    /// Validation happens here and a rejected stripe leaves both the
+    /// backend and the counters untouched; a *valid* stripe is counted at
+    /// submission (exactly one parallel I/O operation, even if `addrs`
+    /// names fewer than `D` drives), so counted [`IoStats`] do not depend
+    /// on when — or in what order relative to other tickets — the caller
+    /// joins. I/O errors are deferred to [`ReadStripeTicket::join`].
+    pub fn submit_read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<ReadStripeTicket> {
         self.validate_stripe(addrs.iter().map(|&(d, _)| d))?;
-        let mut out: Vec<Block> =
-            (0..addrs.len()).map(|_| Block::zeroed(self.cfg.block_bytes)).collect();
-        let mut bufs: Vec<&mut [u8]> = out.iter_mut().map(|b| b.as_bytes_mut()).collect();
-        self.backend.read_stripe(addrs, &mut bufs)?;
+        let ticket = self.backend.submit_read_stripe(addrs, self.cfg.block_bytes);
         for &(disk, _) in addrs {
             self.stats.per_disk_reads[disk] += 1;
         }
@@ -167,15 +176,17 @@ impl DiskArray {
             self.stats.blocks_read += addrs.len() as u64;
             self.stats.bytes_read += (addrs.len() * self.cfg.block_bytes) as u64;
         }
-        Ok(out)
+        Ok(ReadStripeTicket { ticket })
     }
 
-    /// One parallel write: store at most one track on each listed drive.
-    ///
-    /// Counts exactly one parallel I/O operation. All validation happens
-    /// before any byte is submitted, so a rejected stripe leaves both the
-    /// backend and the counters untouched.
-    pub fn write_stripe(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
+    /// Submit one parallel write — store at most one track on each listed
+    /// drive — and return a joinable ticket without waiting (same
+    /// validate-then-count-at-submission contract as
+    /// [`DiskArray::submit_read_stripe`]).
+    pub fn submit_write_stripe(
+        &mut self,
+        writes: &[(usize, usize, Block)],
+    ) -> DiskResult<WriteStripeTicket> {
         self.validate_stripe(writes.iter().map(|(d, _, _)| *d))?;
         for (disk, track, block) in writes {
             if block.len() != self.cfg.block_bytes {
@@ -188,7 +199,7 @@ impl DiskArray {
         }
         let stripe: Vec<(usize, usize, &[u8])> =
             writes.iter().map(|(d, t, b)| (*d, *t, b.as_bytes())).collect();
-        self.backend.write_stripe(&stripe)?;
+        let ticket = self.backend.submit_write_stripe(&stripe);
         for (disk, _, _) in writes {
             self.stats.per_disk_writes[*disk] += 1;
         }
@@ -197,7 +208,28 @@ impl DiskArray {
             self.stats.blocks_written += writes.len() as u64;
             self.stats.bytes_written += (writes.len() * self.cfg.block_bytes) as u64;
         }
-        Ok(())
+        Ok(WriteStripeTicket { ticket })
+    }
+
+    /// One parallel read: fetch at most one track from each listed drive.
+    ///
+    /// Counts exactly one parallel I/O operation (even if `addrs` names
+    /// fewer than `D` drives). Returns blocks in request order. On backends
+    /// with real parallelism the `≤ D` transfers overlap; the call returns
+    /// only after all of them complete. Equivalent to
+    /// [`DiskArray::submit_read_stripe`] followed by an immediate join.
+    pub fn read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
+        self.submit_read_stripe(addrs)?.join()
+    }
+
+    /// One parallel write: store at most one track on each listed drive.
+    ///
+    /// Counts exactly one parallel I/O operation. All validation happens
+    /// before any byte is submitted, so a rejected stripe leaves both the
+    /// backend and the counters untouched. Equivalent to
+    /// [`DiskArray::submit_write_stripe`] followed by an immediate join.
+    pub fn write_stripe(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
+        self.submit_write_stripe(writes)?.join()
     }
 
     /// Read a single block. Costs a full parallel I/O operation — this is
@@ -278,6 +310,86 @@ impl DiskArray {
             writes = rest;
         }
         Ok(())
+    }
+}
+
+/// A joinable handle for one counted, submitted stripe read.
+///
+/// The operation was already validated and counted by
+/// [`DiskArray::submit_read_stripe`]; `join` waits for the transfers (a
+/// no-op on synchronous backends) and returns the blocks in request
+/// order, or the deferred error of the lowest-indexed failing drive.
+pub struct ReadStripeTicket {
+    ticket: ReadTicket,
+}
+
+impl ReadStripeTicket {
+    /// Wait for the submitted transfers and return the blocks.
+    pub fn join(self) -> DiskResult<Vec<Block>> {
+        Ok(self.ticket.join()?.into_iter().map(Block::from_vec).collect())
+    }
+}
+
+/// A joinable handle for one counted, submitted stripe write (same
+/// contract as [`ReadStripeTicket`]).
+pub struct WriteStripeTicket {
+    ticket: WriteTicket,
+}
+
+impl WriteStripeTicket {
+    /// Wait for the submitted transfers to land.
+    pub fn join(self) -> DiskResult<()> {
+        self.ticket.join()
+    }
+}
+
+/// A FIFO of submitted-but-unjoined stripe writes.
+///
+/// Pipelined simulators push every deferred write here and drain the
+/// backlog at a barrier (before routing reads the written blocks, and
+/// before the superstep-boundary `sync()`). Draining joins tickets in
+/// submission order and — like a single stripe — reports the earliest
+/// failure after joining *all* of them, so error selection stays
+/// deterministic no matter how the in-flight transfers interleaved.
+#[derive(Default)]
+pub struct WriteBacklog {
+    tickets: Vec<WriteStripeTicket>,
+}
+
+impl WriteBacklog {
+    /// An empty backlog.
+    pub fn new() -> Self {
+        WriteBacklog::default()
+    }
+
+    /// Defer a submitted write until the next [`WriteBacklog::drain`].
+    pub fn push(&mut self, ticket: WriteStripeTicket) {
+        self.tickets.push(ticket);
+    }
+
+    /// Number of writes currently deferred.
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// True when nothing is deferred.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Join every deferred write in submission order; the earliest failure
+    /// is reported after all tickets have been joined.
+    pub fn drain(&mut self) -> DiskResult<()> {
+        let mut first_err: Option<DiskError> = None;
+        for ticket in self.tickets.drain(..) {
+            if let Err(e) = ticket.join() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }
 
@@ -411,6 +523,87 @@ mod tests {
         assert_eq!(serial.tracks_used(0), parallel.tracks_used(0));
         std::fs::remove_dir_all(&dir_s).ok();
         std::fs::remove_dir_all(&dir_p).ok();
+    }
+
+    #[test]
+    fn submitted_stripes_count_at_submission_and_join_later() {
+        let mut a = array(4, 16);
+        let writes: Vec<_> =
+            (0..4).map(|d| (d, 0, Block::from_bytes_padded(&[d as u8 + 1], 16))).collect();
+        let wt = a.submit_write_stripe(&writes).unwrap();
+        // Counted before the join, identically to the synchronous path.
+        assert_eq!(a.stats().parallel_ops, 1);
+        assert_eq!(a.stats().blocks_written, 4);
+        wt.join().unwrap();
+        let rt = a.submit_read_stripe(&[(0, 0), (1, 0)]).unwrap();
+        assert_eq!(a.stats().parallel_ops, 2);
+        assert_eq!(a.stats().blocks_read, 2);
+        let blocks = rt.join().unwrap();
+        assert_eq!(blocks[1].as_bytes()[0], 2);
+    }
+
+    #[test]
+    fn rejected_submission_leaves_counters_untouched() {
+        let mut a = array(2, 8).with_capacity_limit(4);
+        assert!(matches!(
+            a.submit_read_stripe(&[(1, 0), (1, 1)]).err(),
+            Some(DiskError::StripeConflict { disk: 1 })
+        ));
+        assert!(matches!(
+            a.submit_write_stripe(&[(0, 9, Block::zeroed(8))]).err(),
+            Some(DiskError::CapacityExceeded { .. })
+        ));
+        assert!(matches!(
+            a.submit_write_stripe(&[(0, 0, Block::zeroed(9))]).err(),
+            Some(DiskError::BadBlockSize { expected: 8, got: 9 })
+        ));
+        assert_eq!(a.stats(), &IoStats::new(2), "failed submissions must not count");
+    }
+
+    #[test]
+    fn write_backlog_drains_in_submission_order() {
+        let mut a = array(2, 8);
+        let mut backlog = WriteBacklog::new();
+        assert!(backlog.is_empty());
+        for t in 0..3 {
+            let writes: Vec<_> = (0..2)
+                .map(|d| (d, t, Block::from_bytes_padded(&[(10 * t + d) as u8], 8)))
+                .collect();
+            backlog.push(a.submit_write_stripe(&writes).unwrap());
+        }
+        assert_eq!(backlog.len(), 3);
+        backlog.drain().unwrap();
+        assert!(backlog.is_empty());
+        assert_eq!(a.read_block(1, 2).unwrap().as_bytes()[0], 21);
+        assert_eq!(a.stats().parallel_ops, 4);
+    }
+
+    #[test]
+    fn pipelined_and_synchronous_arrays_count_identically() {
+        // The same logical workload issued through tickets vs the
+        // synchronous calls must produce bit-identical IoStats.
+        let run = |pipelined: bool| {
+            let cfg = DiskConfig::new(3, 16).unwrap().with_pipeline(if pipelined {
+                Pipeline::DoubleBuffer
+            } else {
+                Pipeline::Off
+            });
+            let mut a = DiskArray::new_memory(cfg);
+            let writes: Vec<_> =
+                (0..3).map(|d| (d, 1, Block::from_bytes_padded(&[d as u8], 16))).collect();
+            if pipelined {
+                let mut backlog = WriteBacklog::new();
+                backlog.push(a.submit_write_stripe(&writes).unwrap());
+                let rt = a.submit_read_stripe(&[(0, 1), (2, 1)]).unwrap();
+                backlog.drain().unwrap();
+                rt.join().unwrap();
+            } else {
+                a.write_stripe(&writes).unwrap();
+                a.read_stripe(&[(0, 1), (2, 1)]).unwrap();
+            }
+            a.take_stats()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

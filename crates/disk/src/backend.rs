@@ -10,7 +10,7 @@
 //! model's `D`-way parallelism, not just count it.
 
 use crate::engine::{read_full_track, write_at, IoEngine};
-use crate::{DiskResult, IoMode};
+use crate::{DiskResult, IoMode, ReadTicket, WriteTicket};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 
@@ -56,6 +56,30 @@ pub trait DiskBackend: Send {
             self.write_track(disk, track, data)?;
         }
         Ok(())
+    }
+
+    /// Submit a stripe read and return a joinable ticket.
+    ///
+    /// The default implementation executes [`DiskBackend::read_stripe`]
+    /// synchronously and wraps the outcome in an already-completed ticket,
+    /// so every backend supports the submission API; backends with real
+    /// asynchrony (the file backend's worker engine) override this to
+    /// return with the transfers still in flight. Submission itself never
+    /// fails — validation happens in the array front-end before this is
+    /// called, and I/O errors are deferred to [`ReadTicket::join`].
+    fn submit_read_stripe(&mut self, addrs: &[(usize, usize)], block_bytes: usize) -> ReadTicket {
+        let mut data: Vec<Vec<u8>> = addrs.iter().map(|_| vec![0u8; block_bytes]).collect();
+        let res = {
+            let mut bufs: Vec<&mut [u8]> = data.iter_mut().map(Vec::as_mut_slice).collect();
+            self.read_stripe(addrs, &mut bufs)
+        };
+        ReadTicket::ready(res.map(|()| data))
+    }
+
+    /// Submit a stripe write and return a joinable ticket (same contract
+    /// as [`DiskBackend::submit_read_stripe`]).
+    fn submit_write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> WriteTicket {
+        WriteTicket::ready(self.write_stripe(writes))
     }
 
     /// Highest track index written so far on `disk`, plus one (0 if never
@@ -257,6 +281,33 @@ impl DiskBackend for FileBackend {
             self.note_write(disk, track);
         }
         Ok(())
+    }
+
+    fn submit_read_stripe(&mut self, addrs: &[(usize, usize)], block_bytes: usize) -> ReadTicket {
+        if let FileIo::Parallel(engine) = &self.io {
+            engine.submit_read_stripe(addrs, block_bytes)
+        } else {
+            let mut data: Vec<Vec<u8>> = addrs.iter().map(|_| vec![0u8; block_bytes]).collect();
+            let res = {
+                let mut bufs: Vec<&mut [u8]> = data.iter_mut().map(Vec::as_mut_slice).collect();
+                self.read_stripe(addrs, &mut bufs)
+            };
+            ReadTicket::ready(res.map(|()| data))
+        }
+    }
+
+    fn submit_write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> WriteTicket {
+        let ticket = if let FileIo::Parallel(engine) = &self.io {
+            engine.submit_write_stripe(writes)
+        } else {
+            return WriteTicket::ready(self.write_stripe(writes));
+        };
+        // The addresses are known at submission, so space accounting stays
+        // deterministic regardless of when the transfers land.
+        for &(disk, track, _) in writes {
+            self.note_write(disk, track);
+        }
+        ticket
     }
 
     fn tracks_used(&self, disk: usize) -> usize {

@@ -19,6 +19,28 @@ pub enum IoMode {
     Parallel,
 }
 
+/// Whether a simulator may overlap disk transfers of adjacent work units
+/// (groups/batches) within one compound superstep.
+///
+/// Like [`IoMode`], the pipeline knob changes *when* transfers execute —
+/// never which stripes are submitted, what [`crate::IoStats`] count, or
+/// what a seeded run computes. Counting happens in
+/// [`DiskArray`](crate::DiskArray) at submission time, so the counted cost
+/// of a run is bit-identical with pipelining on or off by construction.
+/// The superstep-boundary `sync()` is the barrier: no transfer submitted
+/// inside a superstep may still be in flight after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pipeline {
+    /// Every stripe is joined before the next one is submitted (the
+    /// classic fetch → compute → write group loop).
+    Off,
+    /// Double-buffer compound supersteps: while group `g` computes, group
+    /// `g+1`'s contexts and inbound message blocks are already in flight
+    /// and group `g-1`'s outbound blocks and contexts drain in the
+    /// background.
+    DoubleBuffer,
+}
+
 /// Shape of a disk array: `D` drives with tracks of `B` bytes each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskConfig {
@@ -28,11 +50,15 @@ pub struct DiskConfig {
     pub block_bytes: usize,
     /// How file-backed stripes execute (default [`IoMode::Parallel`]).
     pub io_mode: IoMode,
+    /// Whether simulators overlap adjacent groups' I/O (default
+    /// [`Pipeline::Off`]).
+    pub pipeline: Pipeline,
 }
 
 impl DiskConfig {
     /// Create a configuration, validating that both parameters are nonzero.
-    /// The I/O mode defaults to [`IoMode::Parallel`].
+    /// The I/O mode defaults to [`IoMode::Parallel`]; pipelining defaults
+    /// to [`Pipeline::Off`].
     pub fn new(num_disks: usize, block_bytes: usize) -> Result<Self, DiskError> {
         if num_disks == 0 {
             return Err(DiskError::InvalidConfig("num_disks must be >= 1"));
@@ -40,12 +66,23 @@ impl DiskConfig {
         if block_bytes == 0 {
             return Err(DiskError::InvalidConfig("block_bytes must be >= 1"));
         }
-        Ok(DiskConfig { num_disks, block_bytes, io_mode: IoMode::Parallel })
+        Ok(DiskConfig {
+            num_disks,
+            block_bytes,
+            io_mode: IoMode::Parallel,
+            pipeline: Pipeline::Off,
+        })
     }
 
     /// Select how file-backed stripes execute.
     pub fn with_io_mode(mut self, mode: IoMode) -> Self {
         self.io_mode = mode;
+        self
+    }
+
+    /// Select whether simulators overlap adjacent groups' I/O.
+    pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
         self
     }
 
@@ -83,6 +120,15 @@ mod tests {
         // The mode does not affect configuration equality of shape fields.
         assert_eq!(cfg.num_disks, 4);
         assert_eq!(cfg.block_bytes, 64);
+    }
+
+    #[test]
+    fn pipeline_defaults_to_off_and_is_overridable() {
+        let cfg = DiskConfig::new(4, 64).unwrap();
+        assert_eq!(cfg.pipeline, Pipeline::Off);
+        let cfg = cfg.with_pipeline(Pipeline::DoubleBuffer);
+        assert_eq!(cfg.pipeline, Pipeline::DoubleBuffer);
+        assert_eq!(cfg.io_mode, IoMode::Parallel, "pipeline knob must not disturb io_mode");
     }
 
     #[test]

@@ -13,18 +13,24 @@
 //! * **Ownership** — a drive's `File` lives on its worker thread; the
 //!   engine only holds the command channel. No file handle is ever shared,
 //!   so per-drive positional I/O needs no locking.
-//! * **Join per stripe** — `read_stripe`/`write_stripe` block until every
-//!   listed drive has replied. At the [`DiskArray`](crate::DiskArray)
-//!   level an operation is therefore still synchronous and atomic: the
-//!   one-op-per-stripe cost accounting and the deterministic, seed-stable
-//!   I/O traces are untouched; only the wall-clock of the `≤ D` track
-//!   transfers overlaps.
+//! * **Submission and join are separable** — `submit_read_stripe` /
+//!   `submit_write_stripe` dispatch one command per listed drive and
+//!   return a [`ReadTicket`] / [`WriteTicket`] immediately; `join` on the
+//!   ticket blocks until every listed drive has replied. The synchronous
+//!   `read_stripe`/`write_stripe` are submit-then-join, so at the
+//!   [`DiskArray`](crate::DiskArray) level the one-op-per-stripe cost
+//!   accounting and the deterministic, seed-stable I/O traces are
+//!   identical whether or not a caller overlaps tickets with other work.
+//!   Per-drive command channels are FIFO: two submissions touching the
+//!   same drive execute in submission order even when their joins overlap.
 //! * **Error propagation** — each command carries a reply channel. A
 //!   failed transfer comes back as [`DiskError::WorkerIo`] tagged with the
 //!   drive index; a worker whose thread has died (panic, channel torn
 //!   down) surfaces as [`DiskError::WorkerLost`]. On a multi-drive stripe
 //!   all replies are joined first and the lowest-indexed drive's error is
-//!   returned, so error selection is deterministic.
+//!   returned, so error selection is deterministic. A deferred error is
+//!   *sticky*: it stays queued in the ticket's reply channel until the
+//!   ticket is joined, even across an intervening `sync_all`.
 //! * **Shutdown** — dropping the engine closes every command channel;
 //!   workers drain and exit, and the engine joins them. A worker that
 //!   errored stays alive and keeps serving subsequent commands (the drive
@@ -142,6 +148,44 @@ impl IoEngine {
         IoEngine { txs, handles }
     }
 
+    /// Dispatch one read per listed drive and return a joinable ticket
+    /// without waiting for any transfer to complete. A drive whose worker
+    /// is already gone is recorded in the ticket as a poisoned slot; the
+    /// [`DiskError::WorkerLost`] surfaces at join, keeping submission
+    /// non-blocking and infallible.
+    pub(crate) fn submit_read_stripe(
+        &self,
+        addrs: &[(usize, usize)],
+        block_bytes: usize,
+    ) -> ReadTicket {
+        let mut slots = Vec::with_capacity(addrs.len());
+        for &(disk, track) in addrs {
+            let (reply_tx, reply_rx) = bounded::<DiskResult<Vec<u8>>>(1);
+            let buf = vec![0u8; block_bytes];
+            let sent = self
+                .txs
+                .get(disk)
+                .is_some_and(|tx| tx.send(Cmd::Read { track, buf, reply: reply_tx }).is_ok());
+            slots.push((disk, sent.then_some(reply_rx)));
+        }
+        ReadTicket { inner: ReadInner::Pending(slots) }
+    }
+
+    /// Dispatch one write per listed drive and return a joinable ticket
+    /// without waiting (same lost-worker contract as
+    /// [`IoEngine::submit_read_stripe`]).
+    pub(crate) fn submit_write_stripe(&self, writes: &[(usize, usize, &[u8])]) -> WriteTicket {
+        let mut slots = Vec::with_capacity(writes.len());
+        for &(disk, track, data) in writes {
+            let (reply_tx, reply_rx) = bounded::<DiskResult<()>>(1);
+            let sent = self.txs.get(disk).is_some_and(|tx| {
+                tx.send(Cmd::Write { track, data: data.to_vec(), reply: reply_tx }).is_ok()
+            });
+            slots.push((disk, sent.then_some(reply_rx)));
+        }
+        WriteTicket { inner: WriteInner::Pending(slots) }
+    }
+
     /// Dispatch one read per listed drive, join all replies, and copy the
     /// results into the caller's buffers (request order).
     pub(crate) fn read_stripe(
@@ -150,53 +194,17 @@ impl IoEngine {
         bufs: &mut [&mut [u8]],
     ) -> DiskResult<()> {
         debug_assert_eq!(addrs.len(), bufs.len());
-        let mut replies = Vec::with_capacity(addrs.len());
-        for &(disk, track) in addrs {
-            let (reply_tx, reply_rx) = bounded::<DiskResult<Vec<u8>>>(1);
-            let buf = vec![0u8; bufs[replies.len()].len()];
-            self.txs[disk]
-                .send(Cmd::Read { track, buf, reply: reply_tx })
-                .map_err(|_| DiskError::WorkerLost { disk })?;
-            replies.push((disk, reply_rx));
+        let block_bytes = bufs.first().map_or(0, |b| b.len());
+        let data = self.submit_read_stripe(addrs, block_bytes).join()?;
+        for (buf, track) in bufs.iter_mut().zip(data) {
+            buf.copy_from_slice(&track);
         }
-        // Join every in-flight transfer before touching any result, then
-        // report the lowest-indexed failure deterministically.
-        let mut first_err: Option<DiskError> = None;
-        for (i, (disk, rx)) in replies.into_iter().enumerate() {
-            match rx.recv() {
-                Ok(Ok(data)) => bufs[i].copy_from_slice(&data),
-                Ok(Err(e)) => merge_err(&mut first_err, e),
-                Err(_) => merge_err(&mut first_err, DiskError::WorkerLost { disk }),
-            }
-        }
-        match first_err {
-            None => Ok(()),
-            Some(e) => Err(e),
-        }
+        Ok(())
     }
 
     /// Dispatch one write per listed drive and join all replies.
     pub(crate) fn write_stripe(&self, writes: &[(usize, usize, &[u8])]) -> DiskResult<()> {
-        let mut replies = Vec::with_capacity(writes.len());
-        for &(disk, track, data) in writes {
-            let (reply_tx, reply_rx) = bounded::<DiskResult<()>>(1);
-            self.txs[disk]
-                .send(Cmd::Write { track, data: data.to_vec(), reply: reply_tx })
-                .map_err(|_| DiskError::WorkerLost { disk })?;
-            replies.push((disk, reply_rx));
-        }
-        let mut first_err: Option<DiskError> = None;
-        for (disk, rx) in replies {
-            match rx.recv() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => merge_err(&mut first_err, e),
-                Err(_) => merge_err(&mut first_err, DiskError::WorkerLost { disk }),
-            }
-        }
-        match first_err {
-            None => Ok(()),
-            Some(e) => Err(e),
-        }
+        self.submit_write_stripe(writes).join()
     }
 
     /// Flush every drive to stable storage (joined like a stripe).
@@ -227,6 +235,110 @@ impl IoEngine {
 fn merge_err(slot: &mut Option<DiskError>, e: DiskError) {
     if slot.is_none() {
         *slot = Some(e);
+    }
+}
+
+/// Reply slots of an in-flight engine stripe: `(disk, receiver)`, where a
+/// `None` receiver marks a drive whose worker was already gone at
+/// submission (joined as [`DiskError::WorkerLost`]).
+type PendingSlots<T> = Vec<(usize, Option<Receiver<DiskResult<T>>>)>;
+
+enum ReadInner {
+    /// The transfers already happened (synchronous backend): the blocks,
+    /// or the error they died with.
+    Ready(DiskResult<Vec<Vec<u8>>>),
+    /// One reply channel per dispatched drive, in request order.
+    Pending(PendingSlots<Vec<u8>>),
+}
+
+/// A joinable handle for one submitted stripe read.
+///
+/// Produced by [`crate::DiskBackend::submit_read_stripe`]; the backend may
+/// have executed the transfers synchronously (the default, and the memory
+/// backend) or have them in flight on per-drive worker threads (the file
+/// backend in [`crate::IoMode::Parallel`]). Either way [`ReadTicket::join`]
+/// returns the blocks in request order, or the deferred error of the
+/// lowest-indexed failing drive — deterministically, exactly as the
+/// synchronous path would have reported it. Dropping a ticket without
+/// joining abandons the results but never blocks or panics.
+pub struct ReadTicket {
+    inner: ReadInner,
+}
+
+impl ReadTicket {
+    /// Wrap an already-completed stripe read (synchronous backends).
+    pub fn ready(result: DiskResult<Vec<Vec<u8>>>) -> Self {
+        ReadTicket { inner: ReadInner::Ready(result) }
+    }
+
+    /// Wait for every dispatched transfer and return the track bytes in
+    /// request order. All replies are joined before any error is
+    /// reported, and the first (lowest-indexed) failure wins.
+    pub fn join(self) -> DiskResult<Vec<Vec<u8>>> {
+        match self.inner {
+            ReadInner::Ready(result) => result,
+            ReadInner::Pending(slots) => {
+                let mut out = Vec::with_capacity(slots.len());
+                let mut first_err: Option<DiskError> = None;
+                for (disk, rx) in slots {
+                    match rx.map(|rx| rx.recv()) {
+                        Some(Ok(Ok(data))) => out.push(data),
+                        Some(Ok(Err(e))) => merge_err(&mut first_err, e),
+                        Some(Err(_)) | None => {
+                            merge_err(&mut first_err, DiskError::WorkerLost { disk })
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(out),
+                    Some(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+enum WriteInner {
+    /// The transfers already happened (synchronous backend).
+    Ready(DiskResult<()>),
+    /// One reply channel per dispatched drive, in request order.
+    Pending(PendingSlots<()>),
+}
+
+/// A joinable handle for one submitted stripe write (see [`ReadTicket`]
+/// for the completion and error contract).
+pub struct WriteTicket {
+    inner: WriteInner,
+}
+
+impl WriteTicket {
+    /// Wrap an already-completed stripe write (synchronous backends).
+    pub fn ready(result: DiskResult<()>) -> Self {
+        WriteTicket { inner: WriteInner::Ready(result) }
+    }
+
+    /// Wait for every dispatched transfer; the first (lowest-indexed)
+    /// failure wins, deterministically.
+    pub fn join(self) -> DiskResult<()> {
+        match self.inner {
+            WriteInner::Ready(result) => result,
+            WriteInner::Pending(slots) => {
+                let mut first_err: Option<DiskError> = None;
+                for (disk, rx) in slots {
+                    match rx.map(|rx| rx.recv()) {
+                        Some(Ok(Ok(()))) => {}
+                        Some(Ok(Err(e))) => merge_err(&mut first_err, e),
+                        Some(Err(_)) | None => {
+                            merge_err(&mut first_err, DiskError::WorkerLost { disk })
+                        }
+                    }
+                }
+                match first_err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
+                }
+            }
+        }
     }
 }
 
@@ -297,6 +409,92 @@ mod tests {
         }
         assert_eq!(hole, [0u8; 8]);
         assert_eq!(never, [0u8; 8]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tickets_overlap_and_drain_in_submission_order() {
+        let (dir, files) = tmp_files("overlap", 4);
+        let engine = IoEngine::spawn(files, 16);
+        // Several writes in flight at once, including two generations on
+        // the same (disk, track) — per-drive FIFO must apply them in
+        // submission order.
+        let old: Vec<(usize, usize, &[u8])> = vec![(0, 0, &[1u8; 16]), (1, 0, &[1u8; 16])];
+        let new: Vec<(usize, usize, &[u8])> = vec![(0, 0, &[2u8; 16]), (1, 0, &[2u8; 16])];
+        let t1 = engine.submit_write_stripe(&old);
+        let t2 = engine.submit_write_stripe(&new);
+        let t3 = engine.submit_read_stripe(&[(0, 0), (1, 0)], 16);
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let data = t3.join().unwrap();
+        assert_eq!(data, vec![vec![2u8; 16]; 2], "later submission must win on the same track");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Forces real worker-side write failures by handing the engine
+    /// read-only file handles.
+    fn read_only_engine(name: &str, n: usize) -> (std::path::PathBuf, IoEngine) {
+        let dir = std::env::temp_dir().join(format!("em-engine-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let files: Vec<File> = (0..n)
+            .map(|i| {
+                let path = dir.join(format!("disk-{i}.bin"));
+                std::fs::write(&path, []).unwrap();
+                OpenOptions::new().read(true).open(path).unwrap()
+            })
+            .collect();
+        (dir, IoEngine::spawn(files, 8))
+    }
+
+    #[test]
+    fn poisoned_ticket_survives_sync_and_reports_at_join() {
+        let (dir, engine) = read_only_engine("poison", 2);
+        let ticket = engine.submit_write_stripe(&[(1, 0, &[7u8; 8])]);
+        // The error is already waiting in the reply channel, but the drive
+        // keeps serving: sync_all succeeds (sync_data on a read-only handle
+        // is fine), and the poisoned ticket still reports afterwards.
+        engine.sync_all().unwrap();
+        match ticket.join() {
+            Err(DiskError::WorkerIo { disk: 1, .. }) => {}
+            other => panic!("expected WorkerIo on drive 1 after sync, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_drive_failure_reports_lowest_drive_deterministically() {
+        for _ in 0..20 {
+            let (dir, engine) = read_only_engine("lowest", 4);
+            let writes: Vec<(usize, usize, &[u8])> =
+                (1..4).map(|d| (d, 0, &[0u8; 8][..])).collect();
+            let ticket = engine.submit_write_stripe(&writes);
+            match ticket.join() {
+                Err(DiskError::WorkerIo { disk: 1, .. }) => {}
+                other => panic!("expected the lowest failing drive (1), got {other:?}"),
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn lost_worker_mid_pipeline_surfaces_at_join() {
+        let (dir, files) = tmp_files("lost", 2);
+        let mut engine = IoEngine::spawn(files, 8);
+        // A ticket submitted while the engine was healthy...
+        let alive = engine.submit_write_stripe(&[(0, 0, &[3u8; 8])]);
+        // ...then the workers are torn down mid-pipeline (they drain their
+        // queues before exiting, so `alive` still completes).
+        engine.txs.clear();
+        for handle in engine.handles.drain(..) {
+            handle.join().unwrap();
+        }
+        alive.join().unwrap();
+        // Anything submitted afterwards is poisoned per-drive and reports
+        // the lowest lost drive at join, like any other stripe failure.
+        let dead_write = engine.submit_write_stripe(&[(1, 0, &[4u8; 8])]);
+        assert!(matches!(dead_write.join(), Err(DiskError::WorkerLost { disk: 1 })));
+        let dead_read = engine.submit_read_stripe(&[(0, 0), (1, 0)], 8);
+        assert!(matches!(dead_read.join(), Err(DiskError::WorkerLost { disk: 0 })));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -44,11 +44,12 @@ mod linked;
 mod stats;
 
 pub use alloc::TrackAllocator;
-pub use array::DiskArray;
+pub use array::{DiskArray, ReadStripeTicket, WriteBacklog, WriteStripeTicket};
 pub use backend::{DiskBackend, FileBackend, MemoryBackend};
 pub use block::Block;
-pub use config::{DiskConfig, IoMode};
+pub use config::{DiskConfig, IoMode, Pipeline};
 pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
+pub use engine::{ReadTicket, WriteTicket};
 pub use error::DiskError;
 pub use linked::BucketStore;
 pub use stats::IoStats;

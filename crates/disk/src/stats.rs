@@ -5,6 +5,13 @@
 //! involving fewer disk drives incurs the same cost"). [`IoStats`] counts
 //! operations and per-drive block traffic so experiments can report both the
 //! charged cost `G · parallel_ops` and the achieved drive utilization.
+//!
+//! Counters are incremented by [`crate::DiskArray`] **at submission time**
+//! (after validation, before any transfer is joined), and every field is an
+//! order-independent sum. Together those two facts make the counted cost of
+//! a run independent of *when* its transfers complete: a pipelined run that
+//! overlaps submitted stripes with computation ([`crate::Pipeline`]) counts
+//! bit-identically to the same run joining every stripe immediately.
 
 /// Counters for one disk array.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
