@@ -3,9 +3,9 @@
 //!
 //! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
 //! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
-//! det-vs-rand, contraction, obs2, all}. `--smoke` shrinks every sweep to
-//! CI-sized inputs (seconds, debug build) while exercising the same code
-//! paths and in-process asserts.
+//! det-vs-rand, contraction, obs2, faults, all}. `--smoke` shrinks every
+//! sweep to CI-sized inputs (seconds, debug build) while exercising the
+//! same code paths and in-process asserts.
 //!
 //! The `disks` and `procs` sweeps emit both memory-backend rows (counted
 //! parallel I/O ops — the primary signal) and file-backend rows whose
@@ -638,6 +638,105 @@ fn fig_obs2() -> Vec<Row> {
     rows
 }
 
+/// F-faults: robustness sweep — recovered supersteps and wall-clock
+/// overhead vs the injected fault rate of a seeded [`em_disk::FaultPlan`].
+/// Every recovered run asserts, in process, that its final states and its
+/// counted parallel I/O are bit-identical to the fault-free run: retries
+/// and replays are tallied separately (`retried_blocks`, `recovery_ops`)
+/// and never leak into the paper-facing metric.
+fn fig_faults() -> Vec<Row> {
+    use em_bsp::{BspProgram, Mailbox, Step};
+    use em_core::{RecoveryPolicy, SeqEmSimulator};
+    use em_disk::{FaultPlan, RetryPolicy};
+
+    struct Ring {
+        rounds: usize,
+    }
+    impl BspProgram for Ring {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            for e in mb.take_incoming() {
+                *state = state.wrapping_add(e.msg);
+            }
+            if step < self.rounds {
+                let v = mb.nprocs();
+                mb.send((mb.pid() + 1) % v, *state + step as u64);
+                mb.send((mb.pid() + v - 1) % v, state.wrapping_mul(3));
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            124
+        }
+        fn max_comm_bytes(&self) -> usize {
+            2 * 24
+        }
+    }
+
+    let v = 32usize;
+    let d = 4usize;
+    let prog = Ring { rounds: pick(12, 6) };
+    let init: Vec<u64> = (0..v as u64).collect();
+    // M = 1 KiB forces k = 8, four groups: real paging traffic per round.
+    let base = SeqEmSimulator::new(machine(1, 1024, d, 256)).with_seed(SEED).with_checksums(true);
+    let (clean, clean_report) = base.run(&prog, init.clone()).unwrap();
+    // Generous per-drive horizon: every op of the run sits under the plan.
+    let horizon = clean_report.io.parallel_ops * 4 + 64;
+
+    let mut rows = Vec::new();
+    let mut base_wall = 0.0f64;
+    for &rate in pick(&[0u32, 5, 15, 30][..], &[0u32, 15][..]) {
+        let mut sim =
+            base.clone().with_retry(RetryPolicy::new(4)).with_recovery(RecoveryPolicy::new(64));
+        if rate > 0 {
+            // On top of the seeded background rate, a burst of consecutive
+            // transients mid-run exhausts the 4-attempt retry policy and
+            // forces the superstep-replay path to fire deterministically.
+            let mut plan = FaultPlan::seeded(SEED, d, horizon, rate);
+            let burst = clean_report.io.parallel_ops / 2;
+            for delta in 0..6 {
+                plan = plan.with_transient(0, burst + delta);
+            }
+            sim = sim.with_fault_plan(plan);
+        }
+        let t0 = std::time::Instant::now();
+        let (res, report) = sim.run(&prog, init.clone()).unwrap();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(res.states, clean.states, "recovered run must match the fault-free run");
+        assert_eq!(
+            report.io.parallel_ops, clean_report.io.parallel_ops,
+            "retries and replays must not leak into counted parallel I/O"
+        );
+        if rate == 0 {
+            base_wall = wall.max(1e-6);
+        }
+        let f = report.faults.expect("fault/recovery run carries a report");
+        rows.push(Row {
+            id: "F-faults".into(),
+            variant: format!("diffusion rate={rate}‰"),
+            n: v,
+            io_ops: report.io.parallel_ops,
+            predicted: clean_report.io.parallel_ops as f64,
+            lambda: report.lambda,
+            utilization: report.io.utilization(),
+            wall_ms: wall,
+            note: format!(
+                "injected={} retried={} replays={} recovered_steps={} recovery_ops={} wall {:.2}x",
+                f.injected.total(),
+                f.retried_blocks,
+                f.replays,
+                f.recovered_supersteps,
+                f.recovery_ops,
+                wall / base_wall,
+            ),
+        });
+    }
+    rows
+}
+
 /// F-fig2: trace the two reorganization steps of Algorithm 2 (Figure 2).
 fn fig_fig2() -> Vec<Row> {
     let d = 4usize;
@@ -728,6 +827,9 @@ fn main() {
     }
     if matches!(which, "all" | "obs2") {
         rows.extend(fig_obs2());
+    }
+    if matches!(which, "all" | "faults") {
+        rows.extend(fig_faults());
     }
     if matches!(which, "all" | "fig2") {
         rows.extend(fig_fig2());

@@ -1,5 +1,6 @@
 //! Error type for the EM simulation.
 
+use crate::report::FaultReport;
 use em_bsp::BspError;
 use em_disk::DiskError;
 use em_serial::DecodeError;
@@ -56,6 +57,17 @@ pub enum EmError {
     },
     /// A configuration parameter combination is invalid.
     InvalidConfig(String),
+    /// A disk fault survived the substrate's retry policy and exhausted
+    /// the superstep replay budget — or was inherently unrecoverable, such
+    /// as a dead drive worker. Carries the full injection/recovery tally.
+    FaultUnrecoverable {
+        /// Compound superstep that could not be completed.
+        step: usize,
+        /// Injection and recovery tallies up to the failure.
+        report: FaultReport,
+        /// The underlying error that exhausted the budgets.
+        source: Box<EmError>,
+    },
 }
 
 impl fmt::Display for EmError {
@@ -83,6 +95,11 @@ impl fmt::Display for EmError {
                 "machine memory M = {m_bytes} bytes cannot hold one context ({needed} bytes needed); k = ⌊M/μ⌋ = 0"
             ),
             EmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EmError::FaultUnrecoverable { step, report, source } => write!(
+                f,
+                "superstep {step} could not be recovered ({} replays performed, {} retried blocks): {source}",
+                report.replays, report.retried_blocks
+            ),
         }
     }
 }
@@ -93,6 +110,7 @@ impl std::error::Error for EmError {
             EmError::Bsp(e) => Some(e),
             EmError::Disk(e) => Some(e),
             EmError::Decode(e) => Some(e),
+            EmError::FaultUnrecoverable { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

@@ -51,7 +51,7 @@ pub use msg::{
 };
 pub use par_sim::ParEmSimulator;
 pub use planner::{Plan, Planner, ProblemProfile};
-pub use report::{CostReport, PhaseIo};
+pub use report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
 pub use routing::{simulate_routing, RoutingTrace};
 pub use seq_sim::SeqEmSimulator;
 

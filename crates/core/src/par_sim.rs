@@ -41,11 +41,14 @@ use crate::msg::{
     store_received_blocks_deferred, GroupCounts, MsgGeometry, OutMsg, Placement, RawBlock,
     MSG_HEADER_BYTES,
 };
-use crate::report::{CostReport, PhaseIo};
+use crate::report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, IoMode, IoStats, Pipeline, TrackAllocator, WriteBacklog};
+use em_disk::{
+    DiskArray, FaultPlan, FaultStats, IoMode, IoStats, Pipeline, RetryPolicy, TrackAllocator,
+    WriteBacklog,
+};
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -53,7 +56,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// Per-worker run summary: counted I/O, per-phase split, the allocator's
@@ -114,6 +117,10 @@ pub struct ParEmSimulator {
     file_dir: Option<PathBuf>,
     io_mode: IoMode,
     pipeline: Pipeline,
+    fault_plan: Option<FaultPlan>,
+    checksums: bool,
+    retry: Option<RetryPolicy>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl ParEmSimulator {
@@ -127,6 +134,10 @@ impl ParEmSimulator {
             file_dir: None,
             io_mode: IoMode::Parallel,
             pipeline: Pipeline::Off,
+            fault_plan: None,
+            checksums: false,
+            retry: None,
+            recovery: None,
         }
     }
 
@@ -176,6 +187,42 @@ impl ParEmSimulator {
         self
     }
 
+    /// Inject disk faults from a seeded [`FaultPlan`] into *every*
+    /// processor's private disk array (each thread gets a clone of the
+    /// plan; injection counters are shared and aggregated). Pair it with
+    /// [`Self::with_retry`] and [`Self::with_recovery`] to absorb the
+    /// faults, or expect a typed [`EmError::FaultUnrecoverable`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Frame every stored track with a CRC32 and verify it on read
+    /// ([`em_disk::DiskError::Corrupt`] on mismatch). Off by default.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
+        self
+    }
+
+    /// Retry transient per-track faults inside each processor's disk
+    /// substrate; tallied in [`em_disk::IoStats::retried_blocks`], never
+    /// in the counted parallel I/O.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Enable superstep-granular recovery. The replay decision is global:
+    /// thread 0 inspects every processor's failure at the superstep
+    /// barrier, and either *all* threads roll their disks back to the last
+    /// committed superstep and replay in lockstep, or the run degrades
+    /// into a typed [`EmError::FaultUnrecoverable`]. Without faults the
+    /// machinery is inert.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// Run `prog` on `states.len()` virtual processors across `p` threads.
     pub fn run<P: BspProgram>(
         &self,
@@ -216,6 +263,19 @@ impl ParEmSimulator {
         let ledger: Mutex<CommLedger> = Mutex::new(CommLedger::default());
         let reports: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(p));
 
+        // Recovery coordination. Each thread that fails an attempt
+        // registers `(error, retried_blocks, recovery_ops)` here *before*
+        // the superstep barrier; thread 0 decides replay-vs-fail for
+        // everyone between the two barriers. `replay_token` signals a
+        // replay by carrying the (lockstep) decision number it applies to,
+        // so no reset-race is possible.
+        let fault_run = self.fault_plan.is_some() || self.recovery.is_some();
+        let fault_stats = self.fault_plan.as_ref().map(|plan| plan.stats());
+        let attempt_errors: Mutex<Vec<(EmError, u64, u64)>> = Mutex::new(Vec::new());
+        let replay_token = AtomicU64::new(u64::MAX);
+        let replays_total = AtomicU64::new(0);
+        let recovered_total = AtomicU64::new(0);
+
         // Lock-step transport: one channel per processor.
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| crossbeam_channel::unbounded::<Bundle>()).unzip();
@@ -244,15 +304,35 @@ impl ParEmSimulator {
                 let file_dir = self.file_dir.clone();
                 let io_mode = self.io_mode;
                 let pipeline = self.pipeline;
+                let plan = self.fault_plan.clone();
+                let checksums = self.checksums;
+                let retry = self.retry;
+                let recovery = self.recovery;
+                let fault_stats = fault_stats.clone();
+                let attempt_errors = &attempt_errors;
+                let replay_token = &replay_token;
+                let replays_total = &replays_total;
+                let recovered_total = &recovered_total;
 
                 scope.spawn(move || {
                     let work = (|| -> EmResult<()> {
                         let pipelined = pipeline == Pipeline::DoubleBuffer;
-                        let cfg =
-                            machine.disk_config()?.with_io_mode(io_mode).with_pipeline(pipeline);
+                        let cfg = machine
+                            .disk_config()?
+                            .with_io_mode(io_mode)
+                            .with_pipeline(pipeline)
+                            .with_checksums(checksums);
+                        let cfg = match retry {
+                            Some(policy) => cfg.with_retry(policy),
+                            None => cfg,
+                        };
                         let mut disks = match &file_dir {
-                            None => DiskArray::new_memory(cfg),
-                            Some(dir) => DiskArray::new_file(cfg, dir.join(format!("proc-{i}")))?,
+                            None => DiskArray::new_memory_with_faults(cfg, plan),
+                            Some(dir) => DiskArray::new_file_with_faults(
+                                cfg,
+                                dir.join(format!("proc-{i}")),
+                                plan,
+                            )?,
                         };
                         let mut alloc = TrackAllocator::new(cfg.num_disks);
                         // Context store: this processor holds num_batches*k regions.
@@ -318,8 +398,26 @@ impl ParEmSimulator {
                         let mut zombie: Option<EmError> = None;
                         let mut exchange_phase = 0u64;
                         let mut pending_bundles: Vec<Bundle> = Vec::new();
+                        // Lockstep counter of barrier decisions; pairs with
+                        // `replay_token` to signal replays race-free.
+                        let mut decision_no = 0u64;
 
                         'steps: for step in 0..max_supersteps {
+                            let mut attempt = 0usize;
+                            loop {
+                            // Each attempt runs the whole compound
+                            // superstep inside a disk recovery epoch;
+                            // committed bookkeeping is snapshotted so a
+                            // rolled-back attempt leaves no trace.
+                            if recovery.is_some() {
+                                disks.begin_recovery_epoch();
+                            }
+                            let rng_snap = rng.clone();
+                            let alloc_snap = alloc.clone();
+                            let counts_snap = counts.clone();
+                            let phases_snap = phases.clone();
+                            let balances_len = balances.len();
+
                             let mut scratch = crate::msg::ScratchState::new(&geom);
                             let mut backlog = WriteBacklog::new();
 
@@ -462,11 +560,12 @@ impl ParEmSimulator {
                                 }
                             }
 
-                            // Deferred writes must be on disk before the
-                            // local reorganization reads the scratch blocks
-                            // and recycles their tracks.
-                            if zombie.is_none() {
-                                if let Err(e) = backlog.drain() {
+                            // Deferred writes must be on disk — and their
+                            // errors known — before the local
+                            // reorganization (or a rollback) reuses their
+                            // tracks.
+                            if let Err(e) = backlog.drain() {
+                                if zombie.is_none() {
                                     zombie = Some(e.into());
                                 }
                             }
@@ -491,41 +590,138 @@ impl ParEmSimulator {
                                 }
                             }
 
-                            barrier.wait();
-                            if i == 0 {
-                                ledger.lock().push(SuperstepComm {
-                                    msgs: agg_msgs.swap(0, Ordering::Relaxed),
-                                    bytes: agg_bytes.swap(0, Ordering::Relaxed),
-                                    h_bytes: agg_h.swap(0, Ordering::Relaxed),
-                                    h_msgs: agg_h_msgs.swap(0, Ordering::Relaxed),
-                                    h_packets: 0,
-                                    w_comp: agg_w.swap(0, Ordering::Relaxed),
-                                });
-                                let had_continue = any_continue.swap(false, Ordering::Relaxed);
-                                let had_msgs = any_msgs.swap(false, Ordering::Relaxed);
-                                if !had_continue && !had_msgs {
-                                    stop.store(true, Ordering::SeqCst);
-                                }
-                                if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
+                            // Register this attempt's failure *before* the
+                            // barrier so thread 0 can decide replay-vs-fail
+                            // for everyone between the barriers.
+                            if let Some(e) = zombie.take() {
+                                if recovery.is_some() {
+                                    attempt_errors.lock().push((
+                                        e,
+                                        disks.stats().retried_blocks,
+                                        disks.stats().recovery_ops,
+                                    ));
+                                } else {
+                                    let e = wrap_par_fault(
+                                        fault_run,
+                                        step,
+                                        e,
+                                        &fault_stats,
+                                        disks.stats().retried_blocks,
+                                        disks.stats().recovery_ops,
+                                        0,
+                                        0,
+                                    );
                                     let mut f = failed.lock();
                                     if f.is_none() {
-                                        *f = Some(EmError::Bsp(BspError::SuperstepLimit {
-                                            limit: max_supersteps,
-                                        }));
+                                        *f = Some(e);
                                     }
                                     stop.store(true, Ordering::SeqCst);
                                 }
                             }
-                            if let Some(e) = zombie.take() {
-                                let mut f = failed.lock();
-                                if f.is_none() {
-                                    *f = Some(e);
+
+                            barrier.wait();
+                            if i == 0 {
+                                let regs = if recovery.is_some() {
+                                    std::mem::take(&mut *attempt_errors.lock())
+                                } else {
+                                    Vec::new()
+                                };
+                                if regs.is_empty() {
+                                    ledger.lock().push(SuperstepComm {
+                                        msgs: agg_msgs.swap(0, Ordering::Relaxed),
+                                        bytes: agg_bytes.swap(0, Ordering::Relaxed),
+                                        h_bytes: agg_h.swap(0, Ordering::Relaxed),
+                                        h_msgs: agg_h_msgs.swap(0, Ordering::Relaxed),
+                                        h_packets: 0,
+                                        w_comp: agg_w.swap(0, Ordering::Relaxed),
+                                    });
+                                    if attempt > 0 {
+                                        recovered_total.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    let had_continue = any_continue.swap(false, Ordering::Relaxed);
+                                    let had_msgs = any_msgs.swap(false, Ordering::Relaxed);
+                                    if !had_continue && !had_msgs {
+                                        stop.store(true, Ordering::SeqCst);
+                                    }
+                                    if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
+                                        let mut f = failed.lock();
+                                        if f.is_none() {
+                                            *f = Some(EmError::Bsp(BspError::SuperstepLimit {
+                                                limit: max_supersteps,
+                                            }));
+                                        }
+                                        stop.store(true, Ordering::SeqCst);
+                                    }
+                                } else {
+                                    let budget =
+                                        recovery.map_or(0, |r| r.max_replays_per_superstep);
+                                    let all_transient = regs.iter().all(
+                                        |(e, _, _)| matches!(e, EmError::Disk(d) if d.is_transient()),
+                                    );
+                                    if all_transient && attempt < budget {
+                                        // Replay: every thread rolls back and
+                                        // re-runs this superstep. The failed
+                                        // attempt's aggregates are discarded
+                                        // and re-accumulated by the replay.
+                                        replays_total.fetch_add(1, Ordering::Relaxed);
+                                        agg_msgs.swap(0, Ordering::Relaxed);
+                                        agg_bytes.swap(0, Ordering::Relaxed);
+                                        agg_h.swap(0, Ordering::Relaxed);
+                                        agg_h_msgs.swap(0, Ordering::Relaxed);
+                                        agg_w.swap(0, Ordering::Relaxed);
+                                        any_continue.swap(false, Ordering::Relaxed);
+                                        any_msgs.swap(false, Ordering::Relaxed);
+                                        replay_token.store(decision_no, Ordering::SeqCst);
+                                    } else {
+                                        let retried: u64 = regs.iter().map(|r| r.1).sum();
+                                        let rec_ops: u64 = regs.iter().map(|r| r.2).sum();
+                                        let (first, _, _) =
+                                            regs.into_iter().next().expect("regs non-empty");
+                                        let e = wrap_par_fault(
+                                            fault_run,
+                                            step,
+                                            first,
+                                            &fault_stats,
+                                            retried,
+                                            rec_ops,
+                                            recovered_total.load(Ordering::Relaxed),
+                                            replays_total.load(Ordering::Relaxed),
+                                        );
+                                        let mut f = failed.lock();
+                                        if f.is_none() {
+                                            *f = Some(e);
+                                        }
+                                        stop.store(true, Ordering::SeqCst);
+                                    }
                                 }
-                                stop.store(true, Ordering::SeqCst);
                             }
                             barrier.wait();
+                            let do_replay = replay_token.load(Ordering::SeqCst) == decision_no;
+                            decision_no += 1;
+                            if do_replay {
+                                // Every thread — failed or not — rewinds its
+                                // disks and bookkeeping to the last committed
+                                // superstep; the next attempt re-runs the
+                                // exchanges in lockstep (exchange phases stay
+                                // monotone, they are never rewound).
+                                if let Err(e) = disks.rollback_recovery_epoch() {
+                                    zombie = Some(e.into());
+                                }
+                                rng = rng_snap;
+                                alloc = alloc_snap;
+                                counts = counts_snap;
+                                phases = phases_snap;
+                                balances.truncate(balances_len);
+                                attempt += 1;
+                                continue;
+                            }
+                            if recovery.is_some() {
+                                disks.commit_recovery_epoch();
+                            }
                             if stop.load(Ordering::SeqCst) {
                                 break 'steps;
+                            }
+                            break;
                             }
                         }
 
@@ -563,7 +759,19 @@ impl ParEmSimulator {
         });
 
         if let Some(err) = failed.into_inner() {
-            return Err(err);
+            // In-loop failures are already wrapped; this catches raw disk
+            // errors from the initial load or final read-back of a fault
+            // run (already-wrapped and non-disk errors pass through).
+            return Err(wrap_par_fault(
+                fault_run,
+                0,
+                err,
+                &fault_stats,
+                0,
+                0,
+                recovered_total.into_inner(),
+                replays_total.into_inner(),
+            ));
         }
         let ledger = ledger.into_inner();
 
@@ -612,9 +820,49 @@ impl ParEmSimulator {
             tracks_per_disk: tracks,
             balance_factors: balances,
             checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
+            faults: fault_run.then(|| FaultReport {
+                injected: fault_stats.as_ref().map(|s| s.counts()).unwrap_or_default(),
+                retried_blocks: io.retried_blocks,
+                recovery_ops: io.recovery_ops,
+                recovered_supersteps: recovered_total.into_inner(),
+                replays: replays_total.into_inner(),
+                failed_superstep: None,
+            }),
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))
+    }
+}
+
+/// Dress an unrecoverable error in [`EmError::FaultUnrecoverable`] with the
+/// injection/recovery tally — but only for disk errors of a run that had
+/// fault machinery enabled; logic errors (γ violations, misrouted blocks,
+/// ...) pass through untouched.
+#[allow(clippy::too_many_arguments)]
+fn wrap_par_fault(
+    fault_run: bool,
+    step: usize,
+    err: EmError,
+    fault_stats: &Option<Arc<FaultStats>>,
+    retried_blocks: u64,
+    recovery_ops: u64,
+    recovered_supersteps: u64,
+    replays: u64,
+) -> EmError {
+    if !fault_run || !matches!(err, EmError::Disk(_)) {
+        return err;
+    }
+    EmError::FaultUnrecoverable {
+        step,
+        report: FaultReport {
+            injected: fault_stats.as_ref().map(|s| s.counts()).unwrap_or_default(),
+            retried_blocks,
+            recovery_ops,
+            recovered_supersteps,
+            replays,
+            failed_superstep: Some(step),
+        },
+        source: Box::new(err),
     }
 }
 

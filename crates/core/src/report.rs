@@ -2,8 +2,59 @@
 
 use crate::machine::ModelCheck;
 use em_bsp::CommLedger;
-use em_disk::IoStats;
+use em_disk::{FaultCounts, IoStats};
 use std::time::Duration;
+
+/// Superstep-granular recovery knobs for the EM simulators.
+///
+/// When recovery is enabled, each compound superstep runs inside a disk
+/// recovery epoch: committed state is only advanced at the barrier
+/// `sync()`, and a transient disk fault that survives the substrate's
+/// [`em_disk::RetryPolicy`] triggers a rollback to the last committed
+/// state followed by a bounded replay of the whole superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecoveryPolicy {
+    /// Maximum number of times any single compound superstep may be
+    /// replayed before the run is declared unrecoverable.
+    pub max_replays_per_superstep: usize,
+}
+
+impl RecoveryPolicy {
+    /// Replay each faulted superstep at most `max_replays_per_superstep`
+    /// times (clamped to at least 1).
+    pub fn new(max_replays_per_superstep: usize) -> Self {
+        RecoveryPolicy { max_replays_per_superstep: max_replays_per_superstep.max(1) }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::new(3)
+    }
+}
+
+/// How a fault-injected run went: what the plan fired, what the substrate
+/// absorbed via retries, and what the simulator recovered via replays.
+///
+/// None of these tallies touch the paper-facing counted parallel I/O in
+/// [`IoStats::parallel_ops`]; retry and recovery traffic is reported
+/// separately (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults fired by the injection plan, by kind.
+    pub injected: FaultCounts,
+    /// Per-track retries absorbed by the substrate's retry policy.
+    pub retried_blocks: u64,
+    /// Uncounted recovery operations: pre-image reads, discarded
+    /// rolled-back attempt operations, and rollback restore writes.
+    pub recovery_ops: u64,
+    /// Supersteps that completed only after at least one replay.
+    pub recovered_supersteps: u64,
+    /// Total superstep replays performed across the run.
+    pub replays: u64,
+    /// Superstep that could not be completed, when the run failed.
+    pub failed_superstep: Option<usize>,
+}
 
 /// Parallel I/O operations attributed to each phase of the simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -60,6 +111,9 @@ pub struct CostReport {
     pub balance_factors: Vec<f64>,
     /// Theorem 1 side-condition report for this configuration.
     pub checks: Vec<ModelCheck>,
+    /// Fault-injection and recovery tallies; `None` unless the run had a
+    /// fault plan or recovery enabled.
+    pub faults: Option<FaultReport>,
 }
 
 impl CostReport {

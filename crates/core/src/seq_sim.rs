@@ -26,15 +26,18 @@ use crate::msg::{
     fetch_group_messages, scatter_messages, scatter_messages_deferred, submit_fetch_group_messages,
     GroupCounts, InMsg, MsgGeometry, OutMsg, Placement, MSG_HEADER_BYTES,
 };
-use crate::report::{CostReport, PhaseIo};
+use crate::report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
-use em_disk::{DiskArray, IoMode, Pipeline, TrackAllocator, WriteBacklog};
+use em_disk::{
+    DiskArray, FaultPlan, FaultStats, IoMode, Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
+};
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the simulated disks live.
@@ -77,6 +80,10 @@ pub struct SeqEmSimulator {
     backend: Backend,
     io_mode: IoMode,
     pipeline: Pipeline,
+    fault_plan: Option<FaultPlan>,
+    checksums: bool,
+    retry: Option<RetryPolicy>,
+    recovery: Option<RecoveryPolicy>,
 }
 
 impl SeqEmSimulator {
@@ -91,6 +98,10 @@ impl SeqEmSimulator {
             backend: Backend::Memory,
             io_mode: IoMode::Parallel,
             pipeline: Pipeline::Off,
+            fault_plan: None,
+            checksums: false,
+            retry: None,
+            recovery: None,
         }
     }
 
@@ -138,6 +149,44 @@ impl SeqEmSimulator {
         self
     }
 
+    /// Inject disk faults from a seeded [`FaultPlan`], placed directly
+    /// above the raw storage (below checksums and retry, exactly where
+    /// real media faults live). The plan only *injects*; pair it with
+    /// [`Self::with_retry`] and [`Self::with_recovery`] to absorb the
+    /// injected faults, or expect a typed
+    /// [`EmError::FaultUnrecoverable`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Frame every stored track with a CRC32 and verify it on read
+    /// ([`em_disk::DiskError::Corrupt`] on mismatch). Off by default.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
+        self
+    }
+
+    /// Retry transient per-track faults inside the disk substrate.
+    /// Retries are tallied in [`em_disk::IoStats::retried_blocks`] and do
+    /// not touch the paper-facing counted parallel I/O.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Enable superstep-granular recovery: simulation state advances only
+    /// at each superstep's barrier `sync()`, and a transient disk fault
+    /// that survives the retry policy rolls the disks back to the last
+    /// committed superstep and replays it (at most
+    /// `policy.max_replays_per_superstep` times). Without faults the
+    /// machinery is inert: counted I/O, final states and seeded traces are
+    /// identical to a run without recovery.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
     /// The machine this simulator targets.
     pub fn machine(&self) -> &EmMachine {
         &self.machine
@@ -164,11 +213,22 @@ impl SeqEmSimulator {
         let k = self.machine.group_size(ctx_region, v)?;
         let num_groups = v.div_ceil(k);
 
-        let cfg =
-            self.machine.disk_config()?.with_io_mode(self.io_mode).with_pipeline(self.pipeline);
+        let cfg = self
+            .machine
+            .disk_config()?
+            .with_io_mode(self.io_mode)
+            .with_pipeline(self.pipeline)
+            .with_checksums(self.checksums);
+        let cfg = match self.retry {
+            Some(policy) => cfg.with_retry(policy),
+            None => cfg,
+        };
+        let fault_stats = self.fault_plan.as_ref().map(|p| p.stats());
         let mut disks = match &self.backend {
-            Backend::Memory => DiskArray::new_memory(cfg),
-            Backend::File(dir) => DiskArray::new_file(cfg, dir)?,
+            Backend::Memory => DiskArray::new_memory_with_faults(cfg, self.fault_plan.clone()),
+            Backend::File(dir) => {
+                DiskArray::new_file_with_faults(cfg, dir, self.fault_plan.clone())?
+            }
         };
         let mut alloc = TrackAllocator::new(cfg.num_disks);
         let ctx_store = ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
@@ -181,10 +241,13 @@ impl SeqEmSimulator {
         for g in 0..num_groups {
             let first = g * k;
             let last = (first + k).min(v);
-            ctx_store.write_group(&mut disks, first, &encoded[first..last])?;
+            ctx_store
+                .write_group(&mut disks, first, &encoded[first..last])
+                .map_err(|e| self.fault_error(0, e, &fault_stats, &disks, 0, 0))?;
         }
         drop(encoded);
-        disks.sync()?; // the input distribution is durable before timing starts
+        // The input distribution is durable before timing starts.
+        disks.sync().map_err(|e| self.fault_error(0, e.into(), &fault_stats, &disks, 0, 0))?;
         disks.reset_stats(); // initial load is input distribution, not simulation cost
 
         let mut counts = GroupCounts::empty(geom.num_groups);
@@ -192,148 +255,79 @@ impl SeqEmSimulator {
         let mut phases = PhaseIo::default();
         let mut balance_factors = Vec::new();
 
+        let replay_budget = self.recovery.map_or(0, |r| r.max_replays_per_superstep);
+        let mut recovered_supersteps = 0u64;
+        let mut total_replays = 0u64;
+
         let mut finished = false;
         for step in 0..self.max_supersteps {
-            let mut scratch = crate::msg::ScratchState::new(&geom);
-            let mut all_halted = true;
-            let mut step_comm = SuperstepComm::default();
-
-            if self.pipeline == Pipeline::DoubleBuffer {
-                // Double-buffered variant of the same loop: group `g+1`'s
-                // fetches are in flight while group `g` computes, and the
-                // Writing Phases drain in the background. Submission order
-                // within each phase — and therefore the RNG stream, the
-                // track allocations and every counted stripe — is identical
-                // to the synchronous loop below.
-                let mut backlog = WriteBacklog::new();
-                let mut next = {
-                    let ops0 = disks.stats().parallel_ops;
-                    let ctx = ctx_store.submit_read_group(&mut disks, 0, k.min(v))?;
-                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-                    let ops0 = disks.stats().parallel_ops;
-                    let msgs = submit_fetch_group_messages(&mut disks, &geom, &counts, 0)?;
-                    phases.fetch_msg += disks.stats().parallel_ops - ops0;
-                    Some((ctx, msgs))
-                };
-                for group in 0..num_groups {
-                    let first = group * k;
-                    let (pend_ctx, pend_msgs) = next.take().expect("group was prefetched");
-
-                    // --- Fetching Phase (next group) ---
-                    if group + 1 < num_groups {
-                        let nfirst = (group + 1) * k;
-                        let ncount = (nfirst + k).min(v) - nfirst;
-                        let ops0 = disks.stats().parallel_ops;
-                        let ctx = ctx_store.submit_read_group(&mut disks, nfirst, ncount)?;
-                        phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-                        let ops0 = disks.stats().parallel_ops;
-                        let msgs =
-                            submit_fetch_group_messages(&mut disks, &geom, &counts, group + 1)?;
-                        phases.fetch_msg += disks.stats().parallel_ops - ops0;
-                        next = Some((ctx, msgs));
+            // Each attempt runs the whole compound superstep (Steps 1 + 2)
+            // inside a disk recovery epoch. Bookkeeping (`counts`, ledger,
+            // balance factors) advances only after the attempt's barrier
+            // `sync()` succeeded, so a rolled-back attempt leaves no trace
+            // in the committed state.
+            let mut attempt = 0usize;
+            let outcome = loop {
+                if self.recovery.is_some() {
+                    disks.begin_recovery_epoch();
+                }
+                let rng_snap = rng.clone();
+                let alloc_snap = alloc.clone();
+                let phases_snap = phases.clone();
+                match run_superstep_attempt(
+                    prog,
+                    step,
+                    v,
+                    k,
+                    num_groups,
+                    gamma,
+                    self.placement,
+                    self.pipeline,
+                    &ctx_store,
+                    &geom,
+                    &counts,
+                    &mut disks,
+                    &mut alloc,
+                    &mut rng,
+                    &mut phases,
+                ) {
+                    Ok(outcome) => {
+                        if self.recovery.is_some() {
+                            disks.commit_recovery_epoch();
+                        }
+                        if attempt > 0 {
+                            recovered_supersteps += 1;
+                        }
+                        break outcome;
                     }
-
-                    // --- Computation Phase ---
-                    let ctx_bufs = pend_ctx.join()?;
-                    let msgs_in = pend_msgs.join()?;
-                    let (bufs, outgoing) = compute_group(
-                        prog,
-                        step,
-                        v,
-                        first,
-                        gamma,
-                        ctx_bufs,
-                        msgs_in,
-                        &mut step_comm,
-                        &mut all_halted,
-                    )?;
-
-                    // --- Writing Phase (deferred) ---
-                    let ops0 = disks.stats().parallel_ops;
-                    scatter_messages_deferred(
-                        &mut disks,
-                        &mut alloc,
-                        &geom,
-                        &mut scratch,
-                        group,
-                        outgoing,
-                        &mut rng,
-                        self.placement,
-                        &mut backlog,
-                    )?;
-                    phases.scatter += disks.stats().parallel_ops - ops0;
-
-                    let ops0 = disks.stats().parallel_ops;
-                    ctx_store.submit_write_group(&mut disks, first, &bufs, &mut backlog)?;
-                    phases.write_ctx += disks.stats().parallel_ops - ops0;
+                    Err(err) => {
+                        let replayable = self.recovery.is_some()
+                            && attempt < replay_budget
+                            && matches!(&err, EmError::Disk(e) if e.is_transient());
+                        if replayable && disks.rollback_recovery_epoch().is_ok() {
+                            rng = rng_snap;
+                            alloc = alloc_snap;
+                            phases = phases_snap;
+                            attempt += 1;
+                            total_replays += 1;
+                            continue;
+                        }
+                        return Err(self.fault_error(
+                            step,
+                            err,
+                            &fault_stats,
+                            &disks,
+                            recovered_supersteps,
+                            total_replays,
+                        ));
+                    }
                 }
-                // Algorithm 2 reads the scratch blocks and recycles their
-                // tracks: every deferred write must be on disk first.
-                backlog.drain()?;
-            } else {
-                for group in 0..num_groups {
-                    let first = group * k;
-                    let count = (first + k).min(v) - first;
+            };
+            counts = outcome.counts;
+            balance_factors.push(outcome.balance);
+            ledger.push(outcome.comm);
 
-                    // --- Fetching Phase ---
-                    let ops0 = disks.stats().parallel_ops;
-                    let ctx_bufs = ctx_store.read_group(&mut disks, first, count)?;
-                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-
-                    let ops0 = disks.stats().parallel_ops;
-                    let msgs_in = fetch_group_messages(&mut disks, &geom, &counts, group)?;
-                    phases.fetch_msg += disks.stats().parallel_ops - ops0;
-
-                    // --- Computation Phase ---
-                    let (bufs, outgoing) = compute_group(
-                        prog,
-                        step,
-                        v,
-                        first,
-                        gamma,
-                        ctx_bufs,
-                        msgs_in,
-                        &mut step_comm,
-                        &mut all_halted,
-                    )?;
-
-                    // --- Writing Phase ---
-                    let ops0 = disks.stats().parallel_ops;
-                    scatter_messages(
-                        &mut disks,
-                        &mut alloc,
-                        &geom,
-                        &mut scratch,
-                        group,
-                        outgoing,
-                        &mut rng,
-                        self.placement,
-                    )?;
-                    phases.scatter += disks.stats().parallel_ops - ops0;
-
-                    let ops0 = disks.stats().parallel_ops;
-                    ctx_store.write_group(&mut disks, first, &bufs)?;
-                    phases.write_ctx += disks.stats().parallel_ops - ops0;
-                }
-            }
-
-            // --- Step 2: reorganize the generated messages. ---
-            let any_msgs = scratch.total() > 0;
-            balance_factors.push(scratch.balance_factor());
-            let ops0 = disks.stats().parallel_ops;
-            let (new_counts, _trace) = simulate_routing(&mut disks, &mut alloc, &geom, scratch)?;
-            phases.routing += disks.stats().parallel_ops - ops0;
-            counts = new_counts;
-
-            // Superstep boundary: everything written this superstep is on
-            // disk before the next superstep's wall clock (or the report's)
-            // is read. No-op on the memory backend; generates no counted
-            // I/O operations.
-            disks.sync()?;
-
-            ledger.push(step_comm);
-
-            if all_halted && !any_msgs {
+            if outcome.all_halted && !outcome.any_msgs {
                 finished = true;
                 break;
             }
@@ -347,7 +341,16 @@ impl SeqEmSimulator {
         for g in 0..num_groups {
             let first = g * k;
             let count = (first + k).min(v) - first;
-            for buf in ctx_store.read_group(&mut disks, first, count)? {
+            for buf in ctx_store.read_group(&mut disks, first, count).map_err(|e| {
+                self.fault_error(
+                    ledger.lambda(),
+                    e,
+                    &fault_stats,
+                    &disks,
+                    recovered_supersteps,
+                    total_replays,
+                )
+            })? {
                 final_states.push(from_bytes::<P::State>(&buf)?);
             }
         }
@@ -368,10 +371,212 @@ impl SeqEmSimulator {
             tracks_per_disk: alloc.max_frontier(),
             balance_factors,
             checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
+            faults: (self.fault_plan.is_some() || self.recovery.is_some()).then(|| FaultReport {
+                injected: fault_stats.as_ref().map(|s| s.counts()).unwrap_or_default(),
+                retried_blocks: io.retried_blocks,
+                recovery_ops: io.recovery_ops,
+                recovered_supersteps,
+                replays: total_replays,
+                failed_superstep: None,
+            }),
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))
     }
+
+    /// Dress an unrecoverable error in [`EmError::FaultUnrecoverable`] with
+    /// the full injection/recovery tally — but only for disk errors of a
+    /// run that actually had fault machinery enabled; logic errors
+    /// (γ violations, bad destinations, ...) pass through untouched.
+    fn fault_error(
+        &self,
+        step: usize,
+        err: EmError,
+        fault_stats: &Option<Arc<FaultStats>>,
+        disks: &DiskArray,
+        recovered_supersteps: u64,
+        replays: u64,
+    ) -> EmError {
+        let fault_run = self.fault_plan.is_some() || self.recovery.is_some();
+        if !fault_run || !matches!(err, EmError::Disk(_)) {
+            return err;
+        }
+        EmError::FaultUnrecoverable {
+            step,
+            report: FaultReport {
+                injected: fault_stats.as_ref().map(|s| s.counts()).unwrap_or_default(),
+                retried_blocks: disks.stats().retried_blocks,
+                recovery_ops: disks.stats().recovery_ops,
+                recovered_supersteps,
+                replays,
+                failed_superstep: Some(step),
+            },
+            source: Box::new(err),
+        }
+    }
+}
+
+/// Everything one successful compound-superstep attempt produces. Returned
+/// by value so a failed attempt leaves the caller's committed bookkeeping
+/// untouched.
+struct SuperstepOutcome {
+    counts: GroupCounts,
+    any_msgs: bool,
+    all_halted: bool,
+    balance: f64,
+    comm: SuperstepComm,
+}
+
+/// One attempt at a full compound superstep: Step 1 for every group (in
+/// either pipeline mode), Step 2's reorganization, and the barrier
+/// `sync()`. Mutates only replayable state — the disks (protected by the
+/// caller's recovery epoch), `alloc`, `rng` and `phases` (snapshotted and
+/// restored by the caller on rollback).
+#[allow(clippy::too_many_arguments)]
+fn run_superstep_attempt<P: BspProgram>(
+    prog: &P,
+    step: usize,
+    v: usize,
+    k: usize,
+    num_groups: usize,
+    gamma: usize,
+    placement: Placement,
+    pipeline: Pipeline,
+    ctx_store: &ContextStore,
+    geom: &MsgGeometry,
+    counts: &GroupCounts,
+    disks: &mut DiskArray,
+    alloc: &mut TrackAllocator,
+    rng: &mut StdRng,
+    phases: &mut PhaseIo,
+) -> EmResult<SuperstepOutcome> {
+    let mut scratch = crate::msg::ScratchState::new(geom);
+    let mut all_halted = true;
+    let mut step_comm = SuperstepComm::default();
+
+    if pipeline == Pipeline::DoubleBuffer {
+        // Double-buffered variant of the same loop: group `g+1`'s
+        // fetches are in flight while group `g` computes, and the
+        // Writing Phases drain in the background. Submission order
+        // within each phase — and therefore the RNG stream, the
+        // track allocations and every counted stripe — is identical
+        // to the synchronous loop below.
+        let mut backlog = WriteBacklog::new();
+        let mut next = {
+            let ops0 = disks.stats().parallel_ops;
+            let ctx = ctx_store.submit_read_group(disks, 0, k.min(v))?;
+            phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+            let ops0 = disks.stats().parallel_ops;
+            let msgs = submit_fetch_group_messages(disks, geom, counts, 0)?;
+            phases.fetch_msg += disks.stats().parallel_ops - ops0;
+            Some((ctx, msgs))
+        };
+        for group in 0..num_groups {
+            let first = group * k;
+            let (pend_ctx, pend_msgs) = next.take().expect("group was prefetched");
+
+            // --- Fetching Phase (next group) ---
+            if group + 1 < num_groups {
+                let nfirst = (group + 1) * k;
+                let ncount = (nfirst + k).min(v) - nfirst;
+                let ops0 = disks.stats().parallel_ops;
+                let ctx = ctx_store.submit_read_group(disks, nfirst, ncount)?;
+                phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+                let ops0 = disks.stats().parallel_ops;
+                let msgs = submit_fetch_group_messages(disks, geom, counts, group + 1)?;
+                phases.fetch_msg += disks.stats().parallel_ops - ops0;
+                next = Some((ctx, msgs));
+            }
+
+            // --- Computation Phase ---
+            let ctx_bufs = pend_ctx.join()?;
+            let msgs_in = pend_msgs.join()?;
+            let (bufs, outgoing) = compute_group(
+                prog,
+                step,
+                v,
+                first,
+                gamma,
+                ctx_bufs,
+                msgs_in,
+                &mut step_comm,
+                &mut all_halted,
+            )?;
+
+            // --- Writing Phase (deferred) ---
+            let ops0 = disks.stats().parallel_ops;
+            scatter_messages_deferred(
+                disks,
+                alloc,
+                geom,
+                &mut scratch,
+                group,
+                outgoing,
+                rng,
+                placement,
+                &mut backlog,
+            )?;
+            phases.scatter += disks.stats().parallel_ops - ops0;
+
+            let ops0 = disks.stats().parallel_ops;
+            ctx_store.submit_write_group(disks, first, &bufs, &mut backlog)?;
+            phases.write_ctx += disks.stats().parallel_ops - ops0;
+        }
+        // Algorithm 2 reads the scratch blocks and recycles their
+        // tracks: every deferred write must be on disk first.
+        backlog.drain()?;
+    } else {
+        for group in 0..num_groups {
+            let first = group * k;
+            let count = (first + k).min(v) - first;
+
+            // --- Fetching Phase ---
+            let ops0 = disks.stats().parallel_ops;
+            let ctx_bufs = ctx_store.read_group(disks, first, count)?;
+            phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+
+            let ops0 = disks.stats().parallel_ops;
+            let msgs_in = fetch_group_messages(disks, geom, counts, group)?;
+            phases.fetch_msg += disks.stats().parallel_ops - ops0;
+
+            // --- Computation Phase ---
+            let (bufs, outgoing) = compute_group(
+                prog,
+                step,
+                v,
+                first,
+                gamma,
+                ctx_bufs,
+                msgs_in,
+                &mut step_comm,
+                &mut all_halted,
+            )?;
+
+            // --- Writing Phase ---
+            let ops0 = disks.stats().parallel_ops;
+            scatter_messages(disks, alloc, geom, &mut scratch, group, outgoing, rng, placement)?;
+            phases.scatter += disks.stats().parallel_ops - ops0;
+
+            let ops0 = disks.stats().parallel_ops;
+            ctx_store.write_group(disks, first, &bufs)?;
+            phases.write_ctx += disks.stats().parallel_ops - ops0;
+        }
+    }
+
+    // --- Step 2: reorganize the generated messages. ---
+    let any_msgs = scratch.total() > 0;
+    let balance = scratch.balance_factor();
+    let ops0 = disks.stats().parallel_ops;
+    let (new_counts, _trace) = simulate_routing(disks, alloc, geom, scratch)?;
+    phases.routing += disks.stats().parallel_ops - ops0;
+
+    // Superstep boundary: everything written this superstep is on disk —
+    // and the caller's recovery epoch may commit — before any committed
+    // bookkeeping advances. No-op on the memory backend; generates no
+    // counted I/O operations.
+    disks.sync()?;
+
+    Ok(SuperstepOutcome { counts: new_counts, any_msgs, all_halted, balance, comm: step_comm })
 }
 
 /// Computation Phase for one group (Step 1(c)): distribute the fetched

@@ -1,9 +1,11 @@
 //! The disk array front-end: validated, counted parallel I/O.
 
 use crate::{
-    Block, DiskBackend, DiskConfig, DiskError, DiskResult, FileBackend, IoStats, MemoryBackend,
-    Pipeline, ReadTicket, WriteTicket,
+    Block, ChecksumBackend, DiskBackend, DiskConfig, DiskError, DiskResult, FaultInjectingBackend,
+    FaultPlan, FileBackend, IoStats, MemoryBackend, Pipeline, ReadTicket, RetryingBackend,
+    WriteTicket, CRC_BYTES,
 };
+use std::collections::HashMap;
 use std::path::Path;
 
 /// An array of `D` track-addressed drives with blocked, `D`-way-parallel
@@ -37,34 +39,93 @@ pub struct DiskArray {
     /// Scratch marker reused across stripe validations.
     seen: Vec<u64>,
     epoch: u64,
+    /// Pre-image undo log for the current recovery epoch, if one is open.
+    journal: Option<RecoveryJournal>,
+}
+
+/// Undo log for one recovery epoch (one compound superstep): the content
+/// each written track had when the epoch began, plus the counted stats at
+/// that point so a rollback can restore them.
+struct RecoveryJournal {
+    pre: HashMap<(usize, usize), Vec<u8>>,
+    order: Vec<(usize, usize)>,
+    stats_at_begin: IoStats,
 }
 
 impl DiskArray {
     /// Create an array over an in-memory backend.
     pub fn new_memory(cfg: DiskConfig) -> Self {
+        Self::new_memory_with_faults(cfg, None)
+    }
+
+    /// Create an in-memory array with an optional seeded [`FaultPlan`]
+    /// injected beneath the checksum and retry layers of `cfg`.
+    pub fn new_memory_with_faults(cfg: DiskConfig, plan: Option<FaultPlan>) -> Self {
         let backend = Box::new(MemoryBackend::new(cfg.num_disks));
-        Self::with_backend(cfg, backend)
+        Self::with_backend_and_faults(cfg, backend, plan)
     }
 
     /// Create an array backed by one file per drive inside `dir`, honouring
     /// `cfg.io_mode` (per-drive worker threads when [`crate::IoMode::Parallel`]).
     pub fn new_file<P: AsRef<Path>>(cfg: DiskConfig, dir: P) -> DiskResult<Self> {
+        Self::new_file_with_faults(cfg, dir, None)
+    }
+
+    /// Create a file-backed array with an optional seeded [`FaultPlan`]
+    /// injected beneath the checksum and retry layers of `cfg`.
+    pub fn new_file_with_faults<P: AsRef<Path>>(
+        cfg: DiskConfig,
+        dir: P,
+        plan: Option<FaultPlan>,
+    ) -> DiskResult<Self> {
         let backend = Box::new(FileBackend::create_with_mode(
             dir,
             cfg.num_disks,
-            cfg.block_bytes,
+            Self::storage_block_bytes(&cfg),
             cfg.io_mode,
         )?);
-        Ok(Self::with_backend(cfg, backend))
+        Ok(Self::with_backend_and_faults(cfg, backend, plan))
+    }
+
+    /// Bytes one stored track occupies in the raw backend: the logical
+    /// block plus the CRC frame suffix when checksums are enabled.
+    pub fn storage_block_bytes(cfg: &DiskConfig) -> usize {
+        cfg.block_bytes + if cfg.checksums { CRC_BYTES } else { 0 }
     }
 
     /// Create an array over an arbitrary backend.
+    ///
+    /// The backend is treated as the *raw* storage layer: if `cfg` enables
+    /// checksums or retry it is wrapped accordingly, and a checksummed
+    /// backend must therefore store tracks of
+    /// [`DiskArray::storage_block_bytes`] bytes.
     pub fn with_backend(cfg: DiskConfig, backend: Box<dyn DiskBackend>) -> Self {
+        Self::with_backend_and_faults(cfg, backend, None)
+    }
+
+    /// [`DiskArray::with_backend`] with an optional [`FaultPlan`] injected
+    /// directly above the raw backend (below checksums and retry, exactly
+    /// where real media faults live).
+    pub fn with_backend_and_faults(
+        cfg: DiskConfig,
+        backend: Box<dyn DiskBackend>,
+        plan: Option<FaultPlan>,
+    ) -> Self {
         assert_eq!(
             backend.num_disks(),
             cfg.num_disks,
             "backend drive count must match configuration"
         );
+        let mut backend: Box<dyn DiskBackend> = backend;
+        if let Some(plan) = plan {
+            backend = Box::new(FaultInjectingBackend::new(backend, plan));
+        }
+        if cfg.checksums {
+            backend = Box::new(ChecksumBackend::new(backend, cfg.block_bytes));
+        }
+        if let Some(policy) = cfg.retry {
+            backend = Box::new(RetryingBackend::new(backend, policy));
+        }
         DiskArray {
             stats: IoStats::new(cfg.num_disks),
             seen: vec![0; cfg.num_disks],
@@ -72,6 +133,7 @@ impl DiskArray {
             cfg,
             backend,
             max_tracks: None,
+            journal: None,
         }
     }
 
@@ -116,9 +178,16 @@ impl DiskArray {
 
     /// Take the counters, leaving zeros behind.
     pub fn take_stats(&mut self) -> IoStats {
+        self.poll_retries();
         let out = self.stats.clone();
         self.stats.reset();
         out
+    }
+
+    /// Fold the backend's retry tally into `retried_blocks`. Called on
+    /// every submission and sync, so `stats()` lags by at most one call.
+    fn poll_retries(&mut self) {
+        self.stats.retried_blocks += self.backend.take_retried_blocks();
     }
 
     /// Highest written track index + 1 on `disk`.
@@ -129,6 +198,98 @@ impl DiskArray {
     /// Flush the backend (meaningful for files).
     pub fn sync(&mut self) -> DiskResult<()> {
         self.backend.sync()?;
+        self.poll_retries();
+        Ok(())
+    }
+
+    /// Open a recovery epoch: from now until commit or rollback, the first
+    /// write to each track captures the track's current content in an
+    /// in-memory undo log. A simulator opens one epoch per compound
+    /// superstep, making the superstep-boundary `sync()` the commit point.
+    ///
+    /// Pre-image reads and rollback writes go straight to the backend —
+    /// they are **not** counted parallel I/O; they are tallied in
+    /// [`IoStats::recovery_ops`] instead, so enabling recovery never
+    /// changes the paper-facing counted I/O of a run.
+    pub fn begin_recovery_epoch(&mut self) {
+        self.poll_retries();
+        self.journal = Some(RecoveryJournal {
+            pre: HashMap::new(),
+            order: Vec::new(),
+            stats_at_begin: self.stats.clone(),
+        });
+    }
+
+    /// True while a recovery epoch is open.
+    pub fn recovery_epoch_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Close the current recovery epoch, keeping everything written in it.
+    pub fn commit_recovery_epoch(&mut self) {
+        self.poll_retries();
+        self.journal = None;
+    }
+
+    /// Abandon the current recovery epoch: restore every track written in
+    /// it to its pre-epoch content and wind the counted stats back to the
+    /// epoch snapshot, folding both the discarded operations and the
+    /// rollback writes into [`IoStats::recovery_ops`].
+    /// `retried_blocks` keeps its live value — those retries happened.
+    ///
+    /// After a successful rollback the backend holds exactly the bytes it
+    /// held at [`DiskArray::begin_recovery_epoch`], which is what makes a
+    /// replayed superstep reproduce a fault-free run bit for bit.
+    pub fn rollback_recovery_epoch(&mut self) -> DiskResult<()> {
+        self.poll_retries();
+        let Some(journal) = self.journal.take() else {
+            return Ok(());
+        };
+        let discarded = self.stats.parallel_ops - journal.stats_at_begin.parallel_ops;
+        let mut rollback_ops = 0u64;
+        let mut stripe: Vec<(usize, usize, &[u8])> = Vec::with_capacity(self.cfg.num_disks);
+        let mut in_stripe = vec![false; self.cfg.num_disks];
+        for &(disk, track) in &journal.order {
+            if in_stripe[disk] || stripe.len() == self.cfg.num_disks {
+                self.backend.write_stripe(&stripe)?;
+                rollback_ops += 1;
+                stripe.clear();
+                in_stripe.fill(false);
+            }
+            in_stripe[disk] = true;
+            stripe.push((disk, track, journal.pre[&(disk, track)].as_slice()));
+        }
+        if !stripe.is_empty() {
+            self.backend.write_stripe(&stripe)?;
+            rollback_ops += 1;
+        }
+        self.poll_retries();
+        let mut restored = journal.stats_at_begin.clone();
+        restored.retried_blocks = self.stats.retried_blocks;
+        restored.recovery_ops = self.stats.recovery_ops + discarded + rollback_ops;
+        self.stats = restored;
+        Ok(())
+    }
+
+    /// Capture pre-images for any tracks in `writes` not yet journaled in
+    /// the open recovery epoch.
+    fn capture_pre_images(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        for (disk, track, _) in writes {
+            let key = (*disk, *track);
+            let journal = self.journal.as_mut().expect("epoch checked above");
+            if journal.pre.contains_key(&key) {
+                continue;
+            }
+            let mut buf = vec![0u8; self.cfg.block_bytes];
+            self.backend.read_track(*disk, *track, &mut buf)?;
+            self.stats.recovery_ops += 1;
+            let journal = self.journal.as_mut().expect("epoch checked above");
+            journal.pre.insert(key, buf);
+            journal.order.push(key);
+        }
         Ok(())
     }
 
@@ -168,6 +329,7 @@ impl DiskArray {
     pub fn submit_read_stripe(&mut self, addrs: &[(usize, usize)]) -> DiskResult<ReadStripeTicket> {
         self.validate_stripe(addrs.iter().map(|&(d, _)| d))?;
         let ticket = self.backend.submit_read_stripe(addrs, self.cfg.block_bytes);
+        self.poll_retries();
         for &(disk, _) in addrs {
             self.stats.per_disk_reads[disk] += 1;
         }
@@ -197,9 +359,11 @@ impl DiskArray {
             }
             self.check_capacity(*disk, *track)?;
         }
+        self.capture_pre_images(writes)?;
         let stripe: Vec<(usize, usize, &[u8])> =
             writes.iter().map(|(d, t, b)| (*d, *t, b.as_bytes())).collect();
         let ticket = self.backend.submit_write_stripe(&stripe);
+        self.poll_retries();
         for (disk, _, _) in writes {
             self.stats.per_disk_writes[*disk] += 1;
         }
@@ -604,6 +768,116 @@ mod tests {
             a.take_stats()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn retrying_array_counts_identically_to_a_clean_run() {
+        use crate::{FaultPlan, RetryPolicy};
+        let workload = |mut a: DiskArray| -> (IoStats, Vec<u8>) {
+            for t in 0..4 {
+                let writes: Vec<_> = (0..3)
+                    .map(|d| (d, t, Block::from_bytes_padded(&[(d * 16 + t) as u8 + 1], 16)))
+                    .collect();
+                a.write_stripe(&writes).unwrap();
+            }
+            let blocks = a.read_stripe(&[(0, 2), (1, 2), (2, 2)]).unwrap();
+            let bytes = blocks.iter().flat_map(|b| b.as_bytes().to_vec()).collect();
+            a.sync().unwrap();
+            (a.take_stats(), bytes)
+        };
+        let cfg =
+            DiskConfig::new(3, 16).unwrap().with_checksums(true).with_retry(RetryPolicy::new(3));
+        let (clean_stats, clean_bytes) = workload(DiskArray::new_memory(cfg));
+        let plan = FaultPlan::none()
+            .with_transient(0, 1)
+            .with_torn_write(1, 2, 7)
+            .with_bit_flip(2, 4, 5, 1);
+        let faulty = DiskArray::new_memory_with_faults(cfg, Some(plan));
+        let (faulty_stats, faulty_bytes) = workload(faulty);
+        assert_eq!(faulty_bytes, clean_bytes, "retries must hide recoverable faults");
+        assert!(faulty_stats.retried_blocks >= 3);
+        let mut masked = faulty_stats.clone();
+        masked.retried_blocks = clean_stats.retried_blocks;
+        assert_eq!(masked, clean_stats, "only the retry counter may differ");
+    }
+
+    #[test]
+    fn unretried_fault_surfaces_as_typed_error() {
+        use crate::FaultPlan;
+        let cfg = DiskConfig::new(2, 8).unwrap();
+        let plan = FaultPlan::none().with_transient(0, 0);
+        let mut a = DiskArray::new_memory_with_faults(cfg, Some(plan));
+        let err = a.write_block(0, 0, Block::zeroed(8)).unwrap_err();
+        assert!(err.is_transient());
+        assert!(matches!(err, DiskError::WorkerIo { disk: 0, .. }));
+    }
+
+    #[test]
+    fn rollback_restores_content_and_counted_stats() {
+        let mut a = array(2, 8);
+        a.write_stripe(&[
+            (0, 0, Block::from_bytes_padded(&[1], 8)),
+            (1, 0, Block::from_bytes_padded(&[2], 8)),
+        ])
+        .unwrap();
+        let committed = a.stats().clone();
+        a.begin_recovery_epoch();
+        assert!(a.recovery_epoch_active());
+        // Overwrite a committed track and write a fresh one.
+        a.write_stripe(&[
+            (0, 0, Block::from_bytes_padded(&[9], 8)),
+            (1, 3, Block::from_bytes_padded(&[8], 8)),
+        ])
+        .unwrap();
+        a.write_block(0, 1, Block::from_bytes_padded(&[7], 8)).unwrap();
+        assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 9);
+        a.rollback_recovery_epoch().unwrap();
+        assert!(!a.recovery_epoch_active());
+        assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 1, "committed content restored");
+        assert_eq!(a.read_block(1, 3).unwrap().as_bytes()[0], 0, "fresh track re-zeroed");
+        assert_eq!(a.read_block(0, 1).unwrap().as_bytes()[0], 0, "fresh track re-zeroed");
+        // Counted stats rewound to the epoch snapshot (modulo the reads
+        // just issued above); recovery work is tallied separately.
+        let s = a.stats();
+        assert_eq!(s.parallel_ops, committed.parallel_ops + 3, "3 verification reads");
+        assert!(s.recovery_ops > 0, "discarded ops + pre-image reads + rollback writes");
+    }
+
+    #[test]
+    fn commit_keeps_epoch_writes_and_counted_stats() {
+        let mut a = array(2, 8);
+        a.begin_recovery_epoch();
+        a.write_block(0, 0, Block::from_bytes_padded(&[5], 8)).unwrap();
+        a.commit_recovery_epoch();
+        assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 5);
+        assert_eq!(a.stats().parallel_ops, 2);
+        // A later rollback with no open epoch is a no-op.
+        a.rollback_recovery_epoch().unwrap();
+        assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 5);
+    }
+
+    #[test]
+    fn checksummed_file_array_round_trips_and_detects_on_disk_corruption() {
+        let dir = std::env::temp_dir().join(format!("em-array-crc-{}", std::process::id()));
+        let cfg = DiskConfig::new(2, 32).unwrap().with_checksums(true);
+        let mut a = DiskArray::new_file(cfg, &dir).unwrap();
+        a.write_stripe(&[
+            (0, 0, Block::from_bytes_padded(&[0xAB; 4], 32)),
+            (1, 0, Block::from_bytes_padded(&[0xCD; 4], 32)),
+        ])
+        .unwrap();
+        a.sync().unwrap();
+        let blocks = a.read_stripe(&[(0, 0), (1, 0)]).unwrap();
+        assert_eq!(blocks[0].as_bytes()[3], 0xAB);
+        // Flip a stored byte behind the substrate's back.
+        let path = dir.join("disk-1.bin");
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[2] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let err = a.read_stripe(&[(1, 0)]).unwrap_err();
+        assert!(matches!(err, DiskError::Corrupt { disk: 1, track: 0 }));
+        drop(a);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

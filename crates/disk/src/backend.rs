@@ -9,8 +9,9 @@
 //! wall-clock behaviour of the blocked access patterns can show the
 //! model's `D`-way parallelism, not just count it.
 
+use crate::block::{crc32, CRC_BYTES};
 use crate::engine::{read_full_track, write_at, IoEngine};
-use crate::{DiskResult, IoMode, ReadTicket, WriteTicket};
+use crate::{DiskError, DiskResult, IoMode, ReadTicket, RetryPolicy, WriteTicket};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 
@@ -90,6 +91,50 @@ pub trait DiskBackend: Send {
     fn sync(&mut self) -> DiskResult<()> {
         Ok(())
     }
+
+    /// Drain the count of track transfers re-issued after transient
+    /// failures since the last call. Only [`RetryingBackend`] produces a
+    /// nonzero count; decorator backends forward to their inner backend so
+    /// the count survives any stacking order.
+    fn take_retried_blocks(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Boxed backends forward every method (including the overridable stripe
+/// and submission fast paths) to the inner backend, so decorator layers can
+/// compose over `Box<dyn DiskBackend>` without losing overrides.
+impl<B: DiskBackend + ?Sized> DiskBackend for Box<B> {
+    fn num_disks(&self) -> usize {
+        (**self).num_disks()
+    }
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()> {
+        (**self).read_track(disk, track, buf)
+    }
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()> {
+        (**self).write_track(disk, track, data)
+    }
+    fn read_stripe(&mut self, addrs: &[(usize, usize)], bufs: &mut [&mut [u8]]) -> DiskResult<()> {
+        (**self).read_stripe(addrs, bufs)
+    }
+    fn write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> DiskResult<()> {
+        (**self).write_stripe(writes)
+    }
+    fn submit_read_stripe(&mut self, addrs: &[(usize, usize)], block_bytes: usize) -> ReadTicket {
+        (**self).submit_read_stripe(addrs, block_bytes)
+    }
+    fn submit_write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> WriteTicket {
+        (**self).submit_write_stripe(writes)
+    }
+    fn tracks_used(&self, disk: usize) -> usize {
+        (**self).tracks_used(disk)
+    }
+    fn sync(&mut self) -> DiskResult<()> {
+        (**self).sync()
+    }
+    fn take_retried_blocks(&mut self) -> u64 {
+        (**self).take_retried_blocks()
+    }
 }
 
 /// In-memory backend: tracks are boxed byte buffers.
@@ -143,6 +188,159 @@ impl DiskBackend for MemoryBackend {
     }
 }
 
+/// A [`DiskBackend`] decorator that frames every track with a CRC32
+/// checksum, verified on read.
+///
+/// The stored *frame* is `payload ‖ crc32(payload)` — [`CRC_BYTES`] bytes
+/// longer than the logical block, so the inner backend must be created
+/// with the frame size as its track size. The checksum lives outside the
+/// logical block: callers, block arithmetic and counted [`crate::IoStats`]
+/// all keep seeing `B`-byte blocks.
+///
+/// An all-zero frame is a never-written ("formatted") track and reads back
+/// as a zero block without verification, preserving the substrate's
+/// zeros-before-first-write contract. Any other frame whose checksum does
+/// not match fails with [`DiskError::Corrupt`].
+pub struct ChecksumBackend<B: DiskBackend> {
+    inner: B,
+    payload_bytes: usize,
+    frame: Vec<u8>,
+}
+
+impl<B: DiskBackend> ChecksumBackend<B> {
+    /// Wrap `inner` (whose track size must be `payload_bytes + CRC_BYTES`).
+    pub fn new(inner: B, payload_bytes: usize) -> Self {
+        let frame = vec![0u8; payload_bytes + CRC_BYTES];
+        ChecksumBackend { inner, payload_bytes, frame }
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for ChecksumBackend<B> {
+    fn num_disks(&self) -> usize {
+        self.inner.num_disks()
+    }
+
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()> {
+        debug_assert_eq!(buf.len(), self.payload_bytes);
+        let mut frame = std::mem::take(&mut self.frame);
+        let res = self.inner.read_track(disk, track, &mut frame);
+        let out = res.and_then(|()| {
+            let (payload, stored) = frame.split_at(self.payload_bytes);
+            if frame.iter().all(|&b| b == 0) {
+                buf.fill(0);
+                return Ok(());
+            }
+            let stored = u32::from_le_bytes(stored.try_into().expect("CRC_BYTES == 4"));
+            if crc32(payload) != stored {
+                return Err(DiskError::Corrupt { disk, track });
+            }
+            buf.copy_from_slice(payload);
+            Ok(())
+        });
+        self.frame = frame;
+        out
+    }
+
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()> {
+        debug_assert_eq!(data.len(), self.payload_bytes);
+        let mut frame = std::mem::take(&mut self.frame);
+        frame[..self.payload_bytes].copy_from_slice(data);
+        // A zero payload stores as the all-zero ("formatted") frame, so a
+        // recovery rollback that re-zeroes a freshly allocated track leaves
+        // the drive byte-identical to one that never wrote it.
+        let tail =
+            if data.iter().all(|&b| b == 0) { [0u8; CRC_BYTES] } else { crc32(data).to_le_bytes() };
+        frame[self.payload_bytes..].copy_from_slice(&tail);
+        let res = self.inner.write_track(disk, track, &frame);
+        self.frame = frame;
+        res
+    }
+
+    fn tracks_used(&self, disk: usize) -> usize {
+        self.inner.tracks_used(disk)
+    }
+
+    fn sync(&mut self) -> DiskResult<()> {
+        self.inner.sync()
+    }
+
+    fn take_retried_blocks(&mut self) -> u64 {
+        self.inner.take_retried_blocks()
+    }
+}
+
+/// A [`DiskBackend`] decorator that re-issues transiently failing track
+/// transfers under a bounded, deterministic [`RetryPolicy`].
+///
+/// Sits at the top of the backend stack (directly under the array
+/// front-end) so a retried read passes checksum verification again and a
+/// retried write re-frames the block. Per-track retries are tallied and
+/// drained by the array into
+/// [`IoStats::retried_blocks`](crate::IoStats::retried_blocks); they are
+/// never counted as parallel I/O operations.
+pub struct RetryingBackend<B: DiskBackend> {
+    inner: B,
+    policy: RetryPolicy,
+    retried: u64,
+}
+
+impl<B: DiskBackend> RetryingBackend<B> {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: B, policy: RetryPolicy) -> Self {
+        RetryingBackend { inner, policy, retried: 0 }
+    }
+
+    fn with_retries(
+        policy: &RetryPolicy,
+        retried: &mut u64,
+        mut op: impl FnMut() -> DiskResult<()>,
+    ) -> DiskResult<()> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt + 1 < policy.max_attempts => {
+                    attempt += 1;
+                    *retried += 1;
+                    let delay = policy.delay_before(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for RetryingBackend<B> {
+    fn num_disks(&self) -> usize {
+        self.inner.num_disks()
+    }
+
+    fn read_track(&mut self, disk: usize, track: usize, buf: &mut [u8]) -> DiskResult<()> {
+        let inner = &mut self.inner;
+        Self::with_retries(&self.policy, &mut self.retried, || inner.read_track(disk, track, buf))
+    }
+
+    fn write_track(&mut self, disk: usize, track: usize, data: &[u8]) -> DiskResult<()> {
+        let inner = &mut self.inner;
+        Self::with_retries(&self.policy, &mut self.retried, || inner.write_track(disk, track, data))
+    }
+
+    fn tracks_used(&self, disk: usize) -> usize {
+        self.inner.tracks_used(disk)
+    }
+
+    fn sync(&mut self) -> DiskResult<()> {
+        self.inner.sync()
+    }
+
+    fn take_retried_blocks(&mut self) -> u64 {
+        std::mem::take(&mut self.retried) + self.inner.take_retried_blocks()
+    }
+}
+
 /// Where a file backend's track transfers execute.
 enum FileIo {
     /// Positional I/O on the calling thread, one drive after another.
@@ -156,7 +354,7 @@ enum FileIo {
 /// `track * block_bytes` offsets.
 ///
 /// In [`IoMode::Parallel`] (the default of [`crate::DiskConfig::new`]) the
-/// drive files are owned by an [`IoEngine`] worker per drive and each
+/// drive files are owned by an `IoEngine` worker per drive and each
 /// stripe's transfers overlap; in [`IoMode::Serial`] the transfers run on
 /// the calling thread in drive order. Both modes produce identical bytes,
 /// identical [`crate::IoStats`] and identical seeded I/O traces — the mode
@@ -195,12 +393,24 @@ impl FileBackend {
         let mut paths = Vec::with_capacity(num_disks);
         for i in 0..num_disks {
             let path = dir.as_ref().join(format!("disk-{i}.bin"));
-            let file = OpenOptions::new()
+            let file = match OpenOptions::new()
                 .read(true)
                 .write(true)
                 .create(true)
                 .truncate(true)
-                .open(&path)?;
+                .open(&path)
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    // Don't leak a partial array: remove the drive files
+                    // already created before this one failed.
+                    drop(files);
+                    for p in &paths {
+                        let _ = std::fs::remove_file(p);
+                    }
+                    return Err(e.into());
+                }
+            };
             files.push(file);
             paths.push(path);
         }
@@ -375,6 +585,92 @@ mod tests {
     #[test]
     fn file_backend_round_trip_parallel() {
         file_round_trip(IoMode::Parallel, "parallel");
+    }
+
+    #[test]
+    fn create_cleans_up_partial_array_on_midway_failure() {
+        let dir = std::env::temp_dir().join(format!("em-disk-partial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A directory squatting on drive 2's path makes its open fail after
+        // drives 0 and 1 were already created.
+        std::fs::create_dir_all(dir.join("disk-2.bin")).unwrap();
+        let err = FileBackend::create(&dir, 4, 32);
+        assert!(err.is_err());
+        assert!(!dir.join("disk-0.bin").exists(), "partial drive files must be removed");
+        assert!(!dir.join("disk-1.bin").exists(), "partial drive files must be removed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_backend_round_trips_and_detects_corruption() {
+        let mut be = ChecksumBackend::new(MemoryBackend::new(1), 16);
+        // Never-written tracks still read back as zeros.
+        let mut buf = [0xAAu8; 16];
+        be.read_track(0, 3, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        be.write_track(0, 0, &[5u8; 16]).unwrap();
+        be.read_track(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 16]);
+        // A zero payload is a valid written block, distinct from formatted.
+        be.write_track(0, 1, &[0u8; 16]).unwrap();
+        be.read_track(0, 1, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        // Corrupt the stored frame behind the checksum layer's back.
+        let mut frame = vec![0u8; 16 + CRC_BYTES];
+        be.inner.read_track(0, 0, &mut frame).unwrap();
+        frame[7] ^= 0x01;
+        be.inner.write_track(0, 0, &frame).unwrap();
+        let err = be.read_track(0, 0, &mut buf).unwrap_err();
+        assert!(matches!(err, DiskError::Corrupt { disk: 0, track: 0 }));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn retrying_backend_absorbs_transients_and_counts_them() {
+        use crate::fault::{FaultInjectingBackend, FaultPlan};
+        // Two stacked transients on drive 0's ops 1 and 2: a 3-attempt
+        // policy retries through both.
+        let plan = FaultPlan::none().with_transient(0, 1).with_transient(0, 2);
+        let inner = FaultInjectingBackend::new(MemoryBackend::new(1), plan);
+        let mut be = RetryingBackend::new(inner, RetryPolicy::new(3));
+        be.write_track(0, 0, &[1u8; 8]).unwrap(); // op 0 clean
+        be.write_track(0, 4, &[2u8; 8]).unwrap(); // ops 1,2 fail, op 3 lands
+        assert_eq!(be.take_retried_blocks(), 2);
+        assert_eq!(be.take_retried_blocks(), 0, "draining resets the count");
+        let mut buf = [0u8; 8];
+        be.read_track(0, 4, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 8]);
+    }
+
+    #[test]
+    fn retrying_backend_gives_up_past_its_budget() {
+        use crate::fault::{FaultInjectingBackend, FaultPlan};
+        let plan = FaultPlan::none().with_transient(0, 0).with_transient(0, 1).with_transient(0, 2);
+        let inner = FaultInjectingBackend::new(MemoryBackend::new(1), plan);
+        let mut be = RetryingBackend::new(inner, RetryPolicy::new(3));
+        let err = be.write_track(0, 0, &[1u8; 8]).unwrap_err();
+        assert!(err.is_transient(), "the final transient error is surfaced");
+        assert_eq!(be.take_retried_blocks(), 2);
+        // The next write succeeds: the schedule was consumed.
+        be.write_track(0, 0, &[3u8; 8]).unwrap();
+    }
+
+    #[test]
+    fn retry_over_checksum_recovers_from_transient_read_corruption() {
+        use crate::fault::{FaultInjectingBackend, FaultPlan};
+        // Stack exactly like the array composes it:
+        // retry → checksum → fault → memory. A bit flip injected into a
+        // checksummed read surfaces as Corrupt, and the retry re-reads the
+        // clean media.
+        let plan = FaultPlan::none().with_bit_flip(0, 1, 3, 0);
+        let fault = FaultInjectingBackend::new(MemoryBackend::new(1), plan);
+        let check = ChecksumBackend::new(fault, 16);
+        let mut be = RetryingBackend::new(check, RetryPolicy::new(2));
+        be.write_track(0, 0, &[9u8; 16]).unwrap(); // op 0
+        let mut buf = [0u8; 16];
+        be.read_track(0, 0, &mut buf).unwrap(); // op 1 flipped, retried clean
+        assert_eq!(buf, [9u8; 16]);
+        assert_eq!(be.take_retried_blocks(), 1);
     }
 
     #[test]

@@ -70,9 +70,57 @@ impl Block {
     }
 }
 
+/// Number of bytes a CRC32 frame suffix adds to each stored track when
+/// [`crate::DiskConfig::checksums`] is enabled.
+pub const CRC_BYTES: usize = 4;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    // Standard CRC-32 (IEEE 802.3), reflected, polynomial 0xEDB88320.
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`, as used by the block-frame checksum option.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Check values from the classic CRC-32 test suite.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 64];
+        let clean = crc32(&data);
+        data[17] ^= 0x08;
+        assert_ne!(crc32(&data), clean);
+    }
 
     #[test]
     fn zeroed_has_requested_size() {

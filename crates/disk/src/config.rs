@@ -41,6 +41,52 @@ pub enum Pipeline {
     DoubleBuffer,
 }
 
+/// Bounded, deterministic retry schedule for transient track-transfer
+/// failures ([`crate::DiskError::is_transient`]).
+///
+/// Applied by [`crate::RetryingBackend`] around every track transfer: a
+/// failed transfer is re-issued up to `max_attempts` times total, sleeping
+/// `backoff_micros · 2^(k-1)` microseconds before re-attempt `k`. The
+/// schedule is a pure function of the policy, so identically-seeded runs
+/// retry identically. Retries are counted in
+/// [`IoStats::retried_blocks`](crate::IoStats::retried_blocks), never in
+/// the paper-facing `parallel_ops`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Total attempts per track transfer, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff in microseconds; doubled before each further attempt.
+    /// Zero (the default) retries immediately, which keeps seeded test
+    /// runs fast without changing the retry semantics.
+    pub backoff_micros: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with no backoff.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), backoff_micros: 0 }
+    }
+
+    /// Set the base backoff delay in microseconds.
+    pub fn with_backoff_micros(mut self, micros: u64) -> Self {
+        self.backoff_micros = micros;
+        self
+    }
+
+    /// Deterministic delay before re-attempt `attempt` (1-based count of
+    /// retries already performed): `backoff_micros · 2^(attempt-1)` µs.
+    pub fn delay_before(&self, attempt: u32) -> std::time::Duration {
+        let micros = self.backoff_micros.saturating_mul(1u64 << (attempt - 1).min(20));
+        std::time::Duration::from_micros(micros)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3)
+    }
+}
+
 /// Shape of a disk array: `D` drives with tracks of `B` bytes each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiskConfig {
@@ -53,6 +99,14 @@ pub struct DiskConfig {
     /// Whether simulators overlap adjacent groups' I/O (default
     /// [`Pipeline::Off`]).
     pub pipeline: Pipeline,
+    /// Whether each stored track carries a CRC32 frame suffix, verified on
+    /// every read (default off). Corruption surfaces as
+    /// [`DiskError::Corrupt`](crate::DiskError::Corrupt). The checksum
+    /// lives *outside* the logical `B`-byte block, so enabling it changes
+    /// neither block arithmetic nor counted I/O.
+    pub checksums: bool,
+    /// Bounded retry of transient track-transfer failures (default off).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl DiskConfig {
@@ -71,6 +125,8 @@ impl DiskConfig {
             block_bytes,
             io_mode: IoMode::Parallel,
             pipeline: Pipeline::Off,
+            checksums: false,
+            retry: None,
         })
     }
 
@@ -83,6 +139,18 @@ impl DiskConfig {
     /// Select whether simulators overlap adjacent groups' I/O.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Enable or disable per-track CRC32 frames.
+    pub fn with_checksums(mut self, on: bool) -> Self {
+        self.checksums = on;
+        self
+    }
+
+    /// Enable bounded retry of transient track-transfer failures.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 
@@ -129,6 +197,27 @@ mod tests {
         let cfg = cfg.with_pipeline(Pipeline::DoubleBuffer);
         assert_eq!(cfg.pipeline, Pipeline::DoubleBuffer);
         assert_eq!(cfg.io_mode, IoMode::Parallel, "pipeline knob must not disturb io_mode");
+    }
+
+    #[test]
+    fn fault_tolerance_knobs_default_off_and_are_overridable() {
+        let cfg = DiskConfig::new(4, 64).unwrap();
+        assert!(!cfg.checksums);
+        assert!(cfg.retry.is_none());
+        let cfg = cfg.with_checksums(true).with_retry(RetryPolicy::new(5));
+        assert!(cfg.checksums);
+        assert_eq!(cfg.retry.unwrap().max_attempts, 5);
+        assert_eq!(cfg.block_bytes, 64, "checksums must not change the logical block size");
+    }
+
+    #[test]
+    fn retry_backoff_schedule_is_deterministic() {
+        let p = RetryPolicy::new(4).with_backoff_micros(10);
+        assert_eq!(p.delay_before(1).as_micros(), 10);
+        assert_eq!(p.delay_before(2).as_micros(), 20);
+        assert_eq!(p.delay_before(3).as_micros(), 40);
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1, "at least one attempt");
+        assert_eq!(RetryPolicy::default().delay_before(3).as_micros(), 0);
     }
 
     #[test]

@@ -4,7 +4,12 @@ use std::fmt;
 use std::io;
 
 /// Errors raised by the disk-array substrate.
+///
+/// Marked `#[non_exhaustive]`: fault-model variants grow over time, so
+/// downstream matches must keep a wildcard arm. Use [`DiskError::is_transient`]
+/// to classify errors instead of matching variants exhaustively.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DiskError {
     /// A configuration parameter was invalid.
     InvalidConfig(&'static str),
@@ -52,6 +57,26 @@ pub enum DiskError {
         /// Drive whose worker terminated.
         disk: usize,
     },
+    /// A checksummed block frame failed CRC verification on read.
+    Corrupt {
+        /// Drive holding the corrupt track.
+        disk: usize,
+        /// Track whose frame failed verification.
+        track: usize,
+    },
+}
+
+impl DiskError {
+    /// Whether the failure is transient: retrying the same transfer (or
+    /// replaying the enclosing superstep) has a chance of succeeding.
+    ///
+    /// Configuration, addressing and capacity errors are deterministic and
+    /// never transient; a lost worker thread is permanent for the lifetime
+    /// of the engine. OS-level I/O failures and corrupt reads may be caused
+    /// by transient media faults, so they are worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DiskError::Io(_) | DiskError::WorkerIo { .. } | DiskError::Corrupt { .. })
+    }
 }
 
 impl fmt::Display for DiskError {
@@ -77,6 +102,9 @@ impl fmt::Display for DiskError {
             }
             DiskError::WorkerLost { disk } => {
                 write!(f, "drive {disk}'s I/O worker thread terminated")
+            }
+            DiskError::Corrupt { disk, track } => {
+                write!(f, "checksum mismatch on drive {disk}, track {track}")
             }
         }
     }

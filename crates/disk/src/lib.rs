@@ -40,17 +40,19 @@ mod config;
 mod consecutive;
 mod engine;
 mod error;
+mod fault;
 mod linked;
 mod stats;
 
 pub use alloc::TrackAllocator;
 pub use array::{DiskArray, ReadStripeTicket, WriteBacklog, WriteStripeTicket};
-pub use backend::{DiskBackend, FileBackend, MemoryBackend};
-pub use block::Block;
-pub use config::{DiskConfig, IoMode, Pipeline};
+pub use backend::{ChecksumBackend, DiskBackend, FileBackend, MemoryBackend, RetryingBackend};
+pub use block::{crc32, Block, CRC_BYTES};
+pub use config::{DiskConfig, IoMode, Pipeline, RetryPolicy};
 pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
 pub use engine::{ReadTicket, WriteTicket};
 pub use error::DiskError;
+pub use fault::{FaultCounts, FaultInjectingBackend, FaultKind, FaultPlan, FaultStats};
 pub use linked::BucketStore;
 pub use stats::IoStats;
 

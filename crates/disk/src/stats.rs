@@ -30,6 +30,16 @@ pub struct IoStats {
     pub per_disk_reads: Vec<u64>,
     /// Blocks written per drive.
     pub per_disk_writes: Vec<u64>,
+    /// Block transfers re-issued by a [`crate::RetryPolicy`] after a
+    /// transient failure. Retries are **not** counted in `parallel_ops` or
+    /// the block/byte totals above, so the paper-facing counted parallel
+    /// I/O comparison is unaffected by the retry layer.
+    pub retried_blocks: u64,
+    /// Parallel I/O operations spent on superstep recovery: operations of a
+    /// rolled-back attempt plus the rollback writes that restored pre-fault
+    /// track contents. Kept separate from `parallel_ops` for the same
+    /// reason as `retried_blocks`.
+    pub recovery_ops: u64,
 }
 
 impl IoStats {
@@ -95,6 +105,8 @@ impl IoStats {
         for (a, b) in self.per_disk_writes.iter_mut().zip(&other.per_disk_writes) {
             *a += b;
         }
+        self.retried_blocks += other.retried_blocks;
+        self.recovery_ops += other.recovery_ops;
     }
 
     /// Reset all counters to zero, preserving the drive count.
@@ -117,6 +129,8 @@ mod tests {
             bytes_written: 16 * 64,
             per_disk_reads: vec![12, 12, 0, 0],
             per_disk_writes: vec![4, 4, 4, 4],
+            retried_blocks: 3,
+            recovery_ops: 2,
         }
     }
 
@@ -146,6 +160,8 @@ mod tests {
         assert_eq!(a.parallel_ops, 20);
         assert_eq!(a.blocks_moved(), 80);
         assert_eq!(a.per_disk_reads, vec![24, 24, 0, 0]);
+        assert_eq!(a.retried_blocks, 6);
+        assert_eq!(a.recovery_ops, 4);
     }
 
     #[test]

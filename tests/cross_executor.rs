@@ -160,6 +160,91 @@ impl<E: Executor> ExecDyn for E {
     }
 }
 
+/// The canonical `(src, per-sender send order)` inbox ordering must hold on
+/// every engine — including EM simulations that retry faulted I/O and
+/// replay whole supersteps. The fold below is a non-commutative hash
+/// chain over the inbox, so any reordering (or duplication) of messages
+/// after a replay changes the final states.
+#[test]
+fn inbox_ordering_holds_under_faults_and_replay() {
+    use em_bsp::{run_sequential, BspProgram, Mailbox, Step};
+    use em_core::RecoveryPolicy;
+    use em_disk::{FaultPlan, RetryPolicy};
+
+    struct ChainFold;
+    impl BspProgram for ChainFold {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            for e in mb.take_incoming() {
+                // FNV-style chain: sensitive to inbox order.
+                *state = state
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .wrapping_add(((e.src as u64) << 32) ^ e.msg);
+            }
+            let v = mb.nprocs();
+            if step < 4 {
+                for j in 1..=3u64 {
+                    mb.send((mb.pid() + j as usize) % v, *state ^ j);
+                }
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            124
+        }
+        fn max_comm_bytes(&self) -> usize {
+            3 * 24
+        }
+    }
+
+    let init: Vec<u64> = (0..V as u64).map(|i| i * 7 + 1).collect();
+    let reference = run_sequential(&ChainFold, init.clone()).unwrap().states;
+    assert_eq!(
+        ThreadedRunner::new(4).execute(&ChainFold, init.clone()).unwrap().states,
+        reference,
+        "threaded runner"
+    );
+
+    let base_seed: u64 = std::env::var("EM_SIM_FAULT_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_owned();
+            s.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        })
+        .unwrap_or(0xF16);
+    for salt in [0u64, 0x9E37, 0xBEEF] {
+        let plan = || FaultPlan::seeded(base_seed ^ salt, 4, 300, 30);
+        for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer] {
+            let (res, _) = SeqEmSimulator::new(em_machine(1))
+                .with_seed(77)
+                .with_pipeline(pipeline)
+                .with_checksums(true)
+                .with_fault_plan(plan())
+                .with_retry(RetryPolicy::new(4))
+                .with_recovery(RecoveryPolicy::new(64))
+                .run(&ChainFold, init.clone())
+                .unwrap();
+            assert_eq!(res.states, reference, "seq EM, salt {salt:#x}, {pipeline:?}");
+
+            let (res, _) = ParEmSimulator::new(em_machine(3))
+                .with_seed(78)
+                .with_pipeline(pipeline)
+                .with_checksums(true)
+                .with_fault_plan(plan())
+                .with_retry(RetryPolicy::new(4))
+                .with_recovery(RecoveryPolicy::new(64))
+                .run(&ChainFold, init.clone())
+                .unwrap();
+            assert_eq!(res.states, reference, "par EM, salt {salt:#x}, {pipeline:?}");
+        }
+    }
+}
+
 #[test]
 fn sort_all_executors() {
     let mut rng = StdRng::seed_from_u64(100);
