@@ -3,9 +3,13 @@
 //!
 //! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
 //! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
-//! det-vs-rand, contraction, obs2, faults, all}. `--smoke` shrinks every
-//! sweep to CI-sized inputs (seconds, debug build) while exercising the
-//! same code paths and in-process asserts.
+//! det-vs-rand, contraction, obs2, faults, compute, all}. `--smoke`
+//! shrinks every sweep to CI-sized inputs (seconds, debug build) while
+//! exercising the same code paths and in-process asserts.
+//!
+//! Besides the text table (or `--json` lines on stdout), every invocation
+//! writes `results/BENCH_figures.json`: seed, config, all rows, and the
+//! per-phase wall-clock breakdowns of the `compute` sweep.
 //!
 //! The `disks` and `procs` sweeps emit both memory-backend rows (counted
 //! parallel I/O ops — the primary signal) and file-backend rows whose
@@ -17,7 +21,7 @@
 //! the corresponding `Pipeline::Off` row's bit for bit.
 
 use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, measure_seq_file};
-use em_bench::report::{print_json, print_table, Row};
+use em_bench::report::{print_json, print_table, write_bench_json, PhaseWallRow, Row};
 use em_bench::workloads::*;
 use em_core::theory;
 use em_core::{scatter_messages, simulate_routing, MsgGeometry, OutMsg, Placement, ScratchState};
@@ -737,6 +741,133 @@ fn fig_faults() -> Vec<Row> {
     rows
 }
 
+/// F-compute: [`em_core::ComputeMode`] ablation — a deliberately
+/// compute-bound multi-round kernel (many mixing rounds per byte of I/O)
+/// where `Threaded(n)` should show a compute-phase wall-clock win on a
+/// multi-core host. Every threaded run asserts, in process, that its final
+/// states, its counted [`em_disk::IoStats`] and its per-phase
+/// [`em_core::PhaseIo`] operation counts are bit-identical to the Serial
+/// run: the knob may only move wall clock, never what is counted. The
+/// per-phase wall breakdowns are returned for `results/BENCH_figures.json`.
+fn fig_compute() -> (Vec<Row>, Vec<PhaseWallRow>) {
+    use em_bsp::{BspProgram, Mailbox, Step};
+    use em_core::{ComputeMode, SeqEmSimulator};
+    use em_serial::impl_serial_struct;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct MixState {
+        data: Vec<u64>,
+    }
+    impl_serial_struct!(MixState { data });
+
+    struct Mix {
+        rounds: usize,
+        inner: usize,
+        chunk: usize,
+    }
+    impl BspProgram for Mix {
+        type State = MixState;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut MixState) -> Step {
+            let mut salt = 0u64;
+            for e in mb.take_incoming() {
+                salt = salt.wrapping_add(e.msg);
+            }
+            // The hot loop: `inner` sequential mixing passes over the
+            // chunk — CPU work that dwarfs the superstep's I/O volume.
+            for r in 0..self.inner as u64 {
+                for x in state.data.iter_mut() {
+                    *x = x
+                        .wrapping_add(salt ^ r)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .rotate_left(31);
+                }
+            }
+            if step < self.rounds {
+                let digest = state.data.iter().fold(0u64, |a, &x| a ^ x);
+                mb.send((mb.pid() + 1) % mb.nprocs(), digest);
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            16 + 8 * (self.chunk + 2)
+        }
+        fn max_comm_bytes(&self) -> usize {
+            16 + 16 + 8 + 64
+        }
+    }
+
+    let v = 32usize;
+    let chunk = pick(1024usize, 128);
+    let prog = Mix { rounds: pick(6, 3), inner: pick(600, 16), chunk };
+    let states: Vec<MixState> = (0..v).map(|i| MixState { data: vec![i as u64; chunk] }).collect();
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    // (states, IoStats, PhaseIo, serial compute wall) of the Serial run.
+    let mut baseline: Option<(Vec<MixState>, IoStats, em_core::PhaseIo, f64)> = None;
+    for &workers in pick(&[0usize, 2, 4, 8][..], &[0usize, 2][..]) {
+        let (mode, label) = if workers == 0 {
+            (ComputeMode::Serial, "serial".to_string())
+        } else {
+            (ComputeMode::Threaded(workers), format!("threaded n={workers}"))
+        };
+        // M = 256 KiB against μ ≈ 8 KiB: one large group (k ≈ 31) so the
+        // worker pool has a wide span of virtual processors to chunk.
+        let sim = SeqEmSimulator::new(machine(1, 1 << 18, 4, 2048))
+            .with_seed(SEED)
+            .with_compute_mode(mode);
+        let t0 = std::time::Instant::now();
+        let (res, report) = sim.run(&prog, states.clone()).unwrap();
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let compute_ms = report.phase_wall.compute.as_secs_f64() * 1e3;
+        let serial_compute_ms = match &baseline {
+            None => {
+                baseline = Some((res.states, report.io.clone(), report.phases.clone(), compute_ms));
+                compute_ms
+            }
+            Some((b_states, b_io, b_phases, b_ms)) => {
+                assert_eq!(&res.states, b_states, "ComputeMode must not change final states");
+                assert_eq!(&report.io, b_io, "ComputeMode must not change counted IoStats");
+                assert_eq!(
+                    &report.phases, b_phases,
+                    "ComputeMode must not change per-phase I/O op counts"
+                );
+                *b_ms
+            }
+        };
+        // Timing lives only in `wall_ms` and the phase-wall records (both
+        // strippable as `…wall_ms` in determinism diffs) and on stderr —
+        // the note must stay bit-identical across reruns and modes.
+        eprintln!(
+            "F-compute mix {label}: compute {compute_ms:.1} ms ({:.2}x vs serial); {}",
+            serial_compute_ms / compute_ms.max(1e-9),
+            report.phase_wall_summary(),
+        );
+        rows.push(Row {
+            id: "F-compute".into(),
+            variant: format!("mix {label}"),
+            n: v * chunk,
+            io_ops: report.io.parallel_ops,
+            predicted: 0.0,
+            lambda: report.lambda,
+            utilization: report.io.utilization(),
+            wall_ms: wall,
+            note: format!(
+                "k={}; states+IoStats+PhaseIo asserted identical across ComputeMode",
+                report.k
+            ),
+        });
+        walls.push(PhaseWallRow::from_wall(
+            format!("F-compute mix {label}"),
+            report.io.parallel_ops,
+            &report.phase_wall,
+        ));
+    }
+    (rows, walls)
+}
+
 /// F-fig2: trace the two reorganization steps of Algorithm 2 (Figure 2).
 fn fig_fig2() -> Vec<Row> {
     let d = 4usize;
@@ -798,6 +929,7 @@ fn main() {
     let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
     let mut rows = Vec::new();
+    let mut walls: Vec<PhaseWallRow> = Vec::new();
     if matches!(which, "all" | "blocking") {
         rows.extend(fig_blocking());
     }
@@ -831,6 +963,11 @@ fn main() {
     if matches!(which, "all" | "faults") {
         rows.extend(fig_faults());
     }
+    if matches!(which, "all" | "compute") {
+        let (r, w) = fig_compute();
+        rows.extend(r);
+        walls.extend(w);
+    }
     if matches!(which, "all" | "fig2") {
         rows.extend(fig_fig2());
     }
@@ -839,5 +976,12 @@ fn main() {
         print_json(&rows);
     } else {
         print_table("Figure-style sweeps", &rows);
+    }
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let config = format!("M=256KiB D=4 B=2048 (per-sweep overrides inline); which={which}");
+    match write_bench_json("figures", SEED, smoke, &config, &rows, &walls) {
+        // Stderr so `--json` stdout stays pure JSON lines.
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/BENCH_figures.json: {e}"),
     }
 }

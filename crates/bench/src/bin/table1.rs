@@ -9,9 +9,14 @@
 //! with `--scale <f>` (default 1.0); `--smoke` is shorthand for a tiny
 //! CI-sized scale that keeps every problem and assert on the same code
 //! path but finishes in seconds in a debug build.
+//!
+//! Besides the text table (or `--json` lines on stdout), every invocation
+//! — including `--smoke` — writes `results/BENCH_table1.json` with the
+//! seed, machine config, all rows, and per-phase wall-clock breakdowns of
+//! the simulated runs.
 
 use em_bench::measure::{machine, measure_par, measure_seq};
-use em_bench::report::{print_json, print_table, Row};
+use em_bench::report::{print_json, print_table, write_bench_json, PhaseWallRow, Row};
 use em_bench::workloads::*;
 use em_core::theory;
 use em_disk::{DiskArray, DiskConfig};
@@ -30,6 +35,7 @@ fn baseline_disks() -> DiskArray {
 
 fn push_sim_rows(
     rows: &mut Vec<Row>,
+    walls: &mut Vec<PhaseWallRow>,
     id: &str,
     n: usize,
     n_bytes: u64,
@@ -64,9 +70,11 @@ fn push_sim_rows(
             seq.io_ops as f64 / (par.io_ops as f64 / P as f64)
         ),
     });
+    walls.push(PhaseWallRow::from_stages(format!("{id} p=1 D={D}"), &seq.stages));
+    walls.push(PhaseWallRow::from_stages(format!("{id} p={P} D={D}"), &par.stages));
 }
 
-fn sort_rows(scale: f64) -> Vec<Row> {
+fn sort_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
     let n = (200_000_f64 * scale) as usize;
     let items = random_u64(n, SEED);
     let mut rows = Vec::new();
@@ -98,11 +106,11 @@ fn sort_rows(scale: f64) -> Vec<Row> {
         em_algos::sort::cgm_sort(rec, V, items.clone()).unwrap()
     });
     assert_eq!(got, reference);
-    push_sim_rows(&mut rows, "T1-A-sort", n, (n * 8) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-A-sort", n, (n * 8) as u64, seq, par);
     rows
 }
 
-fn permute_rows(scale: f64) -> Vec<Row> {
+fn permute_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
     let n = (150_000_f64 * scale) as usize;
     let items = random_u64(n, SEED + 1);
     let perm = random_perm(n, SEED + 2);
@@ -128,11 +136,11 @@ fn permute_rows(scale: f64) -> Vec<Row> {
     let (_, par) = measure_par(machine(P, M, D, B), SEED, |rec| {
         em_algos::permute::cgm_permute(rec, V, items.clone(), &perm).unwrap()
     });
-    push_sim_rows(&mut rows, "T1-A-perm", n, (n * 16) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-A-perm", n, (n * 16) as u64, seq, par);
     rows
 }
 
-fn transpose_rows(scale: f64) -> Vec<Row> {
+fn transpose_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
     let r = (400_f64 * scale.sqrt()) as usize;
     let c = 300;
     let n = r * c;
@@ -159,7 +167,7 @@ fn transpose_rows(scale: f64) -> Vec<Row> {
     let (_, par) = measure_par(machine(P, M, D, B), SEED, |rec| {
         em_algos::transpose::cgm_transpose(rec, V, r, c, data.clone()).unwrap()
     });
-    push_sim_rows(&mut rows, "T1-A-trans", n, (n * 16) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-A-trans", n, (n * 16) as u64, seq, par);
     rows
 }
 
@@ -167,7 +175,7 @@ fn transpose_rows(scale: f64) -> Vec<Row> {
 /// feasible for every geometry problem, so the baseline column reports the
 /// paper's formula `(n/B)·log_{M/B}(n/B)` (single-disk classical bound)
 /// evaluated, while measured rows come from the simulation.
-fn geometry_rows(scale: f64) -> Vec<Row> {
+fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
     let mut rows = Vec::new();
     let nb = |n: usize, rec: usize| (n * rec) as u64;
 
@@ -193,7 +201,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: format!("hull size {}", hull.len()),
     });
-    push_sim_rows(&mut rows, "T1-B-hull", n, nb(n, 16), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-hull", n, nb(n, 16), seq, par);
 
     // 3D maxima.
     let n = (50_000_f64 * scale) as usize;
@@ -215,7 +223,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: format!("maxima {}", mx.len()),
     });
-    push_sim_rows(&mut rows, "T1-B-max3d", n, nb(n, 24), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-max3d", n, nb(n, 24), seq, par);
 
     // Weighted dominance counting.
     let n = (40_000_f64 * scale) as usize;
@@ -237,7 +245,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: String::new(),
     });
-    push_sim_rows(&mut rows, "T1-B-dom", n, nb(n, 48), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-dom", n, nb(n, 48), seq, par);
 
     // Batched next-element search.
     let n = (50_000_f64 * scale) as usize;
@@ -262,7 +270,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: String::new(),
     });
-    push_sim_rows(&mut rows, "T1-B-next", 2 * n, nb(2 * n, 17), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-next", 2 * n, nb(2 * n, 17), seq, par);
 
     // Lower envelope.
     let n = (30_000_f64 * scale) as usize;
@@ -285,7 +293,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: String::new(),
     });
-    push_sim_rows(&mut rows, "T1-B-env", n, nb(2 * n, 35), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-env", n, nb(2 * n, 35), seq, par);
 
     // 2D closest pair (the "2D-nearest neighbors" row's core).
     let n = (50_000_f64 * scale) as usize;
@@ -308,7 +316,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: format!("δ² = {}", cp_seq.0),
     });
-    push_sim_rows(&mut rows, "T1-B-cp", n, nb(n, 16), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-cp", n, nb(n, 16), seq, par);
 
     // Multi-directional separability (hull disjointness).
     let n = (40_000_f64 * scale) as usize;
@@ -349,7 +357,7 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: "disjoint clouds: separable".into(),
     });
-    push_sim_rows(&mut rows, "T1-B-sep", 2 * n, nb(2 * n, 16), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-sep", 2 * n, nb(2 * n, 16), seq, par);
 
     // Area of union of rectangles.
     let n = (25_000_f64 * scale) as usize;
@@ -372,11 +380,11 @@ fn geometry_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: String::new(),
     });
-    push_sim_rows(&mut rows, "T1-B-rect", n, nb(2 * n, 41), seq, par);
+    push_sim_rows(&mut rows, walls, "T1-B-rect", n, nb(2 * n, 41), seq, par);
     rows
 }
 
-fn graph_rows(scale: f64) -> Vec<Row> {
+fn graph_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
     let mut rows = Vec::new();
 
     // List ranking: PRAM-simulation baseline vs our simulation.
@@ -411,7 +419,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
     let (_, par) = measure_par(machine(P, M, D, B), SEED, |rec| {
         em_algos::graph::list_ranking::cgm_list_rank(rec, V, &succ, &weights).unwrap()
     });
-    push_sim_rows(&mut rows, "T1-C-lr", n, (n * 16) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-C-lr", n, (n * 16) as u64, seq, par);
 
     // Euler tour + tree aggregates.
     let n = (15_000_f64 * scale) as usize;
@@ -433,7 +441,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: String::new(),
     });
-    push_sim_rows(&mut rows, "T1-C-et", n, (2 * n * 16) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-C-et", n, (2 * n * 16) as u64, seq, par);
 
     // Batched LCA (Euler tour + range-minimum).
     let n = (10_000_f64 * scale) as usize;
@@ -464,7 +472,7 @@ fn graph_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: format!("{} queries", queries.len()),
     });
-    push_sim_rows(&mut rows, "T1-C-lca", n, (3 * n * 16) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-C-lca", n, (3 * n * 16) as u64, seq, par);
 
     // Connected components + spanning forest.
     let n = (20_000_f64 * scale) as usize;
@@ -486,14 +494,15 @@ fn graph_rows(scale: f64) -> Vec<Row> {
         wall_ms: 0.0,
         note: format!("m={}", edges.len()),
     });
-    push_sim_rows(&mut rows, "T1-C-cc", n, (3 * n * 24) as u64, seq, par);
+    push_sim_rows(&mut rows, walls, "T1-C-cc", n, (3 * n * 24) as u64, seq, par);
     rows
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    let scale = if args.iter().any(|a| a == "--smoke") {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke {
         0.1
     } else {
         args.iter()
@@ -509,14 +518,15 @@ fn main() {
         .unwrap_or("all");
 
     let mut rows = Vec::new();
+    let mut walls: Vec<PhaseWallRow> = Vec::new();
     if matches!(which, "all" | "sort") {
-        rows.extend(sort_rows(scale));
+        rows.extend(sort_rows(scale, &mut walls));
     }
     if matches!(which, "all" | "permute") {
-        rows.extend(permute_rows(scale));
+        rows.extend(permute_rows(scale, &mut walls));
     }
     if matches!(which, "all" | "transpose") {
-        rows.extend(transpose_rows(scale));
+        rows.extend(transpose_rows(scale, &mut walls));
     }
     if matches!(
         which,
@@ -529,10 +539,10 @@ fn main() {
             | "rectangles"
             | "geometry"
     ) {
-        rows.extend(geometry_rows(scale));
+        rows.extend(geometry_rows(scale, &mut walls));
     }
     if matches!(which, "all" | "list-ranking" | "euler-tour" | "lca" | "cc" | "graph") {
-        rows.extend(graph_rows(scale));
+        rows.extend(graph_rows(scale, &mut walls));
     }
 
     if json {
@@ -546,5 +556,11 @@ fn main() {
             "\nShape checks: simulated I/O ≈ λ·c·n/(pDB); parallel rows show per-processor ops;"
         );
         println!("PRAM baseline pays a sort per step; AV sort pays log_{{M/DB}} passes.");
+    }
+    let config = format!("M={M} B, D={D}, B={B} B, v={V}, p={P}, scale={scale}; which={which}");
+    match write_bench_json("table1", SEED, smoke, &config, &rows, &walls) {
+        // Stderr so `--json` stdout stays pure JSON lines.
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results/BENCH_table1.json: {e}"),
     }
 }

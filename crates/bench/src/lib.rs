@@ -21,4 +21,4 @@ pub mod report;
 pub mod workloads;
 
 pub use measure::{measure_par, measure_seq, EmRunCost};
-pub use report::{print_table, Row};
+pub use report::{print_table, write_bench_json, PhaseWallRow, Row};

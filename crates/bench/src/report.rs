@@ -1,6 +1,8 @@
 //! Table rendering and machine-readable result output.
 
+use em_core::{CostReport, PhaseWall};
 use serde::Serialize;
+use std::path::{Path, PathBuf};
 
 /// One experiment row.
 #[derive(Debug, Clone, Serialize)]
@@ -47,6 +49,148 @@ pub fn print_json(rows: &[Row]) {
     }
 }
 
+/// One run's per-phase wall-clock breakdown, in milliseconds.
+///
+/// Every wall-clock field name ends in `wall_ms` so determinism diffs can
+/// strip the whole family with one pattern (see the `determinism` job in
+/// `.github/workflows/ci.yml`); everything else in the record is expected
+/// to be bit-identical across `IoMode`/`Pipeline`/`ComputeMode` knobs and
+/// across identically-seeded reruns.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseWallRow {
+    /// Label for the run the breakdown belongs to (experiment + variant).
+    pub variant: String,
+    /// Counted parallel I/O operations of the same run (primary signal,
+    /// deterministic — kept here so the JSON is self-describing).
+    pub io_ops: u64,
+    /// Fetching Phase (context + message-region reads).
+    pub fetch_wall_ms: f64,
+    /// Computation Phase (decode, superstep, re-encode).
+    pub compute_wall_ms: f64,
+    /// Writing Phase (message scatter + context write-back).
+    pub write_wall_ms: f64,
+    /// `SimulateRouting` reorganization.
+    pub reorganize_wall_ms: f64,
+    /// Superstep-boundary durability barrier.
+    pub sync_wall_ms: f64,
+    /// Sum of the five phases.
+    pub total_wall_ms: f64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl PhaseWallRow {
+    /// Build a row from a single labelled [`PhaseWall`].
+    pub fn from_wall(variant: impl Into<String>, io_ops: u64, wall: &PhaseWall) -> Self {
+        PhaseWallRow {
+            variant: variant.into(),
+            io_ops,
+            fetch_wall_ms: ms(wall.fetch),
+            compute_wall_ms: ms(wall.compute),
+            write_wall_ms: ms(wall.write),
+            reorganize_wall_ms: ms(wall.reorganize),
+            sync_wall_ms: ms(wall.sync),
+            total_wall_ms: ms(wall.total()),
+        }
+    }
+
+    /// Build a row from pipeline stages, summing the per-stage timers.
+    pub fn from_stages(variant: impl Into<String>, stages: &[CostReport]) -> Self {
+        let mut wall = PhaseWall::default();
+        for s in stages {
+            wall.fetch += s.phase_wall.fetch;
+            wall.compute += s.phase_wall.compute;
+            wall.write += s.phase_wall.write;
+            wall.reorganize += s.phase_wall.reorganize;
+            wall.sync += s.phase_wall.sync;
+        }
+        let io_ops = stages.iter().map(|s| s.io.parallel_ops).sum();
+        PhaseWallRow::from_wall(variant, io_ops, &wall)
+    }
+}
+
+/// Minimal JSON string escaping for the scalar header fields (the record
+/// arrays go through serde). Kept local so the writer has no requirements
+/// beyond what the vendored/offline serde surface guarantees.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render one array of serializable records with each element on its own
+/// line, so line-oriented tooling (the CI determinism sed, grep) can
+/// process the file record-at-a-time while it stays a single valid JSON
+/// document.
+fn json_array_lines<T: Serialize>(items: &[T], indent: &str) -> String {
+    let body: Vec<String> = items
+        .iter()
+        .map(|i| format!("{indent}  {}", serde_json::to_string(i).expect("record serializes")))
+        .collect();
+    if body.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n{indent}]", body.join(",\n"))
+    }
+}
+
+/// Write `results/BENCH_<name>.json` (creating `results/` as needed) and
+/// return the path. Called unconditionally by the bench binaries — also
+/// under `--smoke` — so CI exercises the same writer as a full run.
+///
+/// The document is `{bench, seed, smoke, config, rows, phase_walls}` with
+/// one record per line inside the two arrays; all wall-clock fields end
+/// in `wall_ms` and everything else is deterministic for a fixed seed.
+pub fn write_bench_json(
+    name: &str,
+    seed: u64,
+    smoke: bool,
+    config: &str,
+    rows: &[Row],
+    phase_walls: &[PhaseWallRow],
+) -> std::io::Result<PathBuf> {
+    write_bench_json_under(Path::new("results"), name, seed, smoke, config, rows, phase_walls)
+}
+
+/// [`write_bench_json`] with an explicit output directory (testing hook).
+#[allow(clippy::too_many_arguments)]
+pub fn write_bench_json_under(
+    dir: &Path,
+    name: &str,
+    seed: u64,
+    smoke: bool,
+    config: &str,
+    rows: &[Row],
+    phase_walls: &[PhaseWallRow],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let payload = format!(
+        "{{\n  \"bench\": {},\n  \"seed\": {seed},\n  \"smoke\": {smoke},\n  \
+         \"config\": {},\n  \"rows\": {},\n  \"phase_walls\": {}\n}}\n",
+        json_escape(name),
+        json_escape(config),
+        json_array_lines(rows, "  "),
+        json_array_lines(phase_walls, "  "),
+    );
+    std::fs::write(&path, payload)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +210,53 @@ mod tests {
         };
         let s = serde_json::to_string(&r).unwrap();
         assert!(s.contains("T1-A-sort"));
+    }
+
+    #[test]
+    fn bench_json_round_trips_and_strips_walls() {
+        let rows = vec![Row {
+            id: "F-compute".into(),
+            variant: "threaded n=2".into(),
+            n: 64,
+            io_ops: 42,
+            predicted: 0.0,
+            lambda: 4,
+            utilization: 0.9,
+            wall_ms: 12.5,
+            note: String::new(),
+        }];
+        let wall = PhaseWall {
+            fetch: std::time::Duration::from_millis(3),
+            compute: std::time::Duration::from_millis(40),
+            write: std::time::Duration::from_millis(5),
+            reorganize: std::time::Duration::from_millis(2),
+            sync: std::time::Duration::from_millis(1),
+        };
+        let walls = vec![PhaseWallRow::from_wall("F-compute threaded n=2", 42, &wall)];
+        let dir = std::env::temp_dir().join(format!("em-bench-report-{}", std::process::id()));
+        let path =
+            write_bench_json_under(&dir, "test", 7, true, "M=64KiB D=4", &rows, &walls).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(path.file_name().unwrap().to_str().unwrap() == "BENCH_test.json");
+        assert!(text.contains("\"bench\": \"test\""));
+        assert!(text.contains("\"seed\": 7"));
+        assert!(text.contains("\"smoke\": true"));
+        assert!(text.contains("\"io_ops\":42"));
+        assert!(text.contains("compute_wall_ms"));
+        // Record-per-line layout: each row and each phase-wall record sits
+        // on its own line, so the CI determinism sed can strip the
+        // wall-clock family (every such field ends in `wall_ms`) without a
+        // JSON parser. Every time-dependent value in this record lives in
+        // a `…wall_ms` field; nothing else here may vary across reruns.
+        let row_lines =
+            text.lines().filter(|l| l.trim_start().starts_with('{') && l.contains("\"id\""));
+        assert_eq!(row_lines.count(), 1);
+        let wall_line = text
+            .lines()
+            .find(|l| l.contains("compute_wall_ms"))
+            .expect("phase-wall record present");
+        assert!(wall_line.contains("fetch_wall_ms"));
+        assert!(wall_line.contains("total_wall_ms"));
     }
 }

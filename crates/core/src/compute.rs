@@ -1,0 +1,277 @@
+//! In-group compute parallelism for the Computation Phase (Step 1(c)).
+//!
+//! Both simulators run the `k` virtual processors of a group through the
+//! same per-vp kernel: decode the context, deliver the canonically ordered
+//! inbox, run [`em_bsp::BspProgram::superstep`], encode the outgoing
+//! envelopes and re-encode the context. The [`ComputeMode`] knob chooses
+//! *who* runs that kernel:
+//!
+//! * [`ComputeMode::Serial`] — the simulating thread, one vp at a time
+//!   (the paper's model; the default).
+//! * [`ComputeMode::Threaded`] — a [`std::thread::scope`] worker pool of
+//!   at most `n` threads, each taking one contiguous chunk of the group.
+//!
+//! **Determinism is by construction, not by synchronization.** Every vp
+//! gets a pre-built [`VpWork`] slot (its context bytes and its inbox) and
+//! fills a dedicated [`VpSlot`] result (its re-encoded context and its
+//! ordered outbox, with per-sender `seq` numbers assigned vp-locally).
+//! Workers never share mutable state; the parent concatenates the slots
+//! in vp order afterwards. The bytes written to disk, the canonical
+//! `(src, per-sender send order)` inbox contract of the *next* superstep,
+//! the communication ledger and every counted I/O operation are therefore
+//! bit-identical across modes — the knob only changes which OS thread
+//! executes the kernel. Errors are deterministic too: the parent surfaces
+//! the first error in vp order, exactly the one the serial loop would
+//! have stopped at (running later vps first is unobservable, since a
+//! failed superstep's outputs are discarded wholesale).
+//!
+//! The pool is scoped to one group: workers borrow the program by
+//! reference and are joined before the Writing Phase starts, so replaying
+//! a superstep under recovery needs no extra rewinding — there *is* no
+//! worker-pool state that outlives the group.
+
+use crate::msg::{OutMsg, MSG_HEADER_BYTES};
+use crate::{EmError, EmResult};
+use em_bsp::{BspError, BspProgram, Envelope, Mailbox, Step};
+use em_serial::{from_bytes, to_bytes, to_bytes_into};
+
+/// How the Computation Phase runs the virtual processors of a group.
+///
+/// Mirrors the [`em_disk::IoMode`] / [`em_disk::Pipeline`] knobs: final
+/// states, message ledger, counted I/O and seeded traces are identical in
+/// every mode (asserted by `tests/compute_modes.rs` and the cross-executor
+/// matrix); only wall-clock time may differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ComputeMode {
+    /// Run the group's virtual processors on the simulating thread, in pid
+    /// order (the default).
+    #[default]
+    Serial,
+    /// Run the group's virtual processors on a scoped worker pool of at
+    /// most this many threads (clamped to at least 1 and at most the group
+    /// size). `Threaded(1)` exercises the pool machinery but is
+    /// effectively serial.
+    Threaded(usize),
+}
+
+/// One virtual processor's share of a group's Computation Phase, prepared
+/// by the simulating thread before any worker runs.
+pub(crate) struct VpWork<M> {
+    /// Global virtual-processor id.
+    pub pid: usize,
+    /// The fetched context region bytes (exactly the encoded state).
+    pub ctx: Vec<u8>,
+    /// Decoded inbound messages as `(src, seq, msg)`; sorted into the
+    /// canonical `(src, seq)` order by the kernel.
+    pub inbox: Vec<(u32, u32, M)>,
+    /// Bytes received by this vp (for the h-relation tally).
+    pub recv_bytes: u64,
+    /// Messages received by this vp (for the h-relation tally).
+    pub recv_msgs: u64,
+}
+
+/// One virtual processor's results, filled by exactly one worker.
+pub(crate) struct VpSlot {
+    /// The re-encoded context (reuses the [`VpWork::ctx`] allocation).
+    pub state_bytes: Vec<u8>,
+    /// Outgoing envelopes in send order, with vp-local `seq` numbers.
+    pub outbox: Vec<OutMsg>,
+    /// Messages sent by this vp.
+    pub msgs_sent: u64,
+    /// Payload bytes sent by this vp.
+    pub bytes_sent: u64,
+    /// Bytes received (copied through from [`VpWork`]).
+    pub recv_bytes: u64,
+    /// Messages received (copied through from [`VpWork`]).
+    pub recv_msgs: u64,
+    /// Local computation units reported by the program.
+    pub work: u64,
+    /// Whether the program returned [`Step::Continue`].
+    pub continued: bool,
+}
+
+/// The per-vp kernel shared by every mode and both simulators.
+fn run_one_vp<P: BspProgram>(
+    prog: &P,
+    step: usize,
+    v: usize,
+    gamma: usize,
+    mut w: VpWork<P::Msg>,
+) -> EmResult<VpSlot> {
+    let mut state: P::State = from_bytes(&w.ctx)?;
+    w.inbox.sort_by_key(|&(src, seq, _)| (src, seq));
+    let incoming: Vec<Envelope<P::Msg>> = std::mem::take(&mut w.inbox)
+        .into_iter()
+        .map(|(src, _, msg)| Envelope { src: src as usize, msg })
+        .collect();
+    let mut mb = Mailbox::new(w.pid, v, incoming);
+    let status = prog.superstep(step, &mut mb, &mut state);
+    let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
+
+    let mut outbox = Vec::with_capacity(out.len());
+    let mut envelope_bytes = 0u64;
+    for (seq, (dst, msg)) in out.into_iter().enumerate() {
+        if dst >= v {
+            return Err(EmError::Bsp(BspError::InvalidDestination { dst, nprocs: v }));
+        }
+        // Per-message payloads stay owned allocations: `OutMsg` hands the
+        // payload off to the block cutter, so there is no buffer to reuse.
+        let payload = to_bytes(&msg);
+        envelope_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
+        outbox.push(OutMsg { dst: dst as u32, src: w.pid as u32, seq: seq as u32, payload });
+    }
+    if envelope_bytes > gamma as u64 {
+        return Err(EmError::CommBudgetExceeded {
+            pid: w.pid,
+            sent: envelope_bytes,
+            budget: gamma,
+        });
+    }
+    // Recycle the fetched context buffer for the updated state.
+    to_bytes_into(&state, &mut w.ctx);
+    Ok(VpSlot {
+        state_bytes: w.ctx,
+        outbox,
+        msgs_sent,
+        bytes_sent,
+        recv_bytes: w.recv_bytes,
+        recv_msgs: w.recv_msgs,
+        work,
+        continued: status == Step::Continue,
+    })
+}
+
+/// Run every [`VpWork`] item through the kernel under `mode`, returning
+/// one result per item **in vp order** regardless of which thread ran it.
+pub(crate) fn run_group_vps<P: BspProgram>(
+    prog: &P,
+    mode: ComputeMode,
+    step: usize,
+    v: usize,
+    gamma: usize,
+    work: Vec<VpWork<P::Msg>>,
+) -> Vec<EmResult<VpSlot>> {
+    let count = work.len();
+    let workers = match mode {
+        ComputeMode::Serial => 1,
+        ComputeMode::Threaded(n) => n.clamp(1, count.max(1)),
+    };
+    if workers <= 1 || count <= 1 {
+        return work.into_iter().map(|w| run_one_vp(prog, step, v, gamma, w)).collect();
+    }
+
+    // Each worker owns one contiguous chunk of the work items and fills
+    // the matching chunk of pre-sized result slots; no two workers touch
+    // the same slot, and the parent reads the slots back in vp order.
+    let chunk = count.div_ceil(workers);
+    let mut slots: Vec<Option<EmResult<VpSlot>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<EmResult<VpSlot>>] = &mut slots;
+        let mut items = work.into_iter();
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let batch: Vec<VpWork<P::Msg>> = items.by_ref().take(take).collect();
+            scope.spawn(move || {
+                for (slot, w) in head.iter_mut().zip(batch) {
+                    *slot = Some(run_one_vp(prog, step, v, gamma, w));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot was assigned to a worker")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl BspProgram for Echo {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, _step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            for e in mb.take_incoming() {
+                *state = state.wrapping_add(e.msg);
+            }
+            mb.send((mb.pid() + 1) % mb.nprocs(), *state);
+            Step::Halt
+        }
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+        fn max_comm_bytes(&self) -> usize {
+            24
+        }
+    }
+
+    fn work_items(n: usize) -> Vec<VpWork<u64>> {
+        (0..n)
+            .map(|pid| VpWork {
+                pid,
+                ctx: to_bytes(&(pid as u64 * 10)),
+                inbox: vec![(1, 0, 5u64), (0, 0, 7u64)],
+                recv_bytes: 16,
+                recv_msgs: 2,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_slots_match_serial_bytes() {
+        let v = 7;
+        let serial = run_group_vps(&Echo, ComputeMode::Serial, 0, v, 64, work_items(v));
+        for n in [1usize, 2, 3, 16] {
+            let threaded = run_group_vps(&Echo, ComputeMode::Threaded(n), 0, v, 64, work_items(v));
+            assert_eq!(serial.len(), threaded.len());
+            for (a, b) in serial.iter().zip(&threaded) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.state_bytes, b.state_bytes);
+                assert_eq!(a.outbox.len(), b.outbox.len());
+                for (x, y) in a.outbox.iter().zip(&b.outbox) {
+                    assert_eq!(
+                        (x.dst, x.src, x.seq, &x.payload),
+                        (y.dst, y.src, y.seq, &y.payload)
+                    );
+                }
+                assert_eq!(
+                    (a.msgs_sent, a.bytes_sent, a.recv_bytes, a.recv_msgs, a.work, a.continued),
+                    (b.msgs_sent, b.bytes_sent, b.recv_bytes, b.recv_msgs, b.work, b.continued)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_vp_order_error_surfaces_in_every_mode() {
+        struct Bad;
+        impl BspProgram for Bad {
+            type State = u64;
+            type Msg = u64;
+            fn superstep(&self, _: usize, mb: &mut Mailbox<u64>, _: &mut u64) -> Step {
+                mb.take_incoming();
+                mb.send(usize::MAX, 0); // invalid destination for every vp
+                Step::Halt
+            }
+            fn max_state_bytes(&self) -> usize {
+                8
+            }
+        }
+        for mode in [ComputeMode::Serial, ComputeMode::Threaded(4)] {
+            let items: Vec<VpWork<u64>> = (0..6)
+                .map(|pid| VpWork {
+                    pid,
+                    ctx: to_bytes(&0u64),
+                    inbox: Vec::new(),
+                    recv_bytes: 0,
+                    recv_msgs: 0,
+                })
+                .collect();
+            let out = run_group_vps(&Bad, mode, 0, 6, 64, items);
+            let first = out.into_iter().find_map(|r| r.err()).expect("error expected");
+            assert!(matches!(first, EmError::Bsp(BspError::InvalidDestination { .. })));
+        }
+    }
+}

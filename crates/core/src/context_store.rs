@@ -15,6 +15,55 @@ use em_disk::{
     Block, ConsecutiveLayout, DiskArray, ReadStripeTicket, TrackAllocator, WriteBacklog,
 };
 
+/// A free list of byte buffers recycled across group reads and writes.
+///
+/// The simulators keep one per run: [`PendingGroupRead::join_into`] draws
+/// decoded-context buffers from it, and after a group's contexts are
+/// written back (the [`Block`] copies are made at submission) the buffers
+/// return via [`BufferPool::put_all`]. Steady state is therefore
+/// allocation-free in the context path: a run touches at most one group's
+/// worth of live buffers plus the pool. An empty pool is always valid —
+/// `take` falls back to a fresh allocation.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Pop a cleared buffer, or allocate a fresh one when the pool is dry.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool (cleared, capacity kept).
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Return a batch of buffers to the pool.
+    pub fn put_all(&mut self, bufs: impl IntoIterator<Item = Vec<u8>>) {
+        for buf in bufs {
+            self.put(buf);
+        }
+    }
+
+    /// Buffers currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no buffer is pooled.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
 /// The context area of one simulating processor.
 #[derive(Debug, Clone)]
 pub struct ContextStore {
@@ -84,8 +133,11 @@ impl ContextStore {
     ) -> EmResult<()> {
         let bb = disks.block_bytes();
         // Assemble the regions' raw bytes, then cut into blocks and write
-        // them stripe by stripe in global-index order.
-        let mut writes: Vec<(usize, usize, Block)> = Vec::new();
+        // them stripe by stripe in global-index order. One staging buffer
+        // serves every context in the group.
+        let mut writes: Vec<(usize, usize, Block)> =
+            Vec::with_capacity(bufs.len() * self.layout.blocks_per_region);
+        let mut region: Vec<u8> = Vec::with_capacity(self.capacity_bytes);
         for (off, buf) in bufs.iter().enumerate() {
             let pid = first + off;
             if 4 + buf.len() > self.capacity_bytes {
@@ -95,7 +147,7 @@ impl ContextStore {
                     capacity: self.payload_capacity(),
                 });
             }
-            let mut region = Vec::with_capacity(self.capacity_bytes);
+            region.clear();
             region.extend_from_slice(&(buf.len() as u32).to_le_bytes());
             region.extend_from_slice(buf);
             region.resize(self.capacity_bytes, 0);
@@ -155,8 +207,17 @@ impl PendingGroupRead {
     /// the earliest submission's error wins deterministically) and decode
     /// the length-prefixed contexts.
     pub fn join(self) -> EmResult<Vec<Vec<u8>>> {
+        self.join_into(&mut BufferPool::new())
+    }
+
+    /// [`PendingGroupRead::join`], drawing the decoded-context buffers from
+    /// `pool` instead of allocating. The simulators recycle each group's
+    /// buffers back into the pool after writing the group, so the context
+    /// path stops allocating once the pool is warm.
+    pub fn join_into(self, pool: &mut BufferPool) -> EmResult<Vec<Vec<u8>>> {
         let payload_capacity = self.capacity_bytes - 4;
-        let mut raw: Vec<u8> = Vec::with_capacity(self.count * self.capacity_bytes);
+        let mut raw: Vec<u8> = pool.take();
+        raw.reserve(self.count * self.capacity_bytes);
         let mut first_err: Option<EmError> = None;
         for ticket in self.tickets {
             match ticket.join() {
@@ -171,6 +232,7 @@ impl PendingGroupRead {
             }
         }
         if let Some(e) = first_err {
+            pool.put(raw);
             return Err(e);
         }
         let mut out = Vec::with_capacity(self.count);
@@ -178,14 +240,19 @@ impl PendingGroupRead {
             let region = &raw[r * self.capacity_bytes..(r + 1) * self.capacity_bytes];
             let len = u32::from_le_bytes(region[..4].try_into().expect("4-byte prefix")) as usize;
             if len > payload_capacity {
+                pool.put(raw);
+                pool.put_all(out);
                 return Err(EmError::ContextOverflow {
                     pid: self.first + r,
                     need: len,
                     capacity: payload_capacity,
                 });
             }
-            out.push(region[4..4 + len].to_vec());
+            let mut ctx = pool.take();
+            ctx.extend_from_slice(&region[4..4 + len]);
+            out.push(ctx);
         }
+        pool.put(raw);
         Ok(out)
     }
 }
@@ -273,6 +340,23 @@ mod tests {
             *a -= b;
         }
         assert_eq!(deferred_stats, sync_stats);
+    }
+
+    #[test]
+    fn pooled_join_round_trips_and_recycles() {
+        let (mut disks, store) = setup(8, 60, 4, 32);
+        let bufs: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 10 + i]).collect();
+        store.write_group(&mut disks, 0, &bufs).unwrap();
+        let mut pool = BufferPool::new();
+        let back = store.submit_read_group(&mut disks, 0, 4).unwrap().join_into(&mut pool).unwrap();
+        assert_eq!(back, bufs);
+        pool.put_all(back);
+        let warm = pool.len();
+        assert!(warm >= 4, "contexts plus the raw staging buffer are pooled");
+        let back2 =
+            store.submit_read_group(&mut disks, 0, 4).unwrap().join_into(&mut pool).unwrap();
+        assert_eq!(back2, bufs);
+        assert!(pool.len() < warm, "the warm pool supplied the second read");
     }
 
     #[test]

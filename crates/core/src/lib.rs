@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod compute;
 mod context_store;
 mod error;
 mod exec;
@@ -40,7 +41,8 @@ mod routing;
 mod seq_sim;
 pub mod theory;
 
-pub use context_store::{ContextStore, PendingGroupRead};
+pub use compute::ComputeMode;
+pub use context_store::{BufferPool, ContextStore, PendingGroupRead};
 pub use error::EmError;
 pub use exec::Recording;
 pub use machine::{EmMachine, ModelCheck};
@@ -51,7 +53,7 @@ pub use msg::{
 };
 pub use par_sim::ParEmSimulator;
 pub use planner::{Plan, Planner, ProblemProfile};
-pub use report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
+pub use report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 pub use routing::{simulate_routing, RoutingTrace};
 pub use seq_sim::SeqEmSimulator;
 

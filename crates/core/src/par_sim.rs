@@ -34,17 +34,18 @@
 //! the protocol alive with empty bundles until the superstep ends, then
 //! every thread observes the failure and exits.
 
-use crate::context_store::{ContextStore, PendingGroupRead};
+use crate::compute::{run_group_vps, ComputeMode, VpWork};
+use crate::context_store::{BufferPool, ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
 use crate::msg::{
     build_stream_blocks, fetch_batch_raw_blocks, reassemble_blocks, store_received_blocks,
     store_received_blocks_deferred, GroupCounts, MsgGeometry, OutMsg, Placement, RawBlock,
     MSG_HEADER_BYTES,
 };
-use crate::report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
+use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
-use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
+use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
     DiskArray, FaultPlan, FaultStats, IoMode, IoStats, Pipeline, RetryPolicy, TrackAllocator,
     WriteBacklog,
@@ -59,9 +60,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-/// Per-worker run summary: counted I/O, per-phase split, the allocator's
-/// track frontier, and per-superstep balance factors.
-type WorkerReport = (IoStats, PhaseIo, usize, Vec<f64>);
+/// Per-worker run summary: counted I/O, per-phase split (ops and wall),
+/// the allocator's track frontier, and per-superstep balance factors.
+type WorkerReport = (IoStats, PhaseIo, PhaseWall, usize, Vec<f64>);
 
 /// One inter-processor bundle: sender id, exchange phase, raw blocks.
 ///
@@ -117,6 +118,7 @@ pub struct ParEmSimulator {
     file_dir: Option<PathBuf>,
     io_mode: IoMode,
     pipeline: Pipeline,
+    compute: ComputeMode,
     fault_plan: Option<FaultPlan>,
     checksums: bool,
     retry: Option<RetryPolicy>,
@@ -134,6 +136,7 @@ impl ParEmSimulator {
             file_dir: None,
             io_mode: IoMode::Parallel,
             pipeline: Pipeline::Off,
+            compute: ComputeMode::Serial,
             fault_plan: None,
             checksums: false,
             retry: None,
@@ -178,6 +181,16 @@ impl ParEmSimulator {
     /// streams are identical either way.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Run each processor's share of a batch's Computing Phase on a scoped
+    /// worker pool ([`ComputeMode::Serial`] by default — note a
+    /// `Threaded(n)` run uses up to `p·n` compute threads). Final states,
+    /// the message ledger, counted I/O and the per-thread RNG streams are
+    /// identical in every mode (see [`ComputeMode`]).
+    pub fn with_compute_mode(mut self, mode: ComputeMode) -> Self {
+        self.compute = mode;
         self
     }
 
@@ -304,6 +317,7 @@ impl ParEmSimulator {
                 let file_dir = self.file_dir.clone();
                 let io_mode = self.io_mode;
                 let pipeline = self.pipeline;
+                let compute = self.compute;
                 let plan = self.fault_plan.clone();
                 let checksums = self.checksums;
                 let retry = self.retry;
@@ -394,6 +408,12 @@ impl ParEmSimulator {
 
                         let mut counts = GroupCounts::empty(geom.num_groups);
                         let mut phases = PhaseIo::default();
+                        // Wall-clock split; never rewound on replay — the
+                        // time genuinely elapsed.
+                        let mut walls = PhaseWall::default();
+                        // Per-thread context-buffer pool; caches only
+                        // capacity, so replay needs no snapshot of it.
+                        let mut ctx_pool = BufferPool::new();
                         let mut balances = Vec::new();
                         let mut zombie: Option<EmError> = None;
                         let mut exchange_phase = 0u64;
@@ -427,6 +447,7 @@ impl ParEmSimulator {
                                 // Prefetch this round's contexts so the
                                 // local read overlaps the block-forwarding
                                 // exchange below (counted here, at submit).
+                                let fetch_t0 = Instant::now();
                                 let mut pending_ctx: Option<PendingGroupRead> = None;
                                 if pipelined && zombie.is_none() && !pids.is_empty() {
                                     let ops0 = disks.stats().parallel_ops;
@@ -474,6 +495,7 @@ impl ParEmSimulator {
                                 exchange_phase += 1;
                                 let my_blocks: Vec<RawBlock> =
                                     arrived.into_iter().flat_map(|b| b.blocks).collect();
+                                walls.fetch += fetch_t0.elapsed();
 
                                 // --- Computing + Writing Phases. ---
                                 let mut to_store: Vec<Vec<RawBlock>> =
@@ -494,10 +516,13 @@ impl ParEmSimulator {
                                         batch_unit,
                                         k,
                                         gamma,
+                                        compute,
                                         pending_ctx.take(),
                                         if pipelined { Some(&mut backlog) } else { None },
                                         &mut rng,
                                         &mut phases,
+                                        &mut walls,
+                                        &mut ctx_pool,
                                         agg_msgs,
                                         agg_bytes,
                                         agg_h,
@@ -525,6 +550,7 @@ impl ParEmSimulator {
                                 let arrived =
                                     recv_exchange(&rx, &mut pending_bundles, exchange_phase, p);
                                 exchange_phase += 1;
+                                let write_t0 = Instant::now();
                                 if zombie.is_none() {
                                     let received: Vec<RawBlock> =
                                         arrived.into_iter().flat_map(|b| b.blocks).collect();
@@ -558,36 +584,43 @@ impl ParEmSimulator {
                                     }
                                     phases.scatter += disks.stats().parallel_ops - ops0;
                                 }
+                                walls.write += write_t0.elapsed();
                             }
 
                             // Deferred writes must be on disk — and their
                             // errors known — before the local
                             // reorganization (or a rollback) reuses their
                             // tracks.
+                            let drain_t0 = Instant::now();
                             if let Err(e) = backlog.drain() {
                                 if zombie.is_none() {
                                     zombie = Some(e.into());
                                 }
                             }
+                            walls.write += drain_t0.elapsed();
 
                             // --- Step 2: local reorganization (Algorithm 2). ---
                             if zombie.is_none() {
                                 balances.push(scratch.balance_factor());
+                                let reorg_t0 = Instant::now();
                                 let ops0 = disks.stats().parallel_ops;
                                 match simulate_routing(&mut disks, &mut alloc, &geom, scratch) {
                                     Ok((c, _)) => counts = c,
                                     Err(e) => zombie = Some(e),
                                 }
                                 phases.routing += disks.stats().parallel_ops - ops0;
+                                walls.reorganize += reorg_t0.elapsed();
                             }
 
                             // Superstep boundary: this processor's writes are
                             // durable before the barrier ends the superstep.
                             // No-op on memory; generates no counted I/O ops.
                             if zombie.is_none() {
+                                let sync_t0 = Instant::now();
                                 if let Err(e) = disks.sync() {
                                     zombie = Some(e.into());
                                 }
+                                walls.sync += sync_t0.elapsed();
                             }
 
                             // Register this attempt's failure *before* the
@@ -742,6 +775,7 @@ impl ParEmSimulator {
                         reports.lock().push((
                             disks.take_stats(),
                             phases,
+                            walls,
                             alloc.max_frontier(),
                             balances,
                         ));
@@ -785,10 +819,11 @@ impl ParEmSimulator {
 
         let mut io = IoStats::new(self.machine.d);
         let mut phases = PhaseIo::default();
+        let mut phase_wall = PhaseWall::default();
         let mut tracks = 0usize;
         let mut balances: Vec<f64> = Vec::new();
         let mut max_ops = 0u64;
-        for (s, ph, t, b) in reports.into_inner() {
+        for (s, ph, pw, t, b) in reports.into_inner() {
             max_ops = max_ops.max(s.parallel_ops);
             io.merge(&s);
             phases.fetch_ctx += ph.fetch_ctx;
@@ -796,6 +831,8 @@ impl ParEmSimulator {
             phases.scatter += ph.scatter;
             phases.write_ctx += ph.write_ctx;
             phases.routing += ph.routing;
+            // Workers run concurrently: the slowest worker bounds the wall.
+            phase_wall.merge_max(&pw);
             tracks = tracks.max(t);
             for (idx, bf) in b.into_iter().enumerate() {
                 if balances.len() <= idx {
@@ -814,6 +851,7 @@ impl ParEmSimulator {
             lambda: ledger.lambda(),
             io_time: max_ops * self.machine.g_io,
             phases,
+            phase_wall,
             comm: ledger.clone(),
             real_comm_bytes: real_comm.into_inner(),
             wall: start.elapsed(),
@@ -884,10 +922,13 @@ fn run_batch_compute<P: BspProgram>(
     batch_unit: usize,
     k_size: usize,
     gamma: usize,
+    mode: ComputeMode,
     pending_ctx: Option<PendingGroupRead>,
     backlog: Option<&mut WriteBacklog>,
     rng: &mut StdRng,
     phases: &mut PhaseIo,
+    walls: &mut PhaseWall,
+    ctx_pool: &mut BufferPool,
     agg_msgs: &AtomicU64,
     agg_bytes: &AtomicU64,
     agg_h: &AtomicU64,
@@ -915,53 +956,54 @@ fn run_batch_compute<P: BspProgram>(
     // the k regions of this round are consecutive on this processor. A
     // pipelined caller submitted (and counted) the read before the
     // block-forwarding exchange; only the join happens here.
+    let fetch_t0 = Instant::now();
     let ctx_bufs = if pids.is_empty() {
         Vec::new()
     } else if let Some(pending) = pending_ctx {
-        pending.join()?
+        pending.join_into(ctx_pool)?
     } else {
         let ops0 = disks.stats().parallel_ops;
         let first_slot = pids[0].1;
-        let bufs = ctx.read_group(disks, local_region(batch, first_slot), pids.len())?;
+        let pending = ctx.submit_read_group(disks, local_region(batch, first_slot), pids.len())?;
         phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-        bufs
+        pending.join_into(ctx_pool)?
     };
+    walls.fetch += fetch_t0.elapsed();
+
+    // --- Computing Phase: the shared per-vp kernel, serial or pooled. ---
+    let compute_t0 = Instant::now();
+    let work: Vec<VpWork<P::Msg>> = pids
+        .iter()
+        .zip(ctx_bufs)
+        .enumerate()
+        .map(|(local, (&(pid, _slot), ctx_buf))| VpWork {
+            pid,
+            ctx: ctx_buf,
+            inbox: std::mem::take(&mut inboxes[local]),
+            recv_bytes: recv_bytes[local],
+            recv_msgs: recv_msgs[local],
+        })
+        .collect();
     let mut new_states: Vec<Vec<u8>> = Vec::with_capacity(pids.len());
     let mut outgoing: Vec<OutMsg> = Vec::new();
-    for (local, &(pid, _slot)) in pids.iter().enumerate() {
-        let buf = &ctx_bufs[local];
-        let mut state: P::State = from_bytes(buf)?;
-        let mut inbox = std::mem::take(&mut inboxes[local]);
-        inbox.sort_by_key(|&(s, q, _)| (s, q));
-        let incoming: Vec<Envelope<P::Msg>> =
-            inbox.into_iter().map(|(s, _, m)| Envelope { src: s as usize, msg: m }).collect();
-        let mut mb = Mailbox::new(pid, v, incoming);
-        let status = prog.superstep(step, &mut mb, &mut state);
-        let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
-        if status == Step::Continue {
+    for slot in run_group_vps(prog, mode, step, v, gamma, work) {
+        let slot = slot?; // first error in vp order wins, as the serial loop would
+        if slot.continued {
             any_continue.store(true, Ordering::Relaxed);
         }
-        agg_msgs.fetch_add(msgs_sent, Ordering::Relaxed);
-        agg_bytes.fetch_add(bytes_sent, Ordering::Relaxed);
-        agg_h.fetch_max(bytes_sent.max(recv_bytes[local]), Ordering::Relaxed);
-        agg_h_msgs.fetch_max(msgs_sent.max(recv_msgs[local]), Ordering::Relaxed);
-        agg_w.fetch_max(work, Ordering::Relaxed);
-        let mut env_bytes = 0u64;
-        for (seq, (dst, msg)) in out.into_iter().enumerate() {
-            if dst >= v {
-                return Err(EmError::Bsp(BspError::InvalidDestination { dst, nprocs: v }));
-            }
-            let payload = to_bytes(&msg);
-            env_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
-            outgoing.push(OutMsg { dst: dst as u32, src: pid as u32, seq: seq as u32, payload });
-        }
-        if env_bytes > gamma as u64 {
-            return Err(EmError::CommBudgetExceeded { pid, sent: env_bytes, budget: gamma });
-        }
-        new_states.push(to_bytes(&state));
+        agg_msgs.fetch_add(slot.msgs_sent, Ordering::Relaxed);
+        agg_bytes.fetch_add(slot.bytes_sent, Ordering::Relaxed);
+        agg_h.fetch_max(slot.bytes_sent.max(slot.recv_bytes), Ordering::Relaxed);
+        agg_h_msgs.fetch_max(slot.msgs_sent.max(slot.recv_msgs), Ordering::Relaxed);
+        agg_w.fetch_max(slot.work, Ordering::Relaxed);
+        outgoing.extend(slot.outbox);
+        new_states.push(slot.state_bytes);
     }
+    walls.compute += compute_t0.elapsed();
+
     // Write the changed contexts back in one fully-striped batch
     // (Step 1(b)) — deferred into the superstep's backlog when pipelined.
+    let write_t0 = Instant::now();
     if let Some(&(_, first_slot)) = pids.first() {
         let ops0 = disks.stats().parallel_ops;
         match backlog {
@@ -975,6 +1017,8 @@ fn run_batch_compute<P: BspProgram>(
         }
         phases.write_ctx += disks.stats().parallel_ops - ops0;
     }
+    // The submitted stripes hold their own copies of the bytes.
+    ctx_pool.put_all(new_states);
 
     // Writing Phase: cut into blocks — one stream per (this producer,
     // destination batch·owner), so blocks are shared by all messages that
@@ -993,13 +1037,14 @@ fn run_batch_compute<P: BspProgram>(
         any_msgs.store(true, Ordering::Relaxed);
         bundles[rng.gen_range(0..p)].push(b);
     }
+    walls.write += write_t0.elapsed();
     Ok(bundles)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_bsp::{run_sequential, BspStarParams};
+    use em_bsp::{run_sequential, BspStarParams, Mailbox, Step};
 
     fn machine(p: usize, m: usize, d: usize, b: usize) -> EmMachine {
         EmMachine {
@@ -1069,6 +1114,28 @@ mod tests {
         assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
         assert_eq!(ra.phases, rb.phases);
         assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn threaded_compute_parallel_run_is_bit_identical() {
+        let v = 32;
+        let prog = AllToAll { mu: 124 };
+        let base = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
+        let (a, ra) = base.run(&prog, vec![0u64; v]).unwrap();
+        for n in [1usize, 2, 8] {
+            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer] {
+                let threaded = base
+                    .clone()
+                    .with_pipeline(pipeline)
+                    .with_compute_mode(ComputeMode::Threaded(n));
+                let (b, rb) = threaded.run(&prog, vec![0u64; v]).unwrap();
+                assert_eq!(a.states, b.states);
+                assert_eq!(a.ledger, b.ledger);
+                assert_eq!(ra.io, rb.io, "counted I/O must not depend on ComputeMode");
+                assert_eq!(ra.phases, rb.phases);
+                assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+            }
+        }
     }
 
     #[test]

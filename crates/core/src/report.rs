@@ -78,6 +78,51 @@ impl PhaseIo {
     }
 }
 
+/// Wall-clock time attributed to each phase of the simulation.
+///
+/// This is the *secondary* signal of DESIGN.md §3.2.2 — host-dependent
+/// and page-cache-sensitive — split by phase so that a speedup (from
+/// [`crate::ComputeMode::Threaded`], [`em_disk::Pipeline::DoubleBuffer`],
+/// ...) is attributable. Deliberately a separate struct from [`PhaseIo`]:
+/// the counted per-phase I/O operations are asserted bit-identical across
+/// the `IoMode`/`Pipeline`/`ComputeMode` knobs, while wall clocks may —
+/// and should — differ. On the parallel simulator each field is the
+/// maximum across worker threads (the phases run concurrently, so the
+/// slowest worker bounds the wall). Replayed supersteps keep their
+/// timers: the time genuinely elapsed, even if the attempt was rolled
+/// back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseWall {
+    /// Fetching Phase: context and message-region reads (Steps 1(a)/1(b)),
+    /// including pipelined submission and join time.
+    pub fetch: Duration,
+    /// Computation Phase: decode, superstep, re-encode (Step 1(c)).
+    pub compute: Duration,
+    /// Writing Phase: message scatter and context write-back
+    /// (Steps 1(d)/1(e)), including backlog drains.
+    pub write: Duration,
+    /// Step 2: `SimulateRouting` reorganization.
+    pub reorganize: Duration,
+    /// Superstep-boundary durability barrier (`sync()`).
+    pub sync: Duration,
+}
+
+impl PhaseWall {
+    /// Total wall time across phases.
+    pub fn total(&self) -> Duration {
+        self.fetch + self.compute + self.write + self.reorganize + self.sync
+    }
+
+    /// Element-wise maximum, used to merge concurrent workers' timers.
+    pub fn merge_max(&mut self, other: &PhaseWall) {
+        self.fetch = self.fetch.max(other.fetch);
+        self.compute = self.compute.max(other.compute);
+        self.write = self.write.max(other.write);
+        self.reorganize = self.reorganize.max(other.reorganize);
+        self.sync = self.sync.max(other.sync);
+    }
+}
+
 /// Everything measured during one external-memory simulation run.
 #[derive(Debug, Clone)]
 pub struct CostReport {
@@ -95,6 +140,9 @@ pub struct CostReport {
     pub io: IoStats,
     /// Per-phase I/O operation counts, merged across real processors.
     pub phases: PhaseIo,
+    /// Per-phase wall-clock split (max across real processors; secondary
+    /// signal — see [`PhaseWall`]).
+    pub phase_wall: PhaseWall,
     /// Communication ledger of the simulated program (virtual traffic).
     pub comm: CommLedger,
     /// h-relation bytes actually exchanged between *real* processors
@@ -157,6 +205,15 @@ impl CostReport {
             self.wall,
         )
     }
+
+    /// Render the per-phase wall-clock split as a compact one-liner.
+    pub fn phase_wall_summary(&self) -> String {
+        let w = &self.phase_wall;
+        format!(
+            "phase wall: fetch={:.1?} compute={:.1?} write={:.1?} reorg={:.1?} sync={:.1?}",
+            w.fetch, w.compute, w.write, w.reorganize, w.sync
+        )
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +224,31 @@ mod tests {
     fn phase_totals_add_up() {
         let p = PhaseIo { fetch_ctx: 1, fetch_msg: 2, scatter: 3, write_ctx: 4, routing: 5 };
         assert_eq!(p.total(), 15);
+    }
+
+    #[test]
+    fn phase_wall_merge_takes_elementwise_max() {
+        let ms = Duration::from_millis;
+        let mut a = PhaseWall {
+            fetch: ms(5),
+            compute: ms(1),
+            write: ms(3),
+            reorganize: ms(2),
+            sync: ms(0),
+        };
+        let b = PhaseWall {
+            fetch: ms(2),
+            compute: ms(9),
+            write: ms(3),
+            reorganize: ms(1),
+            sync: ms(4),
+        };
+        a.merge_max(&b);
+        assert_eq!(a.fetch, ms(5));
+        assert_eq!(a.compute, ms(9));
+        assert_eq!(a.write, ms(3));
+        assert_eq!(a.reorganize, ms(2));
+        assert_eq!(a.sync, ms(4));
+        assert_eq!(a.total(), ms(23));
     }
 }

@@ -20,16 +20,17 @@
 //! reference executor would: every virtual processor halted and no message
 //! is in flight.
 
-use crate::context_store::ContextStore;
+use crate::compute::{run_group_vps, ComputeMode, VpWork};
+use crate::context_store::{BufferPool, ContextStore};
 use crate::machine::EmMachine;
 use crate::msg::{
     fetch_group_messages, scatter_messages, scatter_messages_deferred, submit_fetch_group_messages,
     GroupCounts, InMsg, MsgGeometry, OutMsg, Placement, MSG_HEADER_BYTES,
 };
-use crate::report::{CostReport, FaultReport, PhaseIo, RecoveryPolicy};
+use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::simulate_routing;
 use crate::{EmError, EmResult};
-use em_bsp::{BspError, BspProgram, CommLedger, Envelope, Mailbox, RunResult, Step, SuperstepComm};
+use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
     DiskArray, FaultPlan, FaultStats, IoMode, Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
 };
@@ -80,6 +81,7 @@ pub struct SeqEmSimulator {
     backend: Backend,
     io_mode: IoMode,
     pipeline: Pipeline,
+    compute: ComputeMode,
     fault_plan: Option<FaultPlan>,
     checksums: bool,
     retry: Option<RetryPolicy>,
@@ -98,6 +100,7 @@ impl SeqEmSimulator {
             backend: Backend::Memory,
             io_mode: IoMode::Parallel,
             pipeline: Pipeline::Off,
+            compute: ComputeMode::Serial,
             fault_plan: None,
             checksums: false,
             retry: None,
@@ -140,6 +143,17 @@ impl SeqEmSimulator {
     /// knob changes only *when* transfers complete.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
+        self
+    }
+
+    /// Run each group's Computation Phase on a scoped worker pool
+    /// ([`ComputeMode::Serial`] by default). Final states, the message
+    /// ledger, counted I/O, the RNG stream and seeded I/O traces are
+    /// identical in every mode — the knob only changes which OS threads
+    /// execute the per-virtual-processor kernel (see
+    /// [`ComputeMode`]).
+    pub fn with_compute_mode(mut self, mode: ComputeMode) -> Self {
+        self.compute = mode;
         self
     }
 
@@ -253,6 +267,12 @@ impl SeqEmSimulator {
         let mut counts = GroupCounts::empty(geom.num_groups);
         let mut ledger = CommLedger::default();
         let mut phases = PhaseIo::default();
+        // Wall-clock split; unlike `phases` it is *not* rewound on replay —
+        // the time genuinely elapsed even when the attempt rolled back.
+        let mut phase_wall = PhaseWall::default();
+        // Context buffers recycle here across groups and supersteps; the
+        // pool caches only capacity, so replay needs no snapshot of it.
+        let mut ctx_pool = BufferPool::new();
         let mut balance_factors = Vec::new();
 
         let replay_budget = self.recovery.map_or(0, |r| r.max_replays_per_superstep);
@@ -283,6 +303,7 @@ impl SeqEmSimulator {
                     gamma,
                     self.placement,
                     self.pipeline,
+                    self.compute,
                     &ctx_store,
                     &geom,
                     &counts,
@@ -290,6 +311,8 @@ impl SeqEmSimulator {
                     &mut alloc,
                     &mut rng,
                     &mut phases,
+                    &mut phase_wall,
+                    &mut ctx_pool,
                 ) {
                     Ok(outcome) => {
                         if self.recovery.is_some() {
@@ -365,6 +388,7 @@ impl SeqEmSimulator {
             lambda,
             io_time: io.io_time(self.machine.g_io),
             phases,
+            phase_wall,
             comm: ledger.clone(),
             real_comm_bytes: 0,
             wall: start.elapsed(),
@@ -442,6 +466,7 @@ fn run_superstep_attempt<P: BspProgram>(
     gamma: usize,
     placement: Placement,
     pipeline: Pipeline,
+    compute: ComputeMode,
     ctx_store: &ContextStore,
     geom: &MsgGeometry,
     counts: &GroupCounts,
@@ -449,6 +474,8 @@ fn run_superstep_attempt<P: BspProgram>(
     alloc: &mut TrackAllocator,
     rng: &mut StdRng,
     phases: &mut PhaseIo,
+    walls: &mut PhaseWall,
+    ctx_pool: &mut BufferPool,
 ) -> EmResult<SuperstepOutcome> {
     let mut scratch = crate::msg::ScratchState::new(geom);
     let mut all_halted = true;
@@ -463,12 +490,14 @@ fn run_superstep_attempt<P: BspProgram>(
         // to the synchronous loop below.
         let mut backlog = WriteBacklog::new();
         let mut next = {
+            let t0 = Instant::now();
             let ops0 = disks.stats().parallel_ops;
             let ctx = ctx_store.submit_read_group(disks, 0, k.min(v))?;
             phases.fetch_ctx += disks.stats().parallel_ops - ops0;
             let ops0 = disks.stats().parallel_ops;
             let msgs = submit_fetch_group_messages(disks, geom, counts, 0)?;
             phases.fetch_msg += disks.stats().parallel_ops - ops0;
+            walls.fetch += t0.elapsed();
             Some((ctx, msgs))
         };
         for group in 0..num_groups {
@@ -477,6 +506,7 @@ fn run_superstep_attempt<P: BspProgram>(
 
             // --- Fetching Phase (next group) ---
             if group + 1 < num_groups {
+                let t0 = Instant::now();
                 let nfirst = (group + 1) * k;
                 let ncount = (nfirst + k).min(v) - nfirst;
                 let ops0 = disks.stats().parallel_ops;
@@ -485,25 +515,32 @@ fn run_superstep_attempt<P: BspProgram>(
                 let ops0 = disks.stats().parallel_ops;
                 let msgs = submit_fetch_group_messages(disks, geom, counts, group + 1)?;
                 phases.fetch_msg += disks.stats().parallel_ops - ops0;
+                walls.fetch += t0.elapsed();
                 next = Some((ctx, msgs));
             }
 
             // --- Computation Phase ---
-            let ctx_bufs = pend_ctx.join()?;
+            let t0 = Instant::now();
+            let ctx_bufs = pend_ctx.join_into(ctx_pool)?;
             let msgs_in = pend_msgs.join()?;
+            walls.fetch += t0.elapsed();
+            let t0 = Instant::now();
             let (bufs, outgoing) = compute_group(
                 prog,
                 step,
                 v,
                 first,
                 gamma,
+                compute,
                 ctx_bufs,
                 msgs_in,
                 &mut step_comm,
                 &mut all_halted,
             )?;
+            walls.compute += t0.elapsed();
 
             // --- Writing Phase (deferred) ---
+            let t0 = Instant::now();
             let ops0 = disks.stats().parallel_ops;
             scatter_messages_deferred(
                 disks,
@@ -521,38 +558,49 @@ fn run_superstep_attempt<P: BspProgram>(
             let ops0 = disks.stats().parallel_ops;
             ctx_store.submit_write_group(disks, first, &bufs, &mut backlog)?;
             phases.write_ctx += disks.stats().parallel_ops - ops0;
+            walls.write += t0.elapsed();
+            // The submitted stripes hold their own copies of the bytes.
+            ctx_pool.put_all(bufs);
         }
         // Algorithm 2 reads the scratch blocks and recycles their
         // tracks: every deferred write must be on disk first.
+        let t0 = Instant::now();
         backlog.drain()?;
+        walls.write += t0.elapsed();
     } else {
         for group in 0..num_groups {
             let first = group * k;
             let count = (first + k).min(v) - first;
 
             // --- Fetching Phase ---
+            let t0 = Instant::now();
             let ops0 = disks.stats().parallel_ops;
-            let ctx_bufs = ctx_store.read_group(disks, first, count)?;
+            let ctx_bufs = ctx_store.submit_read_group(disks, first, count)?.join_into(ctx_pool)?;
             phases.fetch_ctx += disks.stats().parallel_ops - ops0;
 
             let ops0 = disks.stats().parallel_ops;
             let msgs_in = fetch_group_messages(disks, geom, counts, group)?;
             phases.fetch_msg += disks.stats().parallel_ops - ops0;
+            walls.fetch += t0.elapsed();
 
             // --- Computation Phase ---
+            let t0 = Instant::now();
             let (bufs, outgoing) = compute_group(
                 prog,
                 step,
                 v,
                 first,
                 gamma,
+                compute,
                 ctx_bufs,
                 msgs_in,
                 &mut step_comm,
                 &mut all_halted,
             )?;
+            walls.compute += t0.elapsed();
 
             // --- Writing Phase ---
+            let t0 = Instant::now();
             let ops0 = disks.stats().parallel_ops;
             scatter_messages(disks, alloc, geom, &mut scratch, group, outgoing, rng, placement)?;
             phases.scatter += disks.stats().parallel_ops - ops0;
@@ -560,29 +608,36 @@ fn run_superstep_attempt<P: BspProgram>(
             let ops0 = disks.stats().parallel_ops;
             ctx_store.write_group(disks, first, &bufs)?;
             phases.write_ctx += disks.stats().parallel_ops - ops0;
+            walls.write += t0.elapsed();
+            ctx_pool.put_all(bufs);
         }
     }
 
     // --- Step 2: reorganize the generated messages. ---
     let any_msgs = scratch.total() > 0;
     let balance = scratch.balance_factor();
+    let t0 = Instant::now();
     let ops0 = disks.stats().parallel_ops;
     let (new_counts, _trace) = simulate_routing(disks, alloc, geom, scratch)?;
     phases.routing += disks.stats().parallel_ops - ops0;
+    walls.reorganize += t0.elapsed();
 
     // Superstep boundary: everything written this superstep is on disk —
     // and the caller's recovery epoch may commit — before any committed
     // bookkeeping advances. No-op on the memory backend; generates no
     // counted I/O operations.
+    let t0 = Instant::now();
     disks.sync()?;
+    walls.sync += t0.elapsed();
 
     Ok(SuperstepOutcome { counts: new_counts, any_msgs, all_halted, balance, comm: step_comm })
 }
 
 /// Computation Phase for one group (Step 1(c)): distribute the fetched
-/// messages to per-pid inboxes in canonical `(src, seq)` order, run the
-/// superstep for every virtual processor of the group, and serialize the
-/// updated contexts. Returns `(serialized contexts, outgoing messages)`.
+/// messages to per-pid inboxes, run the superstep for every virtual
+/// processor of the group (serially or on a scoped worker pool, per
+/// `mode`), and serialize the updated contexts. Returns
+/// `(serialized contexts, outgoing messages)` concatenated in vp order.
 /// Pure with respect to the disks — both the synchronous and the
 /// double-buffered group loops share it.
 #[allow(clippy::too_many_arguments)]
@@ -592,6 +647,7 @@ fn compute_group<P: BspProgram>(
     v: usize,
     first: usize,
     gamma: usize,
+    mode: ComputeMode,
     ctx_bufs: Vec<Vec<u8>>,
     msgs_in: Vec<InMsg>,
     step_comm: &mut SuperstepComm,
@@ -608,44 +664,33 @@ fn compute_group<P: BspProgram>(
         let msg: P::Msg = from_bytes(&m.payload)?;
         inboxes[local].push((m.src, m.seq, msg));
     }
-    for inbox in &mut inboxes {
-        inbox.sort_by_key(|&(src, seq, _)| (src, seq));
-    }
+
+    let work: Vec<VpWork<P::Msg>> = ctx_bufs
+        .into_iter()
+        .enumerate()
+        .map(|(local, ctx)| VpWork {
+            pid: first + local,
+            ctx,
+            inbox: std::mem::take(&mut inboxes[local]),
+            recv_bytes: recv_bytes[local],
+            recv_msgs: recv_msgs[local],
+        })
+        .collect();
 
     let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(count);
     let mut outgoing: Vec<OutMsg> = Vec::new();
-    for (local, buf) in ctx_bufs.iter().enumerate() {
-        let pid = first + local;
-        let mut state: P::State = from_bytes(buf)?;
-        let incoming: Vec<Envelope<P::Msg>> = std::mem::take(&mut inboxes[local])
-            .into_iter()
-            .map(|(src, _, msg)| Envelope { src: src as usize, msg })
-            .collect();
-        let mut mb = Mailbox::new(pid, v, incoming);
-        let status = prog.superstep(step, &mut mb, &mut state);
-        let (out, msgs_sent, bytes_sent, work) = mb.into_outgoing();
-        if status == Step::Continue {
+    for slot in run_group_vps(prog, mode, step, v, gamma, work) {
+        let slot = slot?; // first error in vp order wins, as the serial loop would
+        if slot.continued {
             *all_halted = false;
         }
-        step_comm.msgs += msgs_sent;
-        step_comm.bytes += bytes_sent;
-        step_comm.h_bytes = step_comm.h_bytes.max(bytes_sent).max(recv_bytes[local]);
-        step_comm.h_msgs = step_comm.h_msgs.max(msgs_sent).max(recv_msgs[local]);
-        step_comm.w_comp = step_comm.w_comp.max(work);
-
-        let mut envelope_bytes = 0u64;
-        for (seq, (dst, msg)) in out.into_iter().enumerate() {
-            if dst >= v {
-                return Err(EmError::Bsp(BspError::InvalidDestination { dst, nprocs: v }));
-            }
-            let payload = to_bytes(&msg);
-            envelope_bytes += (MSG_HEADER_BYTES + payload.len()) as u64;
-            outgoing.push(OutMsg { dst: dst as u32, src: pid as u32, seq: seq as u32, payload });
-        }
-        if envelope_bytes > gamma as u64 {
-            return Err(EmError::CommBudgetExceeded { pid, sent: envelope_bytes, budget: gamma });
-        }
-        bufs.push(to_bytes(&state));
+        step_comm.msgs += slot.msgs_sent;
+        step_comm.bytes += slot.bytes_sent;
+        step_comm.h_bytes = step_comm.h_bytes.max(slot.bytes_sent).max(slot.recv_bytes);
+        step_comm.h_msgs = step_comm.h_msgs.max(slot.msgs_sent).max(slot.recv_msgs);
+        step_comm.w_comp = step_comm.w_comp.max(slot.work);
+        outgoing.extend(slot.outbox);
+        bufs.push(slot.state_bytes);
     }
     Ok((bufs, outgoing))
 }
@@ -653,7 +698,7 @@ fn compute_group<P: BspProgram>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_bsp::run_sequential;
+    use em_bsp::{run_sequential, Mailbox, Step};
 
     fn machine(m: usize, d: usize, b: usize) -> EmMachine {
         EmMachine::uniprocessor(m, d, b, 1)
@@ -740,6 +785,27 @@ mod tests {
         assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
         assert_eq!(ra.phases, rb.phases, "per-phase attribution must not depend on the knob");
         assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn threaded_compute_is_bit_identical_to_serial() {
+        let prog = AllToAll { mu: 124 };
+        let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
+        let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
+        for n in [1usize, 2, 8] {
+            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer] {
+                let threaded = base
+                    .clone()
+                    .with_pipeline(pipeline)
+                    .with_compute_mode(ComputeMode::Threaded(n));
+                let (b, rb) = threaded.run(&prog, vec![0u64; 16]).unwrap();
+                assert_eq!(a.states, b.states);
+                assert_eq!(a.ledger, b.ledger);
+                assert_eq!(ra.io, rb.io, "counted I/O must not depend on ComputeMode");
+                assert_eq!(ra.phases, rb.phases);
+                assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub struct DiskArray {
     epoch: u64,
     /// Pre-image undo log for the current recovery epoch, if one is open.
     journal: Option<RecoveryJournal>,
+    /// Free list of pre-image buffers, recycled when an epoch closes so
+    /// steady-state recovery journaling stops allocating per track.
+    pre_image_pool: Vec<Vec<u8>>,
+    /// Reusable address staging for [`DiskArray::read_blocks_batched`].
+    addr_scratch: Vec<(usize, usize)>,
+    /// Reusable index staging for [`DiskArray::read_blocks_batched`].
+    idx_scratch: Vec<usize>,
 }
 
 /// Undo log for one recovery epoch (one compound superstep): the content
@@ -134,6 +141,9 @@ impl DiskArray {
             backend,
             max_tracks: None,
             journal: None,
+            pre_image_pool: Vec::new(),
+            addr_scratch: Vec::new(),
+            idx_scratch: Vec::new(),
         }
     }
 
@@ -228,7 +238,9 @@ impl DiskArray {
     /// Close the current recovery epoch, keeping everything written in it.
     pub fn commit_recovery_epoch(&mut self) {
         self.poll_retries();
-        self.journal = None;
+        if let Some(journal) = self.journal.take() {
+            self.pre_image_pool.extend(journal.pre.into_values());
+        }
     }
 
     /// Abandon the current recovery epoch: restore every track written in
@@ -247,22 +259,26 @@ impl DiskArray {
         };
         let discarded = self.stats.parallel_ops - journal.stats_at_begin.parallel_ops;
         let mut rollback_ops = 0u64;
+        // One stripe of borrowed pre-images per flush; the `seen`/`epoch`
+        // marker doubles as the per-stripe drive-conflict set.
         let mut stripe: Vec<(usize, usize, &[u8])> = Vec::with_capacity(self.cfg.num_disks);
-        let mut in_stripe = vec![false; self.cfg.num_disks];
+        self.epoch += 1;
         for &(disk, track) in &journal.order {
-            if in_stripe[disk] || stripe.len() == self.cfg.num_disks {
+            if self.seen[disk] == self.epoch || stripe.len() == self.cfg.num_disks {
                 self.backend.write_stripe(&stripe)?;
                 rollback_ops += 1;
                 stripe.clear();
-                in_stripe.fill(false);
+                self.epoch += 1;
             }
-            in_stripe[disk] = true;
+            self.seen[disk] = self.epoch;
             stripe.push((disk, track, journal.pre[&(disk, track)].as_slice()));
         }
         if !stripe.is_empty() {
             self.backend.write_stripe(&stripe)?;
             rollback_ops += 1;
         }
+        drop(stripe);
+        self.pre_image_pool.extend(journal.pre.into_values());
         self.poll_retries();
         let mut restored = journal.stats_at_begin.clone();
         restored.retried_blocks = self.stats.retried_blocks;
@@ -283,7 +299,9 @@ impl DiskArray {
             if journal.pre.contains_key(&key) {
                 continue;
             }
-            let mut buf = vec![0u8; self.cfg.block_bytes];
+            let mut buf = self.pre_image_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.resize(self.cfg.block_bytes, 0);
             self.backend.read_track(*disk, *track, &mut buf)?;
             self.stats.recovery_ops += 1;
             let journal = self.journal.as_mut().expect("epoch checked above");
@@ -414,8 +432,12 @@ impl DiskArray {
     pub fn read_blocks_batched(&mut self, addrs: &[(usize, usize)]) -> DiskResult<Vec<Block>> {
         let mut out: Vec<Option<Block>> = (0..addrs.len()).map(|_| None).collect();
         let mut remaining: Vec<usize> = (0..addrs.len()).collect();
-        let mut stripe: Vec<(usize, usize)> = Vec::with_capacity(self.cfg.num_disks);
-        let mut stripe_idx: Vec<usize> = Vec::with_capacity(self.cfg.num_disks);
+        // Borrow the member scratch for the duration of the call so the
+        // staging capacity survives across calls (this runs once per group
+        // per superstep). Restored — even on error — before returning.
+        let mut stripe = std::mem::take(&mut self.addr_scratch);
+        let mut stripe_idx = std::mem::take(&mut self.idx_scratch);
+        let mut result: DiskResult<()> = Ok(());
         while !remaining.is_empty() {
             stripe.clear();
             stripe_idx.clear();
@@ -438,13 +460,26 @@ impl DiskArray {
             if stripe.is_empty() {
                 // Only possible if an address is out of range.
                 let (disk, _) = addrs[remaining[0]];
-                return Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
+                result = Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
+                break;
             }
-            let blocks = self.read_stripe(&stripe)?;
-            for (i, b) in stripe_idx.iter().zip(blocks) {
-                out[*i] = Some(b);
+            match self.read_stripe(&stripe) {
+                Ok(blocks) => {
+                    for (i, b) in stripe_idx.iter().zip(blocks) {
+                        out[*i] = Some(b);
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
             }
         }
+        stripe.clear();
+        stripe_idx.clear();
+        self.addr_scratch = stripe;
+        self.idx_scratch = stripe_idx;
+        result?;
         Ok(out.into_iter().map(|b| b.expect("all blocks read")).collect())
     }
 
@@ -453,12 +488,17 @@ impl DiskArray {
         &mut self,
         mut writes: Vec<(usize, usize, Block)>,
     ) -> DiskResult<()> {
+        // Both staging vectors are hoisted out of the stripe loop and
+        // swapped each round, so a batch costs two allocations total
+        // instead of two per emitted stripe.
+        let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(self.cfg.num_disks);
+        let mut rest: Vec<(usize, usize, Block)> = Vec::new();
         while !writes.is_empty() {
-            let mut stripe: Vec<(usize, usize, Block)> = Vec::with_capacity(self.cfg.num_disks);
+            stripe.clear();
+            rest.clear();
             self.epoch += 1;
             let epoch = self.epoch;
-            let mut rest = Vec::new();
-            for w in writes {
+            for w in writes.drain(..) {
                 let disk = w.0;
                 if disk >= self.cfg.num_disks {
                     return Err(DiskError::DiskOutOfRange { disk, num_disks: self.cfg.num_disks });
@@ -471,7 +511,7 @@ impl DiskArray {
                 }
             }
             self.write_stripe(&stripe)?;
-            writes = rest;
+            std::mem::swap(&mut writes, &mut rest);
         }
         Ok(())
     }
@@ -841,6 +881,25 @@ mod tests {
         let s = a.stats();
         assert_eq!(s.parallel_ops, committed.parallel_ops + 3, "3 verification reads");
         assert!(s.recovery_ops > 0, "discarded ops + pre-image reads + rollback writes");
+    }
+
+    #[test]
+    fn recycled_pre_image_buffers_do_not_leak_between_epochs() {
+        // Epoch 1 journals tracks with non-zero content, then commits —
+        // returning its pre-image buffers to the pool. Epoch 2 must
+        // journal fresh content in those recycled buffers, so a rollback
+        // restores epoch-2 pre-images, not stale epoch-1 bytes.
+        let mut a = array(2, 8);
+        a.begin_recovery_epoch();
+        a.write_block(0, 0, Block::from_bytes_padded(&[0x11], 8)).unwrap();
+        a.write_block(1, 0, Block::from_bytes_padded(&[0x22], 8)).unwrap();
+        a.commit_recovery_epoch();
+        a.begin_recovery_epoch();
+        a.write_block(0, 0, Block::from_bytes_padded(&[0x33], 8)).unwrap();
+        a.write_block(1, 0, Block::from_bytes_padded(&[0x44], 8)).unwrap();
+        a.rollback_recovery_epoch().unwrap();
+        assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 0x11);
+        assert_eq!(a.read_block(1, 0).unwrap().as_bytes()[0], 0x22);
     }
 
     #[test]

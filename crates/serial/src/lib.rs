@@ -65,6 +65,20 @@ pub fn to_bytes<T: Serial>(value: &T) -> Vec<u8> {
     buf
 }
 
+/// Encode a single value into a caller-provided buffer, reusing its
+/// allocation.
+///
+/// The buffer is cleared first, so after the call it holds exactly the
+/// same bytes [`to_bytes`] would return — but hot paths that encode a
+/// value per virtual processor per superstep can recycle one buffer
+/// instead of allocating a fresh `Vec` each time.
+pub fn to_bytes_into<T: Serial>(value: &T, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.reserve(value.encoded_len());
+    value.encode(buf);
+    debug_assert_eq!(buf.len(), value.encoded_len(), "encoded_len mismatch");
+}
+
 /// Decode a single value from a byte slice, requiring that the whole slice
 /// is consumed.
 pub fn from_bytes<T: Serial>(bytes: &[u8]) -> Result<T, DecodeError> {
@@ -93,6 +107,18 @@ mod tests {
         let b = to_bytes(&v);
         assert_eq!(b.len(), 8);
         assert_eq!(from_bytes::<u64>(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn to_bytes_into_reuses_and_matches() {
+        let mut buf = vec![0xFFu8; 64];
+        let v: (u32, Vec<u16>) = (7, vec![1, 2, 3]);
+        to_bytes_into(&v, &mut buf);
+        assert_eq!(buf, to_bytes(&v));
+        // A second encode into the same buffer overwrites, not appends.
+        let w: (u32, Vec<u16>) = (9, vec![4]);
+        to_bytes_into(&w, &mut buf);
+        assert_eq!(buf, to_bytes(&w));
     }
 
     #[test]

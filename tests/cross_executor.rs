@@ -27,7 +27,7 @@ use em_algos::sort::{cgm_sort, seq_sort};
 use em_algos::transpose::{cgm_transpose, seq_transpose};
 use em_bsp::BspStarParams;
 use em_bsp::{Executor, SeqExecutor, ThreadedRunner};
-use em_core::{EmMachine, ParEmSimulator, SeqEmSimulator};
+use em_core::{ComputeMode, EmMachine, ParEmSimulator, SeqEmSimulator};
 use em_disk::Pipeline;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -49,8 +49,8 @@ fn em_machine(p: usize) -> EmMachine {
 
 /// Run `f` against all four executors and assert the outputs agree. The
 /// two EM simulators additionally run with the double-buffered fetch/
-/// compute/write pipeline — the overlap knob must not change any
-/// observable result.
+/// compute/write pipeline and with [`ComputeMode::Threaded`] in-group
+/// compute — neither overlap knob may change any observable result.
 fn check_all<T: PartialEq + std::fmt::Debug>(f: impl Fn(&dyn ExecDyn) -> T, reference: T) {
     let seq = SeqExecutor;
     let thr = ThreadedRunner::new(4);
@@ -58,12 +58,20 @@ fn check_all<T: PartialEq + std::fmt::Debug>(f: impl Fn(&dyn ExecDyn) -> T, refe
     let emp = ParEmSimulator::new(em_machine(3)).with_seed(78);
     let em1_pipe = em1.clone().with_pipeline(Pipeline::DoubleBuffer);
     let emp_pipe = emp.clone().with_pipeline(Pipeline::DoubleBuffer);
+    let em1_mt = em1.clone().with_compute_mode(ComputeMode::Threaded(4));
+    let emp_mt = emp.clone().with_compute_mode(ComputeMode::Threaded(4));
+    let em1_mt_pipe = em1_pipe.clone().with_compute_mode(ComputeMode::Threaded(2));
+    let emp_mt_pipe = emp_pipe.clone().with_compute_mode(ComputeMode::Threaded(2));
     assert_eq!(f(&seq), reference, "sequential reference executor");
     assert_eq!(f(&thr), reference, "threaded runner");
     assert_eq!(f(&em1), reference, "uniprocessor EM simulation");
     assert_eq!(f(&emp), reference, "3-processor EM simulation");
     assert_eq!(f(&em1_pipe), reference, "uniprocessor EM simulation (pipelined)");
     assert_eq!(f(&emp_pipe), reference, "3-processor EM simulation (pipelined)");
+    assert_eq!(f(&em1_mt), reference, "uniprocessor EM simulation (threaded compute)");
+    assert_eq!(f(&emp_mt), reference, "3-processor EM simulation (threaded compute)");
+    assert_eq!(f(&em1_mt_pipe), reference, "uniprocessor EM simulation (pipelined + threaded)");
+    assert_eq!(f(&emp_mt_pipe), reference, "3-processor EM simulation (pipelined + threaded)");
 }
 
 /// Object-safe shim so `check_all` can take any executor.
