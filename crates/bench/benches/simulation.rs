@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use em_bsp::{BspProgram, Mailbox, Step};
 use em_core::{
-    scatter_messages, simulate_routing, EmMachine, MsgGeometry, OutMsg, ParEmSimulator, Placement,
-    ScratchState, SeqEmSimulator,
+    scatter_messages, simulate_routing, BufferPool, EmMachine, MsgGeometry, OutMsg, ParEmSimulator,
+    Placement, RoutingScratch, ScratchState, SeqEmSimulator,
 };
 use em_disk::{DiskArray, DiskConfig, TrackAllocator};
 use rand::rngs::StdRng;
@@ -48,7 +48,15 @@ fn bench_scatter_and_routing(c: &mut Criterion) {
                 )
                 .unwrap();
             }
-            simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap()
+            simulate_routing(
+                &mut disks,
+                &mut alloc,
+                &geom,
+                scratch,
+                &mut RoutingScratch::new(),
+                &mut BufferPool::new(),
+            )
+            .unwrap()
         });
     });
     g.finish();

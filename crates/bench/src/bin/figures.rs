@@ -3,7 +3,7 @@
 //!
 //! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
 //! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
-//! det-vs-rand, contraction, obs2, faults, compute, all}. `--smoke`
+//! det-vs-rand, contraction, obs2, faults, compute, cache, all}. `--smoke`
 //! shrinks every sweep to CI-sized inputs (seconds, debug build) while
 //! exercising the same code paths and in-process asserts.
 //!
@@ -24,7 +24,10 @@ use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, mea
 use em_bench::report::{print_json, print_table, write_bench_json, PhaseWallRow, Row};
 use em_bench::workloads::*;
 use em_core::theory;
-use em_core::{scatter_messages, simulate_routing, MsgGeometry, OutMsg, Placement, ScratchState};
+use em_core::{
+    scatter_messages, simulate_routing, BufferPool, MsgGeometry, OutMsg, Placement, RoutingScratch,
+    ScratchState,
+};
 use em_disk::{DiskArray, DiskConfig, IoMode, IoStats, Pipeline, TrackAllocator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -81,6 +84,8 @@ fn fig_blocking() -> Vec<Row> {
             lambda: 0,
             utilization: stats.io.utilization(),
             wall_ms: 0.0,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("{} records/block", b / 8),
         });
     }
@@ -101,6 +106,8 @@ fn fig_blocking() -> Vec<Row> {
             io.parallel_ops / blocked_at_4096
         ),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
     });
     rows
 }
@@ -133,6 +140,8 @@ fn fig_disks() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("speedup {:.2}x vs D=1", base as f64 / cost.io_ops as f64),
         });
         let mut off_stats: Option<Vec<IoStats>> = None;
@@ -174,6 +183,8 @@ fn fig_disks() -> Vec<Row> {
                 lambda: fcost.lambda,
                 utilization: fcost.utilization,
                 wall_ms: fcost.wall_ms,
+                cache_hit_blocks: 0,
+                cache_absorbed_writes: 0,
                 note: if pl == Pipeline::DoubleBuffer {
                     "IoStats asserted identical to the non-pipelined row".into()
                 } else {
@@ -217,6 +228,8 @@ fn fig_procs() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "per-proc; speedup {:.2}x; real comm {} KiB",
                 base as f64 / per_proc.max(1) as f64,
@@ -262,6 +275,8 @@ fn fig_procs() -> Vec<Row> {
                 lambda: fcost.lambda,
                 utilization: fcost.utilization,
                 wall_ms: fcost.wall_ms,
+                cache_hit_blocks: 0,
+                cache_absorbed_writes: 0,
                 note: if pl == Pipeline::DoubleBuffer {
                     "per-proc; IoStats asserted identical to the non-pipelined row".into()
                 } else {
@@ -335,6 +350,8 @@ fn fig_balance() -> Vec<Row> {
             lambda: 0,
             utilization: 0.0,
             wall_ms: 0.0,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "worst l={worst:.2} mean l={:.2}; Lemma2 Pr[X≥l·R/D]≤{:.1e}",
                 sum / trials as f64,
@@ -414,6 +431,8 @@ fn fig_lambda() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("{:.0} ops/superstep", cost.io_ops as f64 / cost.lambda as f64),
         });
     }
@@ -475,6 +494,8 @@ fn fig_sibeyn() -> Vec<Row> {
             lambda: 2,
             utilization: io_a.utilization(),
             wall_ms: 0.0,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: "v×v matrix, no blocking adaptation".into(),
         });
         rows.push(Row {
@@ -486,6 +507,8 @@ fn fig_sibeyn() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("ratio {:.1}x", io_a.parallel_ops as f64 / cost.io_ops.max(1) as f64),
         });
     }
@@ -513,6 +536,8 @@ fn fig_group_size() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("k={} groups={}", r.k, r.num_groups),
         });
     }
@@ -549,6 +574,8 @@ fn fig_det_vs_rand() -> Vec<Row> {
             lambda: reports.iter().map(|r| r.lambda).sum(),
             utilization: 0.0,
             wall_ms: wall,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("worst balance {balance:.2}"),
         });
     }
@@ -580,6 +607,8 @@ fn fig_contraction() -> Vec<Row> {
             lambda: jump.lambda,
             utilization: jump.utilization,
             wall_ms: jump.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!("msg bytes {}", jump.msg_bytes),
         });
         rows.push(Row {
@@ -591,6 +620,8 @@ fn fig_contraction() -> Vec<Row> {
             lambda: contract.lambda,
             utilization: contract.utilization,
             wall_ms: contract.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "msg bytes {} ({:.1}x less traffic, {:.2}x ops)",
                 contract.msg_bytes,
@@ -633,6 +664,8 @@ fn fig_obs2() -> Vec<Row> {
             lambda: cost.lambda,
             utilization: cost.utilization,
             wall_ms: cost.wall_ms,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "c=comp/T={:.2} comm/T={:.4} io/T={:.4}",
                 r.comp_ratio, r.comm_ratio, r.io_ratio
@@ -727,6 +760,8 @@ fn fig_faults() -> Vec<Row> {
             lambda: report.lambda,
             utilization: report.io.utilization(),
             wall_ms: wall,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "injected={} retried={} replays={} recovered_steps={} recovery_ops={} wall {:.2}x",
                 f.injected.total(),
@@ -854,6 +889,8 @@ fn fig_compute() -> (Vec<Row>, Vec<PhaseWallRow>) {
             lambda: report.lambda,
             utilization: report.io.utilization(),
             wall_ms: wall,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: format!(
                 "k={}; states+IoStats+PhaseIo asserted identical across ComputeMode",
                 report.k
@@ -864,6 +901,142 @@ fn fig_compute() -> (Vec<Row>, Vec<PhaseWallRow>) {
             report.io.parallel_ops,
             &report.phase_wall,
         ));
+    }
+    (rows, walls)
+}
+
+/// F-cache: write-back block-cache ablation — capacity sweep from 0 (no
+/// cache) past `v·μ + γ` (working-set residency) on both the uniprocessor
+/// and the `p`-processor simulator. Every cached run asserts, in process,
+/// that its final states, message ledger, per-phase operation counts and
+/// counted [`em_disk::IoStats`] — with only the two cache tallies masked —
+/// are bit-identical to the cache-off run: the cache may only absorb
+/// backend traffic (visible in `cache_hit_blocks`/`cache_absorbed_writes`
+/// and in the fetch/write wall clock), never change what is counted.
+fn fig_cache() -> (Vec<Row>, Vec<PhaseWallRow>) {
+    use em_bsp::{BspProgram, Mailbox, Step};
+    use em_core::{ParEmSimulator, SeqEmSimulator};
+
+    struct Ring {
+        rounds: usize,
+    }
+    impl BspProgram for Ring {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            for e in mb.take_incoming() {
+                *state = state.wrapping_add(e.msg);
+            }
+            if step < self.rounds {
+                let v = mb.nprocs();
+                mb.send((mb.pid() + 1) % v, *state + step as u64);
+                mb.send((mb.pid() + v - 1) % v, state.wrapping_mul(3));
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            124
+        }
+        fn max_comm_bytes(&self) -> usize {
+            2 * 24
+        }
+    }
+
+    let v = 32usize;
+    let d = 4usize;
+    let prog = Ring { rounds: pick(12, 6) };
+    let init: Vec<u64> = (0..v as u64).collect();
+    // The paper-facing residency threshold: one cache big enough for every
+    // virtual processor's context plus the superstep's message envelopes.
+    let vmug = v * prog.max_state_bytes() + prog.max_comm_bytes();
+    let caps: Vec<usize> =
+        pick(vec![0, vmug / 4, vmug / 2, vmug, 4 * vmug], vec![0, vmug, 4 * vmug]);
+
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    // (final states, ledger, IoStats, PhaseIo) of each sim's cache-off run.
+    type Baseline = (Vec<u64>, em_bsp::CommLedger, IoStats, em_core::PhaseIo);
+    for par in [false, true] {
+        // M = 1 KiB forces k = 8 (four groups per processor): real paging
+        // traffic every superstep, so the cache has something to absorb.
+        let mut baseline: Option<Baseline> = None;
+        for &cap in &caps {
+            let t0 = std::time::Instant::now();
+            let (res, report) = if par {
+                ParEmSimulator::new(machine(4, 1024, d, 256))
+                    .with_seed(SEED)
+                    .with_cache(cap)
+                    .run(&prog, init.clone())
+                    .unwrap()
+            } else {
+                SeqEmSimulator::new(machine(1, 1024, d, 256))
+                    .with_seed(SEED)
+                    .with_cache(cap)
+                    .run(&prog, init.clone())
+                    .unwrap()
+            };
+            let wall = t0.elapsed().as_secs_f64() * 1e3;
+            let mut masked = report.io.clone();
+            masked.cache_hit_blocks = 0;
+            masked.cache_absorbed_writes = 0;
+            match &baseline {
+                None => {
+                    assert_eq!(cap, 0, "the first sweep point is the cache-off baseline");
+                    baseline = Some((res.states, res.ledger, masked, report.phases.clone()));
+                }
+                Some((b_states, b_ledger, b_io, b_phases)) => {
+                    assert_eq!(&res.states, b_states, "cache must not change final states");
+                    assert_eq!(&res.ledger, b_ledger, "cache must not change the ledger");
+                    assert_eq!(&masked, b_io, "cache must not change counted IoStats");
+                    assert_eq!(&report.phases, b_phases, "cache must not move phase counts");
+                }
+            }
+            if cap >= vmug {
+                assert!(
+                    report.io.cache_hit_blocks > 0,
+                    "a cache at working-set capacity must absorb reads"
+                );
+                assert!(
+                    report.io.cache_absorbed_writes > 0,
+                    "a write-back cache must buffer writes until the barrier"
+                );
+            }
+            if cap == 0 {
+                assert_eq!(report.io.cache_hit_blocks, 0);
+                assert_eq!(report.io.cache_absorbed_writes, 0);
+            }
+            let label = format!(
+                "{} cache={cap}B{}",
+                if par { "par p=4" } else { "seq" },
+                if cap >= vmug && cap > 0 { " (≥v·μ+γ)" } else { "" }
+            );
+            // Timing goes to stderr and the `…wall_ms` fields only; the
+            // note stays bit-identical across reruns.
+            eprintln!("F-cache {label}: wall {wall:.1} ms; {}", report.phase_wall_summary());
+            rows.push(Row {
+                id: "F-cache".into(),
+                variant: label.clone(),
+                n: v,
+                io_ops: report.io.parallel_ops,
+                predicted: 0.0,
+                lambda: report.lambda,
+                utilization: report.io.utilization(),
+                wall_ms: wall,
+                cache_hit_blocks: report.io.cache_hit_blocks,
+                cache_absorbed_writes: report.io.cache_absorbed_writes,
+                note: format!(
+                    "hits={} absorbed={}; states+ledger+IoStats asserted identical to cache-off",
+                    report.io.cache_hit_blocks, report.io.cache_absorbed_writes
+                ),
+            });
+            walls.push(PhaseWallRow::from_wall(
+                format!("F-cache {label}"),
+                report.io.parallel_ops,
+                &report.phase_wall,
+            ));
+        }
     }
     (rows, walls)
 }
@@ -901,7 +1074,15 @@ fn fig_fig2() -> Vec<Row> {
     let blocks = scratch.total();
     let balance = scratch.balance_factor();
     let ops_before = disks.stats().parallel_ops;
-    let (counts, trace) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+    let (counts, trace) = simulate_routing(
+        &mut disks,
+        &mut alloc,
+        &geom,
+        scratch,
+        &mut RoutingScratch::new(),
+        &mut BufferPool::new(),
+    )
+    .unwrap();
     let ops_routing = disks.stats().parallel_ops - ops_before;
     vec![Row {
         id: "F-fig2".into(),
@@ -912,6 +1093,8 @@ fn fig_fig2() -> Vec<Row> {
         lambda: 0,
         utilization: disks.stats().utilization(),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!(
             "step1 rounds={} step2 rounds={} idle={} balance={balance:.2} groups_filled={}",
             trace.step1_rounds,
@@ -965,6 +1148,11 @@ fn main() {
     }
     if matches!(which, "all" | "compute") {
         let (r, w) = fig_compute();
+        rows.extend(r);
+        walls.extend(w);
+    }
+    if matches!(which, "all" | "cache") {
+        let (r, w) = fig_cache();
         rows.extend(r);
         walls.extend(w);
     }

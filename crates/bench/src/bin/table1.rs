@@ -52,6 +52,8 @@ fn push_sim_rows(
         lambda: seq.lambda,
         utilization: seq.utilization,
         wall_ms: seq.wall_ms,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("balance≤{:.2}", seq.worst_balance),
     });
     let predp =
@@ -65,6 +67,8 @@ fn push_sim_rows(
         lambda: par.lambda,
         utilization: par.utilization,
         wall_ms: par.wall_ms,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!(
             "per-proc ops; speedup {:.1}x vs p=1",
             seq.io_ops as f64 / (par.io_ops as f64 / P as f64)
@@ -93,6 +97,8 @@ fn sort_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: stats.io.utilization(),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("runs={} passes={}", stats.runs, stats.passes),
     });
 
@@ -127,6 +133,8 @@ fn permute_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: stats.io.utilization(),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
 
@@ -158,6 +166,8 @@ fn transpose_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: stats.io.utilization(),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("{r}x{c}"),
     });
 
@@ -199,6 +209,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("hull size {}", hull.len()),
     });
     push_sim_rows(&mut rows, walls, "T1-B-hull", n, nb(n, 16), seq, par);
@@ -221,6 +233,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("maxima {}", mx.len()),
     });
     push_sim_rows(&mut rows, walls, "T1-B-max3d", n, nb(n, 24), seq, par);
@@ -243,6 +257,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
     push_sim_rows(&mut rows, walls, "T1-B-dom", n, nb(n, 48), seq, par);
@@ -268,6 +284,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
     push_sim_rows(&mut rows, walls, "T1-B-next", 2 * n, nb(2 * n, 17), seq, par);
@@ -291,6 +309,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
     push_sim_rows(&mut rows, walls, "T1-B-env", n, nb(2 * n, 35), seq, par);
@@ -314,6 +334,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("δ² = {}", cp_seq.0),
     });
     push_sim_rows(&mut rows, walls, "T1-B-cp", n, nb(n, 16), seq, par);
@@ -355,6 +377,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: "disjoint clouds: separable".into(),
     });
     push_sim_rows(&mut rows, walls, "T1-B-sep", 2 * n, nb(2 * n, 16), seq, par);
@@ -378,6 +402,8 @@ fn geometry_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
     push_sim_rows(&mut rows, walls, "T1-B-rect", n, nb(2 * n, 41), seq, par);
@@ -410,6 +436,8 @@ fn graph_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: steps,
         utilization: pram_io.utilization(),
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("{steps} PRAM steps, 2 sorts each"),
     });
     let (got, seq) = measure_seq(machine(1, M, D, B), SEED, |rec| {
@@ -439,6 +467,8 @@ fn graph_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: String::new(),
     });
     push_sim_rows(&mut rows, walls, "T1-C-et", n, (2 * n * 16) as u64, seq, par);
@@ -470,6 +500,8 @@ fn graph_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("{} queries", queries.len()),
     });
     push_sim_rows(&mut rows, walls, "T1-C-lca", n, (3 * n * 16) as u64, seq, par);
@@ -492,6 +524,8 @@ fn graph_rows(scale: f64, walls: &mut Vec<PhaseWallRow>) -> Vec<Row> {
         lambda: 0,
         utilization: 0.0,
         wall_ms: 0.0,
+        cache_hit_blocks: 0,
+        cache_absorbed_writes: 0,
         note: format!("m={}", edges.len()),
     });
     push_sim_rows(&mut rows, walls, "T1-C-cc", n, (3 * n * 24) as u64, seq, par);

@@ -23,6 +23,12 @@ pub struct Row {
     pub utilization: f64,
     /// Wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Reads absorbed by the write-back block cache
+    /// ([`em_disk::IoStats::cache_hit_blocks`]; 0 when the cache is off).
+    pub cache_hit_blocks: u64,
+    /// Writes buffered by the cache until the barrier flush
+    /// ([`em_disk::IoStats::cache_absorbed_writes`]; 0 when off).
+    pub cache_absorbed_writes: u64,
     /// Free-form notes (speedup factors etc.).
     pub note: String,
 }
@@ -206,10 +212,16 @@ mod tests {
             lambda: 0,
             utilization: 0.95,
             wall_ms: 1.5,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: String::new(),
         };
         let s = serde_json::to_string(&r).unwrap();
         assert!(s.contains("T1-A-sort"));
+        assert!(
+            s.contains("\"cache_hit_blocks\":0") && s.contains("\"cache_absorbed_writes\":0"),
+            "cache tallies must be emitted even when zero: {s}"
+        );
     }
 
     #[test]
@@ -223,6 +235,8 @@ mod tests {
             lambda: 4,
             utilization: 0.9,
             wall_ms: 12.5,
+            cache_hit_blocks: 0,
+            cache_absorbed_writes: 0,
             note: String::new(),
         }];
         let wall = PhaseWall {

@@ -54,7 +54,7 @@ pub use msg::{
 pub use par_sim::ParEmSimulator;
 pub use planner::{Plan, Planner, ProblemProfile};
 pub use report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
-pub use routing::{simulate_routing, RoutingTrace};
+pub use routing::{simulate_routing, RoutingScratch, RoutingTrace};
 pub use seq_sim::SeqEmSimulator;
 
 /// Result alias for simulation operations.

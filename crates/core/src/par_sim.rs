@@ -43,7 +43,7 @@ use crate::msg::{
     MSG_HEADER_BYTES,
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
-use crate::routing::simulate_routing;
+use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
@@ -123,6 +123,7 @@ pub struct ParEmSimulator {
     checksums: bool,
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
+    cache_bytes: usize,
 }
 
 impl ParEmSimulator {
@@ -141,6 +142,7 @@ impl ParEmSimulator {
             checksums: false,
             retry: None,
             recovery: None,
+            cache_bytes: 0,
         }
     }
 
@@ -236,6 +238,20 @@ impl ParEmSimulator {
         self
     }
 
+    /// Layer a write-back block cache of `capacity_bytes` over *each*
+    /// processor's private disk array ([`em_disk::BlockCacheBackend`]; 0 —
+    /// the default — disables it). Reads of resident tracks and repeated
+    /// writes are absorbed until each superstep's barrier `sync()`, which
+    /// flushes dirty tracks in deterministic `(track, disk)` order.
+    /// Counted I/O, final states and the per-thread RNG streams are
+    /// identical with the cache on or off; absorbed traffic is tallied in
+    /// [`em_disk::IoStats::cache_hit_blocks`] /
+    /// [`em_disk::IoStats::cache_absorbed_writes`].
+    pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
+        self.cache_bytes = capacity_bytes;
+        self
+    }
+
     /// Run `prog` on `states.len()` virtual processors across `p` threads.
     pub fn run<P: BspProgram>(
         &self,
@@ -322,6 +338,7 @@ impl ParEmSimulator {
                 let checksums = self.checksums;
                 let retry = self.retry;
                 let recovery = self.recovery;
+                let cache_bytes = self.cache_bytes;
                 let fault_stats = fault_stats.clone();
                 let attempt_errors = &attempt_errors;
                 let replay_token = &replay_token;
@@ -335,7 +352,8 @@ impl ParEmSimulator {
                             .disk_config()?
                             .with_io_mode(io_mode)
                             .with_pipeline(pipeline)
-                            .with_checksums(checksums);
+                            .with_checksums(checksums)
+                            .with_cache(cache_bytes);
                         let cfg = match retry {
                             Some(policy) => cfg.with_retry(policy),
                             None => cfg,
@@ -414,6 +432,9 @@ impl ParEmSimulator {
                         // Per-thread context-buffer pool; caches only
                         // capacity, so replay needs no snapshot of it.
                         let mut ctx_pool = BufferPool::new();
+                        // Per-thread routing bookkeeping; like the pool it
+                        // caches only capacity, so replay needs no snapshot.
+                        let mut routing_scratch = RoutingScratch::new();
                         let mut balances = Vec::new();
                         let mut zombie: Option<EmError> = None;
                         let mut exchange_phase = 0u64;
@@ -430,7 +451,11 @@ impl ParEmSimulator {
                             // committed bookkeeping is snapshotted so a
                             // rolled-back attempt leaves no trace.
                             if recovery.is_some() {
-                                disks.begin_recovery_epoch();
+                                if let Err(e) = disks.begin_recovery_epoch() {
+                                    if zombie.is_none() {
+                                        zombie = Some(e.into());
+                                    }
+                                }
                             }
                             let rng_snap = rng.clone();
                             let alloc_snap = alloc.clone();
@@ -604,7 +629,14 @@ impl ParEmSimulator {
                                 balances.push(scratch.balance_factor());
                                 let reorg_t0 = Instant::now();
                                 let ops0 = disks.stats().parallel_ops;
-                                match simulate_routing(&mut disks, &mut alloc, &geom, scratch) {
+                                match simulate_routing(
+                                    &mut disks,
+                                    &mut alloc,
+                                    &geom,
+                                    scratch,
+                                    &mut routing_scratch,
+                                    &mut ctx_pool,
+                                ) {
                                     Ok((c, _)) => counts = c,
                                     Err(e) => zombie = Some(e),
                                 }
@@ -1114,6 +1146,29 @@ mod tests {
         assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
         assert_eq!(ra.phases, rb.phases);
         assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn cached_parallel_run_is_bit_identical() {
+        let v = 32;
+        let prog = AllToAll { mu: 124 };
+        let base = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
+        let (a, ra) = base.run(&prog, vec![0u64; v]).unwrap();
+        for cache_bytes in [64usize, 1 << 16] {
+            let cached = base.clone().with_cache(cache_bytes);
+            let (b, rb) = cached.run(&prog, vec![0u64; v]).unwrap();
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.ledger, b.ledger);
+            let mut masked = rb.io.clone();
+            masked.cache_hit_blocks = 0;
+            masked.cache_absorbed_writes = 0;
+            assert_eq!(ra.io, masked, "counted I/O must not depend on the cache knob");
+            assert_eq!(ra.phases, rb.phases);
+            assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+        }
+        let (_, rb) = base.clone().with_cache(1 << 16).run(&prog, vec![0u64; v]).unwrap();
+        assert!(rb.io.cache_absorbed_writes > 0, "writes must be buffered until the barrier");
+        assert_eq!(ra.io.cache_absorbed_writes, 0);
     }
 
     #[test]

@@ -181,7 +181,8 @@ impl CostReport {
     /// Render a compact human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "v={} k={} groups={} p={} λ={} | io_ops={} blocks={} util={:.2} io_time={} | \
+            "v={} k={} groups={} p={} λ={} | io_ops={} blocks={} util={:.2} io_time={} \
+             cache_hits={} cache_absorbed={} | \
              phases: ctx_r={} msg_r={} scatter={} ctx_w={} routing={} | msgs={} bytes={} | \
              tracks/disk={} balance≤{:.2} wall={:?}",
             self.v,
@@ -193,6 +194,8 @@ impl CostReport {
             self.io.blocks_moved(),
             self.io.utilization(),
             self.io_time,
+            self.io.cache_hit_blocks,
+            self.io.cache_absorbed_writes,
             self.phases.fetch_ctx,
             self.phases.fetch_msg,
             self.phases.scatter,

@@ -19,9 +19,10 @@
 //! every group's blocks consecutive and striped round-robin (standard
 //! consecutive format, Figure 2).
 
+use crate::context_store::BufferPool;
 use crate::msg::{GroupCounts, MsgGeometry, ScratchState};
 use crate::{EmError, EmResult};
-use em_disk::{DiskArray, TrackAllocator};
+use em_disk::{Block, DiskArray, TrackAllocator};
 
 /// Observability record of one routing invocation (drives the Figure 2
 /// trace experiment and the ablation benches).
@@ -42,13 +43,59 @@ pub struct RoutingTrace {
     pub balance_factor: f64,
 }
 
+/// Reusable bookkeeping for [`simulate_routing`]: the per-bucket cursor
+/// table and the per-round read/write staging vectors of the merge pass.
+///
+/// The simulators keep one per run next to their context [`BufferPool`],
+/// so steady-state routing stops allocating fresh scratch each superstep.
+/// Like the pool it caches only *capacity*, never content — every call
+/// re-derives all state from its inputs, so recovery replay needs no
+/// snapshot of it and an empty default is always valid.
+#[derive(Debug, Default)]
+pub struct RoutingScratch {
+    /// Per-bucket, per-disk cursors into the scratch reference lists.
+    cursors: Vec<Vec<usize>>,
+    /// Read stripe staging: `(disk, track)` per slot this round.
+    reads: Vec<(usize, usize)>,
+    /// Step 1 metadata per slot: `(bucket, stage_rank)`.
+    meta: Vec<(usize, usize)>,
+    /// Write stripe staging; payloads drain into the caller's pool.
+    writes: Vec<(usize, usize, Block)>,
+    /// Step 2 per-bucket staged-block totals.
+    staged: Vec<usize>,
+}
+
+impl RoutingScratch {
+    /// An empty scratch; capacity grows on first use and is then reused.
+    pub fn new() -> Self {
+        RoutingScratch::default()
+    }
+
+    /// Reset the cursor table to `nb × d` zeros, reusing its allocations.
+    fn reset_cursors(&mut self, nb: usize, d: usize) {
+        self.cursors.resize_with(nb, Vec::new);
+        for row in &mut self.cursors {
+            row.clear();
+            row.resize(d, 0);
+        }
+    }
+}
+
 /// Run Algorithm 2, consuming the superstep's scratch state and returning
 /// the [`GroupCounts`] that the next superstep's Fetching Phase will use.
+///
+/// `routing` carries the merge pass's bookkeeping capacity across
+/// supersteps, and the [`Block`] payloads of every stripe written here are
+/// recycled into `pool` — the same free list the Fetching Phase draws
+/// context buffers from — so steady-state routing is allocation-free
+/// except for the blocks materialized by the disk reads themselves.
 pub fn simulate_routing(
     disks: &mut DiskArray,
     alloc: &mut TrackAllocator,
     geom: &MsgGeometry,
     scratch: ScratchState,
+    routing: &mut RoutingScratch,
+    pool: &mut BufferPool,
 ) -> EmResult<(GroupCounts, RoutingTrace)> {
     let d = geom.num_disks;
     let nb = geom.num_buckets;
@@ -61,28 +108,27 @@ pub fn simulate_routing(
     }
 
     // ---- Step 1: gather bucket d onto disk d, rank-ordered. ----
-    // Per-bucket, per-disk cursors into the scratch reference lists.
-    let mut cursors = vec![vec![0usize; d]; nb];
+    routing.reset_cursors(nb, d);
     let mut remaining = total;
     let mut j = 0usize;
     let mut stalls = 0usize;
     while remaining > 0 {
-        let mut reads: Vec<(usize, usize)> = Vec::with_capacity(nb);
-        let mut meta: Vec<(usize, usize)> = Vec::with_capacity(nb); // (bucket, stage_rank)
-        for (bucket, bucket_cursors) in cursors.iter_mut().enumerate() {
+        routing.reads.clear();
+        routing.meta.clear(); // (bucket, stage_rank) per slot
+        for (bucket, bucket_cursors) in routing.cursors.iter_mut().enumerate() {
             let src_disk = (bucket + j) % d;
             let cur = bucket_cursors[src_disk];
             if let Some(r) = scratch.refs[bucket][src_disk].get(cur) {
                 bucket_cursors[src_disk] += 1;
-                reads.push((src_disk, r.track));
+                routing.reads.push((src_disk, r.track));
                 let rank = counts.prefix_in_bucket[r.group as usize] + r.gseq as usize;
-                meta.push((bucket, rank));
+                routing.meta.push((bucket, rank));
             } else {
                 trace.idle_slots += 1;
             }
         }
         j += 1;
-        if reads.is_empty() {
+        if routing.reads.is_empty() {
             stalls += 1;
             // Every bucket's remaining blocks get a chance within D rounds;
             // D consecutive empty rounds with blocks remaining is a bug.
@@ -95,17 +141,15 @@ pub fn simulate_routing(
         }
         stalls = 0;
         trace.step1_rounds += 1;
-        let blocks = disks.read_stripe(&reads)?;
-        let writes: Vec<_> = meta
-            .iter()
-            .zip(blocks)
-            .map(|(&(bucket, rank), block)| {
-                let (disk, track) = geom.stage_location(bucket, rank);
-                (disk, track, block)
-            })
-            .collect();
-        disks.write_stripe(&writes)?;
-        remaining -= writes.len();
+        let blocks = disks.read_stripe(&routing.reads)?;
+        routing.writes.clear();
+        routing.writes.extend(routing.meta.iter().zip(blocks).map(|(&(bucket, rank), block)| {
+            let (disk, track) = geom.stage_location(bucket, rank);
+            (disk, track, block)
+        }));
+        disks.write_stripe(&routing.writes)?;
+        remaining -= routing.writes.len();
+        pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
     }
 
     // Scratch tracks are free again.
@@ -119,32 +163,31 @@ pub fn simulate_routing(
     }
 
     // ---- Step 2: rotate staged blocks into the final striped regions. ----
-    let staged: Vec<usize> = (0..nb).map(|b| counts.bucket_total(geom, b)).collect();
-    let rounds = staged.iter().copied().max().unwrap_or(0);
+    routing.staged.clear();
+    routing.staged.extend((0..nb).map(|b| counts.bucket_total(geom, b)));
+    let rounds = routing.staged.iter().copied().max().unwrap_or(0);
     for j in 0..rounds {
-        let mut reads: Vec<(usize, usize)> = Vec::with_capacity(nb);
-        let mut meta: Vec<usize> = Vec::with_capacity(nb); // bucket
-        for (bucket, &bucket_staged) in staged.iter().enumerate() {
+        routing.reads.clear();
+        routing.meta.clear(); // (bucket, 0) per slot; only the bucket is used
+        for (bucket, &bucket_staged) in routing.staged.iter().enumerate() {
             if j < bucket_staged {
                 let (disk, track) = geom.stage_location(bucket, j);
-                reads.push((disk, track));
-                meta.push(bucket);
+                routing.reads.push((disk, track));
+                routing.meta.push((bucket, 0));
             }
         }
-        if reads.is_empty() {
+        if routing.reads.is_empty() {
             continue;
         }
         trace.step2_rounds += 1;
-        let blocks = disks.read_stripe(&reads)?;
-        let writes: Vec<_> = meta
-            .iter()
-            .zip(blocks)
-            .map(|(&bucket, block)| {
-                let (disk, track) = geom.final_location(bucket, j);
-                (disk, track, block)
-            })
-            .collect();
-        disks.write_stripe(&writes)?;
+        let blocks = disks.read_stripe(&routing.reads)?;
+        routing.writes.clear();
+        routing.writes.extend(routing.meta.iter().zip(blocks).map(|(&(bucket, _), block)| {
+            let (disk, track) = geom.final_location(bucket, j);
+            (disk, track, block)
+        }));
+        disks.write_stripe(&routing.writes)?;
+        pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
     }
 
     Ok((counts, trace))
@@ -202,9 +245,14 @@ mod tests {
             .unwrap();
         }
 
-        let (counts, trace) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+        let mut routing = RoutingScratch::new();
+        let mut pool = BufferPool::new();
+        let (counts, trace) =
+            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool)
+                .unwrap();
         assert!(trace.blocks > 0);
         assert!(trace.step1_rounds >= trace.blocks.div_ceil(geom.num_disks));
+        assert_eq!(pool.len(), 2 * trace.blocks, "every written payload must be recycled");
 
         let mut got: Vec<(u32, u32, u32, Vec<u8>)> = Vec::new();
         for g in 0..geom.num_groups {
@@ -222,7 +270,15 @@ mod tests {
     fn empty_superstep_routes_trivially() {
         let (mut disks, mut alloc, geom) = setup(8, 2, 100, 2, 64);
         let scratch = ScratchState::new(&geom);
-        let (counts, trace) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+        let (counts, trace) = simulate_routing(
+            &mut disks,
+            &mut alloc,
+            &geom,
+            scratch,
+            &mut RoutingScratch::new(),
+            &mut BufferPool::new(),
+        )
+        .unwrap();
         assert_eq!(counts.total(), 0);
         assert_eq!(trace.step1_rounds, 0);
         assert_eq!(disks.stats().parallel_ops, 0);
@@ -252,7 +308,15 @@ mod tests {
             Placement::RoundRobin,
         )
         .unwrap();
-        let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+        let (counts, _) = simulate_routing(
+            &mut disks,
+            &mut alloc,
+            &geom,
+            scratch,
+            &mut RoutingScratch::new(),
+            &mut BufferPool::new(),
+        )
+        .unwrap();
         let total: usize = (0..geom.num_groups)
             .map(|g| fetch_group_messages(&mut disks, &geom, &counts, g).unwrap().len())
             .sum();
@@ -281,6 +345,8 @@ mod tests {
         let (mut disks, mut alloc, geom) = setup(8, 2, 1000, 4, 64);
         let mut rng = StdRng::seed_from_u64(3);
         let mut frontier_after_first = 0;
+        let mut routing = RoutingScratch::new();
+        let mut pool = BufferPool::new();
         for round in 0..5 {
             let mut scratch = ScratchState::new(&geom);
             let msgs: Vec<OutMsg> = (0..16)
@@ -302,7 +368,8 @@ mod tests {
                 Placement::Random,
             )
             .unwrap();
-            simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool)
+                .unwrap();
             if round == 0 {
                 frontier_after_first = alloc.max_frontier();
             }

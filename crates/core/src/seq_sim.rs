@@ -28,7 +28,7 @@ use crate::msg::{
     GroupCounts, InMsg, MsgGeometry, OutMsg, Placement, MSG_HEADER_BYTES,
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
-use crate::routing::simulate_routing;
+use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
@@ -86,6 +86,7 @@ pub struct SeqEmSimulator {
     checksums: bool,
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
+    cache_bytes: usize,
 }
 
 impl SeqEmSimulator {
@@ -105,6 +106,7 @@ impl SeqEmSimulator {
             checksums: false,
             retry: None,
             recovery: None,
+            cache_bytes: 0,
         }
     }
 
@@ -201,6 +203,20 @@ impl SeqEmSimulator {
         self
     }
 
+    /// Layer a write-back block cache of `capacity_bytes` over the disk
+    /// substrate ([`em_disk::BlockCacheBackend`]; 0 — the default —
+    /// disables it). Reads of resident tracks and repeated writes are
+    /// absorbed until each superstep's barrier `sync()`, which flushes
+    /// dirty tracks in deterministic `(track, disk)` order. Counted I/O,
+    /// final states, the RNG stream and seeded traces are identical with
+    /// the cache on or off; the absorbed traffic is tallied in
+    /// [`em_disk::IoStats::cache_hit_blocks`] /
+    /// [`em_disk::IoStats::cache_absorbed_writes`].
+    pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
+        self.cache_bytes = capacity_bytes;
+        self
+    }
+
     /// The machine this simulator targets.
     pub fn machine(&self) -> &EmMachine {
         &self.machine
@@ -232,7 +248,8 @@ impl SeqEmSimulator {
             .disk_config()?
             .with_io_mode(self.io_mode)
             .with_pipeline(self.pipeline)
-            .with_checksums(self.checksums);
+            .with_checksums(self.checksums)
+            .with_cache(self.cache_bytes);
         let cfg = match self.retry {
             Some(policy) => cfg.with_retry(policy),
             None => cfg,
@@ -273,6 +290,8 @@ impl SeqEmSimulator {
         // Context buffers recycle here across groups and supersteps; the
         // pool caches only capacity, so replay needs no snapshot of it.
         let mut ctx_pool = BufferPool::new();
+        // Same deal for the routing merge pass's bookkeeping.
+        let mut routing_scratch = RoutingScratch::new();
         let mut balance_factors = Vec::new();
 
         let replay_budget = self.recovery.map_or(0, |r| r.max_replays_per_superstep);
@@ -289,7 +308,16 @@ impl SeqEmSimulator {
             let mut attempt = 0usize;
             let outcome = loop {
                 if self.recovery.is_some() {
-                    disks.begin_recovery_epoch();
+                    disks.begin_recovery_epoch().map_err(|e| {
+                        self.fault_error(
+                            step,
+                            e.into(),
+                            &fault_stats,
+                            &disks,
+                            recovered_supersteps,
+                            total_replays,
+                        )
+                    })?;
                 }
                 let rng_snap = rng.clone();
                 let alloc_snap = alloc.clone();
@@ -313,6 +341,7 @@ impl SeqEmSimulator {
                     &mut phases,
                     &mut phase_wall,
                     &mut ctx_pool,
+                    &mut routing_scratch,
                 ) {
                     Ok(outcome) => {
                         if self.recovery.is_some() {
@@ -476,6 +505,7 @@ fn run_superstep_attempt<P: BspProgram>(
     phases: &mut PhaseIo,
     walls: &mut PhaseWall,
     ctx_pool: &mut BufferPool,
+    routing: &mut RoutingScratch,
 ) -> EmResult<SuperstepOutcome> {
     let mut scratch = crate::msg::ScratchState::new(geom);
     let mut all_halted = true;
@@ -618,7 +648,7 @@ fn run_superstep_attempt<P: BspProgram>(
     let balance = scratch.balance_factor();
     let t0 = Instant::now();
     let ops0 = disks.stats().parallel_ops;
-    let (new_counts, _trace) = simulate_routing(disks, alloc, geom, scratch)?;
+    let (new_counts, _trace) = simulate_routing(disks, alloc, geom, scratch, routing, ctx_pool)?;
     phases.routing += disks.stats().parallel_ops - ops0;
     walls.reorganize += t0.elapsed();
 
@@ -785,6 +815,33 @@ mod tests {
         assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
         assert_eq!(ra.phases, rb.phases, "per-phase attribution must not depend on the knob");
         assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_uncached() {
+        let prog = AllToAll { mu: 124 };
+        let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
+        let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
+        // One track's worth, and full residency (v·μ + γ comfortably).
+        for cache_bytes in [64usize, 1 << 16] {
+            let cached = base.clone().with_cache(cache_bytes);
+            let (b, rb) = cached.run(&prog, vec![0u64; 16]).unwrap();
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.ledger, b.ledger);
+            let mut masked = rb.io.clone();
+            masked.cache_hit_blocks = 0;
+            masked.cache_absorbed_writes = 0;
+            assert_eq!(ra.io, masked, "counted I/O must not depend on the cache knob");
+            assert_eq!(ra.phases, rb.phases, "phase attribution must not depend on the cache");
+            assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+        }
+        // At full residency the workload's repeated context traffic must
+        // actually be absorbed.
+        let (_, rb) = base.clone().with_cache(1 << 16).run(&prog, vec![0u64; 16]).unwrap();
+        assert!(rb.io.cache_hit_blocks > 0, "resident re-reads must hit the cache");
+        assert!(rb.io.cache_absorbed_writes > 0, "writes must be buffered until the barrier");
+        assert_eq!(ra.io.cache_hit_blocks, 0);
+        assert_eq!(ra.io.cache_absorbed_writes, 0);
     }
 
     #[test]

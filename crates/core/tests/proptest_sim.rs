@@ -5,8 +5,8 @@
 
 use em_bsp::{run_sequential, BspProgram, BspStarParams, Mailbox, Step};
 use em_core::{
-    fetch_group_messages, scatter_messages, simulate_routing, EmMachine, MsgGeometry, OutMsg,
-    ParEmSimulator, Placement, ScratchState, SeqEmSimulator,
+    fetch_group_messages, scatter_messages, simulate_routing, BufferPool, EmMachine, MsgGeometry,
+    OutMsg, ParEmSimulator, Placement, RoutingScratch, ScratchState, SeqEmSimulator,
 };
 use em_disk::{DiskArray, DiskConfig, TrackAllocator};
 use proptest::prelude::*;
@@ -53,7 +53,7 @@ proptest! {
             scatter_messages(&mut disks, &mut alloc, &geom, &mut scratch, src_group, out, &mut rng, placement).unwrap();
         }
 
-        let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch).unwrap();
+        let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut RoutingScratch::new(), &mut BufferPool::new()).unwrap();
         let mut got: Vec<(u32, u32, u32, Vec<u8>)> = Vec::new();
         for g in 0..geom.num_groups {
             for m in fetch_group_messages(&mut disks, &geom, &counts, g).unwrap() {

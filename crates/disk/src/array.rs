@@ -1,9 +1,9 @@
 //! The disk array front-end: validated, counted parallel I/O.
 
 use crate::{
-    Block, ChecksumBackend, DiskBackend, DiskConfig, DiskError, DiskResult, FaultInjectingBackend,
-    FaultPlan, FileBackend, IoStats, MemoryBackend, Pipeline, ReadTicket, RetryingBackend,
-    WriteTicket, CRC_BYTES,
+    Block, BlockCacheBackend, ChecksumBackend, DiskBackend, DiskConfig, DiskError, DiskResult,
+    FaultInjectingBackend, FaultPlan, FileBackend, IoStats, MemoryBackend, Pipeline, ReadTicket,
+    RetryingBackend, WriteTicket, CRC_BYTES,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -133,6 +133,13 @@ impl DiskArray {
         if let Some(policy) = cfg.retry {
             backend = Box::new(RetryingBackend::new(backend, policy));
         }
+        // The write-back cache is the outermost layer, directly under the
+        // array: it caches logical blocks (above the checksum framing) and
+        // its misses and flushes pass through retry and checksum like any
+        // other transfer.
+        if cfg.cache_tracks() > 0 {
+            backend = Box::new(BlockCacheBackend::new(backend, cfg.cache_tracks()));
+        }
         DiskArray {
             stats: IoStats::new(cfg.num_disks),
             seen: vec![0; cfg.num_disks],
@@ -194,10 +201,13 @@ impl DiskArray {
         out
     }
 
-    /// Fold the backend's retry tally into `retried_blocks`. Called on
-    /// every submission and sync, so `stats()` lags by at most one call.
+    /// Fold the backend's absorbed-traffic tallies (retries, cache hits,
+    /// buffered writes) into the stats. Called on every submission and
+    /// sync, so `stats()` lags by at most one call.
     fn poll_retries(&mut self) {
         self.stats.retried_blocks += self.backend.take_retried_blocks();
+        self.stats.cache_hit_blocks += self.backend.take_cache_hit_blocks();
+        self.stats.cache_absorbed_writes += self.backend.take_cache_absorbed_writes();
     }
 
     /// Highest written track index + 1 on `disk`.
@@ -221,13 +231,19 @@ impl DiskArray {
     /// they are **not** counted parallel I/O; they are tallied in
     /// [`IoStats::recovery_ops`] instead, so enabling recovery never
     /// changes the paper-facing counted I/O of a run.
-    pub fn begin_recovery_epoch(&mut self) {
+    ///
+    /// Opening an epoch first flushes any write-back cache, so the media
+    /// itself holds the committed pre-epoch bytes the journal's pre-images
+    /// describe — a rollback then restores exactly that physical state.
+    pub fn begin_recovery_epoch(&mut self) -> DiskResult<()> {
+        self.backend.flush_cache()?;
         self.poll_retries();
         self.journal = Some(RecoveryJournal {
             pre: HashMap::new(),
             order: Vec::new(),
             stats_at_begin: self.stats.clone(),
         });
+        Ok(())
     }
 
     /// True while a recovery epoch is open.
@@ -247,7 +263,8 @@ impl DiskArray {
     /// it to its pre-epoch content and wind the counted stats back to the
     /// epoch snapshot, folding both the discarded operations and the
     /// rollback writes into [`IoStats::recovery_ops`].
-    /// `retried_blocks` keeps its live value — those retries happened.
+    /// `retried_blocks`, `cache_hit_blocks` and `cache_absorbed_writes`
+    /// keep their live values — that absorbed traffic happened.
     ///
     /// After a successful rollback the backend holds exactly the bytes it
     /// held at [`DiskArray::begin_recovery_epoch`], which is what makes a
@@ -278,10 +295,16 @@ impl DiskArray {
             rollback_ops += 1;
         }
         drop(stripe);
+        // Push the restored pre-images through any cache layer so the
+        // media — not just the logical view — is back to its epoch-begin
+        // bytes before the replay starts.
+        self.backend.flush_cache()?;
         self.pre_image_pool.extend(journal.pre.into_values());
         self.poll_retries();
         let mut restored = journal.stats_at_begin.clone();
         restored.retried_blocks = self.stats.retried_blocks;
+        restored.cache_hit_blocks = self.stats.cache_hit_blocks;
+        restored.cache_absorbed_writes = self.stats.cache_absorbed_writes;
         restored.recovery_ops = self.stats.recovery_ops + discarded + rollback_ops;
         self.stats = restored;
         Ok(())
@@ -842,6 +865,39 @@ mod tests {
     }
 
     #[test]
+    fn cached_array_counts_identically_to_an_uncached_run() {
+        let workload = |mut a: DiskArray| -> (IoStats, Vec<u8>) {
+            for t in 0..4 {
+                let writes: Vec<_> = (0..3)
+                    .map(|d| (d, t, Block::from_bytes_padded(&[(d * 16 + t) as u8 + 1], 16)))
+                    .collect();
+                a.write_stripe(&writes).unwrap();
+            }
+            // Re-read tracks just written (cache hits) plus one never-written
+            // track (miss that must read zeros through the stack).
+            let mut bytes: Vec<u8> = Vec::new();
+            for addrs in [[(0, 2), (1, 2), (2, 2)], [(0, 0), (1, 3), (2, 5)]] {
+                let blocks = a.read_stripe(&addrs).unwrap();
+                bytes.extend(blocks.iter().flat_map(|b| b.as_bytes().to_vec()));
+            }
+            a.sync().unwrap();
+            (a.take_stats(), bytes)
+        };
+        let cfg = DiskConfig::new(3, 16).unwrap().with_checksums(true);
+        let (plain_stats, plain_bytes) = workload(DiskArray::new_memory(cfg));
+        let (cached_stats, cached_bytes) = workload(DiskArray::new_memory(cfg.with_cache(16 * 64)));
+        assert_eq!(cached_bytes, plain_bytes, "cache must be transparent to content");
+        assert!(cached_stats.cache_hit_blocks >= 3, "re-reads must hit the cache");
+        assert!(cached_stats.cache_absorbed_writes >= 12, "writes must be buffered");
+        assert_eq!(plain_stats.cache_hit_blocks, 0);
+        assert_eq!(plain_stats.cache_absorbed_writes, 0);
+        let mut masked = cached_stats.clone();
+        masked.cache_hit_blocks = 0;
+        masked.cache_absorbed_writes = 0;
+        assert_eq!(masked, plain_stats, "only the cache tallies may differ");
+    }
+
+    #[test]
     fn unretried_fault_surfaces_as_typed_error() {
         use crate::FaultPlan;
         let cfg = DiskConfig::new(2, 8).unwrap();
@@ -861,7 +917,7 @@ mod tests {
         ])
         .unwrap();
         let committed = a.stats().clone();
-        a.begin_recovery_epoch();
+        a.begin_recovery_epoch().unwrap();
         assert!(a.recovery_epoch_active());
         // Overwrite a committed track and write a fresh one.
         a.write_stripe(&[
@@ -890,11 +946,11 @@ mod tests {
         // journal fresh content in those recycled buffers, so a rollback
         // restores epoch-2 pre-images, not stale epoch-1 bytes.
         let mut a = array(2, 8);
-        a.begin_recovery_epoch();
+        a.begin_recovery_epoch().unwrap();
         a.write_block(0, 0, Block::from_bytes_padded(&[0x11], 8)).unwrap();
         a.write_block(1, 0, Block::from_bytes_padded(&[0x22], 8)).unwrap();
         a.commit_recovery_epoch();
-        a.begin_recovery_epoch();
+        a.begin_recovery_epoch().unwrap();
         a.write_block(0, 0, Block::from_bytes_padded(&[0x33], 8)).unwrap();
         a.write_block(1, 0, Block::from_bytes_padded(&[0x44], 8)).unwrap();
         a.rollback_recovery_epoch().unwrap();
@@ -905,7 +961,7 @@ mod tests {
     #[test]
     fn commit_keeps_epoch_writes_and_counted_stats() {
         let mut a = array(2, 8);
-        a.begin_recovery_epoch();
+        a.begin_recovery_epoch().unwrap();
         a.write_block(0, 0, Block::from_bytes_padded(&[5], 8)).unwrap();
         a.commit_recovery_epoch();
         assert_eq!(a.read_block(0, 0).unwrap().as_bytes()[0], 5);

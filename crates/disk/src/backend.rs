@@ -99,6 +99,28 @@ pub trait DiskBackend: Send {
     fn take_retried_blocks(&mut self) -> u64 {
         0
     }
+
+    /// Drain the count of block reads served from a cache layer since the
+    /// last call (same drain-and-forward contract as
+    /// [`DiskBackend::take_retried_blocks`]; only
+    /// [`crate::BlockCacheBackend`] produces a nonzero count).
+    fn take_cache_hit_blocks(&mut self) -> u64 {
+        0
+    }
+
+    /// Drain the count of block writes absorbed (buffered until a flush)
+    /// by a cache layer since the last call.
+    fn take_cache_absorbed_writes(&mut self) -> u64 {
+        0
+    }
+
+    /// Write every dirty cached block through to the layer below. A no-op
+    /// for backends without a cache. Called by the array inside `sync()`
+    /// and at recovery-epoch boundaries, so durability barriers and the
+    /// pre-image journal always observe fully flushed storage.
+    fn flush_cache(&mut self) -> DiskResult<()> {
+        Ok(())
+    }
 }
 
 /// Boxed backends forward every method (including the overridable stripe
@@ -134,6 +156,15 @@ impl<B: DiskBackend + ?Sized> DiskBackend for Box<B> {
     }
     fn take_retried_blocks(&mut self) -> u64 {
         (**self).take_retried_blocks()
+    }
+    fn take_cache_hit_blocks(&mut self) -> u64 {
+        (**self).take_cache_hit_blocks()
+    }
+    fn take_cache_absorbed_writes(&mut self) -> u64 {
+        (**self).take_cache_absorbed_writes()
+    }
+    fn flush_cache(&mut self) -> DiskResult<()> {
+        (**self).flush_cache()
     }
 }
 
@@ -267,6 +298,18 @@ impl<B: DiskBackend> DiskBackend for ChecksumBackend<B> {
     fn take_retried_blocks(&mut self) -> u64 {
         self.inner.take_retried_blocks()
     }
+
+    fn take_cache_hit_blocks(&mut self) -> u64 {
+        self.inner.take_cache_hit_blocks()
+    }
+
+    fn take_cache_absorbed_writes(&mut self) -> u64 {
+        self.inner.take_cache_absorbed_writes()
+    }
+
+    fn flush_cache(&mut self) -> DiskResult<()> {
+        self.inner.flush_cache()
+    }
 }
 
 /// A [`DiskBackend`] decorator that re-issues transiently failing track
@@ -338,6 +381,18 @@ impl<B: DiskBackend> DiskBackend for RetryingBackend<B> {
 
     fn take_retried_blocks(&mut self) -> u64 {
         std::mem::take(&mut self.retried) + self.inner.take_retried_blocks()
+    }
+
+    fn take_cache_hit_blocks(&mut self) -> u64 {
+        self.inner.take_cache_hit_blocks()
+    }
+
+    fn take_cache_absorbed_writes(&mut self) -> u64 {
+        self.inner.take_cache_absorbed_writes()
+    }
+
+    fn flush_cache(&mut self) -> DiskResult<()> {
+        self.inner.flush_cache()
     }
 }
 

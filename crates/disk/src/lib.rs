@@ -18,6 +18,12 @@
 //!   `≤ D` transfers of one stripe overlap in time — real `D`-way
 //!   parallelism, joined before the operation returns so callers, counted
 //!   [`IoStats`] and seeded I/O traces are unaffected.
+//! * [`BlockCacheBackend`] — optional write-back cache over the whole
+//!   backend stack ([`DiskConfig::with_cache`]): reads of resident tracks
+//!   and buffered writes cost no backend I/O until the barrier flush,
+//!   while counted [`IoStats`] stay bit-identical by construction and the
+//!   absorbed traffic is tallied in
+//!   [`IoStats::cache_hit_blocks`]/[`IoStats::cache_absorbed_writes`].
 //!
 //! On top of the raw [`DiskArray`] this crate implements the paper's two
 //! on-disk layouts:
@@ -36,6 +42,7 @@ mod alloc;
 mod array;
 mod backend;
 mod block;
+mod cache;
 mod config;
 mod consecutive;
 mod engine;
@@ -48,6 +55,7 @@ pub use alloc::TrackAllocator;
 pub use array::{DiskArray, ReadStripeTicket, WriteBacklog, WriteStripeTicket};
 pub use backend::{ChecksumBackend, DiskBackend, FileBackend, MemoryBackend, RetryingBackend};
 pub use block::{crc32, Block, CRC_BYTES};
+pub use cache::BlockCacheBackend;
 pub use config::{DiskConfig, IoMode, Pipeline, RetryPolicy};
 pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
 pub use engine::{ReadTicket, WriteTicket};

@@ -40,6 +40,16 @@ pub struct IoStats {
     /// track contents. Kept separate from `parallel_ops` for the same
     /// reason as `retried_blocks`.
     pub recovery_ops: u64,
+    /// Block reads served from a [`crate::BlockCacheBackend`] without
+    /// touching the backend below it. Counted operations are unchanged —
+    /// the array counts at submission, before the cache absorbs the
+    /// transfer — so this tallies the *absorbed* read traffic, exactly
+    /// like `retried_blocks` tallies absorbed retry traffic.
+    pub cache_hit_blocks: u64,
+    /// Block writes buffered by a [`crate::BlockCacheBackend`] until the
+    /// barrier flush instead of landing immediately. Same contract as
+    /// `cache_hit_blocks`: counted I/O is unaffected.
+    pub cache_absorbed_writes: u64,
 }
 
 impl IoStats {
@@ -107,12 +117,37 @@ impl IoStats {
         }
         self.retried_blocks += other.retried_blocks;
         self.recovery_ops += other.recovery_ops;
+        self.cache_hit_blocks += other.cache_hit_blocks;
+        self.cache_absorbed_writes += other.cache_absorbed_writes;
     }
 
     /// Reset all counters to zero, preserving the drive count.
     pub fn reset(&mut self) {
         let d = self.per_disk_reads.len();
         *self = IoStats::new(d);
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    /// Compact one-line rendering used wherever stats are reported. The
+    /// absorbed-traffic tallies (`retried`, `recovery`, `cache_hits`,
+    /// `cache_absorbed`) are always emitted — they read 0 when the
+    /// corresponding layer is off, so reports stay field-stable across
+    /// configurations.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops={} blocks_r={} blocks_w={} util={:.2} retried={} recovery={} \
+             cache_hits={} cache_absorbed={}",
+            self.parallel_ops,
+            self.blocks_read,
+            self.blocks_written,
+            self.utilization(),
+            self.retried_blocks,
+            self.recovery_ops,
+            self.cache_hit_blocks,
+            self.cache_absorbed_writes,
+        )
     }
 }
 
@@ -131,6 +166,8 @@ mod tests {
             per_disk_writes: vec![4, 4, 4, 4],
             retried_blocks: 3,
             recovery_ops: 2,
+            cache_hit_blocks: 5,
+            cache_absorbed_writes: 7,
         }
     }
 
@@ -162,6 +199,8 @@ mod tests {
         assert_eq!(a.per_disk_reads, vec![24, 24, 0, 0]);
         assert_eq!(a.retried_blocks, 6);
         assert_eq!(a.recovery_ops, 4);
+        assert_eq!(a.cache_hit_blocks, 10);
+        assert_eq!(a.cache_absorbed_writes, 14);
     }
 
     #[test]
@@ -169,6 +208,17 @@ mod tests {
         let mut a = sample();
         a.reset();
         assert_eq!(a, IoStats::new(4));
+    }
+
+    #[test]
+    fn display_emits_cache_fields_even_when_zero() {
+        let s = IoStats::new(2);
+        let line = s.to_string();
+        assert!(line.contains("cache_hits=0"));
+        assert!(line.contains("cache_absorbed=0"));
+        let line = sample().to_string();
+        assert!(line.contains("cache_hits=5"));
+        assert!(line.contains("cache_absorbed=7"));
     }
 
     #[test]
