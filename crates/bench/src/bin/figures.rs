@@ -3,9 +3,9 @@
 //!
 //! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
 //! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
-//! det-vs-rand, contraction, obs2, faults, compute, cache, all}. `--smoke`
-//! shrinks every sweep to CI-sized inputs (seconds, debug build) while
-//! exercising the same code paths and in-process asserts.
+//! det-vs-rand, contraction, obs2, faults, compute, cache, stream, all}.
+//! `--smoke` shrinks every sweep to CI-sized inputs (seconds, debug build)
+//! while exercising the same code paths and in-process asserts.
 //!
 //! Besides the text table (or `--json` lines on stdout), every invocation
 //! writes `results/BENCH_figures.json`: seed, config, all rows, and the
@@ -18,7 +18,11 @@
 //! "pipelined" rows — double-buffered compound supersteps (see DESIGN.md
 //! §3.2.2–§3.2.3 for when each signal is authoritative). Every pipelined
 //! row asserts, in process, that its counted [`em_disk::IoStats`] equal
-//! the corresponding `Pipeline::Off` row's bit for bit.
+//! the corresponding `Pipeline::Off` row's bit for bit. The `stream`
+//! sweep is the N-deep generalization: a `Pipeline::Stream(n)` depth
+//! ablation (DESIGN.md §3.2.7) whose every lane asserts output, counted
+//! IoStats, per-phase op counts, message ledger *and raw drive bytes*
+//! bit-identical to `Pipeline::Off` on both simulators.
 
 use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, measure_seq_file};
 use em_bench::report::{print_json, print_table, write_bench_json, PhaseWallRow, Row};
@@ -162,17 +166,16 @@ fn fig_disks() -> Vec<Row> {
             );
             // The pipeline knob must not change what is counted: compare
             // the full per-stage IoStats against the Pipeline::Off run.
-            match pl {
-                Pipeline::Off => {
-                    if mode == IoMode::Parallel {
-                        off_stats = Some(stage_stats(&fcost));
-                    }
+            if pl == Pipeline::Off {
+                if mode == IoMode::Parallel {
+                    off_stats = Some(stage_stats(&fcost));
                 }
-                Pipeline::DoubleBuffer => assert_eq!(
+            } else {
+                assert_eq!(
                     Some(stage_stats(&fcost)),
                     off_stats,
                     "pipelined run must count bit-identical IoStats to Pipeline::Off"
-                ),
+                );
             }
             rows.push(Row {
                 id: "F-disks".into(),
@@ -258,13 +261,14 @@ fn fig_procs() -> Vec<Row> {
             );
             // As in `fig_disks`: pipelining must not change the counted
             // per-stage IoStats (summed over processors for p > 1).
-            match pl {
-                Pipeline::Off => off_stats = Some(stage_stats(&fcost)),
-                Pipeline::DoubleBuffer => assert_eq!(
+            if pl == Pipeline::Off {
+                off_stats = Some(stage_stats(&fcost));
+            } else {
+                assert_eq!(
                     Some(stage_stats(&fcost)),
                     off_stats,
                     "pipelined run must count bit-identical IoStats to Pipeline::Off"
-                ),
+                );
             }
             rows.push(Row {
                 id: "F-procs".into(),
@@ -1041,6 +1045,153 @@ fn fig_cache() -> (Vec<Row>, Vec<PhaseWallRow>) {
     (rows, walls)
 }
 
+/// All regular files under `dir` (recursively), path-sorted, with their
+/// contents — the raw bytes the simulators left on the drive files. Both
+/// simulators `sync()` at every superstep boundary, so after a run the
+/// files hold the final committed image.
+fn drive_bytes(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries {
+            let p = entry.expect("dir entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p.strip_prefix(dir).unwrap_or(&p).to_string_lossy().into_owned();
+                out.push((rel, std::fs::read(&p).expect("drive file readable")));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// F-stream: streaming-pipeline depth ablation — [`Pipeline::Stream`]`(n)`
+/// for n = 1…8 against the synchronous `Pipeline::Off` baseline on the
+/// `disks`/`procs` sort workload, file-backed so the window has real
+/// transfers to overlap, on both the uniprocessor and the `p`-processor
+/// simulator. Every lane asserts, in process, that its sorted output, its
+/// counted per-stage [`em_disk::IoStats`], its per-phase
+/// [`em_core::PhaseIo`] operation counts, its message ledger and the raw
+/// bytes left on the drive files are bit-identical to the `Off` run — the
+/// window depth may only move wall clock, never what is counted or
+/// stored. `DoubleBuffer` rides along to demonstrate it is `Stream(1)` by
+/// another name. The per-phase wall breakdowns land in
+/// `results/BENCH_figures.json`.
+fn fig_stream() -> (Vec<Row>, Vec<PhaseWallRow>) {
+    let n = pick(60_000usize, 3_000);
+    let items = random_u64(n, SEED + 8);
+    let d = 4usize;
+    let m = 1usize << 18;
+    // Depth ablation 1→8 plus the synchronous baseline; the first lane
+    // must stay `Off` — it seeds the fingerprint every other lane is
+    // compared against.
+    let lanes: Vec<(Pipeline, &str)> = pick(
+        vec![
+            (Pipeline::Off, "off"),
+            (Pipeline::DoubleBuffer, "double-buffer"),
+            (Pipeline::Stream(1), "stream n=1"),
+            (Pipeline::Stream(2), "stream n=2"),
+            (Pipeline::Stream(4), "stream n=4"),
+            (Pipeline::Stream(8), "stream n=8"),
+        ],
+        vec![
+            (Pipeline::Off, "off"),
+            (Pipeline::Stream(1), "stream n=1"),
+            (Pipeline::Stream(4), "stream n=4"),
+        ],
+    );
+
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    // The Off lane's full fingerprint: sorted output, per-stage counted
+    // IoStats, per-phase op counts, per-stage ledgers, drive bytes.
+    type Baseline =
+        (Vec<u64>, Vec<IoStats>, Vec<em_core::PhaseIo>, Vec<em_bsp::CommLedger>, Vec<(String, Vec<u8>)>);
+    for p in pick(vec![1usize, 4], vec![1usize, 2]) {
+        let mut baseline: Option<Baseline> = None;
+        let mut base_wall = 0.0f64;
+        for &(pl, tag) in &lanes {
+            let dir = sweep_dir(&format!("stream-p{p}-{}", tag.replace(' ', "-")));
+            let (out, fcost) = if p == 1 {
+                measure_seq_file(machine(1, m, d, 2048), SEED, &dir, IoMode::Parallel, pl, |rec| {
+                    em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+                })
+            } else {
+                measure_par_file(machine(p, m, d, 2048), SEED, &dir, IoMode::Parallel, pl, |rec| {
+                    em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap()
+                })
+            };
+            let bytes = drive_bytes(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+            let phases: Vec<em_core::PhaseIo> =
+                fcost.stages.iter().map(|r| r.phases.clone()).collect();
+            let ledgers: Vec<em_bsp::CommLedger> =
+                fcost.stages.iter().map(|r| r.comm.clone()).collect();
+            match &baseline {
+                None => {
+                    assert_eq!(pl, Pipeline::Off, "first lane is the synchronous baseline");
+                    base_wall = fcost.wall_ms.max(1e-9);
+                    baseline = Some((out, stage_stats(&fcost), phases, ledgers, bytes));
+                }
+                Some((b_out, b_io, b_phases, b_ledgers, b_bytes)) => {
+                    assert_eq!(&out, b_out, "{tag}: output diverged from Pipeline::Off");
+                    assert_eq!(
+                        &stage_stats(&fcost),
+                        b_io,
+                        "{tag}: counted IoStats diverged from Pipeline::Off"
+                    );
+                    assert_eq!(&phases, b_phases, "{tag}: per-phase op counts diverged");
+                    assert_eq!(&ledgers, b_ledgers, "{tag}: message ledger diverged");
+                    // Compare drive bytes without letting a failure dump
+                    // whole drive files.
+                    let b_names: Vec<&str> = b_bytes.iter().map(|(f, _)| f.as_str()).collect();
+                    let names: Vec<&str> = bytes.iter().map(|(f, _)| f.as_str()).collect();
+                    assert_eq!(names, b_names, "{tag}: drive file set diverged");
+                    for ((file, b), (_, g)) in b_bytes.iter().zip(&bytes) {
+                        assert!(g == b, "{tag}: drive file {file} bytes diverged");
+                    }
+                }
+            }
+            // Timing lives only in `wall_ms`, the phase-wall records and
+            // stderr; the note stays bit-identical across reruns.
+            eprintln!(
+                "F-stream p={p} {tag}: wall {:.1} ms ({:.2}x vs off)",
+                fcost.wall_ms,
+                base_wall / fcost.wall_ms.max(1e-9),
+            );
+            rows.push(Row {
+                id: "F-stream".into(),
+                variant: format!("file sort p={p} ({tag})"),
+                n,
+                io_ops: fcost.io_ops,
+                predicted: 0.0,
+                lambda: fcost.lambda,
+                utilization: fcost.utilization,
+                wall_ms: fcost.wall_ms,
+                cache_hit_blocks: 0,
+                cache_absorbed_writes: 0,
+                note: format!(
+                    "depth={}; output+IoStats+PhaseIo+ledger+drive bytes asserted identical to off",
+                    pl.depth()
+                ),
+            });
+            let mut pw = em_core::PhaseWall::default();
+            for r in &fcost.stages {
+                pw.merge_max(&r.phase_wall);
+            }
+            walls.push(PhaseWallRow::from_wall(
+                format!("F-stream file sort p={p} ({tag})"),
+                fcost.io_ops,
+                &pw,
+            ));
+        }
+    }
+    (rows, walls)
+}
+
 /// F-fig2: trace the two reorganization steps of Algorithm 2 (Figure 2).
 fn fig_fig2() -> Vec<Row> {
     let d = 4usize;
@@ -1153,6 +1304,11 @@ fn main() {
     }
     if matches!(which, "all" | "cache") {
         let (r, w) = fig_cache();
+        rows.extend(r);
+        walls.extend(w);
+    }
+    if matches!(which, "all" | "stream") {
+        let (r, w) = fig_stream();
         rows.extend(r);
         walls.extend(w);
     }

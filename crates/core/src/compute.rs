@@ -41,6 +41,19 @@ use em_serial::{from_bytes, to_bytes, to_bytes_into};
 /// states, message ledger, counted I/O and seeded traces are identical in
 /// every mode (asserted by `tests/compute_modes.rs` and the cross-executor
 /// matrix); only wall-clock time may differ.
+///
+/// ```
+/// use em_core::{ComputeMode, EmMachine, SeqEmSimulator};
+/// use em_disk::Pipeline;
+///
+/// // Fan each group's virtual processors over up to 4 scoped workers;
+/// // the knob composes freely with the pipeline (and cache) knobs.
+/// let machine = EmMachine::uniprocessor(1 << 16, 4, 256, 1);
+/// let _sim = SeqEmSimulator::new(machine)
+///     .with_compute_mode(ComputeMode::Threaded(4))
+///     .with_pipeline(Pipeline::Stream(2));
+/// assert_eq!(ComputeMode::default(), ComputeMode::Serial);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ComputeMode {
     /// Run the group's virtual processors on the simulating thread, in pid

@@ -55,6 +55,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -176,11 +177,14 @@ impl ParEmSimulator {
 
     /// Overlap each processor's local disk transfers with computation and
     /// with the inter-processor exchanges ([`Pipeline::Off`] by default).
-    /// With [`Pipeline::DoubleBuffer`] a round's context read is in flight
-    /// while the block-forwarding exchange runs, and context/scatter
-    /// writes drain in the background, joined before the local
-    /// reorganization. Counted I/O, final states and the per-thread RNG
-    /// streams are identical either way.
+    /// With [`Pipeline::Stream(n)`](Pipeline::Stream) each processor keeps
+    /// the context reads of up to `n` rounds in flight: round `j+n-1`'s
+    /// read is submitted before round `j`'s block-forwarding exchange
+    /// runs, and context/scatter writes drain in the background, joined
+    /// before the local reorganization. [`Pipeline::DoubleBuffer`] is
+    /// exactly `Stream(1)`. Counted I/O, per-phase attribution, final
+    /// states and the per-thread RNG streams are identical at every
+    /// depth.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
         self
@@ -347,7 +351,7 @@ impl ParEmSimulator {
 
                 scope.spawn(move || {
                     let work = (|| -> EmResult<()> {
-                        let pipelined = pipeline == Pipeline::DoubleBuffer;
+                        let depth = pipeline.depth();
                         let cfg = machine
                             .disk_config()?
                             .with_io_mode(io_mode)
@@ -465,26 +469,56 @@ impl ParEmSimulator {
 
                             let mut scratch = crate::msg::ScratchState::new(&geom);
                             let mut backlog = WriteBacklog::new();
+                            // Streaming window: the context reads of up to
+                            // `depth` rounds are in flight at once. One
+                            // `Option` entry per prefetched round (`None`
+                            // for a round with no local pids) keeps the
+                            // window aligned with the batch sequence.
+                            let mut ctx_window: VecDeque<Option<PendingGroupRead>> =
+                                VecDeque::with_capacity(depth.min(num_batches));
+                            let mut next_prefetch = 0usize;
 
                             for batch in 0..num_batches {
                                 let pids = my_pids(batch);
 
-                                // Prefetch this round's contexts so the
-                                // local read overlaps the block-forwarding
-                                // exchange below (counted here, at submit).
+                                // Prefetch the window's rounds so their
+                                // local reads overlap the block-forwarding
+                                // exchanges below (counted at submit).
                                 let fetch_t0 = Instant::now();
-                                let mut pending_ctx: Option<PendingGroupRead> = None;
-                                if pipelined && zombie.is_none() && !pids.is_empty() {
-                                    let ops0 = disks.stats().parallel_ops;
-                                    match ctx.submit_read_group(
-                                        &mut disks,
-                                        local_region(batch, pids[0].1),
-                                        pids.len(),
-                                    ) {
-                                        Ok(pending) => pending_ctx = Some(pending),
-                                        Err(e) => zombie = Some(e),
+                                while depth > 0
+                                    && zombie.is_none()
+                                    && next_prefetch < num_batches
+                                    && next_prefetch < batch + depth
+                                {
+                                    let ppids = my_pids(next_prefetch);
+                                    if ppids.is_empty() {
+                                        ctx_window.push_back(None);
+                                    } else {
+                                        let ops0 = disks.stats().parallel_ops;
+                                        match ctx.submit_read_group(
+                                            &mut disks,
+                                            local_region(next_prefetch, ppids[0].1),
+                                            ppids.len(),
+                                        ) {
+                                            Ok(pending) => ctx_window.push_back(Some(pending)),
+                                            Err(e) => {
+                                                zombie = Some(e);
+                                                ctx_window.push_back(None);
+                                            }
+                                        }
+                                        phases.fetch_ctx += disks.stats().parallel_ops - ops0;
                                     }
-                                    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+                                    next_prefetch += 1;
+                                }
+                                let mut pending_ctx: Option<PendingGroupRead> =
+                                    ctx_window.pop_front().flatten();
+                                if zombie.is_some() {
+                                    // A failing attempt joins nothing more:
+                                    // drop the in-flight reads so the
+                                    // barrier's unjoined-ticket check sees
+                                    // a clean array.
+                                    pending_ctx = None;
+                                    ctx_window.clear();
                                 }
 
                                 // --- Fetching Phase: forward local blocks to owners. ---
@@ -543,7 +577,7 @@ impl ParEmSimulator {
                                         gamma,
                                         compute,
                                         pending_ctx.take(),
-                                        if pipelined { Some(&mut backlog) } else { None },
+                                        if depth > 0 { Some(&mut backlog) } else { None },
                                         &mut rng,
                                         &mut phases,
                                         &mut walls,
@@ -580,7 +614,7 @@ impl ParEmSimulator {
                                     let received: Vec<RawBlock> =
                                         arrived.into_iter().flat_map(|b| b.blocks).collect();
                                     let ops0 = disks.stats().parallel_ops;
-                                    let stored = if pipelined {
+                                    let stored = if depth > 0 {
                                         store_received_blocks_deferred(
                                             &mut disks,
                                             &mut alloc,
@@ -1135,17 +1169,57 @@ mod tests {
 
     #[test]
     fn pipelined_parallel_run_is_bit_identical() {
+        // A state-dependent multi-superstep program with *distinct*
+        // initial states: a stale or misaligned context read (e.g. a
+        // window handing batch b the contexts of batch b-1) changes the
+        // final states, which the symmetric all-to-all workload cannot
+        // detect because it never reads its prior state.
+        struct Diffuse;
+        impl BspProgram for Diffuse {
+            type State = u64;
+            type Msg = u64;
+            fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+                let v = mb.nprocs();
+                for e in mb.take_incoming() {
+                    *state = state.wrapping_add(e.msg);
+                }
+                if step < 4 {
+                    mb.send((mb.pid() + 1) % v, *state + step as u64);
+                    mb.send((mb.pid() + v - 1) % v, state.wrapping_mul(3));
+                    Step::Continue
+                } else {
+                    Step::Halt
+                }
+            }
+            fn max_state_bytes(&self) -> usize {
+                124
+            }
+            fn max_comm_bytes(&self) -> usize {
+                2 * 24
+            }
+        }
         let v = 32;
-        let prog = AllToAll { mu: 124 };
+        let init: Vec<u64> = (0..v as u64).map(|x| x * 11 + 3).collect();
+        let reference = run_sequential(&Diffuse, init.clone()).unwrap();
         let base = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
-        let (a, ra) = base.run(&prog, vec![0u64; v]).unwrap();
-        let pipelined = base.clone().with_pipeline(Pipeline::DoubleBuffer);
-        let (b, rb) = pipelined.run(&prog, vec![0u64; v]).unwrap();
-        assert_eq!(a.states, b.states);
-        assert_eq!(a.ledger, b.ledger);
-        assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
-        assert_eq!(ra.phases, rb.phases);
-        assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+        let (a, ra) = base.run(&Diffuse, init.clone()).unwrap();
+        assert_eq!(a.states, reference.states, "Pipeline::Off must match the reference");
+        // 4 batches: depth 2 keeps several rounds in flight, depth 8 a
+        // window wider than the whole superstep.
+        for pipeline in [
+            Pipeline::DoubleBuffer,
+            Pipeline::Stream(1),
+            Pipeline::Stream(2),
+            Pipeline::Stream(8),
+        ] {
+            let pipelined = base.clone().with_pipeline(pipeline);
+            let (b, rb) = pipelined.run(&Diffuse, init.clone()).unwrap();
+            assert_eq!(a.states, b.states, "{pipeline:?}");
+            assert_eq!(a.ledger, b.ledger, "{pipeline:?}");
+            assert_eq!(ra.io, rb.io, "counted I/O must not depend on {pipeline:?}");
+            assert_eq!(ra.phases, rb.phases, "{pipeline:?}");
+            assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk, "{pipeline:?}");
+        }
     }
 
     #[test]
@@ -1178,7 +1252,7 @@ mod tests {
         let base = ParEmSimulator::new(machine(4, 256, 2, 64)).with_seed(5);
         let (a, ra) = base.run(&prog, vec![0u64; v]).unwrap();
         for n in [1usize, 2, 8] {
-            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer] {
+            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer, Pipeline::Stream(4)] {
                 let threaded = base
                     .clone()
                     .with_pipeline(pipeline)
@@ -1195,15 +1269,18 @@ mod tests {
 
     #[test]
     fn pipelined_parallel_file_backend_matches_reference() {
-        let dir = std::env::temp_dir().join(format!("em-par-pipe-{}", std::process::id()));
         let prog = AllToAll { mu: 124 };
         let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
-        let sim = ParEmSimulator::new(machine(2, 256, 2, 64))
-            .with_file_backend(&dir)
-            .with_pipeline(Pipeline::DoubleBuffer);
-        let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
-        assert_eq!(res.states, reference.states);
-        std::fs::remove_dir_all(&dir).ok();
+        for (tag, pipeline) in [("db", Pipeline::DoubleBuffer), ("s3", Pipeline::Stream(3))] {
+            let dir =
+                std::env::temp_dir().join(format!("em-par-pipe-{tag}-{}", std::process::id()));
+            let sim = ParEmSimulator::new(machine(2, 256, 2, 64))
+                .with_file_backend(&dir)
+                .with_pipeline(pipeline);
+            let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
+            assert_eq!(res.states, reference.states, "{pipeline:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

@@ -12,6 +12,17 @@ use std::time::Duration;
 /// `sync()`, and a transient disk fault that survives the substrate's
 /// [`em_disk::RetryPolicy`] triggers a rollback to the last committed
 /// state followed by a bounded replay of the whole superstep.
+///
+/// ```
+/// use em_core::RecoveryPolicy;
+///
+/// // Allow each faulted superstep up to 8 replays before the run is
+/// // declared unrecoverable; the default budget is 3.
+/// assert_eq!(RecoveryPolicy::new(8).max_replays_per_superstep, 8);
+/// assert_eq!(RecoveryPolicy::default().max_replays_per_superstep, 3);
+/// // The budget is clamped to at least one replay.
+/// assert_eq!(RecoveryPolicy::new(0).max_replays_per_superstep, 1);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RecoveryPolicy {
     /// Maximum number of times any single compound superstep may be

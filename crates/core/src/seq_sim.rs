@@ -21,11 +21,11 @@
 //! is in flight.
 
 use crate::compute::{run_group_vps, ComputeMode, VpWork};
-use crate::context_store::{BufferPool, ContextStore};
+use crate::context_store::{BufferPool, ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
 use crate::msg::{
     fetch_group_messages, scatter_messages, scatter_messages_deferred, submit_fetch_group_messages,
-    GroupCounts, InMsg, MsgGeometry, OutMsg, Placement, MSG_HEADER_BYTES,
+    GroupCounts, InMsg, MsgGeometry, OutMsg, PendingGroupMsgs, Placement, MSG_HEADER_BYTES,
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::{simulate_routing, RoutingScratch};
@@ -37,6 +37,7 @@ use em_disk::{
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -137,12 +138,15 @@ impl SeqEmSimulator {
     }
 
     /// Overlap disk transfers with computation ([`Pipeline::Off`] by
-    /// default). With [`Pipeline::DoubleBuffer`] the next group's contexts
-    /// and message blocks are in flight while the current group computes,
-    /// and the previous groups' writes drain in the background, joined
-    /// before Algorithm 2's reorganization. Counted I/O, final states, the
-    /// RNG stream and seeded I/O traces are identical either way — the
-    /// knob changes only *when* transfers complete.
+    /// default). With [`Pipeline::Stream(n)`](Pipeline::Stream) a bounded
+    /// window of up to `n` groups is in flight at once: group `g+n`'s
+    /// contexts and message blocks are submitted before group `g` is
+    /// joined, and every group's writes drain in the background, joined
+    /// before Algorithm 2's reorganization. [`Pipeline::DoubleBuffer`] is
+    /// exactly `Stream(1)` — the classic one-group-ahead double buffer.
+    /// Counted I/O, per-phase attribution, final states, the RNG stream
+    /// and seeded I/O traces are identical at every depth — the knob
+    /// changes only *when* transfers complete.
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
         self
@@ -511,43 +515,41 @@ fn run_superstep_attempt<P: BspProgram>(
     let mut all_halted = true;
     let mut step_comm = SuperstepComm::default();
 
-    if pipeline == Pipeline::DoubleBuffer {
-        // Double-buffered variant of the same loop: group `g+1`'s
-        // fetches are in flight while group `g` computes, and the
-        // Writing Phases drain in the background. Submission order
+    let depth = pipeline.depth();
+    if depth > 0 {
+        // Streaming variant of the same loop: a bounded window of up
+        // to `depth` groups is in flight at once — group `g+depth`'s
+        // fetches are submitted before group `g` is joined, and every
+        // Writing Phase drains in the background. Submission order
         // within each phase — and therefore the RNG stream, the
         // track allocations and every counted stripe — is identical
-        // to the synchronous loop below.
+        // to the synchronous loop below at every depth; depth 1 is
+        // the classic double buffer.
         let mut backlog = WriteBacklog::new();
-        let mut next = {
-            let t0 = Instant::now();
-            let ops0 = disks.stats().parallel_ops;
-            let ctx = ctx_store.submit_read_group(disks, 0, k.min(v))?;
-            phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-            let ops0 = disks.stats().parallel_ops;
-            let msgs = submit_fetch_group_messages(disks, geom, counts, 0)?;
-            phases.fetch_msg += disks.stats().parallel_ops - ops0;
-            walls.fetch += t0.elapsed();
-            Some((ctx, msgs))
-        };
+        let mut window = VecDeque::with_capacity(depth.min(num_groups));
+        for g in 0..depth.min(num_groups) {
+            window.push_back(submit_group_fetch(
+                ctx_store, geom, counts, disks, phases, walls, v, k, g,
+            )?);
+        }
         for group in 0..num_groups {
             let first = group * k;
-            let (pend_ctx, pend_msgs) = next.take().expect("group was prefetched");
 
-            // --- Fetching Phase (next group) ---
-            if group + 1 < num_groups {
-                let t0 = Instant::now();
-                let nfirst = (group + 1) * k;
-                let ncount = (nfirst + k).min(v) - nfirst;
-                let ops0 = disks.stats().parallel_ops;
-                let ctx = ctx_store.submit_read_group(disks, nfirst, ncount)?;
-                phases.fetch_ctx += disks.stats().parallel_ops - ops0;
-                let ops0 = disks.stats().parallel_ops;
-                let msgs = submit_fetch_group_messages(disks, geom, counts, group + 1)?;
-                phases.fetch_msg += disks.stats().parallel_ops - ops0;
-                walls.fetch += t0.elapsed();
-                next = Some((ctx, msgs));
+            // --- Fetching Phase (top up the window) ---
+            if group + depth < num_groups {
+                window.push_back(submit_group_fetch(
+                    ctx_store,
+                    geom,
+                    counts,
+                    disks,
+                    phases,
+                    walls,
+                    v,
+                    k,
+                    group + depth,
+                )?);
             }
+            let (pend_ctx, pend_msgs) = window.pop_front().expect("group was prefetched");
 
             // --- Computation Phase ---
             let t0 = Instant::now();
@@ -661,6 +663,36 @@ fn run_superstep_attempt<P: BspProgram>(
     walls.sync += t0.elapsed();
 
     Ok(SuperstepOutcome { counts: new_counts, any_msgs, all_halted, balance, comm: step_comm })
+}
+
+/// Submit (and count) one group's Fetching Phase — context stripes then
+/// message stripes — without waiting for the transfers. The streaming
+/// window loop uses this both to prime the window and to top it up;
+/// submission order per group is exactly that of the synchronous loop, so
+/// counted I/O and per-phase attribution are depth-invariant.
+#[allow(clippy::too_many_arguments)]
+fn submit_group_fetch(
+    ctx_store: &ContextStore,
+    geom: &MsgGeometry,
+    counts: &GroupCounts,
+    disks: &mut DiskArray,
+    phases: &mut PhaseIo,
+    walls: &mut PhaseWall,
+    v: usize,
+    k: usize,
+    group: usize,
+) -> EmResult<(PendingGroupRead, PendingGroupMsgs)> {
+    let t0 = Instant::now();
+    let first = group * k;
+    let count = (first + k).min(v) - first;
+    let ops0 = disks.stats().parallel_ops;
+    let ctx = ctx_store.submit_read_group(disks, first, count)?;
+    phases.fetch_ctx += disks.stats().parallel_ops - ops0;
+    let ops0 = disks.stats().parallel_ops;
+    let msgs = submit_fetch_group_messages(disks, geom, counts, group)?;
+    phases.fetch_msg += disks.stats().parallel_ops - ops0;
+    walls.fetch += t0.elapsed();
+    Ok((ctx, msgs))
 }
 
 /// Computation Phase for one group (Step 1(c)): distribute the fetched
@@ -808,13 +840,36 @@ mod tests {
         let prog = AllToAll { mu: 124 };
         let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
         let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
-        let pipelined = base.clone().with_pipeline(Pipeline::DoubleBuffer);
-        let (b, rb) = pipelined.run(&prog, vec![0u64; 16]).unwrap();
+        // The workload has 8 groups: depth 2 keeps several in flight,
+        // depth 8 covers a window deeper than the remaining groups, and
+        // depth 32 a window wider than the whole superstep.
+        for pipeline in [
+            Pipeline::DoubleBuffer,
+            Pipeline::Stream(1),
+            Pipeline::Stream(2),
+            Pipeline::Stream(8),
+            Pipeline::Stream(32),
+        ] {
+            let pipelined = base.clone().with_pipeline(pipeline);
+            let (b, rb) = pipelined.run(&prog, vec![0u64; 16]).unwrap();
+            assert_eq!(a.states, b.states, "{pipeline:?}");
+            assert_eq!(a.ledger, b.ledger, "{pipeline:?}");
+            assert_eq!(ra.io, rb.io, "counted I/O must not depend on {pipeline:?}");
+            assert_eq!(ra.phases, rb.phases, "phase attribution must not depend on {pipeline:?}");
+            assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk, "{pipeline:?}");
+        }
+    }
+
+    #[test]
+    fn stream_zero_is_exactly_off() {
+        let prog = AllToAll { mu: 124 };
+        let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
+        let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
+        let (b, rb) =
+            base.clone().with_pipeline(Pipeline::Stream(0)).run(&prog, vec![0u64; 16]).unwrap();
         assert_eq!(a.states, b.states);
-        assert_eq!(a.ledger, b.ledger);
-        assert_eq!(ra.io, rb.io, "counted I/O must not depend on the pipeline knob");
-        assert_eq!(ra.phases, rb.phases, "per-phase attribution must not depend on the knob");
-        assert_eq!(ra.tracks_per_disk, rb.tracks_per_disk);
+        assert_eq!(ra.io, rb.io);
+        assert_eq!(ra.phases, rb.phases);
     }
 
     #[test]
@@ -850,7 +905,7 @@ mod tests {
         let base = SeqEmSimulator::new(machine(256, 4, 64)).with_seed(42);
         let (a, ra) = base.run(&prog, vec![0u64; 16]).unwrap();
         for n in [1usize, 2, 8] {
-            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer] {
+            for pipeline in [Pipeline::Off, Pipeline::DoubleBuffer, Pipeline::Stream(4)] {
                 let threaded = base
                     .clone()
                     .with_pipeline(pipeline)
@@ -867,16 +922,19 @@ mod tests {
 
     #[test]
     fn pipelined_file_backend_matches_reference() {
-        let dir = std::env::temp_dir().join(format!("em-seq-pipe-{}", std::process::id()));
         let prog = AllToAll { mu: 124 };
         let reference = run_sequential(&prog, vec![0u64; 16]).unwrap();
-        let sim = SeqEmSimulator::new(machine(256, 4, 64))
-            .with_file_backend(&dir)
-            .with_pipeline(Pipeline::DoubleBuffer);
-        let (res, report) = sim.run(&prog, vec![0u64; 16]).unwrap();
-        assert_eq!(res.states, reference.states);
-        assert!(report.io.parallel_ops > 0);
-        std::fs::remove_dir_all(&dir).ok();
+        for (tag, pipeline) in [("db", Pipeline::DoubleBuffer), ("s3", Pipeline::Stream(3))] {
+            let dir =
+                std::env::temp_dir().join(format!("em-seq-pipe-{tag}-{}", std::process::id()));
+            let sim = SeqEmSimulator::new(machine(256, 4, 64))
+                .with_file_backend(&dir)
+                .with_pipeline(pipeline);
+            let (res, report) = sim.run(&prog, vec![0u64; 16]).unwrap();
+            assert_eq!(res.states, reference.states, "{pipeline:?}");
+            assert!(report.io.parallel_ops > 0);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@ use crate::{
 };
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// An array of `D` track-addressed drives with blocked, `D`-way-parallel
 /// I/O — the storage half of one EM-BSP processor.
@@ -48,6 +50,12 @@ pub struct DiskArray {
     addr_scratch: Vec<(usize, usize)>,
     /// Reusable index staging for [`DiskArray::read_blocks_batched`].
     idx_scratch: Vec<usize>,
+    /// Live count of stripe tickets handed out by the submit calls and
+    /// neither joined nor dropped yet. Barriers check it so pipelined
+    /// callers that reach `sync()`/`begin_recovery_epoch()` with work
+    /// still in their window fail with a typed
+    /// [`DiskError::UnjoinedTickets`] instead of an implicit drain.
+    outstanding: Arc<AtomicUsize>,
 }
 
 /// Undo log for one recovery epoch (one compound superstep): the content
@@ -151,7 +159,19 @@ impl DiskArray {
             pre_image_pool: Vec::new(),
             addr_scratch: Vec::new(),
             idx_scratch: Vec::new(),
+            outstanding: Arc::new(AtomicUsize::new(0)),
         }
+    }
+
+    /// Return [`DiskError::UnjoinedTickets`] if the caller still holds
+    /// submitted-but-unjoined stripe tickets — the precondition of every
+    /// barrier operation.
+    fn check_no_unjoined_tickets(&self) -> DiskResult<()> {
+        let outstanding = self.outstanding.load(Ordering::Acquire);
+        if outstanding != 0 {
+            return Err(DiskError::UnjoinedTickets { outstanding });
+        }
+        Ok(())
     }
 
     /// Impose a per-drive capacity limit of `max_tracks` tracks; writes
@@ -216,7 +236,12 @@ impl DiskArray {
     }
 
     /// Flush the backend (meaningful for files).
+    ///
+    /// `sync()` is a barrier, not a drain: reaching it while stripe
+    /// tickets are still unjoined is a caller bug and fails with
+    /// [`DiskError::UnjoinedTickets`] before touching the backend.
     pub fn sync(&mut self) -> DiskResult<()> {
+        self.check_no_unjoined_tickets()?;
         self.backend.sync()?;
         self.poll_retries();
         Ok(())
@@ -235,7 +260,11 @@ impl DiskArray {
     /// Opening an epoch first flushes any write-back cache, so the media
     /// itself holds the committed pre-epoch bytes the journal's pre-images
     /// describe — a rollback then restores exactly that physical state.
+    /// Like [`DiskArray::sync`], it is a barrier: unjoined stripe tickets
+    /// at this point are a caller bug and fail with
+    /// [`DiskError::UnjoinedTickets`].
     pub fn begin_recovery_epoch(&mut self) -> DiskResult<()> {
+        self.check_no_unjoined_tickets()?;
         self.backend.flush_cache()?;
         self.poll_retries();
         self.journal = Some(RecoveryJournal {
@@ -379,7 +408,7 @@ impl DiskArray {
             self.stats.blocks_read += addrs.len() as u64;
             self.stats.bytes_read += (addrs.len() * self.cfg.block_bytes) as u64;
         }
-        Ok(ReadStripeTicket { ticket })
+        Ok(ReadStripeTicket { ticket, _guard: TicketGuard::new(&self.outstanding) })
     }
 
     /// Submit one parallel write — store at most one track on each listed
@@ -413,7 +442,7 @@ impl DiskArray {
             self.stats.blocks_written += writes.len() as u64;
             self.stats.bytes_written += (writes.len() * self.cfg.block_bytes) as u64;
         }
-        Ok(WriteStripeTicket { ticket })
+        Ok(WriteStripeTicket { ticket, _guard: TicketGuard::new(&self.outstanding) })
     }
 
     /// One parallel read: fetch at most one track from each listed drive.
@@ -540,14 +569,45 @@ impl DiskArray {
     }
 }
 
+/// Membership token in the issuing array's unjoined-ticket census.
+///
+/// Created when a stripe ticket is handed out and decremented exactly once
+/// on `Drop` — whether the ticket is consumed by `join` (which moves the
+/// ticket, dropping it at the end of the call) or abandoned on an error
+/// path. The count is what lets the barriers (`sync()`,
+/// `begin_recovery_epoch()`) reject callers that still hold in-flight
+/// work, per [`DiskError::UnjoinedTickets`].
+struct TicketGuard {
+    outstanding: Arc<AtomicUsize>,
+}
+
+impl TicketGuard {
+    fn new(outstanding: &Arc<AtomicUsize>) -> Self {
+        outstanding.fetch_add(1, Ordering::AcqRel);
+        TicketGuard { outstanding: Arc::clone(outstanding) }
+    }
+}
+
+impl Drop for TicketGuard {
+    fn drop(&mut self) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// A joinable handle for one counted, submitted stripe read.
 ///
 /// The operation was already validated and counted by
 /// [`DiskArray::submit_read_stripe`]; `join` waits for the transfers (a
 /// no-op on synchronous backends) and returns the blocks in request
 /// order, or the deferred error of the lowest-indexed failing drive.
+///
+/// A ticket must be joined — or explicitly dropped, which abandons the
+/// result — before the issuing array's next barrier
+/// ([`DiskArray::sync`] / [`DiskArray::begin_recovery_epoch`]); a barrier
+/// reached with live tickets fails with [`DiskError::UnjoinedTickets`].
 pub struct ReadStripeTicket {
     ticket: ReadTicket,
+    _guard: TicketGuard,
 }
 
 impl ReadStripeTicket {
@@ -558,9 +618,10 @@ impl ReadStripeTicket {
 }
 
 /// A joinable handle for one counted, submitted stripe write (same
-/// contract as [`ReadStripeTicket`]).
+/// contract as [`ReadStripeTicket`], including the barrier rule).
 pub struct WriteStripeTicket {
     ticket: WriteTicket,
+    _guard: TicketGuard,
 }
 
 impl WriteStripeTicket {
@@ -803,6 +864,42 @@ mod tests {
         assert!(backlog.is_empty());
         assert_eq!(a.read_block(1, 2).unwrap().as_bytes()[0], 21);
         assert_eq!(a.stats().parallel_ops, 4);
+    }
+
+    #[test]
+    fn barrier_with_unjoined_tickets_is_a_typed_error() {
+        let mut a = array(2, 8);
+        let wt = a.submit_write_stripe(&[(0, 0, Block::zeroed(8))]).unwrap();
+        let rt = a.submit_read_stripe(&[(1, 0)]).unwrap();
+        assert!(matches!(a.sync(), Err(DiskError::UnjoinedTickets { outstanding: 2 })));
+        assert!(matches!(
+            a.begin_recovery_epoch(),
+            Err(DiskError::UnjoinedTickets { outstanding: 2 })
+        ));
+        assert!(!a.recovery_epoch_active(), "rejected barrier must not arm a journal");
+        wt.join().unwrap();
+        assert!(matches!(a.sync(), Err(DiskError::UnjoinedTickets { outstanding: 1 })));
+        rt.join().unwrap();
+        a.sync().unwrap();
+        a.begin_recovery_epoch().unwrap();
+        a.commit_recovery_epoch();
+        let err = DiskError::UnjoinedTickets { outstanding: 3 };
+        assert!(!err.is_transient(), "a missed drain point is a caller bug, not a media fault");
+    }
+
+    #[test]
+    fn dropped_tickets_release_the_barrier() {
+        // An abandoned ticket (error-path cleanup) must not wedge every
+        // later barrier: the guard decrements on drop, joined or not.
+        let mut a = array(2, 8);
+        let rt = a.submit_read_stripe(&[(0, 0)]).unwrap();
+        drop(rt);
+        a.sync().unwrap();
+        let mut backlog = WriteBacklog::new();
+        backlog.push(a.submit_write_stripe(&[(1, 0, Block::zeroed(8))]).unwrap());
+        assert!(matches!(a.sync(), Err(DiskError::UnjoinedTickets { outstanding: 1 })));
+        backlog.drain().unwrap();
+        a.sync().unwrap();
     }
 
     #[test]

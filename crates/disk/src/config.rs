@@ -20,15 +20,32 @@ pub enum IoMode {
 }
 
 /// Whether a simulator may overlap disk transfers of adjacent work units
-/// (groups/batches) within one compound superstep.
+/// (groups/batches) within one compound superstep, and how many of them
+/// may be in flight at once.
 ///
 /// Like [`IoMode`], the pipeline knob changes *when* transfers execute —
 /// never which stripes are submitted, what [`crate::IoStats`] count, or
 /// what a seeded run computes. Counting happens in
 /// [`DiskArray`](crate::DiskArray) at submission time, so the counted cost
-/// of a run is bit-identical with pipelining on or off by construction.
+/// of a run is bit-identical at every depth by construction.
 /// The superstep-boundary `sync()` is the barrier: no transfer submitted
 /// inside a superstep may still be in flight after it.
+///
+/// The knob is a single scalar — the *window depth* returned by
+/// [`Pipeline::depth`]: how many work units ahead of the one currently
+/// being joined a simulator may have submitted. [`Pipeline::DoubleBuffer`]
+/// is kept as a readable alias for the classic one-ahead scheme and is
+/// exactly [`Pipeline::Stream`]`(1)`:
+///
+/// ```
+/// use em_disk::Pipeline;
+///
+/// assert_eq!(Pipeline::Off.depth(), 0);
+/// assert_eq!(Pipeline::DoubleBuffer.depth(), Pipeline::Stream(1).depth());
+/// assert_eq!(Pipeline::Stream(4).depth(), 4);
+/// // Stream(0) requests no overlap at all — it behaves like Off.
+/// assert_eq!(Pipeline::Stream(0).depth(), Pipeline::Off.depth());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Pipeline {
     /// Every stripe is joined before the next one is submitted (the
@@ -37,8 +54,31 @@ pub enum Pipeline {
     /// Double-buffer compound supersteps: while group `g` computes, group
     /// `g+1`'s contexts and inbound message blocks are already in flight
     /// and group `g-1`'s outbound blocks and contexts drain in the
-    /// background.
+    /// background. An alias for [`Pipeline::Stream`]`(1)` — the two are
+    /// indistinguishable in behaviour, traces and wall clock.
     DoubleBuffer,
+    /// Stream compound supersteps through a bounded window of up to `n`
+    /// work units concurrently in flight across fetch (submitted read
+    /// tickets), compute and write ([`crate::WriteBacklog`]), with the
+    /// reorganization drain and the barrier `sync()` as the only full
+    /// joins. `Stream(0)` degenerates to [`Pipeline::Off`] and
+    /// `Stream(1)` to [`Pipeline::DoubleBuffer`]; larger depths only add
+    /// more prefetch distance — never different submissions.
+    Stream(usize),
+}
+
+impl Pipeline {
+    /// The in-flight window depth this knob requests: how many work units
+    /// (groups/batches) ahead of the one being joined a simulator may
+    /// have submitted. 0 means fully synchronous.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        match self {
+            Pipeline::Off => 0,
+            Pipeline::DoubleBuffer => 1,
+            Pipeline::Stream(n) => *n,
+        }
+    }
 }
 
 /// Bounded, deterministic retry schedule for transient track-transfer
@@ -147,25 +187,70 @@ impl DiskConfig {
         self
     }
 
-    /// Select whether simulators overlap adjacent groups' I/O.
+    /// Select whether — and how deep — simulators overlap adjacent
+    /// groups' I/O (see [`Pipeline`]).
+    ///
+    /// ```
+    /// use em_disk::{DiskConfig, Pipeline};
+    ///
+    /// let cfg = DiskConfig::new(4, 256).unwrap().with_pipeline(Pipeline::Stream(4));
+    /// assert_eq!(cfg.pipeline.depth(), 4);
+    /// ```
     pub fn with_pipeline(mut self, pipeline: Pipeline) -> Self {
         self.pipeline = pipeline;
         self
     }
 
-    /// Enable or disable per-track CRC32 frames.
+    /// Enable or disable per-track CRC32 frames. The frame lives outside
+    /// the logical block, so neither block arithmetic nor counted I/O
+    /// changes; a mismatch on read surfaces as
+    /// [`DiskError::Corrupt`](crate::DiskError::Corrupt).
+    ///
+    /// ```
+    /// use em_disk::{DiskArray, DiskConfig};
+    ///
+    /// let cfg = DiskConfig::new(4, 256).unwrap().with_checksums(true);
+    /// assert_eq!(cfg.block_bytes, 256, "logical block size is unchanged");
+    /// // Each stored track carries the 4-byte CRC suffix.
+    /// assert_eq!(DiskArray::storage_block_bytes(&cfg), 260);
+    /// ```
     pub fn with_checksums(mut self, on: bool) -> Self {
         self.checksums = on;
         self
     }
 
     /// Enable bounded retry of transient track-transfer failures.
+    /// Absorbed retries are tallied in
+    /// [`IoStats::retried_blocks`](crate::IoStats::retried_blocks), never
+    /// in the paper-facing `parallel_ops`.
+    ///
+    /// ```
+    /// use em_disk::{DiskConfig, RetryPolicy};
+    ///
+    /// let cfg = DiskConfig::new(4, 256)
+    ///     .unwrap()
+    ///     .with_retry(RetryPolicy::new(4).with_backoff_micros(10));
+    /// let policy = cfg.retry.unwrap();
+    /// assert_eq!(policy.max_attempts, 4);
+    /// assert_eq!(policy.delay_before(2).as_micros(), 20, "exponential backoff");
+    /// ```
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
     }
 
     /// Set the write-back block-cache capacity in bytes (0 disables it).
+    /// The cache is the outermost backend decorator and counting happens
+    /// above it, so counted [`crate::IoStats`] stay bit-identical at any
+    /// capacity; absorbed traffic lands in the two cache tallies.
+    ///
+    /// ```
+    /// use em_disk::DiskConfig;
+    ///
+    /// let cfg = DiskConfig::new(4, 256).unwrap().with_cache(1024);
+    /// assert_eq!(cfg.cache_tracks(), 4, "1024 bytes hold 4 whole 256-byte tracks");
+    /// assert_eq!(cfg.with_cache(0).cache_tracks(), 0, "0 disables the cache");
+    /// ```
     pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
         self.cache_bytes = capacity_bytes;
         self
@@ -221,6 +306,17 @@ mod tests {
         let cfg = cfg.with_pipeline(Pipeline::DoubleBuffer);
         assert_eq!(cfg.pipeline, Pipeline::DoubleBuffer);
         assert_eq!(cfg.io_mode, IoMode::Parallel, "pipeline knob must not disturb io_mode");
+        let cfg = cfg.with_pipeline(Pipeline::Stream(8));
+        assert_eq!(cfg.pipeline, Pipeline::Stream(8));
+    }
+
+    #[test]
+    fn pipeline_depth_maps_every_variant_onto_the_window_scalar() {
+        assert_eq!(Pipeline::Off.depth(), 0);
+        assert_eq!(Pipeline::DoubleBuffer.depth(), 1, "DoubleBuffer is Stream(1)");
+        for n in [0, 1, 2, 7, 64] {
+            assert_eq!(Pipeline::Stream(n).depth(), n);
+        }
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub enum DiskError {
         /// Track whose frame failed verification.
         track: usize,
     },
+    /// A barrier (`sync()` or `begin_recovery_epoch()`) was reached while
+    /// the caller still held unjoined stripe tickets. Barriers never drain
+    /// tickets implicitly — every submitted stripe must be joined (or its
+    /// ticket explicitly dropped) first, so pipelined callers that forget
+    /// a drain point fail loudly instead of deadlocking or silently
+    /// reordering against the barrier.
+    UnjoinedTickets {
+        /// Tickets submitted but neither joined nor dropped.
+        outstanding: usize,
+    },
 }
 
 impl DiskError {
@@ -105,6 +115,12 @@ impl fmt::Display for DiskError {
             }
             DiskError::Corrupt { disk, track } => {
                 write!(f, "checksum mismatch on drive {disk}, track {track}")
+            }
+            DiskError::UnjoinedTickets { outstanding } => {
+                write!(
+                    f,
+                    "barrier reached with {outstanding} unjoined stripe ticket(s); join or drop every submitted stripe before sync()/begin_recovery_epoch()"
+                )
             }
         }
     }

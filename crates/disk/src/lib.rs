@@ -25,6 +25,24 @@
 //!   absorbed traffic is tallied in
 //!   [`IoStats::cache_hit_blocks`]/[`IoStats::cache_absorbed_writes`].
 //!
+//! ## The canonical decorator stack
+//!
+//! [`DiskArray`] assembles the optional layers in one fixed order,
+//! outermost first:
+//!
+//! ```text
+//! DiskArray( Cache( Retrying( Checksum( FaultInjecting( raw ) ) ) ) )
+//! ```
+//!
+//! Counting lives in [`DiskArray`] itself, *above* every decorator, so no
+//! layer can change counted [`IoStats`]. Fault injection sits at the
+//! bottom — directly on the raw media — so injected corruption is subject
+//! to CRC verification and injected transients to the retry policy,
+//! exactly like real media faults; the cache is the outermost layer, so a
+//! hit short-circuits the whole stack and a flush re-traverses it like a
+//! direct write. Every layer is opt-in via [`DiskConfig`]; the stack
+//! order is not configurable.
+//!
 //! On top of the raw [`DiskArray`] this crate implements the paper's two
 //! on-disk layouts:
 //!
