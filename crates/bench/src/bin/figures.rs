@@ -1108,8 +1108,13 @@ fn fig_stream() -> (Vec<Row>, Vec<PhaseWallRow>) {
     let mut walls = Vec::new();
     // The Off lane's full fingerprint: sorted output, per-stage counted
     // IoStats, per-phase op counts, per-stage ledgers, drive bytes.
-    type Baseline =
-        (Vec<u64>, Vec<IoStats>, Vec<em_core::PhaseIo>, Vec<em_bsp::CommLedger>, Vec<(String, Vec<u8>)>);
+    type Baseline = (
+        Vec<u64>,
+        Vec<IoStats>,
+        Vec<em_core::PhaseIo>,
+        Vec<em_bsp::CommLedger>,
+        Vec<(String, Vec<u8>)>,
+    );
     for p in pick(vec![1usize, 4], vec![1usize, 2]) {
         let mut baseline: Option<Baseline> = None;
         let mut base_wall = 0.0f64;

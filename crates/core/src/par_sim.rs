@@ -47,8 +47,8 @@ use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    DiskArray, FaultPlan, FaultStats, IoMode, IoStats, Pipeline, RetryPolicy, TrackAllocator,
-    WriteBacklog,
+    DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, Pipeline, RetryPolicy,
+    TrackAllocator, WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
@@ -256,9 +256,67 @@ impl ParEmSimulator {
         self
     }
 
+    /// The [`DiskConfig`] each processor's private array is built with —
+    /// the shape every array passed to [`Self::run_on`] must have.
+    pub fn disk_config(&self) -> EmResult<DiskConfig> {
+        let cfg = self
+            .machine
+            .disk_config()?
+            .with_io_mode(self.io_mode)
+            .with_pipeline(self.pipeline)
+            .with_checksums(self.checksums)
+            .with_cache(self.cache_bytes);
+        Ok(match self.retry {
+            Some(policy) => cfg.with_retry(policy),
+            None => cfg,
+        })
+    }
+
+    /// Build the `p` private disk arrays [`Self::run`] would construct
+    /// internally (file-backed arrays land in `dir/proc-<i>`). Pair with
+    /// [`Self::run_on`] to reuse arrays across runs or substitute
+    /// caller-provided storage.
+    pub fn build_disks(&self) -> EmResult<Vec<DiskArray>> {
+        self.machine.validate()?;
+        let cfg = self.disk_config()?;
+        (0..self.machine.p)
+            .map(|i| {
+                Ok(match &self.file_dir {
+                    None => DiskArray::new_memory_with_faults(cfg, self.fault_plan.clone()),
+                    Some(dir) => DiskArray::new_file_with_faults(
+                        cfg,
+                        dir.join(format!("proc-{i}")),
+                        self.fault_plan.clone(),
+                    )?,
+                })
+            })
+            .collect()
+    }
+
     /// Run `prog` on `states.len()` virtual processors across `p` threads.
+    ///
+    /// Equivalent to [`Self::build_disks`] followed by [`Self::run_on`]:
+    /// the simulator holds no per-run state, so one value can execute any
+    /// number of runs.
     pub fn run<P: BspProgram>(
         &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let disks = self.build_disks()?;
+        self.run_on(disks, prog, states)
+    }
+
+    /// [`Self::run`] on caller-provided disk arrays, one per processor.
+    ///
+    /// `disks` must hold exactly `p` arrays matching this simulator's
+    /// [`Self::disk_config`] in drive count and block size (typed
+    /// [`EmError::InvalidConfig`] otherwise). Each run addresses tracks
+    /// from 0 upward and rewrites every region it allocates, so repeated
+    /// runs on the same arrays are independent.
+    pub fn run_on<P: BspProgram>(
+        &self,
+        disks: Vec<DiskArray>,
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
@@ -269,6 +327,26 @@ impl ParEmSimulator {
             return Err(EmError::Bsp(BspError::NoProcessors));
         }
         let p = self.machine.p;
+        if disks.len() != p {
+            return Err(EmError::InvalidConfig(format!(
+                "{} disk arrays provided for p = {p} processors",
+                disks.len()
+            )));
+        }
+        {
+            let expected = self.machine.disk_config()?;
+            for arr in &disks {
+                let cfg = arr.config();
+                if cfg.num_disks != expected.num_disks || cfg.block_bytes != expected.block_bytes {
+                    return Err(EmError::InvalidConfig(format!(
+                        "disk array shape {}x{}B does not match the machine's {}x{}B",
+                        cfg.num_disks, cfg.block_bytes, expected.num_disks, expected.block_bytes
+                    )));
+                }
+            }
+        }
+        let disk_slots: Vec<Mutex<Option<DiskArray>>> =
+            disks.into_iter().map(|d| Mutex::new(Some(d))).collect();
         let mu = prog.max_state_bytes();
         let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
         let ctx_region = 4 + mu;
@@ -334,15 +412,14 @@ impl ParEmSimulator {
                 let placement = self.placement;
                 let seed = self.seed;
                 let max_supersteps = self.max_supersteps;
-                let file_dir = self.file_dir.clone();
                 let io_mode = self.io_mode;
                 let pipeline = self.pipeline;
                 let compute = self.compute;
-                let plan = self.fault_plan.clone();
                 let checksums = self.checksums;
                 let retry = self.retry;
                 let recovery = self.recovery;
                 let cache_bytes = self.cache_bytes;
+                let disk_slots = &disk_slots;
                 let fault_stats = fault_stats.clone();
                 let attempt_errors = &attempt_errors;
                 let replay_token = &replay_token;
@@ -362,14 +439,8 @@ impl ParEmSimulator {
                             Some(policy) => cfg.with_retry(policy),
                             None => cfg,
                         };
-                        let mut disks = match &file_dir {
-                            None => DiskArray::new_memory_with_faults(cfg, plan),
-                            Some(dir) => DiskArray::new_file_with_faults(
-                                cfg,
-                                dir.join(format!("proc-{i}")),
-                                plan,
-                            )?,
-                        };
+                        let mut disks =
+                            disk_slots[i].lock().take().expect("one disk array per processor");
                         let mut alloc = TrackAllocator::new(cfg.num_disks);
                         // Context store: this processor holds num_batches*k regions.
                         let ctx = ContextStore::allocate(
@@ -710,17 +781,14 @@ impl ParEmSimulator {
                                         0,
                                         0,
                                     );
-                                    let mut f = failed.lock();
-                                    if f.is_none() {
-                                        *f = Some(e);
-                                    }
+                                    register_failure(failed, e);
                                     stop.store(true, Ordering::SeqCst);
                                 }
                             }
 
                             barrier.wait();
                             if i == 0 {
-                                let regs = if recovery.is_some() {
+                                let mut regs = if recovery.is_some() {
                                     std::mem::take(&mut *attempt_errors.lock())
                                 } else {
                                     Vec::new()
@@ -774,8 +842,16 @@ impl ParEmSimulator {
                                     } else {
                                         let retried: u64 = regs.iter().map(|r| r.1).sum();
                                         let rec_ops: u64 = regs.iter().map(|r| r.2).sum();
-                                        let (first, _, _) =
-                                            regs.into_iter().next().expect("regs non-empty");
+                                        // Registration order races across
+                                        // threads; surface the disk error as
+                                        // the root cause — co-failing threads
+                                        // derive logic errors from the faulty
+                                        // thread's partial exchange bundles.
+                                        let root = regs
+                                            .iter()
+                                            .position(|(e, _, _)| matches!(e, EmError::Disk(_)))
+                                            .unwrap_or(0);
+                                        let (first, _, _) = regs.swap_remove(root);
                                         let e = wrap_par_fault(
                                             fault_run,
                                             step,
@@ -786,10 +862,7 @@ impl ParEmSimulator {
                                             recovered_total.load(Ordering::Relaxed),
                                             replays_total.load(Ordering::Relaxed),
                                         );
-                                        let mut f = failed.lock();
-                                        if f.is_none() {
-                                            *f = Some(e);
-                                        }
+                                        register_failure(failed, e);
                                         stop.store(true, Ordering::SeqCst);
                                     }
                                 }
@@ -848,10 +921,7 @@ impl ParEmSimulator {
                         Ok(())
                     })();
                     if let Err(e) = work {
-                        let mut f = failed.lock();
-                        if f.is_none() {
-                            *f = Some(e);
-                        }
+                        register_failure(failed, e);
                         stop.store(true, Ordering::SeqCst);
                     }
                 });
@@ -935,6 +1005,22 @@ impl ParEmSimulator {
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))
+    }
+}
+
+/// File a worker's failure into the shared slot. First error wins, except
+/// a disk-rooted error (raw or already wrapped in
+/// [`EmError::FaultUnrecoverable`]) replaces a co-failing thread's derived
+/// logic error: when a drive dies mid-exchange, the *other* processors
+/// decode the faulty processor's partial bundles and fail with
+/// truncated/misrouted-block errors whose root cause is the fault — the
+/// typed error must surface regardless of which thread registers first.
+fn register_failure(slot: &Mutex<Option<EmError>>, e: EmError) {
+    let disk_rooted =
+        |e: &EmError| matches!(e, EmError::Disk(_) | EmError::FaultUnrecoverable { .. });
+    let mut f = slot.lock();
+    if f.is_none() || (disk_rooted(&e) && !f.as_ref().is_some_and(disk_rooted)) {
+        *f = Some(e);
     }
 }
 
@@ -1206,12 +1292,9 @@ mod tests {
         assert_eq!(a.states, reference.states, "Pipeline::Off must match the reference");
         // 4 batches: depth 2 keeps several rounds in flight, depth 8 a
         // window wider than the whole superstep.
-        for pipeline in [
-            Pipeline::DoubleBuffer,
-            Pipeline::Stream(1),
-            Pipeline::Stream(2),
-            Pipeline::Stream(8),
-        ] {
+        for pipeline in
+            [Pipeline::DoubleBuffer, Pipeline::Stream(1), Pipeline::Stream(2), Pipeline::Stream(8)]
+        {
             let pipelined = base.clone().with_pipeline(pipeline);
             let (b, rb) = pipelined.run(&Diffuse, init.clone()).unwrap();
             assert_eq!(a.states, b.states, "{pipeline:?}");

@@ -32,7 +32,8 @@ use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    DiskArray, FaultPlan, FaultStats, IoMode, Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
+    DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, Pipeline, RetryPolicy, TrackAllocator,
+    WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
@@ -226,11 +227,69 @@ impl SeqEmSimulator {
         &self.machine
     }
 
+    /// The [`DiskConfig`] this simulator derives from its machine and
+    /// knobs — the shape every array passed to [`Self::run_on`] must have.
+    pub fn disk_config(&self) -> EmResult<DiskConfig> {
+        let cfg = self
+            .machine
+            .disk_config()?
+            .with_io_mode(self.io_mode)
+            .with_pipeline(self.pipeline)
+            .with_checksums(self.checksums)
+            .with_cache(self.cache_bytes);
+        Ok(match self.retry {
+            Some(policy) => cfg.with_retry(policy),
+            None => cfg,
+        })
+    }
+
+    /// Build a fresh [`DiskArray`] per this simulator's configuration
+    /// (backend, decorators, fault plan) — the array [`Self::run`] would
+    /// construct internally. Callers that want to reuse one array across
+    /// runs, or substitute their own storage (e.g. a
+    /// [`em_disk::SharedDiskSubstrate`] region), pair this with
+    /// [`Self::run_on`].
+    pub fn build_disks(&self) -> EmResult<DiskArray> {
+        self.machine.validate()?;
+        let cfg = self.disk_config()?;
+        Ok(match &self.backend {
+            Backend::Memory => DiskArray::new_memory_with_faults(cfg, self.fault_plan.clone()),
+            Backend::File(dir) => {
+                DiskArray::new_file_with_faults(cfg, dir, self.fault_plan.clone())?
+            }
+        })
+    }
+
     /// Run `prog` on `states.len()` virtual processors entirely through the
     /// external-memory machinery; returns the final states (identical to
     /// [`em_bsp::run_sequential`]) plus the measured [`CostReport`].
+    ///
+    /// Equivalent to [`Self::build_disks`] followed by [`Self::run_on`]:
+    /// the simulator itself holds no per-run state, so one simulator value
+    /// can execute any number of runs, sequentially or from multiple
+    /// threads.
     pub fn run<P: BspProgram>(
         &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let mut disks = self.build_disks()?;
+        self.run_on(&mut disks, prog, states)
+    }
+
+    /// [`Self::run`] on a caller-provided disk array.
+    ///
+    /// `disks` must match this simulator's [`Self::disk_config`] in drive
+    /// count and block size (typed [`EmError::InvalidConfig`] otherwise);
+    /// it may be backed by anything — files, memory, or a tenant region of
+    /// a shared substrate. The run addresses tracks from 0 upward and
+    /// rewrites every region it allocates, so repeated runs on one array
+    /// are independent; `disks.stats()` is reset after the initial input
+    /// distribution, making the array's counters a clean per-run meter
+    /// (read them via [`CostReport::io`]).
+    pub fn run_on<P: BspProgram>(
+        &self,
+        disks: &mut DiskArray,
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
@@ -247,24 +306,15 @@ impl SeqEmSimulator {
         let k = self.machine.group_size(ctx_region, v)?;
         let num_groups = v.div_ceil(k);
 
-        let cfg = self
-            .machine
-            .disk_config()?
-            .with_io_mode(self.io_mode)
-            .with_pipeline(self.pipeline)
-            .with_checksums(self.checksums)
-            .with_cache(self.cache_bytes);
-        let cfg = match self.retry {
-            Some(policy) => cfg.with_retry(policy),
-            None => cfg,
-        };
+        let cfg = disks.config();
+        let expected = self.machine.disk_config()?;
+        if cfg.num_disks != expected.num_disks || cfg.block_bytes != expected.block_bytes {
+            return Err(EmError::InvalidConfig(format!(
+                "disk array shape {}x{}B does not match the machine's {}x{}B",
+                cfg.num_disks, cfg.block_bytes, expected.num_disks, expected.block_bytes
+            )));
+        }
         let fault_stats = self.fault_plan.as_ref().map(|p| p.stats());
-        let mut disks = match &self.backend {
-            Backend::Memory => DiskArray::new_memory_with_faults(cfg, self.fault_plan.clone()),
-            Backend::File(dir) => {
-                DiskArray::new_file_with_faults(cfg, dir, self.fault_plan.clone())?
-            }
-        };
         let mut alloc = TrackAllocator::new(cfg.num_disks);
         let ctx_store = ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
         let geom = MsgGeometry::allocate(&mut alloc, v, k, gamma, cfg.num_disks, cfg.block_bytes)?;
@@ -277,12 +327,12 @@ impl SeqEmSimulator {
             let first = g * k;
             let last = (first + k).min(v);
             ctx_store
-                .write_group(&mut disks, first, &encoded[first..last])
-                .map_err(|e| self.fault_error(0, e, &fault_stats, &disks, 0, 0))?;
+                .write_group(disks, first, &encoded[first..last])
+                .map_err(|e| self.fault_error(0, e, &fault_stats, disks, 0, 0))?;
         }
         drop(encoded);
         // The input distribution is durable before timing starts.
-        disks.sync().map_err(|e| self.fault_error(0, e.into(), &fault_stats, &disks, 0, 0))?;
+        disks.sync().map_err(|e| self.fault_error(0, e.into(), &fault_stats, disks, 0, 0))?;
         disks.reset_stats(); // initial load is input distribution, not simulation cost
 
         let mut counts = GroupCounts::empty(geom.num_groups);
@@ -317,7 +367,7 @@ impl SeqEmSimulator {
                             step,
                             e.into(),
                             &fault_stats,
-                            &disks,
+                            disks,
                             recovered_supersteps,
                             total_replays,
                         )
@@ -339,7 +389,7 @@ impl SeqEmSimulator {
                     &ctx_store,
                     &geom,
                     &counts,
-                    &mut disks,
+                    disks,
                     &mut alloc,
                     &mut rng,
                     &mut phases,
@@ -372,7 +422,7 @@ impl SeqEmSimulator {
                             step,
                             err,
                             &fault_stats,
-                            &disks,
+                            disks,
                             recovered_supersteps,
                             total_replays,
                         ));
@@ -397,12 +447,12 @@ impl SeqEmSimulator {
         for g in 0..num_groups {
             let first = g * k;
             let count = (first + k).min(v) - first;
-            for buf in ctx_store.read_group(&mut disks, first, count).map_err(|e| {
+            for buf in ctx_store.read_group(disks, first, count).map_err(|e| {
                 self.fault_error(
                     ledger.lambda(),
                     e,
                     &fault_stats,
-                    &disks,
+                    disks,
                     recovered_supersteps,
                     total_replays,
                 )

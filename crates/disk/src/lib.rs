@@ -24,6 +24,12 @@
 //!   while counted [`IoStats`] stay bit-identical by construction and the
 //!   absorbed traffic is tallied in
 //!   [`IoStats::cache_hit_blocks`]/[`IoStats::cache_absorbed_writes`].
+//! * [`SharedDiskSubstrate`] — a multi-tenant store: one set of physical
+//!   drives carved into disjoint per-tenant track regions, each exposed as
+//!   a [`RegionBackend`] under the tenant's own [`DiskArray`]. Concurrent
+//!   stripes are serialized by a fair round-robin arbiter; counting stays
+//!   in each tenant's array, so per-tenant [`IoStats`] are bit-identical
+//!   to the same run on a private array.
 //!
 //! ## The canonical decorator stack
 //!
@@ -67,6 +73,7 @@ mod engine;
 mod error;
 mod fault;
 mod linked;
+mod shared;
 mod stats;
 
 pub use alloc::TrackAllocator;
@@ -80,6 +87,7 @@ pub use engine::{ReadTicket, WriteTicket};
 pub use error::DiskError;
 pub use fault::{FaultCounts, FaultInjectingBackend, FaultKind, FaultPlan, FaultStats};
 pub use linked::BucketStore;
+pub use shared::{RegionBackend, SharedDiskSubstrate};
 pub use stats::IoStats;
 
 /// Convenience alias used throughout the workspace.

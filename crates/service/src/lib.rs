@@ -1,0 +1,895 @@
+//! # em-service
+//!
+//! A long-running **multi-tenant job service** over the EM-BSP\* simulation:
+//! many concurrent BSP programs share one physical disk array and one
+//! compute-pool budget, with *counted parallel I/O* as the billing signal.
+//!
+//! The paper's simulation is a batch artifact — one program, one
+//! [`DiskArray`], one [`CostReport`]. This crate turns it into a service:
+//!
+//! * **Admission control** ([`SimService::admit`]) is computed from each
+//!   job's *declared* budgets μ (`max_state_bytes`) and γ
+//!   (`max_comm_bytes`): a job reserves `v·μ + γ` bytes of the shared
+//!   memory budget and a disjoint track region of the shared substrate.
+//!   A job that does not fit is rejected with a typed [`AdmissionError`]
+//!   — and an admitted tenant is never disturbed by later rejections.
+//! * **Isolation + fairness**: each tenant runs on its own
+//!   [`DiskArray`] over a [`em_disk::RegionBackend`] slice of one
+//!   [`SharedDiskSubstrate`]; concurrent stripes are serialized by the
+//!   substrate's fair round-robin arbiter, so co-tenancy affects wall
+//!   clock only.
+//! * **Metering**: every tenant's [`CostReport`] (counted
+//!   [`em_disk::IoStats`], per-phase I/O, `PhaseWall` timings) is
+//!   accumulated per stage and filed into a [`ServiceReport`] ledger at
+//!   [`TenantLease::complete`]. Because counting lives in the tenant's own
+//!   array *above* the shared media, per-tenant counted I/O is
+//!   bit-identical to the same job run solo on a private array.
+//!
+//! A [`TenantLease`] implements [`em_bsp::Executor`], so whole CGM
+//! pipelines (`cgm_sort`, `cgm_permute`, …) run as tenants unchanged.
+//!
+//! ```
+//! use em_core::EmMachine;
+//! use em_service::{JobSpec, ServiceConfig, SimService};
+//! use em_bsp::{BspProgram, Executor, Mailbox, Step};
+//!
+//! struct Double;
+//! impl BspProgram for Double {
+//!     type State = u64;
+//!     type Msg = u64;
+//!     fn superstep(&self, _: usize, _: &mut Mailbox<u64>, s: &mut u64) -> Step {
+//!         *s *= 2;
+//!         Step::Halt
+//!     }
+//!     fn max_state_bytes(&self) -> usize {
+//!         8
+//!     }
+//! }
+//!
+//! let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+//! let machine = EmMachine::uniprocessor(1 << 16, 2, 64, 1);
+//! let lease = service
+//!     .admit(JobSpec::new("double", 7, machine, 8).with_budgets(8, 64).with_tracks(64))
+//!     .unwrap();
+//! let out = lease.execute(&Double, (0..8u64).collect()).unwrap();
+//! assert_eq!(out.states[3], 6);
+//! let record = lease.complete();
+//! assert!(record.stages[0].io.parallel_ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use em_bsp::{BspProgram, ExecError, Executor, RunResult};
+use em_core::{CostReport, EmError, SeqEmSimulator};
+use em_disk::{crc32, DiskArray, SharedDiskSubstrate};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared-resource budgets of a [`SimService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// `D` — drives of the shared physical array.
+    pub num_disks: usize,
+    /// `B` — track (block) size in bytes. Every admitted machine must
+    /// match this shape.
+    pub block_bytes: usize,
+    /// Reservable tracks per drive, carved into disjoint tenant regions.
+    pub tracks_per_disk: usize,
+    /// Shared compute-pool memory budget in bytes; each tenant reserves
+    /// `v·μ + γ` of it ([`JobSpec::reservation_bytes`]).
+    pub mem_budget_bytes: usize,
+    /// Per-tenant ceiling on the declared γ envelope. Defaults to the
+    /// whole memory budget (i.e. effectively unlimited).
+    pub max_comm_bytes: usize,
+    /// Maximum concurrently admitted tenants (compute-pool slots).
+    /// Defaults to `usize::MAX`.
+    pub compute_slots: usize,
+}
+
+impl ServiceConfig {
+    /// A service over `num_disks × tracks_per_disk` tracks of
+    /// `block_bytes` each, with the given shared memory budget and no
+    /// extra γ or slot limits.
+    pub fn new(
+        num_disks: usize,
+        block_bytes: usize,
+        tracks_per_disk: usize,
+        mem_budget_bytes: usize,
+    ) -> Self {
+        ServiceConfig {
+            num_disks,
+            block_bytes,
+            tracks_per_disk,
+            mem_budget_bytes,
+            max_comm_bytes: mem_budget_bytes,
+            compute_slots: usize::MAX,
+        }
+    }
+
+    /// Cap the per-tenant declared γ envelope.
+    pub fn with_max_comm_bytes(mut self, max: usize) -> Self {
+        self.max_comm_bytes = max;
+        self
+    }
+
+    /// Cap the number of concurrently admitted tenants.
+    pub fn with_compute_slots(mut self, slots: usize) -> Self {
+        self.compute_slots = slots;
+        self
+    }
+}
+
+/// One job's declared shape and budgets, as submitted for admission.
+///
+/// μ and γ are *declarations*: admission reserves `v·μ + γ` bytes of the
+/// shared budget, and at run time every executed program's
+/// `max_state_bytes`/`max_comm_bytes` must fit under them (typed
+/// [`ServiceError`] otherwise) — a tenant cannot bill less than it uses.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Ledger name of the job (not required to be unique; the ledger
+    /// sorts by `(name, seed)`).
+    pub name: String,
+    /// Seed of the job's simulator (message placement randomness).
+    pub seed: u64,
+    /// The EM-BSP\* machine the job is priced against. Its `D` and `B`
+    /// must match the service's shared array shape.
+    pub machine: em_core::EmMachine,
+    /// `v` — virtual processors the job will run.
+    pub v: usize,
+    /// μ — declared per-virtual-processor context bound, in bytes.
+    pub mu: usize,
+    /// γ — declared per-virtual-processor communication envelope, in
+    /// bytes (including the 16-byte message headers).
+    pub gamma: usize,
+    /// Track-region request, per drive, on the shared substrate.
+    pub tracks: usize,
+}
+
+impl JobSpec {
+    /// A spec with zero budgets; fill them in with
+    /// [`JobSpec::with_budgets`] and [`JobSpec::with_tracks`].
+    pub fn new(name: impl Into<String>, seed: u64, machine: em_core::EmMachine, v: usize) -> Self {
+        JobSpec { name: name.into(), seed, machine, v, mu: 0, gamma: 0, tracks: 0 }
+    }
+
+    /// Declare the μ/γ budgets (bytes).
+    pub fn with_budgets(mut self, mu: usize, gamma: usize) -> Self {
+        self.mu = mu;
+        self.gamma = gamma;
+        self
+    }
+
+    /// Declare the per-drive track-region request.
+    pub fn with_tracks(mut self, tracks: usize) -> Self {
+        self.tracks = tracks;
+        self
+    }
+
+    /// The admission formula: `v·μ + γ` bytes of the shared memory
+    /// budget.
+    pub fn reservation_bytes(&self) -> usize {
+        self.v.saturating_mul(self.mu).saturating_add(self.gamma)
+    }
+}
+
+/// Why a job was refused admission. Rejection never disturbs
+/// already-admitted tenants: no resource is held by a rejected job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The job's `v·μ + γ` reservation does not fit in what remains of
+    /// the shared memory budget.
+    BudgetExceeded {
+        /// Bytes the job asked to reserve.
+        requested: usize,
+        /// Bytes already reserved by admitted tenants.
+        reserved: usize,
+        /// The shared budget ([`ServiceConfig::mem_budget_bytes`]).
+        budget: usize,
+    },
+    /// The declared γ envelope exceeds the per-tenant ceiling.
+    CommEnvelopeExceeded {
+        /// Declared γ, in bytes.
+        gamma: usize,
+        /// The ceiling ([`ServiceConfig::max_comm_bytes`]).
+        max: usize,
+    },
+    /// No contiguous track region of the requested size is available on
+    /// the shared substrate.
+    RegionExhausted {
+        /// Tracks per drive the job asked for.
+        requested: usize,
+        /// Tracks per drive currently unreserved (may be fragmented).
+        free: usize,
+    },
+    /// The job's machine shape does not match the shared array.
+    ShapeMismatch {
+        /// The job's `(D, B)`.
+        got: (usize, usize),
+        /// The service's `(D, B)`.
+        expected: (usize, usize),
+    },
+    /// All compute-pool slots are occupied.
+    ComputePoolExceeded {
+        /// Currently admitted tenants.
+        active: usize,
+        /// The slot cap ([`ServiceConfig::compute_slots`]).
+        slots: usize,
+    },
+    /// The job's machine or budgets fail basic validation (zero `v`,
+    /// zero tracks, invalid EM machine).
+    InvalidSpec(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::BudgetExceeded { requested, reserved, budget } => write!(
+                f,
+                "v*mu+gamma reservation of {requested} B does not fit: {reserved} of {budget} B already reserved"
+            ),
+            AdmissionError::CommEnvelopeExceeded { gamma, max } => {
+                write!(f, "declared gamma = {gamma} B exceeds the per-tenant envelope of {max} B")
+            }
+            AdmissionError::RegionExhausted { requested, free } => write!(
+                f,
+                "no contiguous region of {requested} tracks/drive available ({free} free, possibly fragmented)"
+            ),
+            AdmissionError::ShapeMismatch { got, expected } => write!(
+                f,
+                "job machine is {}x{}B but the shared array is {}x{}B",
+                got.0, got.1, expected.0, expected.1
+            ),
+            AdmissionError::ComputePoolExceeded { active, slots } => {
+                write!(f, "all {slots} compute slots are busy ({active} tenants active)")
+            }
+            AdmissionError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A runtime failure inside an admitted tenant.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A program's `max_state_bytes` exceeds the tenant's declared μ.
+    DeclaredMuExceeded {
+        /// μ declared at admission.
+        declared: usize,
+        /// The program's actual `max_state_bytes`.
+        actual: usize,
+    },
+    /// A program's `max_comm_bytes` exceeds the tenant's declared γ.
+    DeclaredGammaExceeded {
+        /// γ declared at admission.
+        declared: usize,
+        /// The program's actual `max_comm_bytes`.
+        actual: usize,
+    },
+    /// The underlying simulation failed.
+    Run(EmError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::DeclaredMuExceeded { declared, actual } => {
+                write!(f, "program needs mu = {actual} B but the tenant declared {declared} B")
+            }
+            ServiceError::DeclaredGammaExceeded { declared, actual } => {
+                write!(f, "program needs gamma = {actual} B but the tenant declared {declared} B")
+            }
+            ServiceError::Run(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Budget book-keeping guarded by the service mutex.
+struct PoolState {
+    reserved_bytes: usize,
+    active: usize,
+    records: Vec<TenantRecord>,
+}
+
+struct ServiceInner {
+    cfg: ServiceConfig,
+    substrate: SharedDiskSubstrate,
+    pool: Mutex<PoolState>,
+}
+
+impl ServiceInner {
+    /// Return a tenant's reservations to the pool.
+    fn release(&self, reservation_bytes: usize, base: usize, tracks: usize) {
+        self.substrate.release_region(base, tracks);
+        let mut pool = self.pool.lock();
+        pool.reserved_bytes -= reservation_bytes;
+        pool.active -= 1;
+    }
+}
+
+/// The multi-tenant simulation service. Cloning the handle is cheap; all
+/// clones share one substrate, budget pool and ledger.
+#[derive(Clone)]
+pub struct SimService {
+    inner: Arc<ServiceInner>,
+}
+
+impl SimService {
+    /// Bring up a service over a fresh shared substrate.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        SimService {
+            inner: Arc::new(ServiceInner {
+                substrate: SharedDiskSubstrate::new(cfg.num_disks, cfg.tracks_per_disk),
+                cfg,
+                pool: Mutex::new(PoolState { reserved_bytes: 0, active: 0, records: Vec::new() }),
+            }),
+        }
+    }
+
+    /// The service's shared-resource budgets.
+    pub fn config(&self) -> ServiceConfig {
+        self.inner.cfg
+    }
+
+    /// Bytes of the shared memory budget currently reserved by admitted
+    /// tenants.
+    pub fn reserved_bytes(&self) -> usize {
+        self.inner.pool.lock().reserved_bytes
+    }
+
+    /// Currently admitted (not yet completed) tenants.
+    pub fn active_tenants(&self) -> usize {
+        self.inner.pool.lock().active
+    }
+
+    /// Tracks per drive not reserved by any tenant region.
+    pub fn tracks_free(&self) -> usize {
+        self.inner.substrate.tracks_free()
+    }
+
+    /// Total fair stripe slots granted by the substrate arbiter.
+    pub fn slots_granted(&self) -> u64 {
+        self.inner.substrate.slots_granted()
+    }
+
+    /// Admit a job with a default simulator
+    /// (`SeqEmSimulator::new(spec.machine).with_seed(spec.seed)`).
+    pub fn admit(&self, spec: JobSpec) -> Result<TenantLease, AdmissionError> {
+        let sim = SeqEmSimulator::new(spec.machine).with_seed(spec.seed);
+        self.admit_with(spec, sim)
+    }
+
+    /// Admit a job with a caller-configured simulator (pipeline, cache,
+    /// compute mode…). The simulator's machine must match `spec.machine`'s
+    /// disk shape, which in turn must match the shared array.
+    ///
+    /// Checks run in a fixed order — shape, γ envelope, compute slots,
+    /// memory budget, track region — and a failure at any point leaves
+    /// the pool exactly as it was, so rejections never disturb admitted
+    /// tenants.
+    pub fn admit_with(
+        &self,
+        spec: JobSpec,
+        sim: SeqEmSimulator,
+    ) -> Result<TenantLease, AdmissionError> {
+        let cfg = &self.inner.cfg;
+        let machine = sim.machine();
+        if machine.d != cfg.num_disks || machine.b_bytes != cfg.block_bytes {
+            return Err(AdmissionError::ShapeMismatch {
+                got: (machine.d, machine.b_bytes),
+                expected: (cfg.num_disks, cfg.block_bytes),
+            });
+        }
+        if spec.v == 0 {
+            return Err(AdmissionError::InvalidSpec("v must be >= 1".into()));
+        }
+        if spec.tracks == 0 {
+            return Err(AdmissionError::InvalidSpec("track region must be >= 1".into()));
+        }
+        if let Err(e) = machine.validate() {
+            return Err(AdmissionError::InvalidSpec(e.to_string()));
+        }
+        let disk_cfg = sim.disk_config().map_err(|e| AdmissionError::InvalidSpec(e.to_string()))?;
+        if spec.gamma > cfg.max_comm_bytes {
+            return Err(AdmissionError::CommEnvelopeExceeded {
+                gamma: spec.gamma,
+                max: cfg.max_comm_bytes,
+            });
+        }
+        let requested = spec.reservation_bytes();
+        {
+            let mut pool = self.inner.pool.lock();
+            if pool.active >= cfg.compute_slots {
+                return Err(AdmissionError::ComputePoolExceeded {
+                    active: pool.active,
+                    slots: cfg.compute_slots,
+                });
+            }
+            if pool.reserved_bytes + requested > cfg.mem_budget_bytes {
+                return Err(AdmissionError::BudgetExceeded {
+                    requested,
+                    reserved: pool.reserved_bytes,
+                    budget: cfg.mem_budget_bytes,
+                });
+            }
+            pool.reserved_bytes += requested;
+            pool.active += 1;
+        }
+        let base = match self.inner.substrate.reserve_region(spec.tracks) {
+            Some(base) => base,
+            None => {
+                // Roll the budget back; the pool is exactly as before.
+                let mut pool = self.inner.pool.lock();
+                pool.reserved_bytes -= requested;
+                pool.active -= 1;
+                return Err(AdmissionError::RegionExhausted {
+                    requested: spec.tracks,
+                    free: self.inner.substrate.tracks_free(),
+                });
+            }
+        };
+        let region = self.inner.substrate.region(base, spec.tracks);
+        let disks = DiskArray::with_backend(disk_cfg, Box::new(region));
+        Ok(TenantLease {
+            inner: self.inner.clone(),
+            spec,
+            base,
+            sim,
+            disks: Mutex::new(disks),
+            stages: Mutex::new(Vec::new()),
+            fingerprint: Mutex::new(0),
+            completed: false,
+        })
+    }
+
+    /// The ledger of completed tenants, sorted by `(name, seed)`.
+    pub fn report(&self) -> ServiceReport {
+        let mut records = self.inner.pool.lock().records.clone();
+        records.sort_by(|a, b| (&a.name, a.seed).cmp(&(&b.name, b.seed)));
+        ServiceReport { records }
+    }
+}
+
+/// An admitted tenant: a private simulator + disk array over the
+/// tenant's region, with per-stage metering.
+///
+/// Implements [`Executor`], so CGM pipelines run on a lease exactly as
+/// they would on a bare simulator. Every `execute` appends one
+/// [`CostReport`] stage and folds the final states into the tenant's
+/// rolling fingerprint. Call [`TenantLease::complete`] to file the
+/// tenant's [`TenantRecord`] and return its resources to the pool;
+/// dropping an uncompleted lease releases the resources without filing
+/// a record.
+pub struct TenantLease {
+    /// Back-reference for resource release; not part of the tenant's
+    /// observable identity.
+    inner: Arc<ServiceInner>,
+    spec: JobSpec,
+    base: usize,
+    sim: SeqEmSimulator,
+    disks: Mutex<DiskArray>,
+    stages: Mutex<Vec<CostReport>>,
+    fingerprint: Mutex<u32>,
+    completed: bool,
+}
+
+impl TenantLease {
+    /// The admitted job spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// The tenant's region base track on the shared substrate
+    /// (observability; excluded from the deterministic ledger).
+    pub fn base_track(&self) -> usize {
+        self.base
+    }
+
+    /// The tenant's simulator (to inspect its machine or knobs).
+    pub fn simulator(&self) -> &SeqEmSimulator {
+        &self.sim
+    }
+
+    /// Stages metered so far.
+    pub fn stages_metered(&self) -> usize {
+        self.stages.lock().len()
+    }
+
+    /// Rolling CRC-32 over the serialized final states of every stage so
+    /// far. Two runs of the same job are bit-identical iff their
+    /// fingerprints (and metered stages) match.
+    pub fn state_fingerprint(&self) -> u32 {
+        *self.fingerprint.lock()
+    }
+
+    /// File the tenant's record in the service ledger, release its
+    /// region and budget reservation, and return the record.
+    pub fn complete(mut self) -> TenantRecord {
+        let record = TenantRecord {
+            name: self.spec.name.clone(),
+            seed: self.spec.seed,
+            v: self.spec.v,
+            mu: self.spec.mu,
+            gamma: self.spec.gamma,
+            tracks: self.spec.tracks,
+            state_fingerprint: *self.fingerprint.lock(),
+            stages: std::mem::take(&mut *self.stages.lock()),
+        };
+        self.inner.pool.lock().records.push(record.clone());
+        self.completed = true;
+        self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
+        record
+    }
+}
+
+impl fmt::Debug for TenantLease {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantLease")
+            .field("spec", &self.spec)
+            .field("base", &self.base)
+            .field("stages_metered", &self.stages.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for TenantLease {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
+        }
+    }
+}
+
+impl Executor for TenantLease {
+    fn execute<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, ExecError> {
+        if prog.max_state_bytes() > self.spec.mu {
+            return Err(Box::new(ServiceError::DeclaredMuExceeded {
+                declared: self.spec.mu,
+                actual: prog.max_state_bytes(),
+            }) as ExecError);
+        }
+        if prog.max_comm_bytes() > self.spec.gamma {
+            return Err(Box::new(ServiceError::DeclaredGammaExceeded {
+                declared: self.spec.gamma,
+                actual: prog.max_comm_bytes(),
+            }) as ExecError);
+        }
+        let mut disks = self.disks.lock();
+        let (res, report) = self
+            .sim
+            .run_on(&mut disks, prog, states)
+            .map_err(|e| Box::new(ServiceError::Run(e)) as ExecError)?;
+        drop(disks);
+        let mut fp = self.fingerprint.lock();
+        *fp = fold_fingerprint(*fp, &res.states);
+        drop(fp);
+        self.stages.lock().push(report);
+        Ok(res)
+    }
+}
+
+/// Fold a stage's final states into a rolling CRC-32 fingerprint.
+fn fold_fingerprint<S: em_serial::Serial>(prev: u32, states: &[S]) -> u32 {
+    let mut chained = prev.to_le_bytes().to_vec();
+    for state in states {
+        em_serial::to_bytes_into(state, &mut chained);
+    }
+    crc32(&chained)
+}
+
+/// The solo reference for service bit-identity: the same per-stage
+/// metering and state fingerprinting as a [`TenantLease`], but on a
+/// private [`DiskArray`] with no co-tenants and no admission control.
+///
+/// Run the identical pipeline through a lease and a `SoloRunner` built
+/// from an identically-configured simulator; the metering invariant says
+/// their [`CostReport::io`] sequences and fingerprints match exactly.
+pub struct SoloRunner {
+    sim: SeqEmSimulator,
+    stages: Mutex<Vec<CostReport>>,
+    fingerprint: Mutex<u32>,
+}
+
+impl SoloRunner {
+    /// Wrap a configured simulator.
+    pub fn new(sim: SeqEmSimulator) -> Self {
+        SoloRunner { sim, stages: Mutex::new(Vec::new()), fingerprint: Mutex::new(0) }
+    }
+
+    /// Rolling CRC-32 over the serialized final states of every stage.
+    pub fn state_fingerprint(&self) -> u32 {
+        *self.fingerprint.lock()
+    }
+
+    /// The per-stage reports and final fingerprint.
+    pub fn finish(self) -> (Vec<CostReport>, u32) {
+        (self.stages.into_inner(), self.fingerprint.into_inner())
+    }
+}
+
+impl Executor for SoloRunner {
+    fn execute<P: BspProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunResult<P::State>, ExecError> {
+        let (res, report) = self.sim.run(prog, states).map_err(|e| Box::new(e) as ExecError)?;
+        let mut fp = self.fingerprint.lock();
+        *fp = fold_fingerprint(*fp, &res.states);
+        drop(fp);
+        self.stages.lock().push(report);
+        Ok(res)
+    }
+}
+
+/// One completed tenant's ledger entry: the job identity, declared
+/// budgets, per-stage [`CostReport`]s and the final-state fingerprint.
+#[derive(Debug, Clone)]
+pub struct TenantRecord {
+    /// Job name.
+    pub name: String,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Declared `v`.
+    pub v: usize,
+    /// Declared μ (bytes).
+    pub mu: usize,
+    /// Declared γ (bytes).
+    pub gamma: usize,
+    /// Reserved tracks per drive.
+    pub tracks: usize,
+    /// Rolling CRC-32 of all stages' serialized final states.
+    pub state_fingerprint: u32,
+    /// One [`CostReport`] per executed program, in execution order.
+    pub stages: Vec<CostReport>,
+}
+
+impl TenantRecord {
+    /// Total counted parallel I/O operations across all stages.
+    pub fn total_io_ops(&self) -> u64 {
+        self.stages.iter().map(|s| s.io.parallel_ops).sum()
+    }
+
+    /// Serialize the record's *deterministic* fields as one JSON object
+    /// (no wall-clock times, tenant ids or physical base tracks).
+    pub fn deterministic_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let per_disk = |v: &[u64]| {
+                    let items: Vec<String> = v.iter().map(u64::to_string).collect();
+                    format!("[{}]", items.join(","))
+                };
+                format!(
+                    concat!(
+                        "{{\"ops\":{},\"blocks_read\":{},\"blocks_written\":{},",
+                        "\"bytes_read\":{},\"bytes_written\":{},",
+                        "\"per_disk_reads\":{},\"per_disk_writes\":{},",
+                        "\"retried_blocks\":{},\"recovery_ops\":{},",
+                        "\"cache_hit_blocks\":{},\"cache_absorbed_writes\":{},",
+                        "\"lambda\":{},\"io_time\":{},\"real_comm_bytes\":{},",
+                        "\"fetch_ctx\":{},\"fetch_msg\":{},\"scatter\":{},",
+                        "\"write_ctx\":{},\"routing\":{}}}"
+                    ),
+                    s.io.parallel_ops,
+                    s.io.blocks_read,
+                    s.io.blocks_written,
+                    s.io.bytes_read,
+                    s.io.bytes_written,
+                    per_disk(&s.io.per_disk_reads),
+                    per_disk(&s.io.per_disk_writes),
+                    s.io.retried_blocks,
+                    s.io.recovery_ops,
+                    s.io.cache_hit_blocks,
+                    s.io.cache_absorbed_writes,
+                    s.lambda,
+                    s.io_time,
+                    s.real_comm_bytes,
+                    s.phases.fetch_ctx,
+                    s.phases.fetch_msg,
+                    s.phases.scatter,
+                    s.phases.write_ctx,
+                    s.phases.routing,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"name\":{:?},\"seed\":{},\"v\":{},\"mu\":{},\"gamma\":{},",
+                "\"tracks\":{},\"fingerprint\":{},\"stages\":[{}]}}"
+            ),
+            self.name,
+            self.seed,
+            self.v,
+            self.mu,
+            self.gamma,
+            self.tracks,
+            self.state_fingerprint,
+            stages.join(","),
+        )
+    }
+}
+
+/// The service ledger: every completed tenant, sorted by `(name, seed)`.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    records: Vec<TenantRecord>,
+}
+
+impl ServiceReport {
+    /// The ledger entries, sorted by `(name, seed)`.
+    pub fn records(&self) -> &[TenantRecord] {
+        &self.records
+    }
+
+    /// One deterministic JSON object per line, one line per tenant,
+    /// sorted by `(name, seed)`. Byte-identical across identically-seeded
+    /// runs regardless of admission interleaving, scheduling or wall
+    /// clock — this is the artifact the CI soak lane diffs.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.deterministic_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_bsp::{Mailbox, Step};
+    use em_core::EmMachine;
+
+    struct AddOne;
+    impl BspProgram for AddOne {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, _: usize, _: &mut Mailbox<u64>, s: &mut u64) -> Step {
+            *s += 1;
+            Step::Halt
+        }
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    fn machine() -> EmMachine {
+        EmMachine::uniprocessor(1 << 16, 2, 64, 1)
+    }
+
+    fn spec(name: &str, seed: u64, v: usize) -> JobSpec {
+        JobSpec::new(name, seed, machine(), v).with_budgets(8, 64).with_tracks(64)
+    }
+
+    #[test]
+    fn lease_runs_and_meters_like_a_private_simulator() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+        let lease = service.admit(spec("add", 3, 8)).unwrap();
+        let out = lease.execute(&AddOne, (0..8u64).collect()).unwrap();
+        assert_eq!(out.states, (1..=8u64).collect::<Vec<_>>());
+
+        let solo = SeqEmSimulator::new(machine()).with_seed(3);
+        let (solo_out, solo_report) = solo.run(&AddOne, (0..8u64).collect()).unwrap();
+        assert_eq!(solo_out.states, out.states);
+
+        let record = lease.complete();
+        assert_eq!(record.stages.len(), 1);
+        assert_eq!(record.stages[0].io, solo_report.io);
+        assert_eq!(service.active_tenants(), 0);
+        assert_eq!(service.reserved_bytes(), 0);
+        assert_eq!(service.tracks_free(), 4096);
+    }
+
+    #[test]
+    fn budget_over_reservation_is_rejected_without_disturbing_tenants() {
+        let budget = 8 * 8 + 64 + 100; // one 8-vp tenant fits, two do not
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, budget));
+        let first = service.admit(spec("a", 1, 8)).unwrap();
+        let err = service.admit(spec("b", 2, 8)).unwrap_err();
+        assert!(matches!(err, AdmissionError::BudgetExceeded { requested: 128, .. }));
+        // The admitted tenant is untouched and still runs.
+        assert_eq!(service.active_tenants(), 1);
+        first.execute(&AddOne, vec![1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        first.complete();
+        // And its release makes room for the next job.
+        service.admit(spec("b", 2, 8)).unwrap();
+    }
+
+    #[test]
+    fn gamma_envelope_and_shape_and_slots_are_enforced() {
+        let cfg =
+            ServiceConfig::new(2, 64, 4096, 1 << 20).with_max_comm_bytes(32).with_compute_slots(1);
+        let service = SimService::new(cfg);
+        let err = service.admit(spec("big-gamma", 1, 4)).unwrap_err();
+        assert!(matches!(err, AdmissionError::CommEnvelopeExceeded { gamma: 64, max: 32 }));
+
+        let small = JobSpec::new("ok", 1, machine(), 4).with_budgets(8, 32).with_tracks(16);
+        let lease = service.admit(small.clone()).unwrap();
+        let err = service.admit(small.clone().with_budgets(8, 16)).unwrap_err();
+        assert!(matches!(err, AdmissionError::ComputePoolExceeded { active: 1, slots: 1 }));
+        lease.complete();
+
+        let wrong = EmMachine::uniprocessor(1 << 16, 4, 64, 1);
+        let err = service
+            .admit(JobSpec::new("shape", 1, wrong, 4).with_budgets(8, 16).with_tracks(16))
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::ShapeMismatch { got: (4, 64), expected: (2, 64) }));
+    }
+
+    #[test]
+    fn region_exhaustion_rolls_back_the_budget_reservation() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 100, 1 << 20));
+        let lease = service.admit(spec("a", 1, 4).with_tracks(80)).unwrap();
+        let before = service.reserved_bytes();
+        let err = service.admit(spec("b", 2, 4).with_tracks(40)).unwrap_err();
+        assert!(matches!(err, AdmissionError::RegionExhausted { requested: 40, free: 20 }));
+        // The failed admission did not leak budget or slots.
+        assert_eq!(service.reserved_bytes(), before);
+        assert_eq!(service.active_tenants(), 1);
+        lease.complete();
+    }
+
+    #[test]
+    fn declared_budgets_are_enforced_at_run_time() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+        let lease = service
+            .admit(JobSpec::new("lowball", 1, machine(), 4).with_budgets(4, 64).with_tracks(64))
+            .unwrap();
+        let err = lease.execute(&AddOne, vec![1, 2, 3, 4]).unwrap_err();
+        let err = err.downcast::<ServiceError>().unwrap();
+        assert!(matches!(*err, ServiceError::DeclaredMuExceeded { declared: 4, actual: 8 }));
+        // A rejected program costs nothing.
+        assert_eq!(lease.stages_metered(), 0);
+    }
+
+    #[test]
+    fn ledger_is_deterministic_and_sorted() {
+        let run = || {
+            let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+            // Complete out of name order; the ledger must sort.
+            let b = service.admit(spec("b", 2, 8)).unwrap();
+            let a = service.admit(spec("a", 1, 8)).unwrap();
+            b.execute(&AddOne, (0..8u64).collect()).unwrap();
+            a.execute(&AddOne, (10..18u64).collect()).unwrap();
+            b.complete();
+            a.complete();
+            service.report().deterministic_json()
+        };
+        let first = run();
+        assert_eq!(first, run());
+        let lines: Vec<&str> = first.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"name\":\"a\""));
+        assert!(lines[1].starts_with("{\"name\":\"b\""));
+    }
+
+    #[test]
+    fn dropping_an_uncompleted_lease_releases_resources_without_a_record() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 256, 1 << 20));
+        {
+            let _lease = service.admit(spec("doomed", 9, 8).with_tracks(256)).unwrap();
+            assert_eq!(service.tracks_free(), 0);
+        }
+        assert_eq!(service.tracks_free(), 256);
+        assert_eq!(service.active_tenants(), 0);
+        assert!(service.report().records().is_empty());
+    }
+}

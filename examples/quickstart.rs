@@ -5,10 +5,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use em_sim::bsp::{run_sequential, BspProgram, BspStarParams, Mailbox, Step, ThreadedRunner};
+use em_sim::bsp::{
+    run_sequential, BspProgram, BspStarParams, Executor, Mailbox, Step, ThreadedRunner,
+};
 use em_sim::core::{EmMachine, ParEmSimulator, SeqEmSimulator};
 use em_sim::disk::Pipeline;
 use em_sim::serial::impl_serial_struct;
+use em_sim::service::{JobSpec, ServiceConfig, SimService};
 
 /// A parallel prefix-sum: every virtual processor holds a chunk of
 /// numbers; one communication round distributes the chunk sums, then
@@ -84,9 +87,7 @@ fn main() {
     //    summary's cache_hits / cache_absorbed tallies show the traffic
     //    the cache soaked up.
     let machine = EmMachine::uniprocessor(64 * 1024, 4, 1024, 1);
-    let sim = SeqEmSimulator::new(machine)
-        .with_cache(32 * 1024)
-        .with_pipeline(Pipeline::Stream(2));
+    let sim = SeqEmSimulator::new(machine).with_cache(32 * 1024).with_pipeline(Pipeline::Stream(2));
     let (res, report) = sim.run(&prog, states.clone()).unwrap();
     assert_eq!(res.states, reference.states);
     println!("\nuniprocessor EM simulation (Algorithms 1+2, 32 KiB cache):");
@@ -109,9 +110,33 @@ fn main() {
         g_io: 1,
         router: BspStarParams { p: 3, g: 1.0, b: 1024, l: 1.0 },
     };
-    let (res, report) = ParEmSimulator::new(machine).run(&prog, states).unwrap();
+    let (res, report) = ParEmSimulator::new(machine).run(&prog, states.clone()).unwrap();
     assert_eq!(res.states, reference.states);
     println!("\n3-processor EM simulation (Algorithm 3):");
     println!("  {}", report.summary());
     println!("  real inter-processor traffic: {} KiB", report.real_comm_bytes / 1024);
+
+    // 5. The same program as a *tenant* of the multi-tenant service
+    //    (`em-service`): admission reserves v·μ+γ of a shared budget and
+    //    a disjoint track region of a shared disk array; metering stays
+    //    per-tenant and bit-identical to the solo run above (see
+    //    DESIGN.md §3.2.8 and `tests/service.rs`).
+    let machine = EmMachine::uniprocessor(64 * 1024, 4, 1024, 1);
+    let service = SimService::new(ServiceConfig::new(4, 1024, 1 << 14, 1 << 22));
+    let lease = service
+        .admit(
+            JobSpec::new("quickstart", 0, machine, v)
+                .with_budgets(prog.max_state_bytes(), prog.max_comm_bytes())
+                .with_tracks(1 << 12),
+        )
+        .unwrap();
+    let res = lease.execute(&prog, states).unwrap();
+    assert_eq!(res.states, reference.states);
+    let record = lease.complete();
+    println!("\nas a service tenant:");
+    println!(
+        "  metered {} parallel I/O ops, state fingerprint {:08x}",
+        record.total_io_ops(),
+        record.state_fingerprint
+    );
 }

@@ -7,3 +7,4 @@ pub use em_bsp as bsp;
 pub use em_core as core;
 pub use em_disk as disk;
 pub use em_serial as serial;
+pub use em_service as service;

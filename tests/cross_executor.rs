@@ -187,7 +187,12 @@ struct ChainFold;
 impl em_bsp::BspProgram for ChainFold {
     type State = u64;
     type Msg = u64;
-    fn superstep(&self, step: usize, mb: &mut em_bsp::Mailbox<u64>, state: &mut u64) -> em_bsp::Step {
+    fn superstep(
+        &self,
+        step: usize,
+        mb: &mut em_bsp::Mailbox<u64>,
+        state: &mut u64,
+    ) -> em_bsp::Step {
         for e in mb.take_incoming() {
             // FNV-style chain: sensitive to inbox order.
             *state = state
