@@ -68,6 +68,14 @@ pub enum EmError {
         /// The underlying error that exhausted the budgets.
         source: Box<EmError>,
     },
+    /// The run was terminated by a simulated crash point
+    /// ([`KillPoint`](crate::KillPoint)) for chaos testing. The on-disk
+    /// state is exactly what a real process crash at that moment would
+    /// leave behind; a `resume` call continues the run bit-identically.
+    Killed {
+        /// Compound superstep at which the simulated crash fired.
+        step: usize,
+    },
 }
 
 impl fmt::Display for EmError {
@@ -99,6 +107,10 @@ impl fmt::Display for EmError {
                 f,
                 "superstep {step} could not be recovered ({} replays performed, {} retried blocks): {source}",
                 report.replays, report.retried_blocks
+            ),
+            EmError::Killed { step } => write!(
+                f,
+                "run killed by a simulated crash point at superstep {step}; resume from the last committed checkpoint"
             ),
         }
     }

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod compute;
 mod context_store;
 mod error;
@@ -41,6 +42,7 @@ mod routing;
 mod seq_sim;
 pub mod theory;
 
+pub use checkpoint::KillPoint;
 pub use compute::ComputeMode;
 pub use context_store::{BufferPool, ContextStore, PendingGroupRead};
 pub use error::EmError;

@@ -34,6 +34,7 @@
 //! the protocol alive with empty bundles until the superstep ends, then
 //! every thread observes the failure and exits.
 
+use crate::checkpoint::{superstep_seed, KillPoint, Manifest};
 use crate::compute::{run_group_vps, ComputeMode, VpWork};
 use crate::context_store::{BufferPool, ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
@@ -47,8 +48,8 @@ use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, Pipeline, RetryPolicy,
-    TrackAllocator, WriteBacklog,
+    CheckpointStore, DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, JournalFile,
+    Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
@@ -125,6 +126,8 @@ pub struct ParEmSimulator {
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
     cache_bytes: usize,
+    checkpoint: bool,
+    kill: Option<KillPoint>,
 }
 
 impl ParEmSimulator {
@@ -144,6 +147,8 @@ impl ParEmSimulator {
             retry: None,
             recovery: None,
             cache_bytes: 0,
+            checkpoint: false,
+            kill: None,
         }
     }
 
@@ -256,6 +261,34 @@ impl ParEmSimulator {
         self
     }
 
+    /// Persist a durable checkpoint at every superstep barrier on *every*
+    /// worker, so the whole `p`-processor run survives a process crash.
+    /// Requires the file backend ([`Self::with_file_backend`]); each
+    /// worker keeps its manifests and pre-image journal in its own
+    /// `dir/proc-<i>/`. The commit protocol tolerates the one-superstep
+    /// skew a crash can leave between workers: all workers make their
+    /// barrier data durable, then commit manifests, then — only after a
+    /// barrier proves every manifest is durable — truncate their
+    /// journals. [`Self::resume`] picks the *minimum* committed barrier
+    /// across workers, rolls ahead workers back via their journals, and
+    /// replays deterministically: final states, ledger, counted parallel
+    /// I/O and drive bytes are bit-identical to the uninterrupted run.
+    pub fn with_checkpointing(mut self, on: bool) -> Self {
+        self.checkpoint = on;
+        self
+    }
+
+    /// Simulate a whole-process crash at `kill` for chaos testing: every
+    /// worker dies at the kill point and the run returns
+    /// [`EmError::Killed`]. With [`KillPoint::MidManifest`] worker 0
+    /// tears its manifest while the others commit in full — the commit
+    /// skew [`Self::resume`] must reconcile. Requires
+    /// [`Self::with_checkpointing`].
+    pub fn with_kill_point(mut self, kill: KillPoint) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
     /// The [`DiskConfig`] each processor's private array is built with —
     /// the shape every array passed to [`Self::run_on`] must have.
     pub fn disk_config(&self) -> EmResult<DiskConfig> {
@@ -320,9 +353,202 @@ impl ParEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
-        let start = Instant::now();
+        self.run_inner(disks, prog, ParStart::Fresh(states))
+    }
+
+    /// Resume a checkpointed `p`-processor run after a (real or simulated)
+    /// process crash, continuing from the last barrier every worker
+    /// committed.
+    ///
+    /// Each worker's drive files under `dir/proc-<i>/` are reattached
+    /// without truncation. A crash can leave the workers' manifests skewed
+    /// by one superstep (some committed barrier `s+1`, some only `s`); the
+    /// global resume point is the *minimum* committed barrier, and each
+    /// ahead worker's durable pre-image journal — never truncated before
+    /// every manifest was proven durable — rolls its drives back to it.
+    /// Fault-injection schedule positions are restored per worker, and the
+    /// remaining supersteps replay deterministically: final states, the
+    /// communication ledger, counted parallel I/O operations and the drive
+    /// bytes are bit-identical to the uninterrupted run. Resuming an
+    /// already-finished run just rebuilds its result. The simulator's
+    /// configuration must match the checkpointed run; a typed
+    /// [`EmError::InvalidConfig`] names the first mismatch.
+    pub fn resume<P: BspProgram>(&self, prog: &P) -> EmResult<(RunResult<P::State>, CostReport)> {
         self.machine.validate()?;
-        let v = states.len();
+        if !self.checkpoint {
+            return Err(EmError::InvalidConfig(
+                "resume requires checkpointing (with_checkpointing)".into(),
+            ));
+        }
+        let Some(dir) = &self.file_dir else {
+            return Err(EmError::InvalidConfig(
+                "resume requires the file backend (with_file_backend)".into(),
+            ));
+        };
+        let p = self.machine.p;
+        let cfg = self.disk_config()?;
+        let mu = prog.max_state_bytes();
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+
+        // Pass 1: every worker's latest committed manifest. The commit
+        // protocol bounds the skew between workers to one superstep, so
+        // the minimum committed barrier is the global resume point and
+        // the keep-two manifest retention guarantees every worker still
+        // holds a manifest *at* that barrier.
+        let mut stores = Vec::with_capacity(p);
+        let mut latest = Vec::with_capacity(p);
+        for i in 0..p {
+            let pdir = dir.join(format!("proc-{i}"));
+            let store = CheckpointStore::attach(&pdir)?;
+            let (step, payload) = store.latest_manifest()?.ok_or_else(|| {
+                EmError::InvalidConfig(format!(
+                    "no committed checkpoint manifest for processor {i} to resume from"
+                ))
+            })?;
+            let m = Manifest::decode(&payload)?;
+            m.check_shape(
+                mu as u64,
+                gamma as u64,
+                self.seed,
+                cfg.num_disks as u32,
+                cfg.block_bytes as u64,
+                p as u32,
+                i as u32,
+            )?;
+            if m.next_step != step {
+                return Err(EmError::InvalidConfig(
+                    "checkpoint manifest step disagrees with its payload".into(),
+                ));
+            }
+            stores.push((pdir, store));
+            latest.push(m);
+        }
+        let resume_step = latest.iter().map(|m| m.next_step).min().expect("p >= 1 workers");
+        let v = latest[0].v as usize;
+        let k = self.machine.group_size(4 + mu, v)?;
+        let batch_unit = k * p;
+        let num_batches = v.div_ceil(batch_unit);
+
+        // Pass 2: load each worker's manifest at the resume barrier, undo
+        // any journaled writes past it, and reattach the real array. The
+        // undo runs on a plain array — no cache, retry or fault injection
+        // — so the restoring writes neither advance nor consume the fault
+        // schedule the real array restores below.
+        let mut workers = Vec::with_capacity(p);
+        let mut disks = Vec::with_capacity(p);
+        let mut globals = None;
+        for (i, m_latest) in latest.into_iter().enumerate() {
+            let (pdir, store) = &stores[i];
+            let m = if m_latest.next_step == resume_step {
+                m_latest
+            } else {
+                let payload = store.load_manifest(resume_step)?.ok_or_else(|| {
+                    EmError::InvalidConfig(format!(
+                        "processor {i} committed past barrier {resume_step} but no longer \
+                         holds that barrier's manifest"
+                    ))
+                })?;
+                let m = Manifest::decode(&payload)?;
+                m.check_shape(
+                    mu as u64,
+                    gamma as u64,
+                    self.seed,
+                    cfg.num_disks as u32,
+                    cfg.block_bytes as u64,
+                    p as u32,
+                    i as u32,
+                )?;
+                m
+            };
+            if m.v as usize != v || m.k != k as u64 || m.num_groups != num_batches as u64 {
+                return Err(EmError::InvalidConfig(
+                    "checkpoint resume shape mismatch: group geometry differs from the \
+                     checkpointed run"
+                        .into(),
+                ));
+            }
+            if let Some(journal) = JournalFile::read(pdir)? {
+                if journal.epoch > resume_step {
+                    let plain = self
+                        .machine
+                        .disk_config()?
+                        .with_io_mode(self.io_mode)
+                        .with_checksums(self.checksums);
+                    let mut undo = DiskArray::open_file(plain, pdir)?;
+                    undo.apply_journal_undo(&journal)?;
+                }
+            }
+            let mut arr = DiskArray::open_file_with_faults(cfg, pdir, self.fault_plan.clone())?;
+            if let Some(ops) = &m.fault_ops {
+                arr.restore_fault_op_counts(ops);
+            }
+            disks.push(arr);
+            if i == 0 {
+                // Run-global bookkeeping (ledger, aggregates, recovery
+                // tallies) lives in worker 0's manifest only.
+                globals = Some((
+                    m.finished,
+                    CommLedger { steps: m.ledger.clone() },
+                    m.real_comm,
+                    m.recovered,
+                    m.replays,
+                ));
+            }
+            workers.push(WorkerResume {
+                counts: GroupCounts {
+                    counts: m.counts.iter().map(|&c| c as usize).collect(),
+                    prefix_in_bucket: m.prefix.iter().map(|&c| c as usize).collect(),
+                },
+                alloc_next: m.alloc_next.iter().map(|&t| t as usize).collect(),
+                alloc_free: m
+                    .alloc_free
+                    .iter()
+                    .map(|f| f.iter().map(|&t| t as usize).collect())
+                    .collect(),
+                phases: m.phases,
+                committed_io: m.io,
+                balances: m.balances,
+            });
+        }
+        let (finished, ledger, real_comm, recovered, replays) = globals.expect("p >= 1 workers");
+        let resume = ParResume {
+            v,
+            start_step: resume_step as usize,
+            finished,
+            workers,
+            ledger,
+            real_comm,
+            recovered,
+            replays,
+        };
+        self.run_inner(disks, prog, ParStart::Resume(Box::new(resume)))
+    }
+
+    /// The shared engine behind [`Self::run_on`] and [`Self::resume`]:
+    /// identical superstep machinery, differing only in whether each
+    /// worker's committed bookkeeping starts empty or from its manifest.
+    fn run_inner<P: BspProgram>(
+        &self,
+        disks: Vec<DiskArray>,
+        prog: &P,
+        start: ParStart<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let start_time = Instant::now();
+        self.machine.validate()?;
+        if self.checkpoint && self.file_dir.is_none() {
+            return Err(EmError::InvalidConfig(
+                "checkpointing requires the file backend (with_file_backend)".into(),
+            ));
+        }
+        if self.kill.is_some() && !self.checkpoint {
+            return Err(EmError::InvalidConfig(
+                "a kill point requires checkpointing (with_checkpointing)".into(),
+            ));
+        }
+        let v = match &start {
+            ParStart::Fresh(states) => states.len(),
+            ParStart::Resume(r) => r.v,
+        };
         if v == 0 {
             return Err(EmError::Bsp(BspError::NoProcessors));
         }
@@ -357,11 +583,41 @@ impl ParEmSimulator {
         // Local context region index on the owner for (batch, slot).
         let local_region = move |batch: usize, slot: usize| batch * k + slot;
 
+        // Unpack the start mode: fresh initial states, or per-worker
+        // committed bookkeeping plus worker 0's run-global bookkeeping.
+        let (init_states, resume_state) = match start {
+            ParStart::Fresh(states) => (Some(states), None),
+            ParStart::Resume(r) => (None, Some(*r)),
+        };
+        let (start_step, resume_finished, ledger0, real0, rec0, rep0, worker_resumes) =
+            match resume_state {
+                None => (0, false, CommLedger::default(), 0, 0, 0, None),
+                Some(r) => (
+                    r.start_step,
+                    r.finished,
+                    r.ledger,
+                    r.real_comm,
+                    r.recovered,
+                    r.replays,
+                    Some(r.workers),
+                ),
+            };
+
         // Shared state.
-        let slots: Vec<Mutex<Option<P::State>>> =
-            states.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let slots: Vec<Mutex<Option<P::State>>> = match init_states {
+            Some(states) => states.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+            None => (0..v).map(|_| Mutex::new(None)).collect(),
+        };
+        let resume_slots: Vec<Mutex<Option<WorkerResume>>> = match worker_resumes {
+            Some(ws) => ws.into_iter().map(|w| Mutex::new(Some(w))).collect(),
+            None => (0..p).map(|_| Mutex::new(None)).collect(),
+        };
         let barrier = Barrier::new(p);
         let stop = AtomicBool::new(false);
+        // Set only by thread 0's termination decision — never by failures
+        // — so a manifest's `finished` flag cannot be corrupted by an
+        // error racing in from another worker's commit.
+        let terminated = AtomicBool::new(false);
         let failed: Mutex<Option<EmError>> = Mutex::new(None);
         let any_continue = AtomicBool::new(false);
         let any_msgs = AtomicBool::new(false);
@@ -370,8 +626,8 @@ impl ParEmSimulator {
         let agg_h = AtomicU64::new(0);
         let agg_h_msgs = AtomicU64::new(0);
         let agg_w = AtomicU64::new(0);
-        let real_comm = AtomicU64::new(0);
-        let ledger: Mutex<CommLedger> = Mutex::new(CommLedger::default());
+        let real_comm = AtomicU64::new(real0);
+        let ledger: Mutex<CommLedger> = Mutex::new(ledger0);
         let reports: Mutex<Vec<WorkerReport>> = Mutex::new(Vec::with_capacity(p));
 
         // Recovery coordination. Each thread that fails an attempt
@@ -384,8 +640,8 @@ impl ParEmSimulator {
         let fault_stats = self.fault_plan.as_ref().map(|plan| plan.stats());
         let attempt_errors: Mutex<Vec<(EmError, u64, u64)>> = Mutex::new(Vec::new());
         let replay_token = AtomicU64::new(u64::MAX);
-        let replays_total = AtomicU64::new(0);
-        let recovered_total = AtomicU64::new(0);
+        let replays_total = AtomicU64::new(rep0);
+        let recovered_total = AtomicU64::new(rec0);
 
         // Lock-step transport: one channel per processor.
         let (senders, receivers): (Vec<_>, Vec<_>) =
@@ -419,7 +675,12 @@ impl ParEmSimulator {
                 let retry = self.retry;
                 let recovery = self.recovery;
                 let cache_bytes = self.cache_bytes;
+                let checkpoint = self.checkpoint;
+                let kill = self.kill;
+                let file_dir = self.file_dir.clone();
                 let disk_slots = &disk_slots;
+                let resume_slots = &resume_slots;
+                let terminated = &terminated;
                 let fault_stats = fault_stats.clone();
                 let attempt_errors = &attempt_errors;
                 let replay_token = &replay_token;
@@ -441,6 +702,21 @@ impl ParEmSimulator {
                         };
                         let mut disks =
                             disk_slots[i].lock().take().expect("one disk array per processor");
+                        // Durable checkpointing: this worker's manifests
+                        // and pre-image journal live next to its drive
+                        // files in `dir/proc-<i>/`.
+                        let store = if checkpoint {
+                            let pdir = file_dir
+                                .as_ref()
+                                .expect("checkpointing validated to have a file dir")
+                                .join(format!("proc-{i}"));
+                            if !disks.durable_journal_attached() {
+                                disks.attach_durable_journal(&pdir)?;
+                            }
+                            Some(CheckpointStore::attach(&pdir)?)
+                        } else {
+                            None
+                        };
                         let mut alloc = TrackAllocator::new(cfg.num_disks);
                         // Context store: this processor holds num_batches*k regions.
                         let ctx = ContextStore::allocate(
@@ -463,10 +739,6 @@ impl ParEmSimulator {
                             cfg.block_bytes,
                             p * p * num_batches + num_batches,
                         )?;
-                        let mut rng = StdRng::seed_from_u64(
-                            seed ^ (0x9E37_79B9u64.wrapping_mul(i as u64 + 1)),
-                        );
-
                         // My pids in a batch: (pid, slot) pairs.
                         let my_pids = |batch: usize| -> Vec<(usize, usize)> {
                             (0..k)
@@ -475,32 +747,89 @@ impl ParEmSimulator {
                                 .collect()
                         };
 
-                        // Initial context load (batched per round).
-                        for batch in 0..num_batches {
-                            let pids = my_pids(batch);
-                            if let Some(&(_, first_slot)) = pids.first() {
-                                let bufs: Vec<Vec<u8>> = pids
-                                    .iter()
-                                    .map(|&(pid, _)| {
-                                        let state = slots[pid]
-                                            .lock()
-                                            .take()
-                                            .expect("initial state present");
-                                        to_bytes(&state)
-                                    })
-                                    .collect();
-                                ctx.write_group(
-                                    &mut disks,
-                                    local_region(batch, first_slot),
-                                    &bufs,
-                                )?;
+                        let resume = resume_slots[i].lock().take();
+                        if resume.is_none() {
+                            // Initial context load (batched per round).
+                            for batch in 0..num_batches {
+                                let pids = my_pids(batch);
+                                if let Some(&(_, first_slot)) = pids.first() {
+                                    let bufs: Vec<Vec<u8>> = pids
+                                        .iter()
+                                        .map(|&(pid, _)| {
+                                            let state = slots[pid]
+                                                .lock()
+                                                .take()
+                                                .expect("initial state present");
+                                            to_bytes(&state)
+                                        })
+                                        .collect();
+                                    ctx.write_group(
+                                        &mut disks,
+                                        local_region(batch, first_slot),
+                                        &bufs,
+                                    )?;
+                                }
                             }
+                            disks.sync()?; // input distribution durable before timing
                         }
-                        disks.sync()?; // input distribution durable before timing
                         disks.reset_stats();
 
-                        let mut counts = GroupCounts::empty(geom.num_groups);
-                        let mut phases = PhaseIo::default();
+                        // Committed bookkeeping: empty on a fresh run, or
+                        // restored from this worker's barrier manifest.
+                        // `committed_io` carries the I/O counted before
+                        // the barrier the run resumed from; the live
+                        // array counts only what this process adds.
+                        let mut counts;
+                        let mut phases;
+                        let committed_io;
+                        let mut balances;
+                        match resume {
+                            Some(r) => {
+                                alloc.restore_state(r.alloc_next, r.alloc_free);
+                                counts = r.counts;
+                                phases = r.phases;
+                                committed_io = r.committed_io;
+                                balances = r.balances;
+                            }
+                            None => {
+                                counts = GroupCounts::empty(geom.num_groups);
+                                phases = PhaseIo::default();
+                                committed_io = IoStats::new(cfg.num_disks);
+                                balances = Vec::new();
+                                if let Some(store) = &store {
+                                    // A fresh checkpointed run must not
+                                    // inherit a previous run's manifests
+                                    // or journal — stale artifacts would
+                                    // poison a later resume.
+                                    store.clear()?;
+                                    disks.clear_durable_journal()?;
+                                    let manifest = par_manifest(
+                                        v,
+                                        k,
+                                        num_batches,
+                                        mu,
+                                        gamma,
+                                        seed,
+                                        &cfg,
+                                        p,
+                                        i,
+                                        0,
+                                        false,
+                                        &counts,
+                                        &alloc,
+                                        disks.fault_op_counts(),
+                                        &phases,
+                                        committed_io.clone(),
+                                        &balances,
+                                        &CommLedger::default(),
+                                        0,
+                                        0,
+                                        0,
+                                    );
+                                    store.commit_manifest(0, &manifest.encode())?;
+                                }
+                            }
+                        }
                         // Wall-clock split; never rewound on replay — the
                         // time genuinely elapsed.
                         let mut walls = PhaseWall::default();
@@ -510,7 +839,6 @@ impl ParEmSimulator {
                         // Per-thread routing bookkeeping; like the pool it
                         // caches only capacity, so replay needs no snapshot.
                         let mut routing_scratch = RoutingScratch::new();
-                        let mut balances = Vec::new();
                         let mut zombie: Option<EmError> = None;
                         let mut exchange_phase = 0u64;
                         let mut pending_bundles: Vec<Bundle> = Vec::new();
@@ -518,21 +846,43 @@ impl ParEmSimulator {
                         // `replay_token` to signal replays race-free.
                         let mut decision_no = 0u64;
 
-                        'steps: for step in 0..max_supersteps {
+                        // A resumed finished run has nothing left to
+                        // replay; skip straight to the final read-back.
+                        let step_limit =
+                            if resume_finished { start_step } else { max_supersteps };
+                        'steps: for step in start_step..step_limit {
                             let mut attempt = 0usize;
                             loop {
                             // Each attempt runs the whole compound
                             // superstep inside a disk recovery epoch;
                             // committed bookkeeping is snapshotted so a
-                            // rolled-back attempt leaves no trace.
-                            if recovery.is_some() {
+                            // rolled-back attempt leaves no trace. With
+                            // checkpointing the epoch also journals
+                            // durable pre-images keyed to this superstep,
+                            // so a crashed process can undo a half-done
+                            // superstep on resume.
+                            if store.is_some() {
+                                if let Err(e) = disks.begin_checkpoint_epoch(step as u64 + 1) {
+                                    if zombie.is_none() {
+                                        zombie = Some(e.into());
+                                    }
+                                }
+                            } else if recovery.is_some() {
                                 if let Err(e) = disks.begin_recovery_epoch() {
                                     if zombie.is_none() {
                                         zombie = Some(e.into());
                                     }
                                 }
                             }
-                            let rng_snap = rng.clone();
+                            // Determinism across crash/resume: the
+                            // placement stream is a pure function of
+                            // (seed, worker, superstep), re-derived at
+                            // every attempt — never of run history.
+                            let mut rng = StdRng::seed_from_u64(superstep_seed(
+                                seed,
+                                i as u64,
+                                step as u64,
+                            ));
                             let alloc_snap = alloc.clone();
                             let counts_snap = counts.clone();
                             let phases_snap = phases.clone();
@@ -808,6 +1158,7 @@ impl ParEmSimulator {
                                     let had_continue = any_continue.swap(false, Ordering::Relaxed);
                                     let had_msgs = any_msgs.swap(false, Ordering::Relaxed);
                                     if !had_continue && !had_msgs {
+                                        terminated.store(true, Ordering::SeqCst);
                                         stop.store(true, Ordering::SeqCst);
                                     }
                                     if step + 1 == max_supersteps && !stop.load(Ordering::SeqCst) {
@@ -879,7 +1230,6 @@ impl ParEmSimulator {
                                 if let Err(e) = disks.rollback_recovery_epoch() {
                                     zombie = Some(e.into());
                                 }
-                                rng = rng_snap;
                                 alloc = alloc_snap;
                                 counts = counts_snap;
                                 phases = phases_snap;
@@ -887,8 +1237,108 @@ impl ParEmSimulator {
                                 attempt += 1;
                                 continue;
                             }
-                            if recovery.is_some() {
+                            if store.is_some() || recovery.is_some() {
                                 disks.commit_recovery_epoch();
+                            }
+                            if let Some(store) = &store {
+                                // Barrier commit protocol. Every worker's
+                                // superstep data is already durable (the
+                                // pre-barrier sync); now each worker
+                                // commits its manifest, a barrier proves
+                                // *all* manifests durable, and only then
+                                // may anyone truncate the journal that
+                                // protects this epoch — so a crash at any
+                                // instant leaves the workers' committed
+                                // barriers skewed by at most one
+                                // superstep, which resume reconciles.
+                                let failed_run = failed.lock().is_some();
+                                let mid_superstep_kill = matches!(
+                                    kill,
+                                    Some(KillPoint::MidSuperstep(b)) if b == step
+                                );
+                                if !failed_run && !mid_superstep_kill {
+                                    let mut io_now = committed_io.clone();
+                                    io_now.merge(disks.stats());
+                                    let (ledger_now, real_now, rec_now, rep_now) = if i == 0 {
+                                        (
+                                            ledger.lock().clone(),
+                                            real_comm.load(Ordering::SeqCst),
+                                            recovered_total.load(Ordering::SeqCst),
+                                            replays_total.load(Ordering::SeqCst),
+                                        )
+                                    } else {
+                                        (CommLedger::default(), 0, 0, 0)
+                                    };
+                                    let manifest = par_manifest(
+                                        v,
+                                        k,
+                                        num_batches,
+                                        mu,
+                                        gamma,
+                                        seed,
+                                        &cfg,
+                                        p,
+                                        i,
+                                        step + 1,
+                                        terminated.load(Ordering::SeqCst),
+                                        &counts,
+                                        &alloc,
+                                        disks.fault_op_counts(),
+                                        &phases,
+                                        io_now,
+                                        &balances,
+                                        &ledger_now,
+                                        real_now,
+                                        rec_now,
+                                        rep_now,
+                                    );
+                                    let payload = manifest.encode();
+                                    let committed = if i == 0
+                                        && matches!(
+                                            kill,
+                                            Some(KillPoint::MidManifest(b)) if b == step
+                                        ) {
+                                        // The crash tears worker 0's
+                                        // manifest mid-write while the
+                                        // other workers committed theirs
+                                        // in full — the worst-case commit
+                                        // skew the resume protocol exists
+                                        // to reconcile.
+                                        store.write_torn_manifest(
+                                            step as u64 + 1,
+                                            &payload,
+                                            payload.len() / 2 + 8,
+                                        )
+                                    } else {
+                                        store.commit_manifest(step as u64 + 1, &payload)
+                                    };
+                                    if let Err(e) = committed {
+                                        register_failure(failed, e.into());
+                                        stop.store(true, Ordering::SeqCst);
+                                    }
+                                }
+                                // No journal truncation before every
+                                // worker's manifest is durable.
+                                barrier.wait();
+                                let failed_run = failed.lock().is_some();
+                                let keep_journal = matches!(
+                                    kill,
+                                    Some(KillPoint::MidManifest(b) | KillPoint::MidSuperstep(b))
+                                        if b == step
+                                );
+                                if !failed_run && !keep_journal {
+                                    if let Err(e) = disks.clear_durable_journal() {
+                                        register_failure(failed, e.into());
+                                        stop.store(true, Ordering::SeqCst);
+                                    }
+                                }
+                                if matches!(kill, Some(kp) if kp.step() == step) {
+                                    // The simulated whole-process crash:
+                                    // every worker dies here, skipping the
+                                    // final read-back exactly as a real
+                                    // crash would.
+                                    return Err(EmError::Killed { step });
+                                }
                             }
                             if stop.load(Ordering::SeqCst) {
                                 break 'steps;
@@ -911,8 +1361,13 @@ impl ParEmSimulator {
                                 }
                             }
                         }
+                        // The reported I/O is the committed base (zero on
+                        // a fresh run) plus everything this process did —
+                        // bit-identical to an uninterrupted run's count.
+                        let mut final_io = committed_io;
+                        final_io.merge(&disks.take_stats());
                         reports.lock().push((
-                            disks.take_stats(),
+                            final_io,
                             phases,
                             walls,
                             alloc.max_frontier(),
@@ -990,7 +1445,7 @@ impl ParEmSimulator {
             phase_wall,
             comm: ledger.clone(),
             real_comm_bytes: real_comm.into_inner(),
-            wall: start.elapsed(),
+            wall: start_time.elapsed(),
             tracks_per_disk: tracks,
             balance_factors: balances,
             checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
@@ -1005,6 +1460,95 @@ impl ParEmSimulator {
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))
+    }
+}
+
+/// How [`ParEmSimulator::run_inner`] starts: a fresh run with initial
+/// states, or a continuation from the workers' committed checkpoint
+/// manifests.
+enum ParStart<S> {
+    Fresh(Vec<S>),
+    Resume(Box<ParResume>),
+}
+
+/// Run-global bookkeeping restored from worker 0's manifest, plus each
+/// worker's private committed bookkeeping.
+struct ParResume {
+    v: usize,
+    start_step: usize,
+    finished: bool,
+    workers: Vec<WorkerResume>,
+    ledger: CommLedger,
+    real_comm: u64,
+    recovered: u64,
+    replays: u64,
+}
+
+/// One worker's committed bookkeeping restored from its manifest.
+struct WorkerResume {
+    counts: GroupCounts,
+    alloc_next: Vec<usize>,
+    alloc_free: Vec<Vec<usize>>,
+    phases: PhaseIo,
+    committed_io: IoStats,
+    balances: Vec<f64>,
+}
+
+/// Assemble one worker's barrier manifest: the committed bookkeeping its
+/// resumed process needs, plus a shape guard against resuming with a
+/// different configuration. Run-global bookkeeping (ledger, real
+/// communication bytes, recovery tallies) is carried by worker 0 only;
+/// the other workers store empty placeholders.
+#[allow(clippy::too_many_arguments)]
+fn par_manifest(
+    v: usize,
+    k: usize,
+    num_batches: usize,
+    mu: usize,
+    gamma: usize,
+    seed: u64,
+    cfg: &DiskConfig,
+    p: usize,
+    worker: usize,
+    next_step: usize,
+    finished: bool,
+    counts: &GroupCounts,
+    alloc: &TrackAllocator,
+    fault_ops: Option<Vec<u64>>,
+    phases: &PhaseIo,
+    io: IoStats,
+    balances: &[f64],
+    ledger: &CommLedger,
+    real_comm: u64,
+    recovered: u64,
+    replays: u64,
+) -> Manifest {
+    let (next, free) = alloc.export_state();
+    Manifest {
+        v: v as u64,
+        k: k as u64,
+        num_groups: num_batches as u64,
+        mu: mu as u64,
+        gamma: gamma as u64,
+        seed,
+        num_disks: cfg.num_disks as u32,
+        block_bytes: cfg.block_bytes as u64,
+        p: p as u32,
+        worker: worker as u32,
+        next_step: next_step as u64,
+        finished,
+        counts: counts.counts.iter().map(|&c| c as u64).collect(),
+        prefix: counts.prefix_in_bucket.iter().map(|&c| c as u64).collect(),
+        alloc_next: next.iter().map(|&t| t as u64).collect(),
+        alloc_free: free.iter().map(|f| f.iter().map(|&t| t as u64).collect()).collect(),
+        fault_ops,
+        phases: phases.clone(),
+        io,
+        balances: balances.to_vec(),
+        ledger: ledger.steps.clone(),
+        real_comm,
+        recovered,
+        replays,
     }
 }
 
@@ -1462,5 +2006,111 @@ mod tests {
         let (res, _) = sim.run(&prog, vec![0u64; 16]).unwrap();
         assert_eq!(res.states, reference.states);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A state-dependent multi-superstep workload for crash tests: every
+    /// superstep folds the incoming messages into the state, so resuming
+    /// from the wrong barrier or with the wrong context bytes changes the
+    /// final states.
+    struct Diffuse;
+    impl BspProgram for Diffuse {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            let v = mb.nprocs();
+            for e in mb.take_incoming() {
+                *state = state.wrapping_add(e.msg);
+            }
+            if step < 4 {
+                mb.send((mb.pid() + 1) % v, *state + step as u64);
+                mb.send((mb.pid() + v - 1) % v, state.wrapping_mul(3));
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            124
+        }
+        fn max_comm_bytes(&self) -> usize {
+            2 * 24
+        }
+    }
+
+    #[test]
+    fn checkpointing_requires_file_backend() {
+        let sim = ParEmSimulator::new(machine(2, 256, 2, 64)).with_checkpointing(true);
+        let err = sim.run(&AllToAll { mu: 124 }, vec![0u64; 8]).unwrap_err();
+        assert!(matches!(err, EmError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn checkpointed_parallel_run_is_bit_identical_to_unchecked() {
+        let base_dir =
+            std::env::temp_dir().join(format!("em-par-ckpt-plain-{}", std::process::id()));
+        let v = 24;
+        let init: Vec<u64> = (0..v as u64).map(|x| x * 7 + 1).collect();
+        let plain = ParEmSimulator::new(machine(3, 256, 2, 64))
+            .with_seed(9)
+            .with_file_backend(base_dir.join("plain"));
+        let (a, ra) = plain.run(&Diffuse, init.clone()).unwrap();
+        let ckpt = ParEmSimulator::new(machine(3, 256, 2, 64))
+            .with_seed(9)
+            .with_file_backend(base_dir.join("ckpt"))
+            .with_checkpointing(true);
+        let (b, rb) = ckpt.run(&Diffuse, init).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops);
+        assert_eq!(ra.phases, rb.phases);
+        std::fs::remove_dir_all(&base_dir).ok();
+    }
+
+    #[test]
+    fn parallel_kill_and_resume_matches_uninterrupted_run() {
+        let base_dir = std::env::temp_dir().join(format!("em-par-ckpt-{}", std::process::id()));
+        let v = 24;
+        let init: Vec<u64> = (0..v as u64).map(|x| x * 11 + 3).collect();
+        // Uninterrupted checkpointed run — the reference.
+        let sim_a = ParEmSimulator::new(machine(3, 256, 2, 64))
+            .with_seed(7)
+            .with_file_backend(base_dir.join("uninterrupted"))
+            .with_checkpointing(true);
+        let (a, ra) = sim_a.run(&Diffuse, init.clone()).unwrap();
+        for kill in [KillPoint::AtBarrier(0), KillPoint::MidSuperstep(2), KillPoint::MidManifest(1)]
+        {
+            let sim_b = ParEmSimulator::new(machine(3, 256, 2, 64))
+                .with_seed(7)
+                .with_file_backend(base_dir.join(format!("{kill:?}")))
+                .with_checkpointing(true);
+            let err = sim_b.clone().with_kill_point(kill).run(&Diffuse, init.clone()).unwrap_err();
+            assert!(matches!(err, EmError::Killed { .. }), "{kill:?}: {err}");
+            let (b, rb) = sim_b.resume(&Diffuse).unwrap();
+            assert_eq!(a.states, b.states, "{kill:?}");
+            assert_eq!(a.ledger, b.ledger, "{kill:?}");
+            assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops, "{kill:?}");
+            assert_eq!(ra.io.per_disk_reads, rb.io.per_disk_reads, "{kill:?}");
+            assert_eq!(ra.io.per_disk_writes, rb.io.per_disk_writes, "{kill:?}");
+            assert_eq!(ra.phases, rb.phases, "{kill:?}");
+            assert_eq!(ra.real_comm_bytes, rb.real_comm_bytes, "{kill:?}");
+        }
+        std::fs::remove_dir_all(&base_dir).ok();
+    }
+
+    #[test]
+    fn resume_of_finished_parallel_run_rebuilds_result() {
+        let base_dir = std::env::temp_dir().join(format!("em-par-ckpt-fin-{}", std::process::id()));
+        let v = 24;
+        let init: Vec<u64> = (0..v as u64).collect();
+        let sim = ParEmSimulator::new(machine(3, 256, 2, 64))
+            .with_seed(3)
+            .with_file_backend(&base_dir)
+            .with_checkpointing(true);
+        let (a, ra) = sim.run(&Diffuse, init).unwrap();
+        let (b, rb) = sim.resume(&Diffuse).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops);
+        std::fs::remove_dir_all(&base_dir).ok();
     }
 }

@@ -20,6 +20,7 @@
 //! reference executor would: every virtual processor halted and no message
 //! is in flight.
 
+use crate::checkpoint::{superstep_seed, KillPoint, Manifest};
 use crate::compute::{run_group_vps, ComputeMode, VpWork};
 use crate::context_store::{BufferPool, ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
@@ -32,8 +33,8 @@ use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, Pipeline, RetryPolicy, TrackAllocator,
-    WriteBacklog,
+    CheckpointStore, DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, JournalFile,
+    Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
@@ -89,6 +90,8 @@ pub struct SeqEmSimulator {
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
     cache_bytes: usize,
+    checkpoint: bool,
+    kill: Option<KillPoint>,
 }
 
 impl SeqEmSimulator {
@@ -109,6 +112,8 @@ impl SeqEmSimulator {
             retry: None,
             recovery: None,
             cache_bytes: 0,
+            checkpoint: false,
+            kill: None,
         }
     }
 
@@ -222,6 +227,39 @@ impl SeqEmSimulator {
         self
     }
 
+    /// Persist a durable checkpoint at every superstep barrier so the run
+    /// survives a process crash. Requires the file backend
+    /// ([`Self::with_file_backend`]); typed [`EmError::InvalidConfig`]
+    /// otherwise.
+    ///
+    /// At each barrier `sync()` the simulator atomically commits a
+    /// CRC-framed *manifest* (write-new → fsync → rename) holding
+    /// everything resume needs — next superstep, group counts, allocator
+    /// frontier, committed [`IoStats`], ledger and the fault-injection
+    /// schedule position — and mirrors every overwritten track's
+    /// pre-image to a durable journal *before* the overwrite lands.
+    /// [`Self::resume`] rolls uncommitted superstep writes back via the
+    /// journal and replays deterministically from the last committed
+    /// barrier: final states, ledger, counted parallel I/O operations and
+    /// the drive bytes are bit-identical to the uninterrupted run.
+    /// Checkpoint traffic is never counted in the paper-facing
+    /// `parallel_ops` (pre-image captures land in
+    /// [`IoStats::recovery_ops`]).
+    pub fn with_checkpointing(mut self, on: bool) -> Self {
+        self.checkpoint = on;
+        self
+    }
+
+    /// Simulate a process crash at `kill` for chaos testing: the run
+    /// returns [`EmError::Killed`] leaving the on-disk state exactly as a
+    /// real crash at that point would. Requires
+    /// [`Self::with_checkpointing`]. If the program terminates before the
+    /// kill point's superstep, the run completes normally.
+    pub fn with_kill_point(mut self, kill: KillPoint) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
     /// The machine this simulator targets.
     pub fn machine(&self) -> &EmMachine {
         &self.machine
@@ -293,9 +331,127 @@ impl SeqEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
-        let start = Instant::now();
+        self.run_inner(disks, prog, SeqStart::Fresh(states))
+    }
+
+    /// Resume a checkpointed run after a (real or simulated) process
+    /// crash, continuing from the last committed barrier manifest in the
+    /// file backend's directory.
+    ///
+    /// The drive files are reattached without truncation, any superstep
+    /// writes past the committed barrier are undone from the durable
+    /// pre-image journal, the fault-injection schedule position is
+    /// restored, and the remaining supersteps replay deterministically:
+    /// final states, the communication ledger, counted parallel I/O
+    /// operations and the drive bytes are bit-identical to the
+    /// uninterrupted run. Resuming an already-finished run just rebuilds
+    /// its result. The simulator's configuration (seed, machine shape,
+    /// program budgets) must match the checkpointed run; a typed
+    /// [`EmError::InvalidConfig`] names the first mismatch.
+    pub fn resume<P: BspProgram>(&self, prog: &P) -> EmResult<(RunResult<P::State>, CostReport)> {
         self.machine.validate()?;
-        let v = states.len();
+        if !self.checkpoint {
+            return Err(EmError::InvalidConfig(
+                "resume requires checkpointing (with_checkpointing)".into(),
+            ));
+        }
+        let Backend::File(dir) = &self.backend else {
+            return Err(EmError::InvalidConfig(
+                "resume requires the file backend (with_file_backend)".into(),
+            ));
+        };
+        let store = CheckpointStore::attach(dir)?;
+        let (committed_step, payload) = store.latest_manifest()?.ok_or_else(|| {
+            EmError::InvalidConfig("no committed checkpoint manifest to resume from".into())
+        })?;
+        let m = Manifest::decode(&payload)?;
+        let cfg = self.disk_config()?;
+        let mu = prog.max_state_bytes();
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        m.check_shape(
+            mu as u64,
+            gamma as u64,
+            self.seed,
+            cfg.num_disks as u32,
+            cfg.block_bytes as u64,
+            1,
+            0,
+        )?;
+        if m.next_step != committed_step {
+            return Err(EmError::InvalidConfig(
+                "checkpoint manifest step disagrees with its payload".into(),
+            ));
+        }
+        let v = m.v as usize;
+        let k = self.machine.group_size(4 + mu, v)?;
+        if m.k != k as u64 || m.num_groups != v.div_ceil(k) as u64 {
+            return Err(EmError::InvalidConfig(
+                "checkpoint resume shape mismatch: group geometry differs from the checkpointed run"
+                    .into(),
+            ));
+        }
+
+        // Roll the drive files back to the committed barrier. The journal
+        // holds pre-images of the *next* epoch only when the crash landed
+        // after this manifest committed; the undo runs on a plain array —
+        // no cache, retry or fault injection — so the restoring writes
+        // neither advance nor consume the fault schedule the real array
+        // restores below.
+        if let Some(journal) = JournalFile::read(dir)? {
+            if journal.epoch > committed_step {
+                let plain = self
+                    .machine
+                    .disk_config()?
+                    .with_io_mode(self.io_mode)
+                    .with_checksums(self.checksums);
+                let mut undo = DiskArray::open_file(plain, dir)?;
+                undo.apply_journal_undo(&journal)?;
+            }
+        }
+
+        let mut disks = DiskArray::open_file_with_faults(cfg, dir, self.fault_plan.clone())?;
+        if let Some(ops) = &m.fault_ops {
+            disks.restore_fault_op_counts(ops);
+        }
+        let resume = SeqResume {
+            v,
+            start_step: m.next_step as usize,
+            finished: m.finished,
+            counts: GroupCounts {
+                counts: m.counts.iter().map(|&c| c as usize).collect(),
+                prefix_in_bucket: m.prefix.iter().map(|&c| c as usize).collect(),
+            },
+            alloc_next: m.alloc_next.iter().map(|&t| t as usize).collect(),
+            alloc_free: m
+                .alloc_free
+                .iter()
+                .map(|f| f.iter().map(|&t| t as usize).collect())
+                .collect(),
+            phases: m.phases,
+            committed_io: m.io,
+            balances: m.balances,
+            ledger: CommLedger { steps: m.ledger },
+            recovered: m.recovered,
+            replays: m.replays,
+        };
+        self.run_inner(&mut disks, prog, SeqStart::Resume(Box::new(resume)))
+    }
+
+    /// The shared engine behind [`Self::run_on`] and [`Self::resume`]:
+    /// identical superstep machinery, differing only in whether the
+    /// committed bookkeeping starts empty or from a manifest.
+    fn run_inner<P: BspProgram>(
+        &self,
+        disks: &mut DiskArray,
+        prog: &P,
+        start: SeqStart<P::State>,
+    ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        let start_time = Instant::now();
+        self.machine.validate()?;
+        let v = match &start {
+            SeqStart::Fresh(states) => states.len(),
+            SeqStart::Resume(r) => r.v,
+        };
         if v == 0 {
             return Err(EmError::Bsp(BspError::NoProcessors));
         }
@@ -314,30 +470,119 @@ impl SeqEmSimulator {
                 cfg.num_disks, cfg.block_bytes, expected.num_disks, expected.block_bytes
             )));
         }
+        // Checkpointing needs somewhere durable for manifests and the
+        // pre-image journal: the file backend's directory.
+        let store = if self.checkpoint {
+            let Backend::File(dir) = &self.backend else {
+                return Err(EmError::InvalidConfig(
+                    "checkpointing requires the file backend (with_file_backend)".into(),
+                ));
+            };
+            if !disks.durable_journal_attached() {
+                disks.attach_durable_journal(dir)?;
+            }
+            Some(CheckpointStore::attach(dir)?)
+        } else {
+            if self.kill.is_some() {
+                return Err(EmError::InvalidConfig(
+                    "a kill point requires checkpointing (with_checkpointing)".into(),
+                ));
+            }
+            None
+        };
+
         let fault_stats = self.fault_plan.as_ref().map(|p| p.stats());
         let mut alloc = TrackAllocator::new(cfg.num_disks);
         let ctx_store = ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
         let geom = MsgGeometry::allocate(&mut alloc, v, k, gamma, cfg.num_disks, cfg.block_bytes)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
 
-        // Load the initial contexts onto disk.
-        let encoded: Vec<Vec<u8>> = states.iter().map(to_bytes).collect();
-        drop(states);
-        for g in 0..num_groups {
-            let first = g * k;
-            let last = (first + k).min(v);
-            ctx_store
-                .write_group(disks, first, &encoded[first..last])
-                .map_err(|e| self.fault_error(0, e, &fault_stats, disks, 0, 0))?;
+        let mut counts;
+        let mut ledger;
+        let mut phases;
+        // `committed_io` is the checkpoint-committed base; `disks.stats()`
+        // counts only operations since the run (or resume) started, and the
+        // two merge additively at every barrier and in the final report, so
+        // a resumed run's counters are bit-identical to an uninterrupted
+        // one's.
+        let committed_io;
+        let mut balance_factors;
+        let mut recovered_supersteps;
+        let mut total_replays;
+        let start_step;
+        let mut finished;
+        match start {
+            SeqStart::Fresh(states) => {
+                // Load the initial contexts onto disk.
+                let encoded: Vec<Vec<u8>> = states.iter().map(to_bytes).collect();
+                drop(states);
+                for g in 0..num_groups {
+                    let first = g * k;
+                    let last = (first + k).min(v);
+                    ctx_store
+                        .write_group(disks, first, &encoded[first..last])
+                        .map_err(|e| self.fault_error(0, e, &fault_stats, disks, 0, 0))?;
+                }
+                drop(encoded);
+                // The input distribution is durable before timing starts.
+                disks
+                    .sync()
+                    .map_err(|e| self.fault_error(0, e.into(), &fault_stats, disks, 0, 0))?;
+                disks.reset_stats(); // initial load is input distribution, not simulation cost
+
+                counts = GroupCounts::empty(geom.num_groups);
+                ledger = CommLedger::default();
+                phases = PhaseIo::default();
+                committed_io = IoStats::new(cfg.num_disks);
+                balance_factors = Vec::new();
+                recovered_supersteps = 0u64;
+                total_replays = 0u64;
+                start_step = 0;
+                finished = false;
+
+                if let Some(store) = &store {
+                    // A reused directory may hold a previous run's
+                    // manifests and journal; a fresh run must commit its
+                    // barrier-0 manifest over a clean slate, or a later
+                    // resume could replay the wrong run's tail.
+                    store.clear()?;
+                    disks.clear_durable_journal()?;
+                    let manifest = self.build_manifest(
+                        v,
+                        k,
+                        num_groups,
+                        mu,
+                        gamma,
+                        &cfg,
+                        0,
+                        false,
+                        &counts,
+                        &alloc,
+                        disks.fault_op_counts(),
+                        &phases,
+                        committed_io.clone(),
+                        &balance_factors,
+                        &ledger,
+                        0,
+                        0,
+                    );
+                    store.commit_manifest(0, &manifest.encode())?;
+                }
+            }
+            SeqStart::Resume(r) => {
+                disks.reset_stats();
+                alloc.restore_state(r.alloc_next, r.alloc_free);
+                counts = r.counts;
+                ledger = r.ledger;
+                phases = r.phases;
+                committed_io = r.committed_io;
+                balance_factors = r.balances;
+                recovered_supersteps = r.recovered;
+                total_replays = r.replays;
+                start_step = r.start_step;
+                finished = r.finished;
+            }
         }
-        drop(encoded);
-        // The input distribution is durable before timing starts.
-        disks.sync().map_err(|e| self.fault_error(0, e.into(), &fault_stats, disks, 0, 0))?;
-        disks.reset_stats(); // initial load is input distribution, not simulation cost
 
-        let mut counts = GroupCounts::empty(geom.num_groups);
-        let mut ledger = CommLedger::default();
-        let mut phases = PhaseIo::default();
         // Wall-clock split; unlike `phases` it is *not* rewound on replay —
         // the time genuinely elapsed even when the attempt rolled back.
         let mut phase_wall = PhaseWall::default();
@@ -346,14 +591,13 @@ impl SeqEmSimulator {
         let mut ctx_pool = BufferPool::new();
         // Same deal for the routing merge pass's bookkeeping.
         let mut routing_scratch = RoutingScratch::new();
-        let mut balance_factors = Vec::new();
 
         let replay_budget = self.recovery.map_or(0, |r| r.max_replays_per_superstep);
-        let mut recovered_supersteps = 0u64;
-        let mut total_replays = 0u64;
 
-        let mut finished = false;
-        for step in 0..self.max_supersteps {
+        // Resuming an already-finished run skips straight to the final
+        // read-back.
+        let step_limit = if finished { start_step } else { self.max_supersteps };
+        for step in start_step..step_limit {
             // Each attempt runs the whole compound superstep (Steps 1 + 2)
             // inside a disk recovery epoch. Bookkeeping (`counts`, ledger,
             // balance factors) advances only after the attempt's barrier
@@ -361,7 +605,22 @@ impl SeqEmSimulator {
             // in the committed state.
             let mut attempt = 0usize;
             let outcome = loop {
-                if self.recovery.is_some() {
+                if store.is_some() {
+                    // The epoch protecting superstep `step` is numbered
+                    // `step + 1` — the manifest its barrier will commit.
+                    // Re-beginning it on an in-process replay truncates
+                    // the durable journal's abandoned records.
+                    disks.begin_checkpoint_epoch(step as u64 + 1).map_err(|e| {
+                        self.fault_error(
+                            step,
+                            e.into(),
+                            &fault_stats,
+                            disks,
+                            recovered_supersteps,
+                            total_replays,
+                        )
+                    })?;
+                } else if self.recovery.is_some() {
                     disks.begin_recovery_epoch().map_err(|e| {
                         self.fault_error(
                             step,
@@ -373,7 +632,11 @@ impl SeqEmSimulator {
                         )
                     })?;
                 }
-                let rng_snap = rng.clone();
+                // Every attempt reseeds from (seed, worker 0, step), so a
+                // replay — in-process after a rollback, or across a process
+                // crash — reproduces the exact RNG stream with nothing to
+                // snapshot or persist beyond the base seed.
+                let mut rng = StdRng::seed_from_u64(superstep_seed(self.seed, 0, step as u64));
                 let alloc_snap = alloc.clone();
                 let phases_snap = phases.clone();
                 match run_superstep_attempt(
@@ -398,7 +661,7 @@ impl SeqEmSimulator {
                     &mut routing_scratch,
                 ) {
                     Ok(outcome) => {
-                        if self.recovery.is_some() {
+                        if store.is_some() || self.recovery.is_some() {
                             disks.commit_recovery_epoch();
                         }
                         if attempt > 0 {
@@ -411,7 +674,6 @@ impl SeqEmSimulator {
                             && attempt < replay_budget
                             && matches!(&err, EmError::Disk(e) if e.is_transient());
                         if replayable && disks.rollback_recovery_epoch().is_ok() {
-                            rng = rng_snap;
                             alloc = alloc_snap;
                             phases = phases_snap;
                             attempt += 1;
@@ -433,8 +695,57 @@ impl SeqEmSimulator {
             balance_factors.push(outcome.balance);
             ledger.push(outcome.comm);
 
+            // A mid-superstep crash: the superstep's writes are synced and
+            // the durable journal still holds their pre-images, but no new
+            // manifest commits — resume undoes and replays this superstep.
+            if matches!(self.kill, Some(KillPoint::MidSuperstep(b)) if b == step) {
+                return Err(EmError::Killed { step });
+            }
+
             if outcome.all_halted && !outcome.any_msgs {
                 finished = true;
+            }
+
+            if let Some(store) = &store {
+                let mut io_now = committed_io.clone();
+                io_now.merge(disks.stats());
+                let manifest = self.build_manifest(
+                    v,
+                    k,
+                    num_groups,
+                    mu,
+                    gamma,
+                    &cfg,
+                    step + 1,
+                    finished,
+                    &counts,
+                    &alloc,
+                    disks.fault_op_counts(),
+                    &phases,
+                    io_now,
+                    &balance_factors,
+                    &ledger,
+                    recovered_supersteps,
+                    total_replays,
+                );
+                let payload = manifest.encode();
+                if matches!(self.kill, Some(KillPoint::MidManifest(b)) if b == step) {
+                    // A crash mid-manifest-write: leave a torn frame the
+                    // CRC check must reject, so resume falls back to the
+                    // previous committed manifest and the intact journal.
+                    store.write_torn_manifest(step as u64 + 1, &payload, payload.len() / 2 + 8)?;
+                    return Err(EmError::Killed { step });
+                }
+                store.commit_manifest(step as u64 + 1, &payload)?;
+                // Only after the manifest is durable may the journal that
+                // protected this epoch be truncated.
+                disks.clear_durable_journal()?;
+                if matches!(self.kill, Some(KillPoint::AtBarrier(b)) if b == step) {
+                    return Err(EmError::Killed { step });
+                }
+            }
+
+            if finished {
                 break;
             }
         }
@@ -461,7 +772,8 @@ impl SeqEmSimulator {
             }
         }
 
-        let io = disks.stats().clone();
+        let mut io = committed_io;
+        io.merge(disks.stats());
         let lambda = ledger.lambda();
         let report = CostReport {
             v,
@@ -474,7 +786,7 @@ impl SeqEmSimulator {
             phase_wall,
             comm: ledger.clone(),
             real_comm_bytes: 0,
-            wall: start.elapsed(),
+            wall: start_time.elapsed(),
             tracks_per_disk: alloc.max_frontier(),
             balance_factors,
             checks: self.machine.check_theorem_conditions(v, k, 4 + mu),
@@ -489,6 +801,59 @@ impl SeqEmSimulator {
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))
+    }
+
+    /// Assemble the barrier manifest: the committed bookkeeping a resumed
+    /// process needs, plus a shape guard against resuming with a different
+    /// configuration.
+    #[allow(clippy::too_many_arguments)]
+    fn build_manifest(
+        &self,
+        v: usize,
+        k: usize,
+        num_groups: usize,
+        mu: usize,
+        gamma: usize,
+        cfg: &DiskConfig,
+        next_step: usize,
+        finished: bool,
+        counts: &GroupCounts,
+        alloc: &TrackAllocator,
+        fault_ops: Option<Vec<u64>>,
+        phases: &PhaseIo,
+        io: IoStats,
+        balances: &[f64],
+        ledger: &CommLedger,
+        recovered: u64,
+        replays: u64,
+    ) -> Manifest {
+        let (next, free) = alloc.export_state();
+        Manifest {
+            v: v as u64,
+            k: k as u64,
+            num_groups: num_groups as u64,
+            mu: mu as u64,
+            gamma: gamma as u64,
+            seed: self.seed,
+            num_disks: cfg.num_disks as u32,
+            block_bytes: cfg.block_bytes as u64,
+            p: 1,
+            worker: 0,
+            next_step: next_step as u64,
+            finished,
+            counts: counts.counts.iter().map(|&c| c as u64).collect(),
+            prefix: counts.prefix_in_bucket.iter().map(|&c| c as u64).collect(),
+            alloc_next: next.iter().map(|&t| t as u64).collect(),
+            alloc_free: free.iter().map(|f| f.iter().map(|&t| t as u64).collect()).collect(),
+            fault_ops,
+            phases: phases.clone(),
+            io,
+            balances: balances.to_vec(),
+            ledger: ledger.steps.clone(),
+            real_comm: 0,
+            recovered,
+            replays,
+        }
     }
 
     /// Dress an unrecoverable error in [`EmError::FaultUnrecoverable`] with
@@ -521,6 +886,29 @@ impl SeqEmSimulator {
             source: Box::new(err),
         }
     }
+}
+
+/// How [`SeqEmSimulator::run_inner`] starts: a fresh run with initial
+/// states, or a continuation from a committed checkpoint manifest.
+enum SeqStart<S> {
+    Fresh(Vec<S>),
+    Resume(Box<SeqResume>),
+}
+
+/// Committed bookkeeping restored from a checkpoint manifest.
+struct SeqResume {
+    v: usize,
+    start_step: usize,
+    finished: bool,
+    counts: GroupCounts,
+    alloc_next: Vec<usize>,
+    alloc_free: Vec<Vec<usize>>,
+    phases: PhaseIo,
+    committed_io: IoStats,
+    balances: Vec<f64>,
+    ledger: CommLedger,
+    recovered: u64,
+    replays: u64,
 }
 
 /// Everything one successful compound-superstep attempt produces. Returned
@@ -1067,6 +1455,68 @@ mod tests {
         let (res, _) = sim.run(&prog, vec![0u64; 8]).unwrap();
         assert_eq!(res.states, reference.states);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointing_requires_file_backend() {
+        let prog = AllToAll { mu: 124 };
+        let sim = SeqEmSimulator::new(machine(256, 4, 64)).with_checkpointing(true);
+        let err = sim.run(&prog, vec![0u64; 16]).unwrap_err();
+        assert!(matches!(err, EmError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn kill_point_requires_checkpointing() {
+        let prog = AllToAll { mu: 124 };
+        let sim = SeqEmSimulator::new(machine(256, 4, 64)).with_kill_point(KillPoint::AtBarrier(0));
+        let err = sim.run(&prog, vec![0u64; 16]).unwrap_err();
+        assert!(matches!(err, EmError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn checkpointed_run_is_bit_identical_to_unchecked() {
+        let prog = AllToAll { mu: 124 };
+        let dir = std::env::temp_dir().join(format!("em-seq-ckpt-off-{}", std::process::id()));
+        let plain = SeqEmSimulator::new(machine(256, 4, 64)).with_file_backend(dir.join("plain"));
+        let (a, ra) = plain.run(&prog, vec![0u64; 16]).unwrap();
+        let ckpt = SeqEmSimulator::new(machine(256, 4, 64))
+            .with_file_backend(dir.join("ckpt"))
+            .with_checkpointing(true);
+        let (b, rb) = ckpt.run(&prog, vec![0u64; 16]).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops);
+        assert_eq!(ra.phases, rb.phases);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        let prog = AllToAll { mu: 124 };
+        let base_dir = std::env::temp_dir().join(format!("em-seq-ckpt-{}", std::process::id()));
+        // Uninterrupted checkpointed run — the reference.
+        let dir_a = base_dir.join("uninterrupted");
+        let sim_a = SeqEmSimulator::new(machine(256, 4, 64))
+            .with_file_backend(&dir_a)
+            .with_checkpointing(true);
+        let (a, ra) = sim_a.run(&prog, vec![0u64; 16]).unwrap();
+        for kill in [KillPoint::AtBarrier(0), KillPoint::MidSuperstep(1), KillPoint::MidManifest(1)]
+        {
+            let dir_b = base_dir.join(format!("{kill:?}"));
+            let sim_b = SeqEmSimulator::new(machine(256, 4, 64))
+                .with_file_backend(&dir_b)
+                .with_checkpointing(true);
+            let err = sim_b.clone().with_kill_point(kill).run(&prog, vec![0u64; 16]).unwrap_err();
+            assert!(matches!(err, EmError::Killed { .. }), "{kill:?}: {err}");
+            let (b, rb) = sim_b.resume(&prog).unwrap();
+            assert_eq!(a.states, b.states, "{kill:?}");
+            assert_eq!(a.ledger, b.ledger, "{kill:?}");
+            assert_eq!(ra.io.parallel_ops, rb.io.parallel_ops, "{kill:?}");
+            assert_eq!(ra.io.per_disk_reads, rb.io.per_disk_reads, "{kill:?}");
+            assert_eq!(ra.io.per_disk_writes, rb.io.per_disk_writes, "{kill:?}");
+            assert_eq!(ra.phases, rb.phases, "{kill:?}");
+        }
+        std::fs::remove_dir_all(&base_dir).ok();
     }
 
     #[test]

@@ -79,6 +79,24 @@ impl TrackAllocator {
     pub fn max_frontier(&self) -> usize {
         self.next.iter().copied().max().unwrap_or(0)
     }
+
+    /// Snapshot the allocator's full state (per-drive frontiers and free
+    /// lists) for a durable checkpoint.
+    pub fn export_state(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        (self.next.clone(), self.free.clone())
+    }
+
+    /// Restore a state previously exported with
+    /// [`TrackAllocator::export_state`]. The drive count must match.
+    ///
+    /// # Panics
+    /// Panics if either vector's length differs from `num_disks()`.
+    pub fn restore_state(&mut self, next: Vec<usize>, free: Vec<Vec<usize>>) {
+        assert_eq!(next.len(), self.next.len(), "allocator drive count mismatch");
+        assert_eq!(free.len(), self.free.len(), "allocator drive count mismatch");
+        self.next = next;
+        self.free = free;
+    }
 }
 
 #[cfg(test)]

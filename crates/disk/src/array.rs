@@ -1,5 +1,6 @@
 //! The disk array front-end: validated, counted parallel I/O.
 
+use crate::checkpoint::{JournalContents, JournalFile};
 use crate::{
     Block, BlockCacheBackend, ChecksumBackend, DiskBackend, DiskConfig, DiskError, DiskResult,
     FaultInjectingBackend, FaultPlan, FileBackend, IoStats, MemoryBackend, Pipeline, ReadTicket,
@@ -43,6 +44,11 @@ pub struct DiskArray {
     epoch: u64,
     /// Pre-image undo log for the current recovery epoch, if one is open.
     journal: Option<RecoveryJournal>,
+    /// Durable mirror of the recovery journal: pre-images are appended to
+    /// this file *before* the overwrite they protect is submitted
+    /// (log-before-data), so a killed process can undo a partial superstep
+    /// back to its last barrier. Attached only for checkpointed runs.
+    durable: Option<JournalFile>,
     /// Free list of pre-image buffers, recycled when an epoch closes so
     /// steady-state recovery journaling stops allocating per track.
     pre_image_pool: Vec<Vec<u8>>,
@@ -94,6 +100,35 @@ impl DiskArray {
         plan: Option<FaultPlan>,
     ) -> DiskResult<Self> {
         let backend = Box::new(FileBackend::create_with_mode(
+            dir,
+            cfg.num_disks,
+            Self::storage_block_bytes(&cfg),
+            cfg.io_mode,
+        )?);
+        Ok(Self::with_backend_and_faults(cfg, backend, plan))
+    }
+
+    /// Reattach an array to the drive files a previous process left in
+    /// `dir` — the recovery counterpart of [`DiskArray::new_file`]. The
+    /// files are opened without truncation; every `disk-<i>.bin` must
+    /// exist.
+    pub fn open_file<P: AsRef<Path>>(cfg: DiskConfig, dir: P) -> DiskResult<Self> {
+        Self::open_file_with_faults(cfg, dir, None)
+    }
+
+    /// [`DiskArray::open_file`] with an optional seeded [`FaultPlan`].
+    ///
+    /// The plan's schedule is keyed by per-drive operation counters that
+    /// start at zero in the fresh backend; a resumed run must restore the
+    /// counters persisted at the last barrier (see
+    /// [`DiskArray::restore_fault_op_counts`]) so it observes the same
+    /// remaining schedule as the uninterrupted run.
+    pub fn open_file_with_faults<P: AsRef<Path>>(
+        cfg: DiskConfig,
+        dir: P,
+        plan: Option<FaultPlan>,
+    ) -> DiskResult<Self> {
+        let backend = Box::new(FileBackend::open_with_mode(
             dir,
             cfg.num_disks,
             Self::storage_block_bytes(&cfg),
@@ -156,6 +191,7 @@ impl DiskArray {
             backend,
             max_tracks: None,
             journal: None,
+            durable: None,
             pre_image_pool: Vec::new(),
             addr_scratch: Vec::new(),
             idx_scratch: Vec::new(),
@@ -340,7 +376,10 @@ impl DiskArray {
     }
 
     /// Capture pre-images for any tracks in `writes` not yet journaled in
-    /// the open recovery epoch.
+    /// the open recovery epoch. With a durable journal attached, each
+    /// captured pre-image is also appended (and flushed) to the journal
+    /// file before this returns — and therefore before the overwrite it
+    /// protects is submitted to the backend.
     fn capture_pre_images(&mut self, writes: &[(usize, usize, Block)]) -> DiskResult<()> {
         if self.journal.is_none() {
             return Ok(());
@@ -356,11 +395,91 @@ impl DiskArray {
             buf.resize(self.cfg.block_bytes, 0);
             self.backend.read_track(*disk, *track, &mut buf)?;
             self.stats.recovery_ops += 1;
+            if let Some(durable) = self.durable.as_mut() {
+                durable.append(*disk, *track, &buf)?;
+            }
             let journal = self.journal.as_mut().expect("epoch checked above");
             journal.pre.insert(key, buf);
             journal.order.push(key);
         }
         Ok(())
+    }
+
+    /// Attach a durable pre-image journal in `dir` (normally the directory
+    /// holding the drive files). From the next
+    /// [`DiskArray::begin_checkpoint_epoch`] on, every pre-image captured
+    /// in an epoch is also logged to `journal.bin` before its overwrite is
+    /// submitted, so a killed process can be rolled back to its last
+    /// barrier by [`DiskArray::apply_journal_undo`].
+    pub fn attach_durable_journal<P: AsRef<Path>>(&mut self, dir: P) -> DiskResult<()> {
+        self.durable = Some(JournalFile::attach(dir)?);
+        Ok(())
+    }
+
+    /// True when a durable pre-image journal is attached.
+    pub fn durable_journal_attached(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Open a checkpointed superstep epoch: a recovery epoch (see
+    /// [`DiskArray::begin_recovery_epoch`]) whose pre-images are mirrored
+    /// to the durable journal under `epoch`. Re-beginning the same epoch —
+    /// an in-process superstep replay — truncates the journal file first,
+    /// so stale records from the abandoned attempt never survive it.
+    pub fn begin_checkpoint_epoch(&mut self, epoch: u64) -> DiskResult<()> {
+        self.begin_recovery_epoch()?;
+        if let Some(durable) = self.durable.as_mut() {
+            durable.begin_epoch(epoch)?;
+        }
+        Ok(())
+    }
+
+    /// Truncate the durable journal after the barrier's manifest has
+    /// committed: the epoch it protected is durable.
+    pub fn clear_durable_journal(&mut self) -> DiskResult<()> {
+        if let Some(durable) = self.durable.as_mut() {
+            durable.clear()?;
+        }
+        Ok(())
+    }
+
+    /// Undo a killed process's partial superstep: write the journal's
+    /// pre-images back in reverse capture order, flush, and sync, leaving
+    /// the drive files bit-identical to the barrier the journal's epoch
+    /// began at. Undo is idempotent — every pre-image was captured at
+    /// epoch start, so re-applying after a crash mid-undo is safe.
+    ///
+    /// The restoring writes are tallied in [`IoStats::recovery_ops`],
+    /// never in the paper-facing counted `parallel_ops`.
+    pub fn apply_journal_undo(&mut self, contents: &JournalContents) -> DiskResult<()> {
+        for (disk, track, pre) in contents.records.iter().rev() {
+            if pre.len() != self.cfg.block_bytes {
+                return Err(DiskError::BadBlockSize {
+                    expected: self.cfg.block_bytes,
+                    got: pre.len(),
+                });
+            }
+            self.backend.write_track(*disk, *track, pre)?;
+            self.stats.recovery_ops += 1;
+        }
+        self.backend.flush_cache()?;
+        self.backend.sync()?;
+        self.poll_retries();
+        Ok(())
+    }
+
+    /// Per-drive fault-injection operation counters, if a fault layer is
+    /// present (persisted at each barrier so a resumed run can restore the
+    /// remaining fault schedule).
+    pub fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        self.backend.fault_op_counts()
+    }
+
+    /// Restore fault-injection counters persisted at the last barrier, so
+    /// the resumed run sees the same remaining schedule as an
+    /// uninterrupted one. A no-op without a fault layer.
+    pub fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        self.backend.restore_fault_op_counts(counts);
     }
 
     fn validate_stripe(&mut self, addrs: impl Iterator<Item = usize>) -> DiskResult<()> {

@@ -121,6 +121,27 @@ pub trait DiskBackend: Send {
     fn flush_cache(&mut self) -> DiskResult<()> {
         Ok(())
     }
+
+    /// Per-drive counts of track transfers seen by a fault-injection layer
+    /// since it was constructed (or since the counters were last
+    /// restored). `None` when no layer in the stack injects faults.
+    /// Decorators forward, so the counters survive any stacking order.
+    ///
+    /// A [`crate::FaultPlan`] keys its schedule by these counters, so a
+    /// resumed run must persist and restore them — otherwise the new
+    /// process would replay the schedule from operation 0 and fire
+    /// already-consumed faults again.
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restore counters exported by [`DiskBackend::fault_op_counts`] in a
+    /// previous process, so the resumed run observes the same *remaining*
+    /// fault schedule as an uninterrupted one. A no-op without a
+    /// fault-injection layer.
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        let _ = counts;
+    }
 }
 
 /// Boxed backends forward every method (including the overridable stripe
@@ -165,6 +186,12 @@ impl<B: DiskBackend + ?Sized> DiskBackend for Box<B> {
     }
     fn flush_cache(&mut self) -> DiskResult<()> {
         (**self).flush_cache()
+    }
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        (**self).fault_op_counts()
+    }
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        (**self).restore_fault_op_counts(counts)
     }
 }
 
@@ -310,6 +337,14 @@ impl<B: DiskBackend> DiskBackend for ChecksumBackend<B> {
     fn flush_cache(&mut self) -> DiskResult<()> {
         self.inner.flush_cache()
     }
+
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        self.inner.fault_op_counts()
+    }
+
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        self.inner.restore_fault_op_counts(counts)
+    }
 }
 
 /// A [`DiskBackend`] decorator that re-issues transiently failing track
@@ -394,6 +429,14 @@ impl<B: DiskBackend> DiskBackend for RetryingBackend<B> {
     fn flush_cache(&mut self) -> DiskResult<()> {
         self.inner.flush_cache()
     }
+
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        self.inner.fault_op_counts()
+    }
+
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        self.inner.restore_fault_op_counts(counts)
+    }
 }
 
 /// Where a file backend's track transfers execute.
@@ -476,6 +519,44 @@ impl FileBackend {
             _ => FileIo::Serial(files),
         };
         Ok(FileBackend { io, paths, block_bytes, tracks_used: vec![0; num_disks] })
+    }
+
+    /// Reopen `num_disks` existing drive files inside `dir` **without
+    /// truncating them**, with the parallel worker engine enabled — the
+    /// reattachment half of crash recovery: a resumed process opens the
+    /// drive files a killed one left behind.
+    pub fn open<P: AsRef<Path>>(dir: P, num_disks: usize, block_bytes: usize) -> DiskResult<Self> {
+        Self::open_with_mode(dir, num_disks, block_bytes, IoMode::Parallel)
+    }
+
+    /// Reopen existing drive files with an explicit I/O mode. Every
+    /// `disk-<i>.bin` must already exist (a missing drive file surfaces as
+    /// the underlying `NotFound` I/O error); `tracks_used` is
+    /// reconstructed from each file's length.
+    pub fn open_with_mode<P: AsRef<Path>>(
+        dir: P,
+        num_disks: usize,
+        block_bytes: usize,
+        mode: IoMode,
+    ) -> DiskResult<Self> {
+        let mut files = Vec::with_capacity(num_disks);
+        let mut paths = Vec::with_capacity(num_disks);
+        let mut tracks_used = Vec::with_capacity(num_disks);
+        for i in 0..num_disks {
+            let path = dir.as_ref().join(format!("disk-{i}.bin"));
+            let file = OpenOptions::new().read(true).write(true).open(&path)?;
+            let len = file.metadata()?.len() as usize;
+            tracks_used.push(len.div_ceil(block_bytes));
+            files.push(file);
+            paths.push(path);
+        }
+        let io = match mode {
+            IoMode::Parallel if num_disks > 1 => {
+                FileIo::Parallel(IoEngine::spawn(files, block_bytes))
+            }
+            _ => FileIo::Serial(files),
+        };
+        Ok(FileBackend { io, paths, block_bytes, tracks_used })
     }
 
     /// Paths of the backing files (for inspection in examples/tests).
@@ -640,6 +721,29 @@ mod tests {
     #[test]
     fn file_backend_round_trip_parallel() {
         file_round_trip(IoMode::Parallel, "parallel");
+    }
+
+    #[test]
+    fn open_reattaches_existing_drive_files() {
+        let dir = std::env::temp_dir().join(format!("em-disk-reopen-{}", std::process::id()));
+        {
+            let mut be = FileBackend::create_with_mode(&dir, 2, 32, IoMode::Serial).unwrap();
+            be.write_track(0, 4, &[7u8; 32]).unwrap();
+            be.write_track(1, 1, &[8u8; 32]).unwrap();
+            be.sync().unwrap();
+        }
+        let mut be = FileBackend::open_with_mode(&dir, 2, 32, IoMode::Serial).unwrap();
+        assert_eq!(be.tracks_used(0), 5, "space accounting rebuilt from file length");
+        assert_eq!(be.tracks_used(1), 2);
+        let mut buf = [0u8; 32];
+        be.read_track(0, 4, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 32], "reopen must not truncate");
+        be.read_track(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+        // Opening a missing array is an error, unlike create.
+        drop(be);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(FileBackend::open_with_mode(&dir, 2, 32, IoMode::Serial).is_err());
     }
 
     #[test]

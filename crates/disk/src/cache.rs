@@ -214,6 +214,14 @@ impl<B: DiskBackend> DiskBackend for BlockCacheBackend<B> {
         self.inner.take_retried_blocks()
     }
 
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        self.inner.fault_op_counts()
+    }
+
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        self.inner.restore_fault_op_counts(counts)
+    }
+
     fn take_cache_hit_blocks(&mut self) -> u64 {
         std::mem::take(&mut self.hits) + self.inner.take_cache_hit_blocks()
     }

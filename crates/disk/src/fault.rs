@@ -306,6 +306,22 @@ impl<B: DiskBackend> DiskBackend for FaultInjectingBackend<B> {
     fn take_retried_blocks(&mut self) -> u64 {
         self.inner.take_retried_blocks()
     }
+
+    fn fault_op_counts(&self) -> Option<Vec<u64>> {
+        Some(self.op_seq.clone())
+    }
+
+    /// The schedule is keyed by these counters, so restoring them from a
+    /// checkpoint makes a resumed process see exactly the *remaining*
+    /// schedule: one-shot events below the restored counts can never fire
+    /// again (their keys are unreachable) and `dead_from` thresholds line
+    /// up with the uninterrupted run. Counting from process start instead
+    /// — the pre-checkpoint behaviour — replayed the whole schedule on
+    /// every reattach.
+    fn restore_fault_op_counts(&mut self, counts: &[u64]) {
+        assert_eq!(counts.len(), self.op_seq.len(), "fault counter drive count mismatch");
+        self.op_seq.copy_from_slice(counts);
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +395,28 @@ mod tests {
         assert!(!a.has_deaths());
         let c = FaultPlan::seeded(0xF17, 4, 200, 50);
         assert_ne!(a.events, c.events, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn restored_op_counts_resume_the_remaining_schedule() {
+        // An uninterrupted run on drive 0: ops 0,1 clean, op 2 transient,
+        // dead from op 4. A "resumed" backend restoring count 2 must see
+        // exactly the remaining schedule: transient now, death at its 4th
+        // op overall — while a naive fresh backend would replay op 0 clean.
+        let plan = FaultPlan::none().with_transient(0, 2).with_worker_death(0, 4);
+        let mut first = FaultInjectingBackend::new(MemoryBackend::new(1), plan.clone());
+        first.write_track(0, 0, &[1u8; 4]).unwrap(); // op 0
+        first.write_track(0, 1, &[2u8; 4]).unwrap(); // op 1
+        let counts = first.fault_op_counts().unwrap();
+        assert_eq!(counts, vec![2]);
+
+        let mut resumed = FaultInjectingBackend::new(MemoryBackend::new(1), plan);
+        resumed.restore_fault_op_counts(&counts);
+        let err = resumed.write_track(0, 2, &[3u8; 4]).unwrap_err(); // op 2: injected
+        assert!(err.is_transient());
+        resumed.write_track(0, 2, &[3u8; 4]).unwrap(); // op 3: clean
+        let err = resumed.write_track(0, 3, &[4u8; 4]).unwrap_err(); // op 4: dead
+        assert!(matches!(err, DiskError::WorkerLost { disk: 0 }));
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod array;
 mod backend;
 mod block;
 mod cache;
+mod checkpoint;
 mod config;
 mod consecutive;
 mod engine;
@@ -81,6 +82,10 @@ pub use array::{DiskArray, ReadStripeTicket, WriteBacklog, WriteStripeTicket};
 pub use backend::{ChecksumBackend, DiskBackend, FileBackend, MemoryBackend, RetryingBackend};
 pub use block::{crc32, Block, CRC_BYTES};
 pub use cache::BlockCacheBackend;
+pub use checkpoint::{
+    CheckpointStore, JournalContents, JournalFile, CHECKPOINT_VERSION, JOURNAL_FILE, JOURNAL_MAGIC,
+    MANIFEST_MAGIC,
+};
 pub use config::{DiskConfig, IoMode, Pipeline, RetryPolicy};
 pub use consecutive::{check_consecutive_format, ConsecutiveLayout};
 pub use engine::{ReadTicket, WriteTicket};

@@ -61,10 +61,12 @@
 
 use em_bsp::{BspProgram, ExecError, Executor, RunResult};
 use em_core::{CostReport, EmError, SeqEmSimulator};
-use em_disk::{crc32, DiskArray, SharedDiskSubstrate};
+use em_disk::{crc32, DiskArray, FaultPlan, SharedDiskSubstrate};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Shared-resource budgets of a [`SimService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +122,63 @@ impl ServiceConfig {
     }
 }
 
+/// A tenant's job-lifecycle policy: how long its work may take, and how
+/// the service reacts to transient failures before giving up.
+///
+/// The default policy is the pre-hardening behavior: no deadline, no
+/// retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobPolicy {
+    /// Wall-clock budget, in microseconds, for each [`Executor::execute`]
+    /// call (including its retries). Checked *before* every attempt, so a
+    /// deadline of `Some(0)` deterministically refuses to start.
+    pub deadline_micros: Option<u64>,
+    /// Attempts beyond the first for a transiently-failing stage
+    /// ([`ServiceError::is_transient`]). Unrecoverable failures never
+    /// retry — they quarantine.
+    pub max_retries: u32,
+    /// Base, in microseconds, of the exponential backoff slept between
+    /// retry attempts. The actual delay is deterministic given the job
+    /// seed: `base · 2^attempt` plus a seeded jitter in `[0, base)`.
+    pub backoff_base_micros: u64,
+}
+
+impl JobPolicy {
+    /// Set the per-`execute` wall-clock deadline in microseconds.
+    pub fn with_deadline_micros(mut self, deadline: u64) -> Self {
+        self.deadline_micros = Some(deadline);
+        self
+    }
+
+    /// Set the retry budget for transient failures.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the exponential-backoff base in microseconds.
+    pub fn with_backoff_base_micros(mut self, base: u64) -> Self {
+        self.backoff_base_micros = base;
+        self
+    }
+}
+
+/// The deterministic retry delay: `base · 2^attempt` microseconds plus a
+/// seeded jitter in `[0, base)`. A pure function of `(seed, attempt,
+/// base)` — identically-seeded runs back off identically, so soak runs
+/// stay reproducible even through their retry schedules.
+pub fn retry_backoff_micros(seed: u64, attempt: u32, base: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    // splitmix64-style finalizer for the jitter.
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    base.saturating_mul(1u64 << attempt.min(16)).saturating_add(z % base)
+}
+
 /// One job's declared shape and budgets, as submitted for admission.
 ///
 /// μ and γ are *declarations*: admission reserves `v·μ + γ` bytes of the
@@ -145,13 +204,30 @@ pub struct JobSpec {
     pub gamma: usize,
     /// Track-region request, per drive, on the shared substrate.
     pub tracks: usize,
+    /// Lifecycle policy: deadline, retry budget, backoff.
+    pub policy: JobPolicy,
+    /// Fault schedule injected into the tenant's region array, directly
+    /// above the shared media — the per-tenant equivalent of a simulator
+    /// fault plan. Used by the chaos harness to fail one tenant without
+    /// touching its neighbors.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl JobSpec {
     /// A spec with zero budgets; fill them in with
     /// [`JobSpec::with_budgets`] and [`JobSpec::with_tracks`].
     pub fn new(name: impl Into<String>, seed: u64, machine: em_core::EmMachine, v: usize) -> Self {
-        JobSpec { name: name.into(), seed, machine, v, mu: 0, gamma: 0, tracks: 0 }
+        JobSpec {
+            name: name.into(),
+            seed,
+            machine,
+            v,
+            mu: 0,
+            gamma: 0,
+            tracks: 0,
+            policy: JobPolicy::default(),
+            fault_plan: None,
+        }
     }
 
     /// Declare the μ/γ budgets (bytes).
@@ -164,6 +240,18 @@ impl JobSpec {
     /// Declare the per-drive track-region request.
     pub fn with_tracks(mut self, tracks: usize) -> Self {
         self.tracks = tracks;
+        self
+    }
+
+    /// Attach a lifecycle policy (deadline, retries, backoff).
+    pub fn with_policy(mut self, policy: JobPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Inject a fault schedule into this tenant's region array.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -252,7 +340,11 @@ impl fmt::Display for AdmissionError {
 impl std::error::Error for AdmissionError {}
 
 /// A runtime failure inside an admitted tenant.
+///
+/// Marked `#[non_exhaustive]`: lifecycle hardening will keep growing this
+/// taxonomy, and downstream matches must keep a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// A program's `max_state_bytes` exceeds the tenant's declared μ.
     DeclaredMuExceeded {
@@ -270,6 +362,34 @@ pub enum ServiceError {
     },
     /// The underlying simulation failed.
     Run(EmError),
+    /// The tenant hit an unrecoverable disk fault and was quarantined:
+    /// its record is filed with [`TenantOutcome::Quarantined`], its
+    /// region and budget are returned to the pool, and every further
+    /// `execute` on the lease fails with this error. Other tenants are
+    /// never disturbed.
+    Quarantined {
+        /// Compound superstep of the fatal failure (0 if unknown).
+        step: usize,
+    },
+    /// The tenant's [`JobPolicy::deadline_micros`] expired before an
+    /// attempt could start.
+    DeadlineExceeded {
+        /// Wall-clock microseconds elapsed in this `execute` call.
+        elapsed_micros: u64,
+        /// The configured deadline.
+        deadline_micros: u64,
+    },
+}
+
+impl ServiceError {
+    /// Whether retrying the stage could plausibly succeed: true exactly
+    /// for simulation failures rooted in a transient disk error
+    /// ([`em_disk::DiskError::is_transient`]). Quarantines, deadlines and
+    /// declared-budget violations are deterministic — retrying cannot
+    /// help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServiceError::Run(EmError::Disk(e)) if e.is_transient())
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -282,6 +402,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "program needs gamma = {actual} B but the tenant declared {declared} B")
             }
             ServiceError::Run(e) => write!(f, "simulation failed: {e}"),
+            ServiceError::Quarantined { step } => write!(
+                f,
+                "tenant quarantined after an unrecoverable fault at superstep {step}; \
+                 its resources were reclaimed"
+            ),
+            ServiceError::DeadlineExceeded { elapsed_micros, deadline_micros } => {
+                write!(f, "deadline of {deadline_micros} us exceeded ({elapsed_micros} us elapsed)")
+            }
         }
     }
 }
@@ -440,7 +568,11 @@ impl SimService {
             }
         };
         let region = self.inner.substrate.region(base, spec.tracks);
-        let disks = DiskArray::with_backend(disk_cfg, Box::new(region));
+        // The tenant's fault schedule sits directly above its region
+        // slice of the shared media — faults hit this tenant's counted
+        // array only, never the substrate or its neighbors.
+        let disks =
+            DiskArray::with_backend_and_faults(disk_cfg, Box::new(region), spec.fault_plan.clone());
         Ok(TenantLease {
             inner: self.inner.clone(),
             spec,
@@ -449,7 +581,8 @@ impl SimService {
             disks: Mutex::new(disks),
             stages: Mutex::new(Vec::new()),
             fingerprint: Mutex::new(0),
-            completed: false,
+            quarantined: Mutex::new(None),
+            completed: AtomicBool::new(false),
         })
     }
 
@@ -481,7 +614,10 @@ pub struct TenantLease {
     disks: Mutex<DiskArray>,
     stages: Mutex<Vec<CostReport>>,
     fingerprint: Mutex<u32>,
-    completed: bool,
+    /// Set once by the first unrecoverable fault; holds the record filed
+    /// in the ledger. Sticky: every later `execute` fails immediately.
+    quarantined: Mutex<Option<TenantRecord>>,
+    completed: AtomicBool,
 }
 
 impl TenantLease {
@@ -513,9 +649,20 @@ impl TenantLease {
         *self.fingerprint.lock()
     }
 
+    /// Whether the tenant has been quarantined by an unrecoverable fault.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.lock().is_some()
+    }
+
     /// File the tenant's record in the service ledger, release its
-    /// region and budget reservation, and return the record.
-    pub fn complete(mut self) -> TenantRecord {
+    /// region and budget reservation, and return the record. A
+    /// quarantined tenant's record was already filed (and its resources
+    /// already reclaimed) at quarantine time; completing it just returns
+    /// that record.
+    pub fn complete(self) -> TenantRecord {
+        if let Some(record) = self.quarantined.lock().clone() {
+            return record;
+        }
         let record = TenantRecord {
             name: self.spec.name.clone(),
             seed: self.spec.seed,
@@ -524,12 +671,40 @@ impl TenantLease {
             gamma: self.spec.gamma,
             tracks: self.spec.tracks,
             state_fingerprint: *self.fingerprint.lock(),
+            outcome: TenantOutcome::Completed,
             stages: std::mem::take(&mut *self.stages.lock()),
         };
         self.inner.pool.lock().records.push(record.clone());
-        self.completed = true;
-        self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
+        if !self.completed.swap(true, Ordering::SeqCst) {
+            self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
+        }
         record
+    }
+
+    /// Quarantine the tenant after an unrecoverable fault: file its
+    /// ledger record with the failure outcome, reclaim its region and
+    /// budget so waiting jobs can use them, and poison the lease.
+    fn quarantine(&self, step: usize) {
+        let mut q = self.quarantined.lock();
+        if q.is_some() {
+            return;
+        }
+        let record = TenantRecord {
+            name: self.spec.name.clone(),
+            seed: self.spec.seed,
+            v: self.spec.v,
+            mu: self.spec.mu,
+            gamma: self.spec.gamma,
+            tracks: self.spec.tracks,
+            state_fingerprint: *self.fingerprint.lock(),
+            outcome: TenantOutcome::Quarantined { failed_step: step },
+            stages: std::mem::take(&mut *self.stages.lock()),
+        };
+        self.inner.pool.lock().records.push(record.clone());
+        *q = Some(record);
+        if !self.completed.swap(true, Ordering::SeqCst) {
+            self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
+        }
     }
 }
 
@@ -545,7 +720,7 @@ impl fmt::Debug for TenantLease {
 
 impl Drop for TenantLease {
     fn drop(&mut self) {
-        if !self.completed {
+        if !self.completed.swap(true, Ordering::SeqCst) {
             self.inner.release(self.spec.reservation_bytes(), self.base, self.spec.tracks);
         }
     }
@@ -557,6 +732,13 @@ impl Executor for TenantLease {
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<RunResult<P::State>, ExecError> {
+        if let Some(record) = self.quarantined.lock().as_ref() {
+            let step = match record.outcome {
+                TenantOutcome::Quarantined { failed_step } => failed_step,
+                TenantOutcome::Completed => 0,
+            };
+            return Err(Box::new(ServiceError::Quarantined { step }) as ExecError);
+        }
         if prog.max_state_bytes() > self.spec.mu {
             return Err(Box::new(ServiceError::DeclaredMuExceeded {
                 declared: self.spec.mu,
@@ -569,17 +751,69 @@ impl Executor for TenantLease {
                 actual: prog.max_comm_bytes(),
             }) as ExecError);
         }
-        let mut disks = self.disks.lock();
-        let (res, report) = self
-            .sim
-            .run_on(&mut disks, prog, states)
-            .map_err(|e| Box::new(ServiceError::Run(e)) as ExecError)?;
-        drop(disks);
-        let mut fp = self.fingerprint.lock();
-        *fp = fold_fingerprint(*fp, &res.states);
-        drop(fp);
-        self.stages.lock().push(report);
-        Ok(res)
+        // A retry needs the initial states again; `P::State` is not
+        // `Clone`, but it is `Serial` — keep the encoded form and decode
+        // a fresh copy per attempt (the simulator would serialize them
+        // anyway, so the round-trip is lossless by the Serial laws).
+        let policy = self.spec.policy;
+        let started = Instant::now();
+        let encoded: Vec<Vec<u8>> = states.iter().map(em_serial::to_bytes).collect();
+        drop(states);
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(deadline) = policy.deadline_micros {
+                let elapsed = started.elapsed().as_micros() as u64;
+                if elapsed >= deadline {
+                    return Err(Box::new(ServiceError::DeadlineExceeded {
+                        elapsed_micros: elapsed,
+                        deadline_micros: deadline,
+                    }) as ExecError);
+                }
+            }
+            let attempt_states = encoded
+                .iter()
+                .map(|b| em_serial::from_bytes::<P::State>(b))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| Box::new(ServiceError::Run(EmError::Decode(e))) as ExecError)?;
+            let mut disks = self.disks.lock();
+            let result = self.sim.run_on(&mut disks, prog, attempt_states);
+            drop(disks);
+            match result {
+                Ok((res, report)) => {
+                    let mut fp = self.fingerprint.lock();
+                    *fp = fold_fingerprint(*fp, &res.states);
+                    drop(fp);
+                    self.stages.lock().push(report);
+                    return Ok(res);
+                }
+                Err(e) => {
+                    // Unrecoverable disk-rooted failures quarantine the
+                    // tenant; transient ones retry under the policy; the
+                    // rest (logic errors, budget violations) surface
+                    // unchanged.
+                    let step = match &e {
+                        EmError::FaultUnrecoverable { step, .. } => Some(*step),
+                        EmError::Disk(d) if !d.is_transient() => Some(0),
+                        _ => None,
+                    };
+                    if let Some(step) = step {
+                        self.quarantine(step);
+                        return Err(Box::new(ServiceError::Quarantined { step }) as ExecError);
+                    }
+                    let err = ServiceError::Run(e);
+                    if err.is_transient() && attempt < policy.max_retries {
+                        std::thread::sleep(Duration::from_micros(retry_backoff_micros(
+                            self.spec.seed,
+                            attempt,
+                            policy.backoff_base_micros,
+                        )));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(Box::new(err) as ExecError);
+                }
+            }
+        }
     }
 }
 
@@ -637,6 +871,19 @@ impl Executor for SoloRunner {
     }
 }
 
+/// How a tenant's ledger entry ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantOutcome {
+    /// The tenant completed normally.
+    Completed,
+    /// The tenant hit an unrecoverable fault and was quarantined; its
+    /// stages record only the work that completed before the failure.
+    Quarantined {
+        /// Compound superstep of the fatal failure (0 if unknown).
+        failed_step: usize,
+    },
+}
+
 /// One completed tenant's ledger entry: the job identity, declared
 /// budgets, per-stage [`CostReport`]s and the final-state fingerprint.
 #[derive(Debug, Clone)]
@@ -655,6 +902,8 @@ pub struct TenantRecord {
     pub tracks: usize,
     /// Rolling CRC-32 of all stages' serialized final states.
     pub state_fingerprint: u32,
+    /// How the tenant ended: completed, or quarantined by a fault.
+    pub outcome: TenantOutcome,
     /// One [`CostReport`] per executed program, in execution order.
     pub stages: Vec<CostReport>,
 }
@@ -709,10 +958,14 @@ impl TenantRecord {
                 )
             })
             .collect();
+        let outcome = match self.outcome {
+            TenantOutcome::Completed => "completed".to_string(),
+            TenantOutcome::Quarantined { failed_step } => format!("quarantined:{failed_step}"),
+        };
         format!(
             concat!(
                 "{{\"name\":{:?},\"seed\":{},\"v\":{},\"mu\":{},\"gamma\":{},",
-                "\"tracks\":{},\"fingerprint\":{},\"stages\":[{}]}}"
+                "\"tracks\":{},\"fingerprint\":{},\"outcome\":{:?},\"stages\":[{}]}}"
             ),
             self.name,
             self.seed,
@@ -721,6 +974,7 @@ impl TenantRecord {
             self.gamma,
             self.tracks,
             self.state_fingerprint,
+            outcome,
             stages.join(","),
         )
     }
@@ -879,6 +1133,108 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"name\":\"a\""));
         assert!(lines[1].starts_with("{\"name\":\"b\""));
+    }
+
+    #[test]
+    fn transient_fault_is_retried_under_the_policy() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+        let plan = FaultPlan::none().with_transient(0, 1);
+        // Without retries the transient error surfaces raw...
+        let lease = service.admit(spec("flaky", 3, 8).with_fault_plan(plan.clone())).unwrap();
+        let err = lease.execute(&AddOne, (0..8u64).collect()).unwrap_err();
+        let err = err.downcast::<ServiceError>().unwrap();
+        assert!(err.is_transient(), "{err}");
+        assert!(matches!(*err, ServiceError::Run(EmError::Disk(_))));
+        drop(lease);
+        // ...and with a retry budget the same job completes, with results
+        // identical to an unfaulted solo run.
+        let policy = JobPolicy::default().with_max_retries(2).with_backoff_base_micros(10);
+        let lease =
+            service.admit(spec("flaky", 3, 8).with_fault_plan(plan).with_policy(policy)).unwrap();
+        let out = lease.execute(&AddOne, (0..8u64).collect()).unwrap();
+        let solo = SeqEmSimulator::new(machine()).with_seed(3);
+        let (solo_out, _) = solo.run(&AddOne, (0..8u64).collect()).unwrap();
+        assert_eq!(out.states, solo_out.states);
+        let record = lease.complete();
+        assert_eq!(record.outcome, TenantOutcome::Completed);
+    }
+
+    #[test]
+    fn zero_deadline_deterministically_refuses_to_start() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+        let policy = JobPolicy::default().with_deadline_micros(0);
+        let lease = service.admit(spec("late", 1, 8).with_policy(policy)).unwrap();
+        let err = lease.execute(&AddOne, (0..8u64).collect()).unwrap_err();
+        let err = err.downcast::<ServiceError>().unwrap();
+        assert!(matches!(*err, ServiceError::DeadlineExceeded { deadline_micros: 0, .. }));
+        assert!(!err.is_transient());
+        // Nothing ran, nothing was metered.
+        assert_eq!(lease.stages_metered(), 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_exponential() {
+        assert_eq!(retry_backoff_micros(7, 0, 100), retry_backoff_micros(7, 0, 100));
+        assert_eq!(retry_backoff_micros(7, 3, 0), 0);
+        for attempt in 0..4 {
+            let d = retry_backoff_micros(7, attempt, 100);
+            assert!(d >= 100u64 << attempt, "attempt {attempt}: {d}");
+            assert!(d < (100u64 << attempt) + 100, "attempt {attempt}: {d}");
+        }
+    }
+
+    #[test]
+    fn quarantine_reclaims_resources_and_leaves_other_tenants_untouched() {
+        // The faulty tenant runs alongside two healthy ones.
+        let service = SimService::new(ServiceConfig::new(2, 64, 256, 1 << 20));
+        let a = service.admit(spec("a", 1, 8).with_tracks(64)).unwrap();
+        let bad = service
+            .admit(
+                spec("bad", 5, 8)
+                    .with_tracks(128)
+                    .with_fault_plan(FaultPlan::none().with_worker_death(0, 3)),
+            )
+            .unwrap();
+        let c = service.admit(spec("c", 2, 8).with_tracks(64)).unwrap();
+
+        a.execute(&AddOne, (0..8u64).collect()).unwrap();
+        let err = bad.execute(&AddOne, (0..8u64).collect()).unwrap_err();
+        let err = err.downcast::<ServiceError>().unwrap();
+        assert!(matches!(*err, ServiceError::Quarantined { .. }), "{err}");
+        assert!(bad.is_quarantined());
+        // The quarantine is sticky...
+        let err = bad.execute(&AddOne, (0..8u64).collect()).unwrap_err();
+        let err = err.downcast::<ServiceError>().unwrap();
+        assert!(matches!(*err, ServiceError::Quarantined { .. }));
+        // ...its region and budget were reclaimed immediately (a new
+        // tenant fits where the quarantined one sat)...
+        let refill = service.admit(spec("refill", 9, 8).with_tracks(128)).unwrap();
+        drop(refill);
+        c.execute(&AddOne, (10..18u64).collect()).unwrap();
+        let bad_record = bad.complete();
+        assert!(matches!(bad_record.outcome, TenantOutcome::Quarantined { .. }));
+        a.complete();
+        c.complete();
+
+        // ...and the healthy tenants' ledger lines are byte-identical to
+        // the same jobs run with no faulty neighbor at all.
+        let solo_service = SimService::new(ServiceConfig::new(2, 64, 256, 1 << 20));
+        let a2 = solo_service.admit(spec("a", 1, 8).with_tracks(64)).unwrap();
+        let c2 = solo_service.admit(spec("c", 2, 8).with_tracks(64)).unwrap();
+        a2.execute(&AddOne, (0..8u64).collect()).unwrap();
+        c2.execute(&AddOne, (10..18u64).collect()).unwrap();
+        a2.complete();
+        c2.complete();
+        let solo_lines: Vec<String> =
+            solo_service.report().deterministic_json().lines().map(String::from).collect();
+        let multi_lines: Vec<String> = service
+            .report()
+            .deterministic_json()
+            .lines()
+            .filter(|l| !l.contains("\"name\":\"bad\""))
+            .map(String::from)
+            .collect();
+        assert_eq!(solo_lines, multi_lines);
     }
 
     #[test]
