@@ -55,6 +55,7 @@ fn bench_scatter_and_routing(c: &mut Criterion) {
                 scratch,
                 &mut RoutingScratch::new(),
                 &mut BufferPool::new(),
+                None,
             )
             .unwrap()
         });

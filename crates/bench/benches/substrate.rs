@@ -1,5 +1,6 @@
 //! Criterion microbenchmarks for the substrates: the codec, the disk
-//! array (memory and file backends), and the context store.
+//! array (memory and file backends), the stripe engines' submit/join
+//! ticket path, and the context store.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use em_core::ContextStore;
@@ -52,6 +53,43 @@ fn bench_disk_array(c: &mut Criterion) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Submit/join ticket latency of one D=4 file stripe under each stripe
+/// engine (DESIGN.md §3.2.10). Counted I/O is engine-invariant (asserted
+/// elsewhere); this isolates the wall-clock cost of the engines' submit
+/// and completion paths. The io_uring lane is skipped with a note when
+/// the kernel ring is unavailable.
+fn bench_stripe_engines(c: &mut Criterion) {
+    use em_disk::EngineKind;
+    let mut g = c.benchmark_group("stripe-engine");
+    let engines: &[(EngineKind, &str)] = if em_disk::uring_available() {
+        &[(EngineKind::Threaded, "threaded"), (EngineKind::Uring, "uring")]
+    } else {
+        eprintln!("stripe-engine: io_uring unavailable; benching the threaded engine only");
+        &[(EngineKind::Threaded, "threaded")]
+    };
+    for &(engine, tag) in engines {
+        let dir =
+            std::env::temp_dir().join(format!("em-bench-engine-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = DiskConfig::new(4, 4096).unwrap().with_engine(engine);
+        let mut arr = DiskArray::new_file(cfg, &dir).unwrap();
+        let writes: Vec<_> =
+            (0..4).map(|i| (i, 0usize, Block::from_bytes_padded(&[i as u8], 4096))).collect();
+        let addrs: Vec<_> = (0..4).map(|i| (i, 0usize)).collect();
+        arr.write_stripe(&writes).unwrap();
+        g.throughput(Throughput::Bytes(2 * 4 * 4096));
+        g.bench_with_input(BenchmarkId::new("submit_join_wr_rd_d4", tag), &(), |b, ()| {
+            b.iter(|| {
+                arr.submit_write_stripe(std::hint::black_box(&writes)).unwrap().join().unwrap();
+                arr.submit_read_stripe(std::hint::black_box(&addrs)).unwrap().join().unwrap()
+            });
+        });
+        drop(arr);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    g.finish();
+}
+
 fn bench_context_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("context-store");
     let d = 4;
@@ -72,5 +110,5 @@ fn bench_context_store(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_disk_array, bench_context_store);
+criterion_group!(benches, bench_codec, bench_disk_array, bench_stripe_engines, bench_context_store);
 criterion_main!(benches);

@@ -3,7 +3,8 @@
 //!
 //! Usage: `figures [experiment] [--json] [--smoke]` with experiment ∈
 //! {blocking, disks, procs, balance, fig2, lambda, sibeyn, group-size,
-//! det-vs-rand, contraction, obs2, faults, compute, cache, stream, all}.
+//! det-vs-rand, contraction, obs2, faults, compute, cache, stream,
+//! engine, all}.
 //! `--smoke` shrinks every sweep to CI-sized inputs (seconds, debug build)
 //! while exercising the same code paths and in-process asserts.
 //!
@@ -22,7 +23,10 @@
 //! sweep is the N-deep generalization: a `Pipeline::Stream(n)` depth
 //! ablation (DESIGN.md §3.2.7) whose every lane asserts output, counted
 //! IoStats, per-phase op counts, message ledger *and raw drive bytes*
-//! bit-identical to `Pipeline::Off` on both simulators.
+//! bit-identical to `Pipeline::Off` on both simulators. The `engine`
+//! sweep applies the same asserts across stripe engines — worker threads
+//! vs io_uring (DESIGN.md §3.2.10) — skipping the uring lanes with a
+//! stderr note where the kernel ring is unavailable.
 
 use em_bench::measure::{machine, measure_par, measure_par_file, measure_seq, measure_seq_file};
 use em_bench::report::{print_json, print_table, write_bench_json, PhaseWallRow, Row};
@@ -1197,6 +1201,148 @@ fn fig_stream() -> (Vec<Row>, Vec<PhaseWallRow>) {
     (rows, walls)
 }
 
+/// F-engine: stripe-engine ablation — the identical file-backed sort under
+/// the worker-thread-per-drive engine and the io_uring kernel-ring engine
+/// (DESIGN.md §3.2.10). The engine is a pure wall-clock knob: counting
+/// happens in `DiskArray` at submission time, above the backend, and the
+/// uring engine keeps the per-drive FIFO contract — so every uring lane
+/// asserts output, counted IoStats, per-phase op counts, message ledger
+/// *and raw drive bytes* bit-identical to the threaded lane. When io_uring
+/// is unavailable (feature off, non-Linux, or a kernel that refuses rings)
+/// the sweep emits the threaded rows only and notes the skip on stderr.
+fn fig_engine() -> (Vec<Row>, Vec<PhaseWallRow>) {
+    use em_bench::measure::{measure_par_sim, measure_seq_sim};
+    use em_core::{ParEmSimulator, SeqEmSimulator};
+    use em_disk::EngineKind;
+
+    let n = pick(60_000usize, 3_000);
+    let items = random_u64(n, SEED + 13);
+    let d = 4usize;
+    let m = 1usize << 18;
+    let uring = em_disk::uring_available();
+    if !uring {
+        eprintln!(
+            "F-engine: io_uring unavailable (feature off or kernel refusal); threaded lanes only"
+        );
+    }
+    let engines: Vec<(EngineKind, &str)> = if uring {
+        vec![(EngineKind::Threaded, "threaded"), (EngineKind::Uring, "uring")]
+    } else {
+        vec![(EngineKind::Threaded, "threaded")]
+    };
+
+    let mut rows = Vec::new();
+    let mut walls = Vec::new();
+    // The threaded lane's full fingerprint, per (p, pipeline) cell.
+    type Baseline = (
+        Vec<u64>,
+        Vec<IoStats>,
+        Vec<em_core::PhaseIo>,
+        Vec<em_bsp::CommLedger>,
+        Vec<(String, Vec<u8>)>,
+    );
+    for &(p, pl, pltag) in pick(
+        &[
+            (1usize, Pipeline::Off, "off"),
+            (1, Pipeline::Stream(4), "stream n=4"),
+            (4, Pipeline::Stream(4), "stream n=4"),
+        ][..],
+        &[(1usize, Pipeline::Off, "off"), (2, Pipeline::Stream(2), "stream n=2")][..],
+    ) {
+        let mut baseline: Option<Baseline> = None;
+        let mut base_wall = 0.0f64;
+        for &(engine, tag) in &engines {
+            let dir = sweep_dir(&format!("engine-p{p}-{}-{tag}", pltag.replace(' ', "-")));
+            let (out, fcost) = if p == 1 {
+                measure_seq_sim(
+                    SeqEmSimulator::new(machine(1, m, d, 2048))
+                        .with_seed(SEED)
+                        .with_file_backend(&dir)
+                        .with_io_mode(IoMode::Parallel)
+                        .with_pipeline(pl)
+                        .with_engine(engine),
+                    |rec| em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap(),
+                )
+            } else {
+                measure_par_sim(
+                    p,
+                    ParEmSimulator::new(machine(p, m, d, 2048))
+                        .with_seed(SEED)
+                        .with_file_backend(&dir)
+                        .with_io_mode(IoMode::Parallel)
+                        .with_pipeline(pl)
+                        .with_engine(engine),
+                    |rec| em_algos::sort::cgm_sort(rec, 64, items.clone()).unwrap(),
+                )
+            };
+            let bytes = drive_bytes(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+            let phases: Vec<em_core::PhaseIo> =
+                fcost.stages.iter().map(|r| r.phases.clone()).collect();
+            let ledgers: Vec<em_bsp::CommLedger> =
+                fcost.stages.iter().map(|r| r.comm.clone()).collect();
+            match &baseline {
+                None => {
+                    assert_eq!(engine, EngineKind::Threaded, "first lane is the threaded baseline");
+                    base_wall = fcost.wall_ms.max(1e-9);
+                    baseline = Some((out, stage_stats(&fcost), phases, ledgers, bytes));
+                }
+                Some((b_out, b_io, b_phases, b_ledgers, b_bytes)) => {
+                    assert_eq!(&out, b_out, "{tag}: output diverged from threaded engine");
+                    assert_eq!(
+                        &stage_stats(&fcost),
+                        b_io,
+                        "{tag}: counted IoStats diverged from threaded engine"
+                    );
+                    assert_eq!(&phases, b_phases, "{tag}: per-phase op counts diverged");
+                    assert_eq!(&ledgers, b_ledgers, "{tag}: message ledger diverged");
+                    // Compare drive bytes without letting a failure dump
+                    // whole drive files.
+                    let b_names: Vec<&str> = b_bytes.iter().map(|(f, _)| f.as_str()).collect();
+                    let names: Vec<&str> = bytes.iter().map(|(f, _)| f.as_str()).collect();
+                    assert_eq!(names, b_names, "{tag}: drive file set diverged");
+                    for ((file, b), (_, g)) in b_bytes.iter().zip(&bytes) {
+                        assert!(g == b, "{tag}: drive file {file} bytes diverged");
+                    }
+                }
+            }
+            eprintln!(
+                "F-engine p={p} {pltag} {tag}: wall {:.1} ms ({:.2}x vs threaded)",
+                fcost.wall_ms,
+                base_wall / fcost.wall_ms.max(1e-9),
+            );
+            rows.push(Row {
+                id: "F-engine".into(),
+                variant: format!("file sort p={p} {pltag} ({tag})"),
+                n,
+                io_ops: fcost.io_ops,
+                predicted: 0.0,
+                lambda: fcost.lambda,
+                utilization: fcost.utilization,
+                wall_ms: fcost.wall_ms,
+                cache_hit_blocks: 0,
+                cache_absorbed_writes: 0,
+                note: if matches!(engine, EngineKind::Threaded) {
+                    "threaded baseline lane".into()
+                } else {
+                    "output+IoStats+PhaseIo+ledger+drive bytes asserted identical to threaded"
+                        .into()
+                },
+            });
+            let mut pw = em_core::PhaseWall::default();
+            for r in &fcost.stages {
+                pw.merge_max(&r.phase_wall);
+            }
+            walls.push(PhaseWallRow::from_wall(
+                format!("F-engine file sort p={p} {pltag} ({tag})"),
+                fcost.io_ops,
+                &pw,
+            ));
+        }
+    }
+    (rows, walls)
+}
+
 /// F-fig2: trace the two reorganization steps of Algorithm 2 (Figure 2).
 fn fig_fig2() -> Vec<Row> {
     let d = 4usize;
@@ -1237,6 +1383,7 @@ fn fig_fig2() -> Vec<Row> {
         scratch,
         &mut RoutingScratch::new(),
         &mut BufferPool::new(),
+        None,
     )
     .unwrap();
     let ops_routing = disks.stats().parallel_ops - ops_before;
@@ -1314,6 +1461,11 @@ fn main() {
     }
     if matches!(which, "all" | "stream") {
         let (r, w) = fig_stream();
+        rows.extend(r);
+        walls.extend(w);
+    }
+    if matches!(which, "all" | "engine") {
+        let (r, w) = fig_engine();
         rows.extend(r);
         walls.extend(w);
     }

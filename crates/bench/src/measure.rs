@@ -112,7 +112,10 @@ pub fn measure_seq_file<T>(
     measure_seq_sim(sim, pipeline)
 }
 
-fn measure_seq_sim<T>(
+/// [`measure_seq`] against a caller-configured simulator, for sweeps that
+/// toggle knobs the convenience helpers don't expose (stripe engine, core
+/// pinning, compute mode, fault plans).
+pub fn measure_seq_sim<T>(
     sim: SeqEmSimulator,
     pipeline: impl FnOnce(&Recording<SeqEmSimulator>) -> T,
 ) -> (T, EmRunCost) {
@@ -155,7 +158,9 @@ pub fn measure_par_file<T>(
     measure_par_sim(p, sim, pipeline)
 }
 
-fn measure_par_sim<T>(
+/// [`measure_par`] against a caller-configured simulator; `p` is the
+/// processor count used for the per-processor collapse.
+pub fn measure_par_sim<T>(
     p: usize,
     sim: ParEmSimulator,
     pipeline: impl FnOnce(&Recording<ParEmSimulator>) -> T,

@@ -43,7 +43,7 @@ mod seq_sim;
 pub mod theory;
 
 pub use checkpoint::KillPoint;
-pub use compute::ComputeMode;
+pub use compute::{ComputeMode, ComputePool};
 pub use context_store::{BufferPool, ContextStore, PendingGroupRead};
 pub use error::EmError;
 pub use exec::Recording;

@@ -35,7 +35,7 @@
 //! every thread observes the failure and exits.
 
 use crate::checkpoint::{superstep_seed, KillPoint, Manifest};
-use crate::compute::{run_group_vps, ComputeMode, VpWork};
+use crate::compute::{run_group_vps, ComputeMode, ComputePool, VpWork};
 use crate::context_store::{BufferPool, ContextStore, PendingGroupRead};
 use crate::machine::EmMachine;
 use crate::msg::{
@@ -48,8 +48,8 @@ use crate::routing::{simulate_routing, RoutingScratch};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    CheckpointStore, DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, JournalFile,
-    Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
+    CheckpointStore, DiskArray, DiskConfig, EngineKind, FaultPlan, FaultStats, IoMode, IoStats,
+    JournalFile, Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use parking_lot::Mutex;
@@ -59,7 +59,7 @@ use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex as StdMutex};
 use std::time::Instant;
 
 /// Per-worker run summary: counted I/O, per-phase split (ops and wall),
@@ -128,6 +128,13 @@ pub struct ParEmSimulator {
     cache_bytes: usize,
     checkpoint: bool,
     kill: Option<KillPoint>,
+    engine: EngineKind,
+    pin_workers: bool,
+    /// Lazily created persistent compute pool shared by the `p` processor
+    /// threads of every run of this simulator (and of its clones — the
+    /// cell is behind an `Arc`). `None` until the first `Threaded` run, or
+    /// preset via [`Self::with_compute_pool`].
+    pool: Arc<StdMutex<Option<ComputePool>>>,
 }
 
 impl ParEmSimulator {
@@ -149,6 +156,9 @@ impl ParEmSimulator {
             cache_bytes: 0,
             checkpoint: false,
             kill: None,
+            engine: EngineKind::default(),
+            pin_workers: false,
+            pool: Arc::new(StdMutex::new(None)),
         }
     }
 
@@ -203,6 +213,59 @@ impl ParEmSimulator {
     pub fn with_compute_mode(mut self, mode: ComputeMode) -> Self {
         self.compute = mode;
         self
+    }
+
+    /// Prefer a stripe-execution engine for each processor's file backend
+    /// ([`EngineKind::Threaded`] by default). [`EngineKind::Uring`] is a
+    /// *preference* that silently falls back to worker threads when the
+    /// `io-uring` feature is off or the kernel refuses a ring
+    /// ([`em_disk::uring_available`]). Counted I/O, final states and
+    /// seeded traces are identical under every engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Best-effort pin worker threads (drive workers and the compute
+    /// pool) to cores, off by default. Purely a wall-clock knob.
+    pub fn with_pinned_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
+    /// Attach an existing persistent [`ComputePool`] shared by all `p`
+    /// processor threads instead of letting the simulator lazily create
+    /// one (sized `n·p`) on the first `Threaded` run. Dispatches queue
+    /// when chunks outnumber workers; chunking — hence determinism — is
+    /// governed solely by [`ComputeMode::Threaded`], never by pool size.
+    pub fn with_compute_pool(self, pool: ComputePool) -> Self {
+        *self.pool.lock().expect("compute pool cell") = Some(pool);
+        self
+    }
+
+    /// The persistent compute pool for a run: an attached pool if one is
+    /// present, otherwise one lazily created and cached for
+    /// [`ComputeMode::Threaded`]`(n > 1)` — sized `n·p` so every
+    /// processor's chunks can run concurrently — or `None` for
+    /// effectively serial modes.
+    fn compute_pool(&self) -> Option<ComputePool> {
+        let mut guard = self.pool.lock().expect("compute pool cell");
+        if let Some(pool) = guard.as_ref() {
+            return Some(pool.clone());
+        }
+        match self.compute {
+            ComputeMode::Threaded(n) if n > 1 => Some(
+                guard
+                    .get_or_insert_with(|| {
+                        ComputePool::with_pinning(
+                            n.saturating_mul(self.machine.p.max(1)),
+                            self.pin_workers,
+                        )
+                    })
+                    .clone(),
+            ),
+            _ => None,
+        }
     }
 
     /// Guard limit for non-terminating programs.
@@ -298,7 +361,9 @@ impl ParEmSimulator {
             .with_io_mode(self.io_mode)
             .with_pipeline(self.pipeline)
             .with_checksums(self.checksums)
-            .with_cache(self.cache_bytes);
+            .with_cache(self.cache_bytes)
+            .with_engine(self.engine)
+            .with_pinned_workers(self.pin_workers);
         Ok(match self.retry {
             Some(policy) => cfg.with_retry(policy),
             None => cfg,
@@ -647,6 +712,11 @@ impl ParEmSimulator {
         let (senders, receivers): (Vec<_>, Vec<_>) =
             (0..p).map(|_| crossbeam_channel::unbounded::<Bundle>()).unzip();
 
+        // One persistent compute pool (sized n·p) shared by all processor
+        // threads; acquired once per run, reused across supersteps,
+        // batches, replays and subsequent runs of this simulator.
+        let compute_pool = self.compute_pool();
+
         std::thread::scope(|scope| {
             for (i, rx) in receivers.into_iter().enumerate() {
                 let senders = senders.clone();
@@ -671,6 +741,7 @@ impl ParEmSimulator {
                 let io_mode = self.io_mode;
                 let pipeline = self.pipeline;
                 let compute = self.compute;
+                let compute_pool = compute_pool.clone();
                 let checksums = self.checksums;
                 let retry = self.retry;
                 let recovery = self.recovery;
@@ -687,7 +758,9 @@ impl ParEmSimulator {
                 let replays_total = &replays_total;
                 let recovered_total = &recovered_total;
 
-                scope.spawn(move || {
+                std::thread::Builder::new()
+                    .name(format!("em-par-p{i}"))
+                    .spawn_scoped(scope, move || {
                     let work = (|| -> EmResult<()> {
                         let depth = pipeline.depth();
                         let cfg = machine
@@ -997,6 +1070,7 @@ impl ParEmSimulator {
                                         k,
                                         gamma,
                                         compute,
+                                        compute_pool.as_ref(),
                                         pending_ctx.take(),
                                         if depth > 0 { Some(&mut backlog) } else { None },
                                         &mut rng,
@@ -1091,6 +1165,7 @@ impl ParEmSimulator {
                                     scratch,
                                     &mut routing_scratch,
                                     &mut ctx_pool,
+                                    compute_pool.as_ref(),
                                 ) {
                                     Ok((c, _)) => counts = c,
                                     Err(e) => zombie = Some(e),
@@ -1379,7 +1454,8 @@ impl ParEmSimulator {
                         register_failure(failed, e);
                         stop.store(true, Ordering::SeqCst);
                     }
-                });
+                })
+                    .expect("spawn em-par processor thread");
             }
         });
 
@@ -1619,6 +1695,7 @@ fn run_batch_compute<P: BspProgram>(
     k_size: usize,
     gamma: usize,
     mode: ComputeMode,
+    pool: Option<&ComputePool>,
     pending_ctx: Option<PendingGroupRead>,
     backlog: Option<&mut WriteBacklog>,
     rng: &mut StdRng,
@@ -1682,7 +1759,7 @@ fn run_batch_compute<P: BspProgram>(
         .collect();
     let mut new_states: Vec<Vec<u8>> = Vec::with_capacity(pids.len());
     let mut outgoing: Vec<OutMsg> = Vec::new();
-    for slot in run_group_vps(prog, mode, step, v, gamma, work) {
+    for slot in run_group_vps(prog, mode, step, v, gamma, work, pool) {
         let slot = slot?; // first error in vp order wins, as the serial loop would
         if slot.continued {
             any_continue.store(true, Ordering::Relaxed);

@@ -21,7 +21,7 @@
 
 use crate::context_store::BufferPool;
 use crate::msg::{GroupCounts, MsgGeometry, ScratchState};
-use crate::{EmError, EmResult};
+use crate::{ComputePool, EmError, EmResult};
 use em_disk::{Block, DiskArray, TrackAllocator};
 
 /// Observability record of one routing invocation (drives the Figure 2
@@ -89,6 +89,14 @@ impl RoutingScratch {
 /// recycled into `pool` — the same free list the Fetching Phase draws
 /// context buffers from — so steady-state routing is allocation-free
 /// except for the blocks materialized by the disk reads themselves.
+///
+/// With `compute = Some(pool)` the per-round merge/scatter transform (the
+/// rank → staging and rotation → final placement of each fetched block) is
+/// chunked across the persistent worker pool into pre-sized disjoint
+/// slots, joined in slot order before the write stripe is issued — so the
+/// stripes, their order, counted I/O and the resulting layout are
+/// bit-identical to the serial path by construction; only
+/// [`crate::PhaseWall::reorganize_wall_ms`] changes.
 pub fn simulate_routing(
     disks: &mut DiskArray,
     alloc: &mut TrackAllocator,
@@ -96,7 +104,9 @@ pub fn simulate_routing(
     scratch: ScratchState,
     routing: &mut RoutingScratch,
     pool: &mut BufferPool,
+    compute: Option<&ComputePool>,
 ) -> EmResult<(GroupCounts, RoutingTrace)> {
+    let compute_workers = compute.map_or(1, ComputePool::workers);
     let d = geom.num_disks;
     let nb = geom.num_buckets;
     let balance_factor = scratch.balance_factor();
@@ -142,11 +152,18 @@ pub fn simulate_routing(
         stalls = 0;
         trace.step1_rounds += 1;
         let blocks = disks.read_stripe(&routing.reads)?;
+        let staged: Vec<((usize, usize), Block)> =
+            routing.meta.iter().copied().zip(blocks).collect();
         routing.writes.clear();
-        routing.writes.extend(routing.meta.iter().zip(blocks).map(|(&(bucket, rank), block)| {
-            let (disk, track) = geom.stage_location(bucket, rank);
-            (disk, track, block)
-        }));
+        routing.writes.extend(ComputePool::map_ordered(
+            compute,
+            compute_workers,
+            staged,
+            |_, ((bucket, rank), block)| {
+                let (disk, track) = geom.stage_location(bucket, rank);
+                (disk, track, block)
+            },
+        ));
         disks.write_stripe(&routing.writes)?;
         remaining -= routing.writes.len();
         pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
@@ -181,11 +198,18 @@ pub fn simulate_routing(
         }
         trace.step2_rounds += 1;
         let blocks = disks.read_stripe(&routing.reads)?;
+        let staged: Vec<((usize, usize), Block)> =
+            routing.meta.iter().copied().zip(blocks).collect();
         routing.writes.clear();
-        routing.writes.extend(routing.meta.iter().zip(blocks).map(|(&(bucket, _), block)| {
-            let (disk, track) = geom.final_location(bucket, j);
-            (disk, track, block)
-        }));
+        routing.writes.extend(ComputePool::map_ordered(
+            compute,
+            compute_workers,
+            staged,
+            |_, ((bucket, _), block)| {
+                let (disk, track) = geom.final_location(bucket, j);
+                (disk, track, block)
+            },
+        ));
         disks.write_stripe(&routing.writes)?;
         pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
     }
@@ -248,7 +272,7 @@ mod tests {
         let mut routing = RoutingScratch::new();
         let mut pool = BufferPool::new();
         let (counts, trace) =
-            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool)
+            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool, None)
                 .unwrap();
         assert!(trace.blocks > 0);
         assert!(trace.step1_rounds >= trace.blocks.div_ceil(geom.num_disks));
@@ -277,6 +301,7 @@ mod tests {
             scratch,
             &mut RoutingScratch::new(),
             &mut BufferPool::new(),
+            None,
         )
         .unwrap();
         assert_eq!(counts.total(), 0);
@@ -315,6 +340,7 @@ mod tests {
             scratch,
             &mut RoutingScratch::new(),
             &mut BufferPool::new(),
+            None,
         )
         .unwrap();
         let total: usize = (0..geom.num_groups)
@@ -336,6 +362,61 @@ mod tests {
             em_disk::check_consecutive_format(&locs, geom.num_disks)
                 .expect("bucket blocks must satisfy Definition 2");
         }
+    }
+
+    /// The pooled merge/scatter path must produce bit-identical layouts
+    /// and counted I/O to the serial path — same stripes, same order.
+    #[test]
+    fn pooled_routing_matches_serial_routing_exactly() {
+        let compute = ComputePool::new(3);
+        let mut results = Vec::new();
+        for pool_ref in [None, Some(&compute)] {
+            let (mut disks, mut alloc, geom) = setup(16, 2, 2000, 4, 64);
+            let mut scratch = ScratchState::new(&geom);
+            let mut rng = StdRng::seed_from_u64(7);
+            for src_group in 0..geom.num_groups {
+                let msgs: Vec<OutMsg> = (0..12u32)
+                    .map(|t| OutMsg {
+                        dst: ((src_group * 5 + t as usize * 3) % geom.v) as u32,
+                        src: (src_group * geom.k) as u32,
+                        seq: t,
+                        payload: vec![t as u8; (t as usize % 29) + 1],
+                    })
+                    .collect();
+                scatter_messages(
+                    &mut disks,
+                    &mut alloc,
+                    &geom,
+                    &mut scratch,
+                    src_group,
+                    msgs,
+                    &mut rng,
+                    Placement::RoundRobin,
+                )
+                .unwrap();
+            }
+            let (counts, trace) = simulate_routing(
+                &mut disks,
+                &mut alloc,
+                &geom,
+                scratch,
+                &mut RoutingScratch::new(),
+                &mut BufferPool::new(),
+                pool_ref,
+            )
+            .unwrap();
+            let fetched: Vec<_> = (0..geom.num_groups)
+                .map(|g| {
+                    fetch_group_messages(&mut disks, &geom, &counts, g)
+                        .unwrap()
+                        .into_iter()
+                        .map(|m| (m.dst, m.src, m.seq, m.payload))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            results.push((disks.stats().clone(), trace, fetched));
+        }
+        assert_eq!(results[0], results[1], "pooled routing diverged from serial");
     }
 
     /// Scratch tracks are recycled after routing: repeated supersteps do
@@ -368,7 +449,7 @@ mod tests {
                 Placement::Random,
             )
             .unwrap();
-            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool)
+            simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut routing, &mut pool, None)
                 .unwrap();
             if round == 0 {
                 frontier_after_first = alloc.max_frontier();

@@ -30,18 +30,19 @@ use crate::msg::{
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::{simulate_routing, RoutingScratch};
+use crate::ComputePool;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
-    CheckpointStore, DiskArray, DiskConfig, FaultPlan, FaultStats, IoMode, IoStats, JournalFile,
-    Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
+    CheckpointStore, DiskArray, DiskConfig, EngineKind, FaultPlan, FaultStats, IoMode, IoStats,
+    JournalFile, Pipeline, RetryPolicy, TrackAllocator, WriteBacklog,
 };
 use em_serial::{from_bytes, to_bytes};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex as StdMutex};
 use std::time::Instant;
 
 /// Where the simulated disks live.
@@ -92,6 +93,13 @@ pub struct SeqEmSimulator {
     cache_bytes: usize,
     checkpoint: bool,
     kill: Option<KillPoint>,
+    engine: EngineKind,
+    pin_workers: bool,
+    /// Lazily created persistent compute pool, shared by every run of this
+    /// simulator (and of its clones — the cell is behind an `Arc`). `None`
+    /// until the first `Threaded` run, or preset via
+    /// [`Self::with_compute_pool`].
+    pool: Arc<StdMutex<Option<ComputePool>>>,
 }
 
 impl SeqEmSimulator {
@@ -114,6 +122,9 @@ impl SeqEmSimulator {
             cache_bytes: 0,
             checkpoint: false,
             kill: None,
+            engine: EngineKind::Threaded,
+            pin_workers: false,
+            pool: Arc::new(StdMutex::new(None)),
         }
     }
 
@@ -167,6 +178,56 @@ impl SeqEmSimulator {
     pub fn with_compute_mode(mut self, mode: ComputeMode) -> Self {
         self.compute = mode;
         self
+    }
+
+    /// Prefer a stripe-execution engine for the file backend
+    /// ([`EngineKind::Threaded`] by default). [`EngineKind::Uring`] is a
+    /// *preference*: it silently falls back to worker threads when the
+    /// `io-uring` feature is off or the kernel refuses a ring
+    /// ([`em_disk::uring_available`]). Counted I/O, final states and
+    /// seeded traces are identical under every engine — the knob is
+    /// wall-clock only.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Best-effort pin worker threads (drive workers and the compute
+    /// pool) to cores, off by default. Purely a wall-clock knob; the
+    /// request is advisory and may be refused by the kernel.
+    pub fn with_pinned_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
+    }
+
+    /// Attach an existing persistent [`ComputePool`] instead of letting
+    /// the simulator lazily create its own on the first `Threaded` run.
+    /// Several simulators (e.g. the tenants of a shared service) can hold
+    /// clones of one pool; dispatches queue when chunks outnumber workers,
+    /// and chunking — hence determinism — is governed solely by
+    /// [`ComputeMode::Threaded`], never by pool size.
+    pub fn with_compute_pool(self, pool: ComputePool) -> Self {
+        *self.pool.lock().unwrap() = Some(pool);
+        self
+    }
+
+    /// The persistent compute pool for a run: an attached pool if one is
+    /// present (always reused — dispatches queue when chunks outnumber its
+    /// workers, which cannot affect determinism since chunking is governed
+    /// by [`ComputeMode`] alone), otherwise one lazily created and cached
+    /// for [`ComputeMode::Threaded`]`(n > 1)`, or `None` for effectively
+    /// serial modes.
+    fn compute_pool(&self) -> Option<ComputePool> {
+        let mut guard = self.pool.lock().expect("compute pool cell");
+        if let Some(pool) = guard.as_ref() {
+            return Some(pool.clone());
+        }
+        match self.compute {
+            ComputeMode::Threaded(n) if n > 1 => Some(
+                guard.get_or_insert_with(|| ComputePool::with_pinning(n, self.pin_workers)).clone(),
+            ),
+            _ => None,
+        }
     }
 
     /// Guard limit for non-terminating programs.
@@ -265,6 +326,18 @@ impl SeqEmSimulator {
         &self.machine
     }
 
+    /// The configured [`ComputeMode`].
+    pub fn compute_mode(&self) -> ComputeMode {
+        self.compute
+    }
+
+    /// Whether a persistent [`ComputePool`] is currently attached —
+    /// either via [`Self::with_compute_pool`] or lazily created by an
+    /// earlier `Threaded` run of this simulator (or of a clone).
+    pub fn has_compute_pool(&self) -> bool {
+        self.pool.lock().expect("compute pool cell").is_some()
+    }
+
     /// The [`DiskConfig`] this simulator derives from its machine and
     /// knobs — the shape every array passed to [`Self::run_on`] must have.
     pub fn disk_config(&self) -> EmResult<DiskConfig> {
@@ -274,7 +347,9 @@ impl SeqEmSimulator {
             .with_io_mode(self.io_mode)
             .with_pipeline(self.pipeline)
             .with_checksums(self.checksums)
-            .with_cache(self.cache_bytes);
+            .with_cache(self.cache_bytes)
+            .with_engine(self.engine)
+            .with_pinned_workers(self.pin_workers);
         Ok(match self.retry {
             Some(policy) => cfg.with_retry(policy),
             None => cfg,
@@ -491,6 +566,13 @@ impl SeqEmSimulator {
             None
         };
 
+        // Acquire the persistent compute pool once per run (lazily created
+        // on the first `Threaded` run, then cached on the simulator): every
+        // superstep, group and recovery replay reuses the same
+        // `em-compute-w*` threads instead of spawning a scoped pool per
+        // group.
+        let compute_pool = self.compute_pool();
+
         let fault_stats = self.fault_plan.as_ref().map(|p| p.stats());
         let mut alloc = TrackAllocator::new(cfg.num_disks);
         let ctx_store = ContextStore::allocate(&mut alloc, cfg.num_disks, cfg.block_bytes, v, mu)?;
@@ -649,6 +731,7 @@ impl SeqEmSimulator {
                     self.placement,
                     self.pipeline,
                     self.compute,
+                    compute_pool.as_ref(),
                     &ctx_store,
                     &geom,
                     &counts,
@@ -938,6 +1021,7 @@ fn run_superstep_attempt<P: BspProgram>(
     placement: Placement,
     pipeline: Pipeline,
     compute: ComputeMode,
+    pool: Option<&ComputePool>,
     ctx_store: &ContextStore,
     geom: &MsgGeometry,
     counts: &GroupCounts,
@@ -1002,6 +1086,7 @@ fn run_superstep_attempt<P: BspProgram>(
                 first,
                 gamma,
                 compute,
+                pool,
                 ctx_bufs,
                 msgs_in,
                 &mut step_comm,
@@ -1062,6 +1147,7 @@ fn run_superstep_attempt<P: BspProgram>(
                 first,
                 gamma,
                 compute,
+                pool,
                 ctx_bufs,
                 msgs_in,
                 &mut step_comm,
@@ -1088,7 +1174,8 @@ fn run_superstep_attempt<P: BspProgram>(
     let balance = scratch.balance_factor();
     let t0 = Instant::now();
     let ops0 = disks.stats().parallel_ops;
-    let (new_counts, _trace) = simulate_routing(disks, alloc, geom, scratch, routing, ctx_pool)?;
+    let (new_counts, _trace) =
+        simulate_routing(disks, alloc, geom, scratch, routing, ctx_pool, pool)?;
     phases.routing += disks.stats().parallel_ops - ops0;
     walls.reorganize += t0.elapsed();
 
@@ -1148,6 +1235,7 @@ fn compute_group<P: BspProgram>(
     first: usize,
     gamma: usize,
     mode: ComputeMode,
+    pool: Option<&ComputePool>,
     ctx_bufs: Vec<Vec<u8>>,
     msgs_in: Vec<InMsg>,
     step_comm: &mut SuperstepComm,
@@ -1179,7 +1267,7 @@ fn compute_group<P: BspProgram>(
 
     let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(count);
     let mut outgoing: Vec<OutMsg> = Vec::new();
-    for slot in run_group_vps(prog, mode, step, v, gamma, work) {
+    for slot in run_group_vps(prog, mode, step, v, gamma, work, pool) {
         let slot = slot?; // first error in vp order wins, as the serial loop would
         if slot.continued {
             *all_halted = false;

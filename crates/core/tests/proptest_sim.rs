@@ -53,7 +53,7 @@ proptest! {
             scatter_messages(&mut disks, &mut alloc, &geom, &mut scratch, src_group, out, &mut rng, placement).unwrap();
         }
 
-        let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut RoutingScratch::new(), &mut BufferPool::new()).unwrap();
+        let (counts, _) = simulate_routing(&mut disks, &mut alloc, &geom, scratch, &mut RoutingScratch::new(), &mut BufferPool::new(), None).unwrap();
         let mut got: Vec<(u32, u32, u32, Vec<u8>)> = Vec::new();
         for g in 0..geom.num_groups {
             for m in fetch_group_messages(&mut disks, &geom, &counts, g).unwrap() {

@@ -99,11 +99,13 @@ impl DiskArray {
         dir: P,
         plan: Option<FaultPlan>,
     ) -> DiskResult<Self> {
-        let backend = Box::new(FileBackend::create_with_mode(
+        let backend = Box::new(FileBackend::create_with_opts(
             dir,
             cfg.num_disks,
             Self::storage_block_bytes(&cfg),
             cfg.io_mode,
+            cfg.engine,
+            cfg.pin_workers,
         )?);
         Ok(Self::with_backend_and_faults(cfg, backend, plan))
     }
@@ -128,11 +130,13 @@ impl DiskArray {
         dir: P,
         plan: Option<FaultPlan>,
     ) -> DiskResult<Self> {
-        let backend = Box::new(FileBackend::open_with_mode(
+        let backend = Box::new(FileBackend::open_with_opts(
             dir,
             cfg.num_disks,
             Self::storage_block_bytes(&cfg),
             cfg.io_mode,
+            cfg.engine,
+            cfg.pin_workers,
         )?);
         Ok(Self::with_backend_and_faults(cfg, backend, plan))
     }

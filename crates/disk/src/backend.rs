@@ -11,7 +11,7 @@
 
 use crate::block::{crc32, CRC_BYTES};
 use crate::engine::{read_full_track, write_at, IoEngine};
-use crate::{DiskError, DiskResult, IoMode, ReadTicket, RetryPolicy, WriteTicket};
+use crate::{DiskError, DiskResult, EngineKind, IoMode, ReadTicket, RetryPolicy, WriteTicket};
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 
@@ -446,6 +446,44 @@ enum FileIo {
     /// One worker thread per drive; stripes are dispatched to all listed
     /// drives at once and joined before the operation returns.
     Parallel(IoEngine),
+    /// Kernel-side submission queues (`io_uring`); one ring shared by all
+    /// drives, completions reaped by a single reaper thread.
+    #[cfg(all(target_os = "linux", feature = "io-uring"))]
+    Uring(crate::uring::UringEngine),
+}
+
+impl FileIo {
+    /// Pick the execution strategy for `files` from the configured mode,
+    /// engine preference and pinning flag. [`EngineKind::Uring`] is a
+    /// *preference*: when the `io-uring` feature is off, the kernel lacks
+    /// the syscalls, or ring setup fails at runtime, the threaded engine is
+    /// used instead — requesting it is always safe and never changes
+    /// behaviour, only wall clock.
+    fn spawn(
+        files: Vec<File>,
+        block_bytes: usize,
+        mode: IoMode,
+        engine: EngineKind,
+        pin: bool,
+    ) -> Self {
+        if files.len() <= 1 || mode == IoMode::Serial {
+            return FileIo::Serial(files);
+        }
+        #[cfg(all(target_os = "linux", feature = "io-uring"))]
+        let files = if engine == EngineKind::Uring {
+            match crate::uring::UringEngine::spawn(files, block_bytes, pin) {
+                Ok(eng) => return FileIo::Uring(eng),
+                // Ring setup failed (old kernel, seccomp, rlimit): the
+                // files come back untouched and the threaded engine takes
+                // over.
+                Err(files) => files,
+            }
+        } else {
+            files
+        };
+        let _ = engine;
+        FileIo::Parallel(IoEngine::spawn(files, block_bytes, pin))
+    }
 }
 
 /// File-backed backend: one file per drive, positional I/O at
@@ -486,6 +524,20 @@ impl FileBackend {
         block_bytes: usize,
         mode: IoMode,
     ) -> DiskResult<Self> {
+        Self::create_with_opts(dir, num_disks, block_bytes, mode, EngineKind::Threaded, false)
+    }
+
+    /// [`FileBackend::create_with_mode`] with an explicit engine preference
+    /// and worker pinning flag (normally sourced from
+    /// [`crate::DiskConfig::engine`] / [`crate::DiskConfig::pin_workers`]).
+    pub fn create_with_opts<P: AsRef<Path>>(
+        dir: P,
+        num_disks: usize,
+        block_bytes: usize,
+        mode: IoMode,
+        engine: EngineKind,
+        pin_workers: bool,
+    ) -> DiskResult<Self> {
         std::fs::create_dir_all(dir.as_ref())?;
         let mut files = Vec::with_capacity(num_disks);
         let mut paths = Vec::with_capacity(num_disks);
@@ -512,12 +564,7 @@ impl FileBackend {
             files.push(file);
             paths.push(path);
         }
-        let io = match mode {
-            IoMode::Parallel if num_disks > 1 => {
-                FileIo::Parallel(IoEngine::spawn(files, block_bytes))
-            }
-            _ => FileIo::Serial(files),
-        };
+        let io = FileIo::spawn(files, block_bytes, mode, engine, pin_workers);
         Ok(FileBackend { io, paths, block_bytes, tracks_used: vec![0; num_disks] })
     }
 
@@ -539,6 +586,19 @@ impl FileBackend {
         block_bytes: usize,
         mode: IoMode,
     ) -> DiskResult<Self> {
+        Self::open_with_opts(dir, num_disks, block_bytes, mode, EngineKind::Threaded, false)
+    }
+
+    /// [`FileBackend::open_with_mode`] with an explicit engine preference
+    /// and worker pinning flag.
+    pub fn open_with_opts<P: AsRef<Path>>(
+        dir: P,
+        num_disks: usize,
+        block_bytes: usize,
+        mode: IoMode,
+        engine: EngineKind,
+        pin_workers: bool,
+    ) -> DiskResult<Self> {
         let mut files = Vec::with_capacity(num_disks);
         let mut paths = Vec::with_capacity(num_disks);
         let mut tracks_used = Vec::with_capacity(num_disks);
@@ -550,12 +610,7 @@ impl FileBackend {
             files.push(file);
             paths.push(path);
         }
-        let io = match mode {
-            IoMode::Parallel if num_disks > 1 => {
-                FileIo::Parallel(IoEngine::spawn(files, block_bytes))
-            }
-            _ => FileIo::Serial(files),
-        };
+        let io = FileIo::spawn(files, block_bytes, mode, engine, pin_workers);
         Ok(FileBackend { io, paths, block_bytes, tracks_used })
     }
 
@@ -564,9 +619,22 @@ impl FileBackend {
         &self.paths
     }
 
-    /// True when stripes are dispatched to per-drive worker threads.
+    /// True when stripes overlap across drives (worker threads or a
+    /// kernel ring) instead of running serially on the calling thread.
     pub fn is_parallel(&self) -> bool {
-        matches!(self.io, FileIo::Parallel(_))
+        !matches!(self.io, FileIo::Serial(_))
+    }
+
+    /// The engine actually executing stripes, after runtime fallback:
+    /// [`EngineKind::Uring`] only when a ring was successfully set up;
+    /// [`EngineKind::Threaded`] for both the worker engine and the
+    /// single-drive/serial path.
+    pub fn active_engine(&self) -> EngineKind {
+        match &self.io {
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(_) => EngineKind::Uring,
+            _ => EngineKind::Threaded,
+        }
     }
 
     fn note_write(&mut self, disk: usize, track: usize) {
@@ -587,6 +655,11 @@ impl DiskBackend for FileBackend {
                 let mut bufs = [buf];
                 engine.read_stripe(&[(disk, track)], &mut bufs)
             }
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => {
+                let mut bufs = [buf];
+                engine.read_stripe(&[(disk, track)], &mut bufs)
+            }
         }
     }
 
@@ -595,6 +668,8 @@ impl DiskBackend for FileBackend {
         match &self.io {
             FileIo::Serial(files) => write_at(&files[disk], data, offset)?,
             FileIo::Parallel(engine) => engine.write_stripe(&[(disk, track, data)])?,
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.write_stripe(&[(disk, track, data)])?,
         }
         self.note_write(disk, track);
         Ok(())
@@ -610,6 +685,8 @@ impl DiskBackend for FileBackend {
                 Ok(())
             }
             FileIo::Parallel(engine) => engine.read_stripe(addrs, bufs),
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.read_stripe(addrs, bufs),
         }
     }
 
@@ -622,6 +699,8 @@ impl DiskBackend for FileBackend {
                 }
             }
             FileIo::Parallel(engine) => engine.write_stripe(writes)?,
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.write_stripe(writes)?,
         }
         for &(disk, track, _) in writes {
             self.note_write(disk, track);
@@ -630,23 +709,27 @@ impl DiskBackend for FileBackend {
     }
 
     fn submit_read_stripe(&mut self, addrs: &[(usize, usize)], block_bytes: usize) -> ReadTicket {
-        if let FileIo::Parallel(engine) = &self.io {
-            engine.submit_read_stripe(addrs, block_bytes)
-        } else {
-            let mut data: Vec<Vec<u8>> = addrs.iter().map(|_| vec![0u8; block_bytes]).collect();
-            let res = {
-                let mut bufs: Vec<&mut [u8]> = data.iter_mut().map(Vec::as_mut_slice).collect();
-                self.read_stripe(addrs, &mut bufs)
-            };
-            ReadTicket::ready(res.map(|()| data))
+        match &self.io {
+            FileIo::Parallel(engine) => engine.submit_read_stripe(addrs, block_bytes),
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.submit_read_stripe(addrs, block_bytes),
+            FileIo::Serial(_) => {
+                let mut data: Vec<Vec<u8>> = addrs.iter().map(|_| vec![0u8; block_bytes]).collect();
+                let res = {
+                    let mut bufs: Vec<&mut [u8]> = data.iter_mut().map(Vec::as_mut_slice).collect();
+                    self.read_stripe(addrs, &mut bufs)
+                };
+                ReadTicket::ready(res.map(|()| data))
+            }
         }
     }
 
     fn submit_write_stripe(&mut self, writes: &[(usize, usize, &[u8])]) -> WriteTicket {
-        let ticket = if let FileIo::Parallel(engine) = &self.io {
-            engine.submit_write_stripe(writes)
-        } else {
-            return WriteTicket::ready(self.write_stripe(writes));
+        let ticket = match &self.io {
+            FileIo::Parallel(engine) => engine.submit_write_stripe(writes),
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.submit_write_stripe(writes),
+            FileIo::Serial(_) => return WriteTicket::ready(self.write_stripe(writes)),
         };
         // The addresses are known at submission, so space accounting stays
         // deterministic regardless of when the transfers land.
@@ -669,6 +752,8 @@ impl DiskBackend for FileBackend {
                 Ok(())
             }
             FileIo::Parallel(engine) => engine.sync_all(),
+            #[cfg(all(target_os = "linux", feature = "io-uring"))]
+            FileIo::Uring(engine) => engine.sync_all(),
         }
     }
 }

@@ -81,6 +81,30 @@ impl Pipeline {
     }
 }
 
+/// Which asynchronous engine executes file-backed parallel stripes.
+///
+/// Like [`IoMode`] and [`Pipeline`], the engine knob changes *how*
+/// transfers reach the platters — never which stripes are submitted or
+/// what [`crate::IoStats`] count: counting happens in
+/// [`DiskArray`](crate::DiskArray) at submission time, above the backend,
+/// so counted parallel ops are bit-identical across engines by
+/// construction. The memory backend and [`IoMode::Serial`] ignore the
+/// knob entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// One dedicated worker thread per drive (`em-disk-d{idx}`), each
+    /// draining a FIFO of track commands (the default).
+    #[default]
+    Threaded,
+    /// A Linux `io_uring` submission/completion ring shared by all drives,
+    /// with one reaper thread harvesting completions. Requires the
+    /// `io-uring` cargo feature *and* runtime kernel support
+    /// ([`crate::uring_available`]); otherwise the backend silently falls
+    /// back to [`EngineKind::Threaded`] — the fallback changes wall clock
+    /// only, never behaviour, so requesting `Uring` is always safe.
+    Uring,
+}
+
 /// Bounded, deterministic retry schedule for transient track-transfer
 /// failures ([`crate::DiskError::is_transient`]).
 ///
@@ -157,6 +181,16 @@ pub struct DiskConfig {
     /// [`IoStats::cache_hit_blocks`](crate::IoStats::cache_hit_blocks) /
     /// [`IoStats::cache_absorbed_writes`](crate::IoStats::cache_absorbed_writes).
     pub cache_bytes: usize,
+    /// Which asynchronous engine executes file-backed parallel stripes
+    /// (default [`EngineKind::Threaded`]; [`EngineKind::Uring`] falls back
+    /// to threaded where io_uring is unavailable).
+    pub engine: EngineKind,
+    /// Whether worker threads (drive workers and the simulator's compute
+    /// pool) are best-effort pinned to CPU cores at spawn (default off).
+    /// Pinning is a wall-clock-only knob: drive worker `d` goes to core
+    /// `d mod ncpus` and compute worker `i` to core `i mod ncpus`; on
+    /// platforms without thread affinity the request is a no-op.
+    pub pin_workers: bool,
 }
 
 impl DiskConfig {
@@ -178,7 +212,24 @@ impl DiskConfig {
             checksums: false,
             retry: None,
             cache_bytes: 0,
+            engine: EngineKind::Threaded,
+            pin_workers: false,
         })
+    }
+
+    /// Select the asynchronous engine for file-backed parallel stripes
+    /// (see [`EngineKind`]; `Uring` falls back to `Threaded` where
+    /// io_uring is unavailable).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Request best-effort CPU pinning of worker threads at spawn (see
+    /// [`DiskConfig::pin_workers`]).
+    pub fn with_pinned_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
+        self
     }
 
     /// Select how file-backed stripes execute.
@@ -349,6 +400,18 @@ mod tests {
         assert_eq!(cfg.cache_tracks(), 3, "200 bytes hold 3 whole 64-byte tracks");
         assert_eq!(cfg.with_cache(63).cache_tracks(), 0, "sub-track capacity leaves the cache off");
         assert_eq!(cfg.block_bytes, 64, "cache knob must not disturb the shape");
+    }
+
+    #[test]
+    fn engine_and_pinning_default_off_and_are_overridable() {
+        let cfg = DiskConfig::new(4, 64).unwrap();
+        assert_eq!(cfg.engine, EngineKind::Threaded);
+        assert!(!cfg.pin_workers);
+        let cfg = cfg.with_engine(EngineKind::Uring).with_pinned_workers(true);
+        assert_eq!(cfg.engine, EngineKind::Uring);
+        assert!(cfg.pin_workers);
+        assert_eq!(cfg.io_mode, IoMode::Parallel, "engine knob must not disturb io_mode");
+        assert_eq!((cfg.num_disks, cfg.block_bytes), (4, 64), "shape unchanged");
     }
 
     #[test]

@@ -132,15 +132,24 @@ fn drive_worker(disk: usize, file: File, block_bytes: usize, rx: Receiver<Cmd>) 
 
 impl IoEngine {
     /// Spawn one worker per file; worker `d` takes exclusive ownership of
-    /// `files[d]`.
-    pub(crate) fn spawn(files: Vec<File>, block_bytes: usize) -> Self {
+    /// `files[d]`. The workers live for the engine's lifetime — one
+    /// `build_disks()` spawns them once and every subsequent
+    /// `run_on()`/`resume()` on that array reuses them. With `pin`, drive
+    /// worker `d` is best-effort pinned to core `d mod ncpus`.
+    pub(crate) fn spawn(files: Vec<File>, block_bytes: usize, pin: bool) -> Self {
         let mut txs = Vec::with_capacity(files.len());
         let mut handles = Vec::with_capacity(files.len());
+        let ncpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
         for (disk, file) in files.into_iter().enumerate() {
             let (tx, rx) = unbounded::<Cmd>();
             let handle = std::thread::Builder::new()
-                .name(format!("em-disk-{disk}"))
-                .spawn(move || drive_worker(disk, file, block_bytes, rx))
+                .name(format!("em-disk-d{disk}"))
+                .spawn(move || {
+                    if pin {
+                        crate::pin_thread_to_core(disk % ncpus);
+                    }
+                    drive_worker(disk, file, block_bytes, rx)
+                })
                 .expect("spawn disk worker thread");
             txs.push(tx);
             handles.push(handle);
@@ -168,7 +177,7 @@ impl IoEngine {
                 .is_some_and(|tx| tx.send(Cmd::Read { track, buf, reply: reply_tx }).is_ok());
             slots.push((disk, sent.then_some(reply_rx)));
         }
-        ReadTicket { inner: ReadInner::Pending(slots) }
+        ReadTicket::pending(slots)
     }
 
     /// Dispatch one write per listed drive and return a joinable ticket
@@ -183,7 +192,7 @@ impl IoEngine {
             });
             slots.push((disk, sent.then_some(reply_rx)));
         }
-        WriteTicket { inner: WriteInner::Pending(slots) }
+        WriteTicket::pending(slots)
     }
 
     /// Dispatch one read per listed drive, join all replies, and copy the
@@ -241,7 +250,7 @@ fn merge_err(slot: &mut Option<DiskError>, e: DiskError) {
 /// Reply slots of an in-flight engine stripe: `(disk, receiver)`, where a
 /// `None` receiver marks a drive whose worker was already gone at
 /// submission (joined as [`DiskError::WorkerLost`]).
-type PendingSlots<T> = Vec<(usize, Option<Receiver<DiskResult<T>>>)>;
+pub(crate) type PendingSlots<T> = Vec<(usize, Option<Receiver<DiskResult<T>>>)>;
 
 enum ReadInner {
     /// The transfers already happened (synchronous backend): the blocks,
@@ -269,6 +278,14 @@ impl ReadTicket {
     /// Wrap an already-completed stripe read (synchronous backends).
     pub fn ready(result: DiskResult<Vec<Vec<u8>>>) -> Self {
         ReadTicket { inner: ReadInner::Ready(result) }
+    }
+
+    /// Wrap in-flight reply slots (engine backends). Any engine — worker
+    /// threads or a kernel ring — shares this join path, so the
+    /// lowest-drive-wins error selection and sticky deferred errors are
+    /// identical across engines by construction.
+    pub(crate) fn pending(slots: PendingSlots<Vec<u8>>) -> Self {
+        ReadTicket { inner: ReadInner::Pending(slots) }
     }
 
     /// Wait for every dispatched transfer and return the track bytes in
@@ -315,6 +332,12 @@ impl WriteTicket {
     /// Wrap an already-completed stripe write (synchronous backends).
     pub fn ready(result: DiskResult<()>) -> Self {
         WriteTicket { inner: WriteInner::Ready(result) }
+    }
+
+    /// Wrap in-flight reply slots (engine backends; see
+    /// [`ReadTicket::pending`]).
+    pub(crate) fn pending(slots: PendingSlots<()>) -> Self {
+        WriteTicket { inner: WriteInner::Pending(slots) }
     }
 
     /// Wait for every dispatched transfer; the first (lowest-indexed)
@@ -379,7 +402,7 @@ mod tests {
     #[test]
     fn stripe_round_trip_through_workers() {
         let (dir, files) = tmp_files("rt", 3);
-        let engine = IoEngine::spawn(files, 16);
+        let engine = IoEngine::spawn(files, 16, false);
         engine.write_stripe(&[(0, 0, &[1u8; 16]), (1, 2, &[2u8; 16]), (2, 1, &[3u8; 16])]).unwrap();
         let mut a = [0u8; 16];
         let mut b = [0u8; 16];
@@ -399,7 +422,7 @@ mod tests {
     #[test]
     fn unwritten_tracks_read_zero_through_workers() {
         let (dir, files) = tmp_files("zero", 2);
-        let engine = IoEngine::spawn(files, 8);
+        let engine = IoEngine::spawn(files, 8, false);
         engine.write_stripe(&[(0, 3, &[9u8; 8])]).unwrap();
         let mut hole = [0xAAu8; 8];
         let mut never = [0xBBu8; 8];
@@ -415,7 +438,7 @@ mod tests {
     #[test]
     fn tickets_overlap_and_drain_in_submission_order() {
         let (dir, files) = tmp_files("overlap", 4);
-        let engine = IoEngine::spawn(files, 16);
+        let engine = IoEngine::spawn(files, 16, false);
         // Several writes in flight at once, including two generations on
         // the same (disk, track) — per-drive FIFO must apply them in
         // submission order.
@@ -443,7 +466,7 @@ mod tests {
                 OpenOptions::new().read(true).open(path).unwrap()
             })
             .collect();
-        (dir, IoEngine::spawn(files, 8))
+        (dir, IoEngine::spawn(files, 8, false))
     }
 
     #[test]
@@ -479,7 +502,7 @@ mod tests {
     #[test]
     fn lost_worker_mid_pipeline_surfaces_at_join() {
         let (dir, files) = tmp_files("lost", 2);
-        let mut engine = IoEngine::spawn(files, 8);
+        let mut engine = IoEngine::spawn(files, 8, false);
         // A ticket submitted while the engine was healthy...
         let alive = engine.submit_write_stripe(&[(0, 0, &[3u8; 8])]);
         // ...then the workers are torn down mid-pipeline (they drain their

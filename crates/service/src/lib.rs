@@ -60,7 +60,7 @@
 #![warn(missing_docs)]
 
 use em_bsp::{BspProgram, ExecError, Executor, RunResult};
-use em_core::{CostReport, EmError, SeqEmSimulator};
+use em_core::{ComputeMode, ComputePool, CostReport, EmError, SeqEmSimulator};
 use em_disk::{crc32, DiskArray, FaultPlan, SharedDiskSubstrate};
 use parking_lot::Mutex;
 use std::fmt;
@@ -434,6 +434,12 @@ struct ServiceInner {
     cfg: ServiceConfig,
     substrate: SharedDiskSubstrate,
     pool: Mutex<PoolState>,
+    /// One persistent compute pool shared by every `Threaded` tenant the
+    /// service admits: job churn never pays compute-thread spawn cost, and
+    /// the service's thread count stays bounded regardless of how many
+    /// tenants come and go. Lazily created by the first `Threaded`
+    /// admission.
+    compute: Mutex<Option<ComputePool>>,
 }
 
 impl ServiceInner {
@@ -461,6 +467,7 @@ impl SimService {
                 substrate: SharedDiskSubstrate::new(cfg.num_disks, cfg.tracks_per_disk),
                 cfg,
                 pool: Mutex::new(PoolState { reserved_bytes: 0, active: 0, records: Vec::new() }),
+                compute: Mutex::new(None),
             }),
         }
     }
@@ -498,6 +505,29 @@ impl SimService {
         self.admit_with(spec, sim)
     }
 
+    /// The service-wide persistent compute pool, lazily created on the
+    /// first `Threaded` admission and shared by every later one. Sized to
+    /// the host's parallelism — chunking (hence determinism) is governed
+    /// by each tenant's [`ComputeMode`], never by pool size, so tenants
+    /// with different `Threaded(n)` settings share it safely.
+    fn shared_compute_pool(&self) -> ComputePool {
+        self.inner
+            .compute
+            .lock()
+            .get_or_insert_with(|| {
+                let workers =
+                    std::thread::available_parallelism().map(usize::from).unwrap_or(1).max(2);
+                ComputePool::new(workers)
+            })
+            .clone()
+    }
+
+    /// Worker threads in the service's shared compute pool, if it has
+    /// been created (observability for pool-reuse tests).
+    pub fn compute_pool_workers(&self) -> Option<usize> {
+        self.inner.compute.lock().as_ref().map(ComputePool::workers)
+    }
+
     /// Admit a job with a caller-configured simulator (pipeline, cache,
     /// compute mode…). The simulator's machine must match `spec.machine`'s
     /// disk shape, which in turn must match the shared array.
@@ -511,6 +541,15 @@ impl SimService {
         spec: JobSpec,
         sim: SeqEmSimulator,
     ) -> Result<TenantLease, AdmissionError> {
+        // A `Threaded` tenant without its own pool shares the service's
+        // persistent one: repeated admissions reuse the same
+        // `em-compute-w*` threads instead of spawning per-tenant pools.
+        let sim = match sim.compute_mode() {
+            ComputeMode::Threaded(n) if n > 1 && !sim.has_compute_pool() => {
+                sim.with_compute_pool(self.shared_compute_pool())
+            }
+            _ => sim,
+        };
         let cfg = &self.inner.cfg;
         let machine = sim.machine();
         if machine.d != cfg.num_disks || machine.b_bytes != cfg.block_bytes {
@@ -1235,6 +1274,37 @@ mod tests {
             .map(String::from)
             .collect();
         assert_eq!(solo_lines, multi_lines);
+    }
+
+    #[test]
+    fn threaded_tenants_share_one_persistent_compute_pool() {
+        let service = SimService::new(ServiceConfig::new(2, 64, 4096, 1 << 20));
+        assert_eq!(service.compute_pool_workers(), None);
+        let mut states = Vec::new();
+        for round in 0..3u64 {
+            let sim = SeqEmSimulator::new(machine())
+                .with_seed(7)
+                .with_compute_mode(ComputeMode::Threaded(2));
+            let lease = service.admit_with(spec("pooled", round, 8), sim).unwrap();
+            assert!(
+                lease.simulator().has_compute_pool(),
+                "Threaded admission must attach the shared pool"
+            );
+            states.push(lease.execute(&AddOne, (0..8u64).collect()).unwrap().states);
+            lease.complete();
+        }
+        let workers = service.compute_pool_workers().expect("pool created at first admission");
+        assert!(workers >= 2);
+        // Pooled tenants compute exactly what a serial solo run computes.
+        let solo = SeqEmSimulator::new(machine()).with_seed(7);
+        let (solo_out, _) = solo.run(&AddOne, (0..8u64).collect()).unwrap();
+        for s in &states {
+            assert_eq!(s, &solo_out.states);
+        }
+        // Serial admissions never create or attach a pool.
+        let lease = service.admit(spec("serial", 99, 8)).unwrap();
+        assert!(!lease.simulator().has_compute_pool());
+        lease.complete();
     }
 
     #[test]

@@ -85,7 +85,10 @@ fn main() {
     //    (`Pipeline::DoubleBuffer` is the depth-1 case) — counted I/O
     //    and final states are bit-identical to a plain run; the
     //    summary's cache_hits / cache_absorbed tallies show the traffic
-    //    the cache soaked up.
+    //    the cache soaked up. (`with_compute_mode(Threaded(n))` — a
+    //    persistent in-group worker pool — `with_pinned_workers` and
+    //    `with_engine(EngineKind::Uring)` are further wall-clock-only
+    //    knobs under the same contract; DESIGN.md §3.2.10.)
     let machine = EmMachine::uniprocessor(64 * 1024, 4, 1024, 1);
     let sim = SeqEmSimulator::new(machine).with_cache(32 * 1024).with_pipeline(Pipeline::Stream(2));
     let (res, report) = sim.run(&prog, states.clone()).unwrap();

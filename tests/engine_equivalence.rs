@@ -1,0 +1,268 @@
+//! Engine differential tests: [`em_disk::EngineKind::Uring`] must be
+//! **byte-for-byte** indistinguishable from the threaded engine — same
+//! final outputs, same message ledger, same counted I/O (total and per
+//! phase), and the same bytes on the drive files — on both EM simulators,
+//! with and without the streaming pipeline, and under seeded fault
+//! injection with superstep recovery.
+//!
+//! The engine is a pure wall-clock knob: counting happens in `DiskArray`
+//! at submission time, *above* the backend, and the io_uring engine keeps
+//! the per-drive FIFO contract of the one-worker-per-drive engine, so the
+//! fingerprints below are equal by construction. This suite pins that
+//! construction against regressions.
+//!
+//! Every test skips cleanly (with a note on stderr) when io_uring is not
+//! available — feature disabled, non-Linux, or a kernel that refuses
+//! rings — so the suite is safe in any CI lane.
+
+use em_algos::prefix::cgm_prefix_sums;
+use em_algos::sort::cgm_sort;
+use em_bsp::{BspStarParams, CommLedger};
+use em_core::{
+    ComputeMode, CostReport, EmMachine, ParEmSimulator, PhaseIo, Recording, SeqEmSimulator,
+};
+use em_disk::{EngineKind, IoStats, Pipeline};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const V: usize = 8;
+
+/// A machine small enough that the EM simulators page contexts in groups.
+fn em_machine(p: usize) -> EmMachine {
+    EmMachine {
+        p,
+        m_bytes: 1 << 16,
+        d: 4,
+        b_bytes: 256,
+        g_io: 1,
+        router: BspStarParams { p, g: 1.0, b: 256, l: 1.0 },
+    }
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh scratch directory for one file-backed run.
+fn scratch_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("em-engine-eq-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// True when the kernel-ring engine can actually run here; tests return
+/// early (printing a skip note) otherwise.
+fn uring_or_skip(test: &str) -> bool {
+    if em_disk::uring_available() {
+        return true;
+    }
+    eprintln!("{test}: io_uring unavailable (feature off or kernel refusal); skipping");
+    false
+}
+
+/// Everything about a run that must not depend on [`EngineKind`]: the
+/// per-stage counted I/O, the per-phase operation counts, the message
+/// ledger, λ, and the raw bytes left on the drive files.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    io: Vec<IoStats>,
+    phases: Vec<PhaseIo>,
+    comm: Vec<CommLedger>,
+    lambda: Vec<usize>,
+    drive_bytes: Vec<(String, Vec<u8>)>,
+}
+
+fn fingerprint(reports: &[CostReport], dir: &Path) -> Fingerprint {
+    Fingerprint {
+        io: reports.iter().map(|r| r.io.clone()).collect(),
+        phases: reports.iter().map(|r| r.phases.clone()).collect(),
+        comm: reports.iter().map(|r| r.comm.clone()).collect(),
+        lambda: reports.iter().map(|r| r.lambda).collect(),
+        drive_bytes: drive_bytes(dir),
+    }
+}
+
+/// All regular files under `dir` (recursively), path-sorted, with their
+/// contents. The simulators sync at every superstep boundary, so after
+/// `run()` the files hold the final committed image.
+fn drive_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries {
+            let p = entry.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p.strip_prefix(dir).unwrap().to_string_lossy().into_owned();
+                out.push((rel, std::fs::read(&p).unwrap()));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn assert_fingerprints_match(base: &Fingerprint, got: &Fingerprint, what: &str) {
+    assert_eq!(got.io, base.io, "{what}: counted IoStats diverged");
+    assert_eq!(got.phases, base.phases, "{what}: per-phase op counts diverged");
+    assert_eq!(got.comm, base.comm, "{what}: message ledger diverged");
+    assert_eq!(got.lambda, base.lambda, "{what}: λ diverged");
+    // Compare drive bytes without letting a failure dump whole drive files.
+    let base_names: Vec<&str> = base.drive_bytes.iter().map(|(n, _)| n.as_str()).collect();
+    let got_names: Vec<&str> = got.drive_bytes.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(got_names, base_names, "{what}: drive file set diverged");
+    for ((name, b), (_, g)) in base.drive_bytes.iter().zip(&got.drive_bytes) {
+        assert!(g == b, "{what}: drive file {name} bytes diverged");
+    }
+}
+
+/// Run one workload under both engines on both simulators and two
+/// pipeline lanes, each on a fresh file backend, and require identical
+/// outputs and identical [`Fingerprint`]s.
+fn check_workload<T, FS, FP>(name: &str, seq_f: FS, par_f: FP)
+where
+    T: PartialEq + std::fmt::Debug,
+    FS: Fn(&Recording<SeqEmSimulator>) -> T,
+    FP: Fn(&Recording<ParEmSimulator>) -> T,
+{
+    for pipeline in [Pipeline::Off, Pipeline::Stream(2)] {
+        // Uniprocessor simulator.
+        let run_seq = |engine: EngineKind| {
+            let dir = scratch_dir();
+            let rec = Recording::new(
+                SeqEmSimulator::new(em_machine(1))
+                    .with_seed(77)
+                    .with_pipeline(pipeline)
+                    .with_compute_mode(ComputeMode::Threaded(2))
+                    .with_engine(engine)
+                    .with_file_backend(&dir),
+            );
+            let out = seq_f(&rec);
+            let fp = fingerprint(&rec.take_reports(), &dir);
+            std::fs::remove_dir_all(&dir).ok();
+            (out, fp)
+        };
+        let (base_out, base_fp) = run_seq(EngineKind::Threaded);
+        let what = format!("{name}: seq sim, {pipeline:?}, uring");
+        let (out, fp) = run_seq(EngineKind::Uring);
+        assert_eq!(out, base_out, "{what}: output diverged");
+        assert_fingerprints_match(&base_fp, &fp, &what);
+
+        // 3-processor simulator.
+        let run_par = |engine: EngineKind| {
+            let dir = scratch_dir();
+            let rec = Recording::new(
+                ParEmSimulator::new(em_machine(3))
+                    .with_seed(78)
+                    .with_pipeline(pipeline)
+                    .with_compute_mode(ComputeMode::Threaded(2))
+                    .with_engine(engine)
+                    .with_file_backend(&dir),
+            );
+            let out = par_f(&rec);
+            let fp = fingerprint(&rec.take_reports(), &dir);
+            std::fs::remove_dir_all(&dir).ok();
+            (out, fp)
+        };
+        let (base_out, base_fp) = run_par(EngineKind::Threaded);
+        let what = format!("{name}: par sim, {pipeline:?}, uring");
+        let (out, fp) = run_par(EngineKind::Uring);
+        assert_eq!(out, base_out, "{what}: output diverged");
+        assert_fingerprints_match(&base_fp, &fp, &what);
+    }
+}
+
+/// Duplicate one closure body for the two `Recording<…>` types.
+macro_rules! check_workload {
+    ($name:expr, |$rec:ident| $body:expr) => {
+        check_workload($name, |$rec| $body, |$rec| $body)
+    };
+}
+
+#[test]
+fn sort_is_engine_invariant() {
+    if !uring_or_skip("sort_is_engine_invariant") {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(300);
+    let items: Vec<u64> = (0..500).map(|_| rng.gen_range(0..4000)).collect();
+    check_workload!("sort", |rec| cgm_sort(rec, V, items.clone()).unwrap());
+}
+
+#[test]
+fn prefix_sums_are_engine_invariant() {
+    if !uring_or_skip("prefix_sums_are_engine_invariant") {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(301);
+    let items: Vec<u64> = (0..400).map(|_| rng.gen_range(0..90)).collect();
+    check_workload!("prefix", |rec| cgm_prefix_sums(rec, V, items.clone()).unwrap());
+}
+
+/// Under a seeded fault plan with retries and superstep recovery, the
+/// kernel-ring engine must converge to the fault-free threaded result,
+/// with counted parallel I/O (which excludes retry and recovery traffic)
+/// and the ledger bit-identical across engines.
+#[test]
+fn faulted_recovery_is_engine_invariant() {
+    use em_bsp::{BspProgram, Mailbox, Step};
+    use em_core::RecoveryPolicy;
+    use em_disk::{FaultPlan, RetryPolicy};
+
+    if !uring_or_skip("faulted_recovery_is_engine_invariant") {
+        return;
+    }
+
+    struct ChainFold;
+    impl BspProgram for ChainFold {
+        type State = u64;
+        type Msg = u64;
+        fn superstep(&self, step: usize, mb: &mut Mailbox<u64>, state: &mut u64) -> Step {
+            for e in mb.take_incoming() {
+                // Non-commutative hash chain: sensitive to inbox order, so
+                // any engine- or replay-induced reordering changes the
+                // state.
+                *state = state
+                    .wrapping_mul(0x0000_0100_0000_01B3)
+                    .wrapping_add(((e.src as u64) << 32) ^ e.msg);
+            }
+            let v = mb.nprocs();
+            if step < 3 {
+                mb.send((mb.pid() + 1 + step) % v, *state ^ step as u64);
+                Step::Continue
+            } else {
+                Step::Halt
+            }
+        }
+        fn max_state_bytes(&self) -> usize {
+            8
+        }
+        fn max_comm_bytes(&self) -> usize {
+            64
+        }
+    }
+
+    let run = |engine: EngineKind| {
+        let dir = scratch_dir();
+        let sim = SeqEmSimulator::new(em_machine(1))
+            .with_seed(90)
+            .with_compute_mode(ComputeMode::Threaded(2))
+            .with_engine(engine)
+            .with_file_backend(&dir)
+            .with_fault_plan(FaultPlan::seeded(0xF16, 4, 300, 30))
+            .with_retry(RetryPolicy::new(4))
+            .with_recovery(RecoveryPolicy::new(64));
+        let (res, report) = sim.run(&ChainFold, (0..16u64).collect()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        (res.states, report.io, report.phases, report.comm)
+    };
+    let threaded = run(EngineKind::Threaded);
+    let uring = run(EngineKind::Uring);
+    assert_eq!(uring.0, threaded.0, "faulted recovery: states diverged across engines");
+    assert_eq!(uring.1, threaded.1, "faulted recovery: counted IoStats diverged");
+    assert_eq!(uring.2, threaded.2, "faulted recovery: per-phase ops diverged");
+    assert_eq!(uring.3, threaded.3, "faulted recovery: ledger diverged");
+}
