@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the reorganization phase: Algorithm 2
+//! (merge Step 1 + scatter Step 2) run end to end over a freshly
+//! scattered message intermediate, with the per-bucket plan construction
+//! serial vs fanned out over an attached [`ComputePool`] (DESIGN.md
+//! §3.2.11). Counted parallel I/O is pool-invariant by construction
+//! (asserted in the `figures reorg` sweep and `tests/reorg_modes.rs`);
+//! this bench isolates the wall-clock cost of building the plans.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use em_core::{
+    scatter_messages, simulate_routing, BufferPool, ComputePool, MsgGeometry, OutMsg, Placement,
+    RoutingScratch, ScratchState,
+};
+use em_disk::{DiskArray, DiskConfig, TrackAllocator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0xF16;
+const V: usize = 64;
+const K: usize = 4;
+const D: usize = 8;
+const B: usize = 512;
+const GAMMA: usize = 8192;
+const MSGS_PER_GROUP: u32 = 128;
+const PAYLOAD: usize = 96;
+
+type Scattered = (DiskArray, TrackAllocator, MsgGeometry, ScratchState);
+
+/// Build a freshly scattered message intermediate — the input the
+/// reorganization consumes (and destroys) on every run.
+fn scattered() -> Scattered {
+    let mut alloc = TrackAllocator::new(D);
+    let geom = MsgGeometry::allocate(&mut alloc, V, K, GAMMA, D, B).unwrap();
+    let mut disks = DiskArray::new_memory(DiskConfig::new(D, B).unwrap());
+    let mut scratch = ScratchState::new(&geom);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for g in 0..V.div_ceil(K) {
+        let msgs: Vec<OutMsg> = (0..MSGS_PER_GROUP)
+            .map(|i| OutMsg {
+                dst: (i * 5 + g as u32 * 3) % V as u32,
+                src: (g * K) as u32,
+                seq: i,
+                payload: vec![i as u8; PAYLOAD],
+            })
+            .collect();
+        let place = Placement::Random;
+        scatter_messages(&mut disks, &mut alloc, &geom, &mut scratch, g, msgs, &mut rng, place)
+            .unwrap();
+    }
+    (disks, alloc, geom, scratch)
+}
+
+fn bench_reorg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorg");
+    g.throughput(Throughput::Bytes((V.div_ceil(K) * MSGS_PER_GROUP as usize * PAYLOAD) as u64));
+    for workers in [0usize, 2, 4, 8] {
+        let pool = (workers > 0).then(|| ComputePool::new(workers));
+        let tag = if workers == 0 { "serial".to_string() } else { format!("pool-{workers}") };
+        // Recycled across iterations, exactly as the simulators hold them
+        // across supersteps.
+        let mut routing = RoutingScratch::new();
+        let mut bufs = BufferPool::new();
+        g.bench_with_input(BenchmarkId::new("simulate_routing", &tag), &(), |b, ()| {
+            b.iter_batched(
+                scattered,
+                |(mut disks, mut alloc, geom, scratch)| {
+                    simulate_routing(
+                        &mut disks,
+                        &mut alloc,
+                        &geom,
+                        scratch,
+                        &mut routing,
+                        &mut bufs,
+                        pool.as_ref(),
+                    )
+                    .unwrap()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reorg);
+criterion_main!(benches);

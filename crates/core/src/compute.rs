@@ -72,6 +72,22 @@ pub enum ComputeMode {
     /// group size). `Threaded(1)` exercises the pool machinery but is
     /// effectively serial.
     Threaded(usize),
+    /// Ask the runtime to choose: the simulators' `AutoTuner` resolves
+    /// this into [`ComputeMode::Serial`] or a concrete
+    /// [`ComputeMode::Threaded`] width *before* any group runs, and the
+    /// resolution is recorded in `CostReport::resolved_config`. An
+    /// unresolved `Auto` that reaches the kernel dispatcher behaves like
+    /// `Serial` — the conservative choice — so the knob can never change
+    /// results on its own.
+    Auto,
+}
+
+impl ComputeMode {
+    /// Whether this is the unresolved [`ComputeMode::Auto`] request.
+    #[inline]
+    pub fn is_auto(&self) -> bool {
+        matches!(self, ComputeMode::Auto)
+    }
 }
 
 /// A completion gate for one pool dispatch: counts outstanding jobs and
@@ -406,7 +422,9 @@ pub(crate) fn run_group_vps<P: BspProgram>(
 ) -> Vec<EmResult<VpSlot>> {
     let count = work.len();
     let workers = match mode {
-        ComputeMode::Serial => 1,
+        // An unresolved `Auto` is serial: resolution happens upstream in
+        // the simulators, never here.
+        ComputeMode::Serial | ComputeMode::Auto => 1,
         ComputeMode::Threaded(n) => n.clamp(1, count.max(1)),
     };
     if workers <= 1 || count <= 1 {

@@ -41,6 +41,7 @@ mod report;
 mod routing;
 mod seq_sim;
 pub mod theory;
+mod tune;
 
 pub use checkpoint::KillPoint;
 pub use compute::{ComputeMode, ComputePool};
@@ -58,6 +59,7 @@ pub use planner::{Plan, Planner, ProblemProfile};
 pub use report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 pub use routing::{simulate_routing, RoutingScratch, RoutingTrace};
 pub use seq_sim::SeqEmSimulator;
+pub use tune::{AutoTuner, ResolvedConfig, TuneInputs, TuneSource};
 
 /// Result alias for simulation operations.
 pub type EmResult<T> = Result<T, EmError>;

@@ -45,6 +45,7 @@ use crate::msg::{
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::{simulate_routing, RoutingScratch};
+use crate::tune::{AutoTuner, ResolvedConfig};
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
 use em_disk::{
@@ -126,10 +127,15 @@ pub struct ParEmSimulator {
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
     cache_bytes: usize,
+    auto_cache: bool,
     checkpoint: bool,
     kill: Option<KillPoint>,
     engine: EngineKind,
     pin_workers: bool,
+    tuner: AutoTuner,
+    /// The tuner's choices, recorded when a resolution ran (on the clone
+    /// [`Self::resolved_for`] returns; the original stays `None`).
+    resolved: Option<ResolvedConfig>,
     /// Lazily created persistent compute pool shared by the `p` processor
     /// threads of every run of this simulator (and of its clones — the
     /// cell is behind an `Arc`). `None` until the first `Threaded` run, or
@@ -154,10 +160,13 @@ impl ParEmSimulator {
             retry: None,
             recovery: None,
             cache_bytes: 0,
+            auto_cache: false,
             checkpoint: false,
             kill: None,
             engine: EngineKind::default(),
             pin_workers: false,
+            tuner: AutoTuner::default(),
+            resolved: None,
             pool: Arc::new(StdMutex::new(None)),
         }
     }
@@ -321,7 +330,93 @@ impl ParEmSimulator {
     /// [`em_disk::IoStats::cache_absorbed_writes`].
     pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
         self.cache_bytes = capacity_bytes;
+        self.auto_cache = false;
         self
+    }
+
+    /// Let the [`AutoTuner`] size each processor's block cache instead of
+    /// pinning a capacity with [`Self::with_cache`] (mutually exclusive;
+    /// whichever is set last wins). The capacity is resolved from the
+    /// run's `v·μ+γ` footprint before any disk is built; like every tuned
+    /// knob it cannot change counted I/O, final states or the per-thread
+    /// RNG streams — only wall clock. The choice is recorded in
+    /// [`CostReport::resolved_config`].
+    pub fn with_auto_cache(mut self, on: bool) -> Self {
+        self.auto_cache = on;
+        if on {
+            self.cache_bytes = 0;
+        }
+        self
+    }
+
+    /// Replace the default [`AutoTuner`] that resolves `Auto` knob
+    /// requests ([`ComputeMode::Auto`], [`Pipeline::Auto`],
+    /// [`Self::with_auto_cache`]). The default tuner uses the host core
+    /// count and the corpus-derived compute/fetch ratio; tests and CI
+    /// determinism lanes pin inputs via [`AutoTuner::with_inputs`].
+    pub fn with_tuner(mut self, tuner: AutoTuner) -> Self {
+        self.tuner = tuner;
+        self
+    }
+
+    /// Whether any knob is currently requested as `Auto` (and therefore
+    /// still awaiting resolution).
+    pub fn has_auto_request(&self) -> bool {
+        self.compute.is_auto() || self.pipeline.is_auto() || self.auto_cache
+    }
+
+    /// The [`AutoTuner`] resolution behind this simulator's knobs: `None`
+    /// unless this value came out of [`Self::resolved_for`] (runs resolve
+    /// on an internal clone and record the choice in
+    /// [`CostReport::resolved_config`] instead).
+    pub fn resolved_config(&self) -> Option<&ResolvedConfig> {
+        self.resolved.as_ref()
+    }
+
+    /// Resolve any `Auto` knob requests against a known problem shape —
+    /// `v` virtual processors with state budget `mu` and per-processor
+    /// communication budget `gamma` — returning a simulator whose knobs
+    /// are all concrete and whose [`Self::resolved_config`] records the
+    /// tuner's choices (a plain clone when nothing is `Auto`).
+    /// [`Self::run`] and [`Self::resume`] do this implicitly;
+    /// `em-service` calls it at admission so the resolution lands in the
+    /// tenant ledger before pool shares are granted.
+    pub fn resolved_for(&self, v: usize, mu: usize, gamma: usize) -> Self {
+        match self.resolve_auto(v, mu, gamma) {
+            Some(rc) => self.apply_resolution(rc),
+            None => self.clone(),
+        }
+    }
+
+    /// Run the tuner for the current `Auto` requests; `None` when nothing
+    /// is requested as `Auto`.
+    fn resolve_auto(&self, v: usize, mu: usize, gamma: usize) -> Option<ResolvedConfig> {
+        let footprint = (v as u64).saturating_mul(mu as u64).saturating_add(gamma as u64);
+        self.tuner.resolve(
+            self.compute.is_auto(),
+            self.pipeline.is_auto(),
+            self.auto_cache,
+            footprint,
+        )
+    }
+
+    /// A clone with the resolution's concrete values substituted for the
+    /// `Auto` requests; it reports [`Self::has_auto_request`] `false`, so
+    /// re-entering `run`/`resume` on it cannot resolve again.
+    fn apply_resolution(&self, rc: ResolvedConfig) -> Self {
+        let mut resolved = self.clone();
+        if let Some(mode) = rc.compute {
+            resolved.compute = mode;
+        }
+        if let Some(pipeline) = rc.pipeline {
+            resolved.pipeline = pipeline;
+        }
+        if let Some(bytes) = rc.cache_bytes {
+            resolved.cache_bytes = bytes;
+        }
+        resolved.auto_cache = false;
+        resolved.resolved = Some(rc);
+        resolved
     }
 
     /// Persist a durable checkpoint at every superstep barrier on *every*
@@ -362,6 +457,7 @@ impl ParEmSimulator {
             .with_pipeline(self.pipeline)
             .with_checksums(self.checksums)
             .with_cache(self.cache_bytes)
+            .with_auto_cache(self.auto_cache)
             .with_engine(self.engine)
             .with_pinned_workers(self.pin_workers);
         Ok(match self.retry {
@@ -401,6 +497,14 @@ impl ParEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        // Resolve `Auto` knob requests *before* the disks are built, so a
+        // tuned cache capacity (and pipeline) shape the arrays themselves.
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        if let Some(rc) = self.resolve_auto(states.len(), prog.max_state_bytes(), gamma) {
+            let resolved = self.apply_resolution(rc);
+            let disks = resolved.build_disks()?;
+            return resolved.run_on(disks, prog, states);
+        }
         let disks = self.build_disks()?;
         self.run_on(disks, prog, states)
     }
@@ -490,6 +594,12 @@ impl ParEmSimulator {
         }
         let resume_step = latest.iter().map(|m| m.next_step).min().expect("p >= 1 workers");
         let v = latest[0].v as usize;
+        // `v` is only known from the manifests, so `Auto` knob resolution
+        // happens here: re-enter `resume` on the resolved clone (which has
+        // no `Auto` request left, so it proceeds straight through).
+        if let Some(rc) = self.resolve_auto(v, mu, gamma) {
+            return self.apply_resolution(rc).resume(prog);
+        }
         let k = self.machine.group_size(4 + mu, v)?;
         let batch_unit = k * p;
         let num_batches = v.div_ceil(batch_unit);
@@ -616,6 +726,18 @@ impl ParEmSimulator {
         };
         if v == 0 {
             return Err(EmError::Bsp(BspError::NoProcessors));
+        }
+        // `run`/`resume` resolve before the disks exist; this covers
+        // `run_on` callers with their own arrays. Compute and pipeline
+        // resolutions apply fully here; a tuned cache capacity cannot be
+        // retrofitted onto caller-built arrays, so on this path the
+        // unresolved `auto_cache` request simply leaves the cache off
+        // (inert by the substrate's contract).
+        {
+            let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+            if let Some(rc) = self.resolve_auto(v, prog.max_state_bytes(), gamma) {
+                return self.apply_resolution(rc).run_inner(disks, prog, start);
+            }
         }
         let p = self.machine.p;
         if disks.len() != p {
@@ -1533,6 +1655,7 @@ impl ParEmSimulator {
                 replays: replays_total.into_inner(),
                 failed_superstep: None,
             }),
+            resolved_config: self.resolved,
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))

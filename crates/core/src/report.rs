@@ -173,6 +173,11 @@ pub struct CostReport {
     /// Fault-injection and recovery tallies; `None` unless the run had a
     /// fault plan or recovery enabled.
     pub faults: Option<FaultReport>,
+    /// The concrete knob values the [`crate::AutoTuner`] chose; `None`
+    /// unless at least one knob was requested as `Auto`. Identically
+    /// seeded runs on one host carry byte-identical resolutions (see
+    /// [`crate::ResolvedConfig::deterministic_line`]).
+    pub resolved_config: Option<crate::ResolvedConfig>,
 }
 
 impl CostReport {

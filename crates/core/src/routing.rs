@@ -18,10 +18,31 @@
 //! which simultaneously (a) never collides within a round and (b) leaves
 //! every group's blocks consecutive and striped round-robin (standard
 //! consecutive format, Figure 2).
+//!
+//! # Parallel plan construction (DESIGN.md §3.2.11)
+//!
+//! Both steps are executed from **per-bucket plans** — the complete
+//! `(round, read location, write location)` schedule of every block — that
+//! are built fanned out across the simulator's persistent [`ComputePool`]
+//! (one chunk of buckets per worker, pre-sized disjoint slots, joined in
+//! bucket order) and then *assembled* into read/write stripes by a serial
+//! per-round loop that does nothing but zip precomputed locations with
+//! fetched blocks. The schedule is closed-form, not a parallelized cursor
+//! scan: the serial Step 1 loop probes pile `(b, (b+j) mod D)` at round
+//! `j` and consumes its next entry on a hit, piles never grow, and a pile
+//! is probed exactly every `D` rounds — so entry `c` of pile `(b, dd)` is
+//! consumed at exactly round `((dd − b) mod D) + c·D`. Emitting entries in
+//! that order reproduces the serial stripes bit for bit, which makes the
+//! fan-out invisible to everything counted: stripes, their order, counted
+//! I/O, the trace and the final layout are identical by construction, and
+//! only [`crate::PhaseWall::reorganize`] may change. The closed form also
+//! retires the serial loop's stall guard: every entry is scheduled at a
+//! finite round up front, so non-termination is impossible rather than
+//! merely detected.
 
 use crate::context_store::BufferPool;
 use crate::msg::{GroupCounts, MsgGeometry, ScratchState};
-use crate::{ComputePool, EmError, EmResult};
+use crate::{ComputePool, EmResult};
 use em_disk::{Block, DiskArray, TrackAllocator};
 
 /// Observability record of one routing invocation (drives the Figure 2
@@ -43,21 +64,36 @@ pub struct RoutingTrace {
     pub balance_factor: f64,
 }
 
-/// Reusable bookkeeping for [`simulate_routing`]: the per-bucket cursor
-/// table and the per-round read/write staging vectors of the merge pass.
+/// One scheduled block move: read `read` at round `round`, write it to
+/// `write` in the same round's write stripe. Plans hold one entry per
+/// block, sorted by round (rounds are unique within a bucket).
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    round: usize,
+    read: (usize, usize),
+    write: (usize, usize),
+}
+
+/// Reusable bookkeeping for [`simulate_routing`]: the per-bucket plan
+/// buffers and the per-round read/write staging vectors of the merge pass.
 ///
 /// The simulators keep one per run next to their context [`BufferPool`],
-/// so steady-state routing stops allocating fresh scratch each superstep.
-/// Like the pool it caches only *capacity*, never content — every call
-/// re-derives all state from its inputs, so recovery replay needs no
-/// snapshot of it and an empty default is always valid.
+/// so steady-state routing stops allocating fresh scratch each superstep —
+/// the per-bucket plan `Vec`s round-trip through the pooled plan builders
+/// (taken, refilled by a worker, stored back), so their capacity survives
+/// supersteps no matter which worker filled them. Like the pool it caches
+/// only *capacity*, never content — every call re-derives all state from
+/// its inputs, so recovery replay needs no snapshot of it and an empty
+/// default is always valid.
 #[derive(Debug, Default)]
 pub struct RoutingScratch {
-    /// Per-bucket, per-disk cursors into the scratch reference lists.
-    cursors: Vec<Vec<usize>>,
+    /// Per-bucket plan buffers, recycled through the pooled builders.
+    plans: Vec<Vec<PlanEntry>>,
+    /// Per-bucket cursors into the sorted plans during round assembly.
+    plan_cursors: Vec<usize>,
     /// Read stripe staging: `(disk, track)` per slot this round.
     reads: Vec<(usize, usize)>,
-    /// Step 1 metadata per slot: `(bucket, stage_rank)`.
+    /// Write locations per slot this round, aligned with `reads`.
     meta: Vec<(usize, usize)>,
     /// Write stripe staging; payloads drain into the caller's pool.
     writes: Vec<(usize, usize, Block)>,
@@ -70,15 +106,54 @@ impl RoutingScratch {
     pub fn new() -> Self {
         RoutingScratch::default()
     }
+}
 
-    /// Reset the cursor table to `nb × d` zeros, reusing its allocations.
-    fn reset_cursors(&mut self, nb: usize, d: usize) {
-        self.cursors.resize_with(nb, Vec::new);
-        for row in &mut self.cursors {
-            row.clear();
-            row.resize(d, 0);
+/// Emit the plans' rounds in order: per round, gather the due entry of
+/// every bucket (bucket order — exactly the serial probe order), read the
+/// stripe, zip the fetched blocks with their precomputed write locations,
+/// write the stripe, and recycle the payloads into `pool`. Returns the
+/// number of non-empty rounds. Purely mechanical: every decision was made
+/// in the plans, so the loop body is identical for both routing steps.
+fn assemble_rounds(
+    disks: &mut DiskArray,
+    plans: &[Vec<PlanEntry>],
+    routing: &mut RoutingScratch,
+    pool: &mut BufferPool,
+) -> EmResult<usize> {
+    let total: usize = plans.iter().map(Vec::len).sum();
+    routing.plan_cursors.clear();
+    routing.plan_cursors.resize(plans.len(), 0);
+    let mut emitted = 0usize;
+    let mut rounds = 0usize;
+    let mut j = 0usize;
+    while emitted < total {
+        routing.reads.clear();
+        routing.meta.clear();
+        for (bucket, plan) in plans.iter().enumerate() {
+            let cur = routing.plan_cursors[bucket];
+            if let Some(e) = plan.get(cur) {
+                if e.round == j {
+                    routing.plan_cursors[bucket] = cur + 1;
+                    routing.reads.push(e.read);
+                    routing.meta.push(e.write);
+                }
+            }
         }
+        j += 1;
+        if routing.reads.is_empty() {
+            continue;
+        }
+        rounds += 1;
+        emitted += routing.reads.len();
+        let blocks = disks.read_stripe(&routing.reads)?;
+        routing.writes.clear();
+        routing
+            .writes
+            .extend(routing.meta.iter().zip(blocks).map(|(&(dk, tk), block)| (dk, tk, block)));
+        disks.write_stripe(&routing.writes)?;
+        pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
     }
+    Ok(rounds)
 }
 
 /// Run Algorithm 2, consuming the superstep's scratch state and returning
@@ -90,13 +165,17 @@ impl RoutingScratch {
 /// context buffers from — so steady-state routing is allocation-free
 /// except for the blocks materialized by the disk reads themselves.
 ///
-/// With `compute = Some(pool)` the per-round merge/scatter transform (the
-/// rank → staging and rotation → final placement of each fetched block) is
-/// chunked across the persistent worker pool into pre-sized disjoint
-/// slots, joined in slot order before the write stripe is issued — so the
-/// stripes, their order, counted I/O and the resulting layout are
-/// bit-identical to the serial path by construction; only
-/// [`crate::PhaseWall::reorganize_wall_ms`] changes.
+/// With `compute = Some(pool)` the whole reorganization schedule — the
+/// closed-form Step 1 gather plan and the Step 2 rotation plan (rank →
+/// staging and rotation → final placement of every block) — is built
+/// fanned out across the persistent worker pool, one chunk of buckets per
+/// worker into pre-sized disjoint slots joined in bucket order; the
+/// per-round loop then only assembles precomputed locations into stripes.
+/// The stripes, their order, counted I/O, the [`RoutingTrace`] and the
+/// resulting layout are bit-identical to the serial path by construction
+/// (the schedule is a pure function of the inputs, and counting happens in
+/// [`DiskArray`] at submission); only [`crate::PhaseWall::reorganize`]
+/// changes.
 pub fn simulate_routing(
     disks: &mut DiskArray,
     alloc: &mut TrackAllocator,
@@ -118,60 +197,43 @@ pub fn simulate_routing(
     }
 
     // ---- Step 1: gather bucket d onto disk d, rank-ordered. ----
-    routing.reset_cursors(nb, d);
-    let mut remaining = total;
-    let mut j = 0usize;
-    let mut stalls = 0usize;
-    while remaining > 0 {
-        routing.reads.clear();
-        routing.meta.clear(); // (bucket, stage_rank) per slot
-        for (bucket, bucket_cursors) in routing.cursors.iter_mut().enumerate() {
-            let src_disk = (bucket + j) % d;
-            let cur = bucket_cursors[src_disk];
-            if let Some(r) = scratch.refs[bucket][src_disk].get(cur) {
-                bucket_cursors[src_disk] += 1;
-                routing.reads.push((src_disk, r.track));
-                let rank = counts.prefix_in_bucket[r.group as usize] + r.gseq as usize;
-                routing.meta.push((bucket, rank));
-            } else {
-                trace.idle_slots += 1;
+    // Per-bucket closed-form plans, built fanned out over the pool: entry
+    // `c` of pile `(bucket, dd)` is consumed at round
+    // `((dd − bucket) mod D) + c·D` (see the module docs for why this is
+    // exactly the serial cursor scan's schedule), reads its scratch track
+    // and writes the bucket's staging track at its in-bucket rank. Rounds
+    // are unique within a bucket — distinct piles occupy distinct residue
+    // classes mod D — so the per-bucket sort fully determines the order.
+    routing.plans.resize_with(nb, Vec::new);
+    let plans = ComputePool::map_ordered(
+        compute,
+        compute_workers,
+        std::mem::take(&mut routing.plans),
+        |bucket, mut plan| {
+            plan.clear();
+            for (dd, refs) in scratch.refs[bucket].iter().enumerate() {
+                let off = (dd + d - bucket % d) % d;
+                for (c, r) in refs.iter().enumerate() {
+                    let rank = counts.prefix_in_bucket[r.group as usize] + r.gseq as usize;
+                    plan.push(PlanEntry {
+                        round: off + c * d,
+                        read: (dd, r.track),
+                        write: geom.stage_location(bucket, rank),
+                    });
+                }
             }
-        }
-        j += 1;
-        if routing.reads.is_empty() {
-            stalls += 1;
-            // Every bucket's remaining blocks get a chance within D rounds;
-            // D consecutive empty rounds with blocks remaining is a bug.
-            if stalls > d {
-                return Err(EmError::InvalidConfig(
-                    "routing step 1 made no progress for D consecutive rounds".into(),
-                ));
-            }
-            continue;
-        }
-        stalls = 0;
-        trace.step1_rounds += 1;
-        let blocks = disks.read_stripe(&routing.reads)?;
-        let staged: Vec<((usize, usize), Block)> =
-            routing.meta.iter().copied().zip(blocks).collect();
-        routing.writes.clear();
-        routing.writes.extend(ComputePool::map_ordered(
-            compute,
-            compute_workers,
-            staged,
-            |_, ((bucket, rank), block)| {
-                let (disk, track) = geom.stage_location(bucket, rank);
-                (disk, track, block)
-            },
-        ));
-        disks.write_stripe(&routing.writes)?;
-        remaining -= routing.writes.len();
-        pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
-    }
+            plan.sort_unstable_by_key(|e| e.round);
+            plan
+        },
+    );
+    // The serial loop exits right after the round consuming the last
+    // block, having probed every bucket once per round up to there.
+    let j_last = plans.iter().filter_map(|p| p.last()).map(|e| e.round).max().unwrap_or(0);
+    trace.step1_rounds = assemble_rounds(disks, &plans, routing, pool)?;
+    trace.idle_slots = (j_last + 1) * nb - total;
 
     // Scratch tracks are free again.
-    for (bucket, per_disk) in scratch.refs.iter().enumerate() {
-        let _ = bucket;
+    for per_disk in scratch.refs.iter() {
         for (disk, refs) in per_disk.iter().enumerate() {
             for r in refs {
                 alloc.free_track(disk, r.track);
@@ -180,39 +242,30 @@ pub fn simulate_routing(
     }
 
     // ---- Step 2: rotate staged blocks into the final striped regions. ----
+    // Same fan-out, trivial schedule: the bucket's `j`-th staged block
+    // moves in round `j` from its staging track to its final location.
     routing.staged.clear();
     routing.staged.extend((0..nb).map(|b| counts.bucket_total(geom, b)));
-    let rounds = routing.staged.iter().copied().max().unwrap_or(0);
-    for j in 0..rounds {
-        routing.reads.clear();
-        routing.meta.clear(); // (bucket, 0) per slot; only the bucket is used
-        for (bucket, &bucket_staged) in routing.staged.iter().enumerate() {
-            if j < bucket_staged {
-                let (disk, track) = geom.stage_location(bucket, j);
-                routing.reads.push((disk, track));
-                routing.meta.push((bucket, 0));
+    let staged_totals = &routing.staged;
+    let plans = ComputePool::map_ordered(
+        compute,
+        compute_workers,
+        plans, // reuse the Step 1 buffers' capacity
+        |bucket, mut plan| {
+            plan.clear();
+            for j in 0..staged_totals[bucket] {
+                plan.push(PlanEntry {
+                    round: j,
+                    read: geom.stage_location(bucket, j),
+                    write: geom.final_location(bucket, j),
+                });
             }
-        }
-        if routing.reads.is_empty() {
-            continue;
-        }
-        trace.step2_rounds += 1;
-        let blocks = disks.read_stripe(&routing.reads)?;
-        let staged: Vec<((usize, usize), Block)> =
-            routing.meta.iter().copied().zip(blocks).collect();
-        routing.writes.clear();
-        routing.writes.extend(ComputePool::map_ordered(
-            compute,
-            compute_workers,
-            staged,
-            |_, ((bucket, _), block)| {
-                let (disk, track) = geom.final_location(bucket, j);
-                (disk, track, block)
-            },
-        ));
-        disks.write_stripe(&routing.writes)?;
-        pool.put_all(routing.writes.drain(..).map(|(_, _, b)| b.into_vec()));
-    }
+            plan
+        },
+    );
+    trace.step2_rounds = assemble_rounds(disks, &plans, routing, pool)?;
+    // Hand the plan buffers back for the next superstep.
+    routing.plans = plans;
 
     Ok((counts, trace))
 }
@@ -417,6 +470,64 @@ mod tests {
             results.push((disks.stats().clone(), trace, fetched));
         }
         assert_eq!(results[0], results[1], "pooled routing diverged from serial");
+    }
+
+    /// The closed-form schedule under *skewed* scratch distributions
+    /// (random placement piles everything unevenly, forcing idle slots
+    /// and empty leading rounds) must agree with itself across pool
+    /// widths — including the idle-slot and round tallies, which encode
+    /// the serial cursor scan's exact dynamics.
+    #[test]
+    fn skewed_distributions_agree_across_pool_widths() {
+        for seed in [11u64, 23, 99] {
+            let mut results = Vec::new();
+            let wide = ComputePool::new(8);
+            let narrow = ComputePool::new(2);
+            for pool_ref in [None, Some(&narrow), Some(&wide)] {
+                let (mut disks, mut alloc, geom) = setup(24, 3, 3000, 4, 64);
+                let mut scratch = ScratchState::new(&geom);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for src_group in 0..geom.num_groups {
+                    // Skew: most traffic targets one group.
+                    let msgs: Vec<OutMsg> = (0..15u32)
+                        .map(|t| OutMsg {
+                            dst: if t % 4 == 0 { (src_group * 11 + t as usize) % geom.v } else { 1 }
+                                as u32,
+                            src: (src_group * geom.k) as u32,
+                            seq: t,
+                            payload: vec![t as u8; (t as usize % 23) + 1],
+                        })
+                        .collect();
+                    scatter_messages(
+                        &mut disks,
+                        &mut alloc,
+                        &geom,
+                        &mut scratch,
+                        src_group,
+                        msgs,
+                        &mut rng,
+                        Placement::Random,
+                    )
+                    .unwrap();
+                }
+                let mut routing = RoutingScratch::new();
+                let mut buf_pool = BufferPool::new();
+                let (counts, trace) = simulate_routing(
+                    &mut disks,
+                    &mut alloc,
+                    &geom,
+                    scratch,
+                    &mut routing,
+                    &mut buf_pool,
+                    pool_ref,
+                )
+                .unwrap();
+                assert_eq!(buf_pool.len(), 2 * trace.blocks, "recycling must survive pooling");
+                results.push((disks.stats().clone(), counts.counts.clone(), trace));
+            }
+            assert_eq!(results[0], results[1], "narrow pool diverged (seed {seed})");
+            assert_eq!(results[0], results[2], "wide pool diverged (seed {seed})");
+        }
     }
 
     /// Scratch tracks are recycled after routing: repeated supersteps do

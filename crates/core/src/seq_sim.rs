@@ -30,6 +30,7 @@ use crate::msg::{
 };
 use crate::report::{CostReport, FaultReport, PhaseIo, PhaseWall, RecoveryPolicy};
 use crate::routing::{simulate_routing, RoutingScratch};
+use crate::tune::{AutoTuner, ResolvedConfig};
 use crate::ComputePool;
 use crate::{EmError, EmResult};
 use em_bsp::{BspError, BspProgram, CommLedger, RunResult, SuperstepComm};
@@ -91,10 +92,15 @@ pub struct SeqEmSimulator {
     retry: Option<RetryPolicy>,
     recovery: Option<RecoveryPolicy>,
     cache_bytes: usize,
+    auto_cache: bool,
     checkpoint: bool,
     kill: Option<KillPoint>,
     engine: EngineKind,
     pin_workers: bool,
+    tuner: AutoTuner,
+    /// The tuner's choices, recorded when a resolution ran (on the clone
+    /// [`Self::resolved_for`] returns; the original stays `None`).
+    resolved: Option<ResolvedConfig>,
     /// Lazily created persistent compute pool, shared by every run of this
     /// simulator (and of its clones — the cell is behind an `Arc`). `None`
     /// until the first `Threaded` run, or preset via
@@ -120,10 +126,13 @@ impl SeqEmSimulator {
             retry: None,
             recovery: None,
             cache_bytes: 0,
+            auto_cache: false,
             checkpoint: false,
             kill: None,
             engine: EngineKind::Threaded,
             pin_workers: false,
+            tuner: AutoTuner::default(),
+            resolved: None,
             pool: Arc::new(StdMutex::new(None)),
         }
     }
@@ -285,6 +294,32 @@ impl SeqEmSimulator {
     /// [`em_disk::IoStats::cache_absorbed_writes`].
     pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
         self.cache_bytes = capacity_bytes;
+        self.auto_cache = false;
+        self
+    }
+
+    /// Let the [`AutoTuner`] size the block cache instead of pinning a
+    /// capacity with [`Self::with_cache`] (the two are mutually exclusive;
+    /// whichever is set last wins). The capacity is resolved from the
+    /// run's `v·μ+γ` footprint before any disk is built; like every tuned
+    /// knob it cannot change counted I/O, final states or seeded traces —
+    /// only wall clock. The choice is recorded in
+    /// [`CostReport::resolved_config`].
+    pub fn with_auto_cache(mut self, on: bool) -> Self {
+        self.auto_cache = on;
+        if on {
+            self.cache_bytes = 0;
+        }
+        self
+    }
+
+    /// Replace the default [`AutoTuner`] that resolves `Auto` knob
+    /// requests ([`ComputeMode::Auto`], [`Pipeline::Auto`],
+    /// [`Self::with_auto_cache`]). The default tuner uses the host core
+    /// count and the corpus-derived compute/fetch ratio; tests and CI
+    /// determinism lanes pin inputs via [`AutoTuner::with_inputs`].
+    pub fn with_tuner(mut self, tuner: AutoTuner) -> Self {
+        self.tuner = tuner;
         self
     }
 
@@ -338,6 +373,66 @@ impl SeqEmSimulator {
         self.pool.lock().expect("compute pool cell").is_some()
     }
 
+    /// Whether any knob is currently requested as `Auto` (and therefore
+    /// still awaiting resolution).
+    pub fn has_auto_request(&self) -> bool {
+        self.compute.is_auto() || self.pipeline.is_auto() || self.auto_cache
+    }
+
+    /// The [`AutoTuner`] resolution behind this simulator's knobs: `None`
+    /// unless this value came out of [`Self::resolved_for`] (runs resolve
+    /// on an internal clone and record the choice in
+    /// [`CostReport::resolved_config`] instead).
+    pub fn resolved_config(&self) -> Option<&ResolvedConfig> {
+        self.resolved.as_ref()
+    }
+
+    /// Resolve any `Auto` knob requests against a known problem shape —
+    /// `v` virtual processors with state budget `mu` and per-processor
+    /// communication budget `gamma` — returning a simulator whose knobs
+    /// are all concrete and whose [`Self::resolved_config`] records the
+    /// tuner's choices (a plain clone when nothing is `Auto`).
+    /// [`Self::run`] and [`Self::resume`] do this implicitly;
+    /// `em-service` calls it at admission so the resolution lands in the
+    /// tenant ledger before pool shares are granted.
+    pub fn resolved_for(&self, v: usize, mu: usize, gamma: usize) -> Self {
+        match self.resolve_auto(v, mu, gamma) {
+            Some(rc) => self.apply_resolution(rc),
+            None => self.clone(),
+        }
+    }
+
+    /// Run the tuner for the current `Auto` requests; `None` when nothing
+    /// is requested as `Auto`.
+    fn resolve_auto(&self, v: usize, mu: usize, gamma: usize) -> Option<ResolvedConfig> {
+        let footprint = (v as u64).saturating_mul(mu as u64).saturating_add(gamma as u64);
+        self.tuner.resolve(
+            self.compute.is_auto(),
+            self.pipeline.is_auto(),
+            self.auto_cache,
+            footprint,
+        )
+    }
+
+    /// A clone with the resolution's concrete values substituted for the
+    /// `Auto` requests; it reports [`Self::has_auto_request`] `false`, so
+    /// re-entering `run`/`resume` on it cannot resolve again.
+    fn apply_resolution(&self, rc: ResolvedConfig) -> Self {
+        let mut resolved = self.clone();
+        if let Some(mode) = rc.compute {
+            resolved.compute = mode;
+        }
+        if let Some(pipeline) = rc.pipeline {
+            resolved.pipeline = pipeline;
+        }
+        if let Some(bytes) = rc.cache_bytes {
+            resolved.cache_bytes = bytes;
+        }
+        resolved.auto_cache = false;
+        resolved.resolved = Some(rc);
+        resolved
+    }
+
     /// The [`DiskConfig`] this simulator derives from its machine and
     /// knobs — the shape every array passed to [`Self::run_on`] must have.
     pub fn disk_config(&self) -> EmResult<DiskConfig> {
@@ -348,6 +443,7 @@ impl SeqEmSimulator {
             .with_pipeline(self.pipeline)
             .with_checksums(self.checksums)
             .with_cache(self.cache_bytes)
+            .with_auto_cache(self.auto_cache)
             .with_engine(self.engine)
             .with_pinned_workers(self.pin_workers);
         Ok(match self.retry {
@@ -386,6 +482,14 @@ impl SeqEmSimulator {
         prog: &P,
         states: Vec<P::State>,
     ) -> EmResult<(RunResult<P::State>, CostReport)> {
+        // Resolve `Auto` knob requests *before* the disks are built, so a
+        // tuned cache capacity (and pipeline) shape the array itself.
+        let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        if let Some(rc) = self.resolve_auto(states.len(), prog.max_state_bytes(), gamma) {
+            let resolved = self.apply_resolution(rc);
+            let mut disks = resolved.build_disks()?;
+            return resolved.run_on(&mut disks, prog, states);
+        }
         let mut disks = self.build_disks()?;
         self.run_on(&mut disks, prog, states)
     }
@@ -458,6 +562,12 @@ impl SeqEmSimulator {
             ));
         }
         let v = m.v as usize;
+        // `v` is only known from the manifest, so `Auto` knob resolution
+        // happens here: re-enter `resume` on the resolved clone (which has
+        // no `Auto` request left, so it proceeds straight through).
+        if let Some(rc) = self.resolve_auto(v, mu, gamma) {
+            return self.apply_resolution(rc).resume(prog);
+        }
         let k = self.machine.group_size(4 + mu, v)?;
         if m.k != k as u64 || m.num_groups != v.div_ceil(k) as u64 {
             return Err(EmError::InvalidConfig(
@@ -533,6 +643,15 @@ impl SeqEmSimulator {
 
         let mu = prog.max_state_bytes();
         let gamma = prog.max_comm_bytes().max(MSG_HEADER_BYTES);
+        // `run`/`resume` resolve before the disks exist; this covers
+        // `run_on` callers with their own array. Compute and pipeline
+        // resolutions apply fully here; a tuned cache capacity cannot be
+        // retrofitted onto a caller-built array, so on this path the
+        // unresolved `auto_cache` request simply leaves the cache off
+        // (inert by the substrate's contract).
+        if let Some(rc) = self.resolve_auto(v, mu, gamma) {
+            return self.apply_resolution(rc).run_inner(disks, prog, start);
+        }
         let ctx_region = 4 + mu; // length prefix + payload
         let k = self.machine.group_size(ctx_region, v)?;
         let num_groups = v.div_ceil(k);
@@ -881,6 +1000,7 @@ impl SeqEmSimulator {
                 replays: total_replays,
                 failed_superstep: None,
             }),
+            resolved_config: self.resolved,
             io,
         };
         Ok((RunResult { states: final_states, ledger }, report))

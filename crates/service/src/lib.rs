@@ -541,6 +541,14 @@ impl SimService {
         spec: JobSpec,
         sim: SeqEmSimulator,
     ) -> Result<TenantLease, AdmissionError> {
+        // Resolve any `Auto` knob requests now, against the *declared*
+        // spec shape, so the tenant's effective configuration is fixed
+        // before pool shares are granted and before its disk array is
+        // built — and so the resolution can be logged in the ledger. The
+        // resolution only picks wall-clock knobs; it cannot change the
+        // tenant's counted I/O or final states.
+        let sim = sim.resolved_for(spec.v, spec.mu, spec.gamma);
+        let resolved = sim.resolved_config().map(|rc| rc.deterministic_line());
         // A `Threaded` tenant without its own pool shares the service's
         // persistent one: repeated admissions reuse the same
         // `em-compute-w*` threads instead of spawning per-tenant pools.
@@ -617,6 +625,7 @@ impl SimService {
             spec,
             base,
             sim,
+            resolved,
             disks: Mutex::new(disks),
             stages: Mutex::new(Vec::new()),
             fingerprint: Mutex::new(0),
@@ -650,6 +659,9 @@ pub struct TenantLease {
     spec: JobSpec,
     base: usize,
     sim: SeqEmSimulator,
+    /// The admission-time [`em_core::AutoTuner`] resolution, rendered as
+    /// its deterministic line; `None` when no knob was requested `Auto`.
+    resolved: Option<String>,
     disks: Mutex<DiskArray>,
     stages: Mutex<Vec<CostReport>>,
     fingerprint: Mutex<u32>,
@@ -674,6 +686,13 @@ impl TenantLease {
     /// The tenant's simulator (to inspect its machine or knobs).
     pub fn simulator(&self) -> &SeqEmSimulator {
         &self.sim
+    }
+
+    /// The admission-time `Auto` knob resolution as its deterministic
+    /// line ([`em_core::ResolvedConfig::deterministic_line`]); `None`
+    /// when the admitted simulator had no `Auto` request.
+    pub fn resolved_line(&self) -> Option<&str> {
+        self.resolved.as_deref()
     }
 
     /// Stages metered so far.
@@ -709,6 +728,7 @@ impl TenantLease {
             mu: self.spec.mu,
             gamma: self.spec.gamma,
             tracks: self.spec.tracks,
+            resolved: self.resolved.clone(),
             state_fingerprint: *self.fingerprint.lock(),
             outcome: TenantOutcome::Completed,
             stages: std::mem::take(&mut *self.stages.lock()),
@@ -735,6 +755,7 @@ impl TenantLease {
             mu: self.spec.mu,
             gamma: self.spec.gamma,
             tracks: self.spec.tracks,
+            resolved: self.resolved.clone(),
             state_fingerprint: *self.fingerprint.lock(),
             outcome: TenantOutcome::Quarantined { failed_step: step },
             stages: std::mem::take(&mut *self.stages.lock()),
@@ -939,6 +960,10 @@ pub struct TenantRecord {
     pub gamma: usize,
     /// Reserved tracks per drive.
     pub tracks: usize,
+    /// The admission-time `Auto` knob resolution
+    /// ([`em_core::ResolvedConfig::deterministic_line`]); `None` when the
+    /// tenant's simulator had no `Auto` request.
+    pub resolved: Option<String>,
     /// Rolling CRC-32 of all stages' serialized final states.
     pub state_fingerprint: u32,
     /// How the tenant ended: completed, or quarantined by a fault.
@@ -1001,10 +1026,17 @@ impl TenantRecord {
             TenantOutcome::Completed => "completed".to_string(),
             TenantOutcome::Quarantined { failed_step } => format!("quarantined:{failed_step}"),
         };
+        // The resolution line is integer-only and quote-free by
+        // construction, so `{:?}` renders it as a plain JSON string.
+        let resolved = match &self.resolved {
+            Some(line) => format!("{line:?}"),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"name\":{:?},\"seed\":{},\"v\":{},\"mu\":{},\"gamma\":{},",
-                "\"tracks\":{},\"fingerprint\":{},\"outcome\":{:?},\"stages\":[{}]}}"
+                "\"tracks\":{},\"resolved\":{},\"fingerprint\":{},\"outcome\":{:?},",
+                "\"stages\":[{}]}}"
             ),
             self.name,
             self.seed,
@@ -1012,6 +1044,7 @@ impl TenantRecord {
             self.mu,
             self.gamma,
             self.tracks,
+            resolved,
             self.state_fingerprint,
             outcome,
             stages.join(","),
